@@ -1,0 +1,171 @@
+(* Benchmark harness.
+
+   Part 1 — Bechamel microbenchmarks of the core machinery: range-set
+   operations, the PIFT tracker's per-event cost vs. the full-DIFT
+   baseline (the paper's "loads and stores are an order of magnitude less
+   frequent" argument in cost form), the hardware range-cache lookup, and
+   the simulated CPU itself.
+
+   Part 2 — the full reproduction: every table and figure of the paper's
+   evaluation section, printed via Pift_eval.Experiments.  This is what
+   bench_output.txt is made of. *)
+
+open Bechamel
+open Toolkit
+module Range = Pift_util.Range
+module Rng = Pift_util.Rng
+module Range_set = Pift_core.Range_set
+module Tracker = Pift_core.Tracker
+module Policy = Pift_core.Policy
+module Storage = Pift_core.Storage
+module Full_dift = Pift_baseline.Full_dift
+module Trace = Pift_trace.Trace
+module Recorded = Pift_eval.Recorded
+
+(* --- fixtures ---------------------------------------------------------- *)
+
+let random_ranges n =
+  let rng = Rng.create 42 in
+  Array.init n (fun _ ->
+      Range.of_len (Rng.int rng 0x10000 * 4) (1 + Rng.int rng 64))
+
+let bench_trace =
+  lazy
+    (Recorded.record
+       (Pift_workloads.Malware.lgroot_sized ~rounds:2 ~payload_chars:256))
+
+let event_slice n =
+  let r = Lazy.force bench_trace in
+  let len = min n (Trace.length r.Recorded.trace) in
+  Array.init len (fun i -> Trace.get r.Recorded.trace i)
+
+(* --- microbenchmarks --------------------------------------------------- *)
+
+let test_range_set_add =
+  let ranges = random_ranges 512 in
+  Test.make ~name:"range_set/add-512"
+    (Staged.stage (fun () ->
+         ignore
+           (Array.fold_left (fun s r -> Range_set.add s r) Range_set.empty
+              ranges)))
+
+let test_range_set_query =
+  let ranges = random_ranges 512 in
+  let set = Array.fold_left Range_set.add Range_set.empty ranges in
+  let queries = random_ranges 512 in
+  Test.make ~name:"range_set/query-512"
+    (Staged.stage (fun () ->
+         let hits = ref 0 in
+         Array.iter
+           (fun q -> if Range_set.mem_overlap set q then incr hits)
+           queries;
+         ignore !hits))
+
+let tracker_events = lazy (event_slice 20_000)
+
+let test_tracker_observe =
+  Test.make ~name:"tracker/observe-20k-events"
+    (Staged.stage (fun () ->
+         let events = Lazy.force tracker_events in
+         let t = Tracker.create ~policy:Policy.default () in
+         Tracker.taint_source t ~pid:1 (Range.of_len 0x4000_0000 32);
+         Array.iter (Tracker.observe t) events))
+
+let test_dift_observe =
+  Test.make ~name:"full_dift/observe-20k-events"
+    (Staged.stage (fun () ->
+         let events = Lazy.force tracker_events in
+         let t = Full_dift.create () in
+         Full_dift.taint_source t ~pid:1 (Range.of_len 0x4000_0000 32);
+         Array.iter (Full_dift.observe t) events))
+
+let test_storage_lookup =
+  let storage = Storage.create ~entries:2730 () in
+  let rng = Rng.create 7 in
+  for _ = 1 to 2000 do
+    Storage.insert storage ~pid:1
+      (Range.of_len (Rng.int rng 0x10000 * 8) (1 + Rng.int rng 32))
+  done;
+  let queries = random_ranges 128 in
+  Test.make ~name:"storage/lookup-128@2000-entries"
+    (Staged.stage (fun () ->
+         Array.iter
+           (fun q -> ignore (Storage.lookup storage ~pid:1 q))
+           queries))
+
+let test_cpu_copy =
+  Test.make ~name:"cpu/char_copy-256"
+    (Staged.stage (fun () ->
+         let mem = Pift_machine.Memory.create () in
+         let cpu = Pift_machine.Cpu.create ~sink:(fun _ -> ()) mem in
+         Pift_runtime.Intrinsics.char_copy cpu ~dst:0x5000_0000
+           ~src:0x4000_0000 ~chars:256))
+
+let test_provenance_observe =
+  Test.make ~name:"provenance/observe-20k-events-3-labels"
+    (Staged.stage (fun () ->
+         let events = Lazy.force tracker_events in
+         let t = Pift_core.Provenance.create ~policy:Policy.default () in
+         Pift_core.Provenance.taint_source t ~pid:1 ~label:"IMEI"
+           (Range.of_len 0x4000_0000 32);
+         Pift_core.Provenance.taint_source t ~pid:1 ~label:"GPS"
+           (Range.of_len 0x4000_0100 8);
+         Pift_core.Provenance.taint_source t ~pid:1 ~label:"Phone"
+           (Range.of_len 0x4000_0200 22);
+         Array.iter (Pift_core.Provenance.observe t) events))
+
+let test_trace_io =
+  Test.make ~name:"trace_io/save+load-small-app"
+    (Staged.stage
+       (let recorded =
+          lazy
+            (Recorded.record
+               (Option.get (Pift_workloads.Droidbench.find "StringConcat1")))
+        in
+        fun () ->
+          let r = Lazy.force recorded in
+          let path = Filename.temp_file "pift_bench" ".trace" in
+          Pift_eval.Trace_io.save r path;
+          let loaded = Pift_eval.Trace_io.load path in
+          Sys.remove path;
+          ignore (Trace.length loaded.Recorded.trace)))
+
+let tests =
+  [
+    test_range_set_add;
+    test_range_set_query;
+    test_tracker_observe;
+    test_dift_observe;
+    test_provenance_observe;
+    test_storage_lookup;
+    test_cpu_copy;
+    test_trace_io;
+  ]
+
+let run_microbenchmarks () =
+  print_endline "######## microbenchmarks ########";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "%-36s %12.1f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "%-36s (no estimate)\n%!" name)
+        analysed)
+    tests;
+  print_newline ()
+
+let () =
+  run_microbenchmarks ();
+  print_endline "######## paper reproduction (every table & figure) ########";
+  Pift_eval.Experiments.run_all Format.std_formatter;
+  Format.print_flush ()

@@ -1,0 +1,320 @@
+(* pift — command-line front end: run apps under the tracker, sweep
+   parameters, and regenerate the paper's experiments. *)
+
+open Cmdliner
+
+module Policy = Pift_core.Policy
+module Tracker = Pift_core.Tracker
+module Recorded = Pift_eval.Recorded
+module App = Pift_workloads.App
+
+let all_apps () =
+  Pift_workloads.Droidbench.all @ Pift_workloads.Malware.all
+  @ Pift_workloads.Extended.all @ Pift_workloads.Evasion.all
+  @ [ Pift_workloads.Browser.app ]
+
+let find_app name =
+  match
+    List.find_opt
+      (fun (a : App.t) -> String.equal a.App.name name)
+      (all_apps ())
+  with
+  | Some a -> a
+  | None ->
+      Printf.eprintf "unknown app %S (try `pift list-apps`)\n" name;
+      exit 2
+
+(* --- common options --- *)
+
+let ni =
+  let doc = "Tainting-window size NI (instructions)." in
+  Arg.(value & opt int 13 & info [ "ni" ] ~docv:"NI" ~doc)
+
+let nt =
+  let doc = "Maximum propagations per window NT." in
+  Arg.(value & opt int 3 & info [ "nt" ] ~docv:"NT" ~doc)
+
+let untaint =
+  let doc = "Enable untainting of stores outside windows." in
+  Arg.(value & opt bool true & info [ "untaint" ] ~docv:"BOOL" ~doc)
+
+let policy_of ni nt untaint = Policy.make ~untaint ~ni ~nt ()
+
+let jit =
+  let doc = "Execute under the JIT/AOT translation (no fetch/dispatch)." in
+  Arg.(value & flag & info [ "jit" ] ~doc)
+
+let mode_of jit = if jit then Pift_dalvik.Vm.Jit else Pift_dalvik.Vm.Interpreter
+
+(* --- list-apps --- *)
+
+let list_apps () =
+  Printf.printf "%-24s %-28s %-7s %s\n" "name" "category" "label" "subset48";
+  List.iter
+    (fun (a : App.t) ->
+      Printf.printf "%-24s %-28s %-7s %b\n" a.App.name a.App.category
+        (if a.App.leaky then "leaky" else "benign")
+        a.App.subset48)
+    (all_apps ())
+
+let list_apps_cmd =
+  Cmd.v
+    (Cmd.info "list-apps" ~doc:"List the DroidBench-like suite and malware.")
+    Term.(const list_apps $ const ())
+
+(* --- run-app --- *)
+
+let run_app name ni nt untaint verbose jit explain =
+  let app = find_app name in
+  let policy = policy_of ni nt untaint in
+  let recorded = Recorded.record ~mode:(mode_of jit) app in
+  let replay = Recorded.replay ~policy recorded in
+  let dift = Recorded.replay_dift recorded in
+  Printf.printf "app:        %s (%s, labelled %s)\n" app.App.name
+    app.App.category
+    (if app.App.leaky then "leaky" else "benign");
+  Printf.printf "trace:      %d instructions (%d loads, %d stores), %d bytecodes\n"
+    (Pift_trace.Trace.length recorded.Recorded.trace)
+    (Pift_trace.Trace.loads recorded.Recorded.trace)
+    (Pift_trace.Trace.stores recorded.Recorded.trace)
+    recorded.Recorded.bytecodes;
+  Printf.printf "policy:     %s\n" (Policy.to_string policy);
+  List.iter
+    (fun (v : Recorded.verdict) ->
+      Printf.printf "  sink %-6s -> %s\n" v.Recorded.kind
+        (if v.Recorded.flagged then "TAINTED" else "clean"))
+    replay.Recorded.verdicts;
+  List.iter
+    (fun (v : Recorded.provenance_verdict) ->
+      if v.Recorded.leaked <> [] then
+        Printf.printf "  sink %-6s carries: %s\n" v.Recorded.pv_kind
+          (String.concat ", " v.Recorded.leaked))
+    (Recorded.replay_provenance ~policy recorded);
+  Printf.printf "PIFT:       %s\n"
+    (if replay.Recorded.flagged then "LEAK DETECTED" else "no leak");
+  Printf.printf "full DIFT:  %s (ground truth oracle)\n"
+    (if dift.Recorded.dift_flagged then "LEAK DETECTED" else "no leak");
+  let s = replay.Recorded.stats in
+  Printf.printf
+    "tracker:    %d taint ops, %d untaint ops, max %d tainted bytes in %d \
+     ranges\n"
+    s.Tracker.taint_ops s.Tracker.untaint_ops s.Tracker.max_tainted_bytes
+    s.Tracker.max_ranges;
+  if explain then
+    List.iter
+      (fun f -> Format.printf "%a@." Pift_eval.Explain.pp_flow f)
+      (Pift_eval.Explain.explain ~policy recorded);
+  if verbose then begin
+    Printf.printf "sources:\n";
+    Array.iter
+      (fun (seq, m) ->
+        match m with
+        | Recorded.Source { kind; range } ->
+            Printf.printf "  @%-8d source %s %s\n" seq kind
+              (Pift_util.Range.to_string range)
+        | Recorded.Sink { kind; ranges } ->
+            Printf.printf "  @%-8d sink %s (%d ranges)\n" seq kind
+              (List.length ranges))
+      recorded.Recorded.markers
+  end
+
+let run_app_cmd =
+  let app_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"APP" ~doc:"Application name (see list-apps).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print markers.")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"Reconstruct the load/store hop chain behind each flagged \
+                sink.")
+  in
+  Cmd.v
+    (Cmd.info "run-app"
+       ~doc:"Execute one app and report PIFT and full-DIFT verdicts.")
+    Term.(
+      const run_app $ app_arg $ ni $ nt $ untaint $ verbose $ jit $ explain)
+
+(* --- sweep --- *)
+
+let sweep subset_only =
+  let apps =
+    if subset_only then Pift_workloads.Droidbench.subset48
+    else Pift_workloads.Droidbench.all
+  in
+  let sweep = Pift_eval.Accuracy.sweep apps in
+  Pift_eval.Accuracy.render sweep Format.std_formatter ()
+
+let sweep_cmd =
+  let subset =
+    Arg.(
+      value & flag
+      & info [ "subset48" ] ~doc:"Use the 48-app Fig. 11 subset only.")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Accuracy sweep over the NI x NT grid (Fig. 11).")
+    Term.(const sweep $ subset)
+
+(* --- experiment --- *)
+
+let experiment ids =
+  match ids with
+  | [] ->
+      Printf.printf "available experiments:\n";
+      List.iter
+        (fun (id, doc) -> Printf.printf "  %-22s %s\n" id doc)
+        Pift_eval.Experiments.all
+  | ids ->
+      List.iter
+        (fun id ->
+          if String.equal id "all" then
+            Pift_eval.Experiments.run_all Format.std_formatter
+          else Pift_eval.Experiments.run id Format.std_formatter)
+        ids
+
+let experiment_cmd =
+  let ids =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ID"
+          ~doc:"Experiment ids (e.g. fig11, table1, $(b,all)); empty lists \
+                them.")
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate one of the paper's tables/figures.")
+    Term.(const experiment $ ids)
+
+(* --- record-trace / analyze-trace --- *)
+
+let record_trace name output jit =
+  let app = find_app name in
+  let recorded = Recorded.record ~mode:(mode_of jit) app in
+  Pift_eval.Trace_io.save recorded output;
+  Printf.printf "wrote %s: %d events, %d markers\n" output
+    (Pift_trace.Trace.length recorded.Recorded.trace)
+    (Array.length recorded.Recorded.markers)
+
+let record_trace_cmd =
+  let app_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"APP" ~doc:"Application to record.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt string "trace.pift"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "record-trace"
+       ~doc:
+         "Execute an app and dump its instruction trace plus source/sink \
+          markers (the paper's offline pipeline).")
+    Term.(const record_trace $ app_arg $ output $ jit)
+
+let analyze_trace path ni nt untaint =
+  let recorded = Pift_eval.Trace_io.load path in
+  let policy = policy_of ni nt untaint in
+  let replay = Recorded.replay ~policy recorded in
+  Printf.printf "trace:   %s (%d events)\n" recorded.Recorded.name
+    (Pift_trace.Trace.length recorded.Recorded.trace);
+  Printf.printf "policy:  %s\n" (Policy.to_string policy);
+  List.iter
+    (fun (v : Recorded.verdict) ->
+      Printf.printf "  sink %-6s -> %s\n" v.Recorded.kind
+        (if v.Recorded.flagged then "TAINTED" else "clean"))
+    replay.Recorded.verdicts;
+  let s = replay.Recorded.stats in
+  Printf.printf
+    "verdict: %s (%d taint ops, %d untaint ops, max %d tainted bytes)\n"
+    (if replay.Recorded.flagged then "LEAK DETECTED" else "no leak")
+    s.Tracker.taint_ops s.Tracker.untaint_ops s.Tracker.max_tainted_bytes
+
+let analyze_trace_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Trace file from record-trace.")
+  in
+  Cmd.v
+    (Cmd.info "analyze-trace"
+       ~doc:"Run the PIFT analysis over a previously recorded trace file.")
+    Term.(const analyze_trace $ path $ ni $ nt $ untaint)
+
+(* --- advise --- *)
+
+let advise subset_only =
+  let apps =
+    if subset_only then Pift_workloads.Droidbench.subset48
+    else Pift_workloads.Droidbench.all
+  in
+  Printf.printf "recording %d apps...\n%!" (List.length apps);
+  let corpus = Pift_eval.Advisor.of_apps apps in
+  (match Pift_eval.Advisor.recommend corpus with
+  | Some c -> Format.printf "recommended %a@." Pift_eval.Advisor.pp_candidate c
+  | None ->
+      print_endline
+        "no policy on the grid classifies this corpus perfectly");
+  (* show the paper's operating point for comparison *)
+  Format.printf "for comparison %a@." Pift_eval.Advisor.pp_candidate
+    (Pift_eval.Advisor.evaluate corpus ~policy:Policy.default)
+
+let advise_cmd =
+  let subset =
+    Arg.(
+      value & flag
+      & info [ "subset48" ] ~doc:"Use the 48-app Fig. 11 subset only.")
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:
+         "Search the (NI, NT) grid for the cheapest policy that \
+          classifies the suite perfectly.")
+    Term.(const advise $ subset)
+
+(* --- trace-stats --- *)
+
+let trace_stats name =
+  let app = find_app name in
+  let recorded = Recorded.record app in
+  let stats = Pift_eval.Tracestats.analyse recorded in
+  Pift_eval.Tracestats.render_fig2 stats Format.std_formatter ()
+
+let trace_stats_cmd =
+  let app_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"APP" ~doc:"Application to trace.")
+  in
+  Cmd.v
+    (Cmd.info "trace-stats"
+       ~doc:"Load/store distance distributions of one app's trace (Fig. 2).")
+    Term.(const trace_stats $ app_arg)
+
+let main_cmd =
+  let doc = "PIFT: predictive information-flow tracking (ASPLOS'16 reproduction)" in
+  Cmd.group
+    (Cmd.info "pift" ~version:"1.0.0" ~doc)
+    [
+      list_apps_cmd;
+      run_app_cmd;
+      sweep_cmd;
+      experiment_cmd;
+      trace_stats_cmd;
+      advise_cmd;
+      record_trace_cmd;
+      analyze_trace_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/custom_source.ml: Array List Pift_core Pift_dalvik Pift_eval Pift_runtime Pift_workloads Printf String

@@ -1,0 +1,1 @@
+examples/implicit_flow.ml: List Pift_core Pift_eval Pift_workloads Printf

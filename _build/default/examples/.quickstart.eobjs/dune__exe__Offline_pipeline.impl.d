@@ -1,0 +1,1 @@
+examples/offline_pipeline.ml: Array Filename List Pift_core Pift_eval Pift_trace Pift_workloads Printf String Sys Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Pift_baseline Pift_core Pift_dalvik Pift_runtime Pift_trace Pift_workloads Printf

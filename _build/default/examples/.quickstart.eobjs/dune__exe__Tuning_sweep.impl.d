@@ -1,0 +1,1 @@
+examples/tuning_sweep.ml: List Pift_core Pift_eval Pift_workloads Printf

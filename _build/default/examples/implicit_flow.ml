@@ -1,0 +1,47 @@
+(* The §4.2 implicit-flow discussion, executable.
+
+   ImplicitFlow1 obfuscates the IMEI through a switch:
+
+     for (char c : imei.toCharArray())
+       switch (c) { case '0': result += 'a'; ... }
+
+   No data flows from c to result — only control flow does.  PIFT still
+   catches it: the constant store in each case arm lands a few
+   instructions after the tainted comparison load, inside the tainting
+   window.  ImplicitFlow2 separates the comparison from the store by 18
+   instructions of clean control flow and becomes the paper's single
+   false negative at (NI=13, NT=3). *)
+
+module Policy = Pift_core.Policy
+module Recorded = Pift_eval.Recorded
+
+let show name =
+  match Pift_workloads.Droidbench.find name with
+  | None -> failwith ("unknown app " ^ name)
+  | Some app ->
+      let recorded = Recorded.record app in
+      let dift = Recorded.replay_dift recorded in
+      Printf.printf "%s:\n" name;
+      Printf.printf
+        "  full register-level DIFT: %s (implicit flows are invisible to \
+         exact data-flow tracking)\n"
+        (if dift.Recorded.dift_flagged then "detected" else "NOT detected");
+      List.iter
+        (fun ni ->
+          let replay =
+            Recorded.replay ~policy:(Policy.make ~ni ~nt:3 ()) recorded
+          in
+          Printf.printf "  PIFT at (NI=%-2d, NT=3): %s\n" ni
+            (if replay.Recorded.flagged then "detected" else "not detected"))
+        [ 5; 7; 13; 17; 18 ];
+      print_newline ()
+
+let () =
+  show "ImplicitFlow1";
+  show "ImplicitFlow2";
+  print_endline
+    "ImplicitFlow1 falls to temporal locality at NI>=7 even though no data \
+     flows;";
+  print_endline
+    "ImplicitFlow2 needs NI=18 — it is the 2% false negative of the \
+     paper's Fig. 11."

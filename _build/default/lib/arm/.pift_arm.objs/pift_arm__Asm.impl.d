@@ -1,0 +1,1 @@
+lib/arm/asm.ml: Array Cond Hashtbl Insn List Printf Reg

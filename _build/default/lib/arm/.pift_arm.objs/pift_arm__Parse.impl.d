@@ -1,0 +1,1 @@
+lib/arm/parse.ml: Asm Buffer Cond Insn List Printf Reg String

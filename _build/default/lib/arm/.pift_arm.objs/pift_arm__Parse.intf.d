@@ -1,0 +1,1 @@
+lib/arm/parse.mli: Asm Insn

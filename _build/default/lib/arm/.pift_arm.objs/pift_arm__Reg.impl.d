@@ -1,0 +1,1 @@
+lib/arm/reg.ml: Array Format

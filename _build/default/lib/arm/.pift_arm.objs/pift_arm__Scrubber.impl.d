@@ -1,0 +1,1 @@
+lib/arm/scrubber.ml: Array Insn Int List Reg Set

@@ -1,0 +1,1 @@
+lib/arm/scrubber.mli: Asm Reg

@@ -1,0 +1,51 @@
+type fragment = Insn.t array
+
+type pending = Branch of Cond.t | Call
+
+type t = {
+  mutable insns : Insn.t array;
+  mutable len : int;
+  labels : (string, int) Hashtbl.t;
+  mutable fixups : (int * pending * string) list;
+}
+
+let create () =
+  { insns = Array.make 32 Insn.Nop; len = 0; labels = Hashtbl.create 8;
+    fixups = [] }
+
+let emit t insn =
+  if t.len = Array.length t.insns then
+    t.insns <- Array.append t.insns (Array.make t.len Insn.Nop);
+  t.insns.(t.len) <- insn;
+  t.len <- t.len + 1
+
+let emit_all t insns = List.iter (emit t) insns
+let here t = t.len
+
+let label t name =
+  if Hashtbl.mem t.labels name then
+    invalid_arg (Printf.sprintf "Asm.label: %S already bound" name);
+  Hashtbl.add t.labels name t.len
+
+let branch t cond name =
+  t.fixups <- (t.len, Branch cond, name) :: t.fixups;
+  emit t (Insn.B (cond, -1))
+
+let call t name =
+  t.fixups <- (t.len, Call, name) :: t.fixups;
+  emit t (Insn.Bl (-1))
+
+let ret t = emit t (Insn.Bx Reg.LR)
+
+let assemble t =
+  let resolve (idx, kind, name) =
+    match Hashtbl.find_opt t.labels name with
+    | None -> failwith (Printf.sprintf "Asm.assemble: undefined label %S" name)
+    | Some target ->
+        t.insns.(idx) <-
+          (match kind with
+          | Branch cond -> Insn.B (cond, target)
+          | Call -> Insn.Bl target)
+  in
+  List.iter resolve t.fixups;
+  Array.sub t.insns 0 t.len

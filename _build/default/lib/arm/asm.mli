@@ -1,0 +1,37 @@
+(** Assembly builder: constructs instruction fragments with symbolic
+    labels, resolved to array indices at assembly time.
+
+    Native runtime intrinsics and Dalvik translation sequences are built
+    through this module; loops such as the string char-copy of the paper's
+    Fig. 1 use backward branches to named labels. *)
+
+type fragment = Insn.t array
+
+type t
+
+val create : unit -> t
+
+val emit : t -> Insn.t -> unit
+(** Append one instruction. *)
+
+val emit_all : t -> Insn.t list -> unit
+
+val label : t -> string -> unit
+(** Bind [name] to the next emitted instruction's position.  Raises
+    [Invalid_argument] when the label is already bound. *)
+
+val branch : t -> Cond.t -> string -> unit
+(** Emit a (conditional) branch to a label, which may be defined later. *)
+
+val call : t -> string -> unit
+(** Emit [bl] to a label. *)
+
+val ret : t -> unit
+(** Emit the [bx lr] return idiom. *)
+
+val here : t -> int
+(** Index the next instruction will occupy. *)
+
+val assemble : t -> fragment
+(** Resolve all label references.  Raises [Failure] naming any label that
+    was referenced but never bound. *)

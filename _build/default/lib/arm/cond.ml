@@ -1,0 +1,33 @@
+type t = Always | Eq | Ne | Lt | Le | Gt | Ge | Lo | Hs | Hi | Ls
+
+let signed v = if v land 0x8000_0000 <> 0 then v - 0x1_0000_0000 else v
+
+let holds c ~fst ~snd =
+  let s1 = signed fst and s2 = signed snd in
+  match c with
+  | Always -> true
+  | Eq -> fst = snd
+  | Ne -> fst <> snd
+  | Lt -> s1 < s2
+  | Le -> s1 <= s2
+  | Gt -> s1 > s2
+  | Ge -> s1 >= s2
+  | Lo -> fst < snd
+  | Hs -> fst >= snd
+  | Hi -> fst > snd
+  | Ls -> fst <= snd
+
+let to_string = function
+  | Always -> ""
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+  | Lo -> "lo"
+  | Hs -> "hs"
+  | Hi -> "hi"
+  | Ls -> "ls"
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)

@@ -1,0 +1,26 @@
+(** Condition codes evaluated against the most recent flag-setting
+    comparison.
+
+    The machine keeps the two compared values rather than encoded NZCV
+    flags; each code is evaluated directly on them, which keeps the
+    semantics obviously correct. *)
+
+type t =
+  | Always
+  | Eq  (** equal *)
+  | Ne  (** not equal *)
+  | Lt  (** signed less-than *)
+  | Le  (** signed less-or-equal *)
+  | Gt  (** signed greater-than *)
+  | Ge  (** signed greater-or-equal *)
+  | Lo  (** unsigned lower *)
+  | Hs  (** unsigned higher-or-same *)
+  | Hi  (** unsigned higher *)
+  | Ls  (** unsigned lower-or-same *)
+
+val holds : t -> fst:int -> snd:int -> bool
+(** [holds c ~fst ~snd] — does [fst c snd] hold?  Operands are 32-bit
+    values; signed codes reinterpret them as two's-complement. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

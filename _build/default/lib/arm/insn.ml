@@ -1,0 +1,98 @@
+type width = Byte | Half | Word | Dword
+
+let width_bytes = function Byte -> 1 | Half -> 2 | Word -> 4 | Dword -> 8
+
+type shift = Lsl of int | Lsr of int | Asr of int
+
+type operand = Imm of int | Reg of Reg.t | Shifted of Reg.t * shift
+
+type amode =
+  | Offset of Reg.t * operand
+  | Pre of Reg.t * operand
+  | Post of Reg.t * operand
+
+type alu = Add | Sub | Rsb | Mul | And | Orr | Eor | Lsl_op | Lsr_op | Asr_op
+
+type t =
+  | Ldr of width * Reg.t * amode
+  | Str of width * Reg.t * amode
+  | Ldm of Reg.t * Reg.t list
+  | Stm of Reg.t * Reg.t list
+  | Mov of Reg.t * operand
+  | Mvn of Reg.t * operand
+  | Alu of alu * bool * Reg.t * Reg.t * operand
+  | Ubfx of Reg.t * Reg.t * int * int
+  | Udiv of Reg.t * Reg.t * Reg.t
+  | Cmp of Reg.t * operand
+  | B of Cond.t * int
+  | Bl of int
+  | Bx of Reg.t
+  | Nop
+
+let is_load = function Ldr _ | Ldm _ -> true | _ -> false
+let is_store = function Str _ | Stm _ -> true | _ -> false
+let is_memory i = is_load i || is_store i
+
+let width_suffix = function Byte -> "b" | Half -> "h" | Word -> "" | Dword -> "d"
+
+let alu_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Rsb -> "rsb"
+  | Mul -> "mul"
+  | And -> "and"
+  | Orr -> "orr"
+  | Eor -> "eor"
+  | Lsl_op -> "lsl"
+  | Lsr_op -> "lsr"
+  | Asr_op -> "asr"
+
+let pp_shift ppf = function
+  | Lsl n -> Format.fprintf ppf "lsl #%d" n
+  | Lsr n -> Format.fprintf ppf "lsr #%d" n
+  | Asr n -> Format.fprintf ppf "asr #%d" n
+
+let pp_operand ppf = function
+  | Imm n -> Format.fprintf ppf "#%d" n
+  | Reg r -> Reg.pp ppf r
+  | Shifted (r, s) -> Format.fprintf ppf "%a, %a" Reg.pp r pp_shift s
+
+let pp_amode ppf = function
+  | Offset (rn, Imm 0) -> Format.fprintf ppf "[%a]" Reg.pp rn
+  | Offset (rn, op) -> Format.fprintf ppf "[%a, %a]" Reg.pp rn pp_operand op
+  | Pre (rn, op) -> Format.fprintf ppf "[%a, %a]!" Reg.pp rn pp_operand op
+  | Post (rn, op) -> Format.fprintf ppf "[%a], %a" Reg.pp rn pp_operand op
+
+let pp_reg_list ppf regs =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Reg.pp)
+    regs
+
+let pp ppf = function
+  | Ldr (w, r, am) ->
+      Format.fprintf ppf "ldr%s %a, %a" (width_suffix w) Reg.pp r pp_amode am
+  | Str (w, r, am) ->
+      Format.fprintf ppf "str%s %a, %a" (width_suffix w) Reg.pp r pp_amode am
+  | Ldm (rn, regs) ->
+      Format.fprintf ppf "ldmia %a!, %a" Reg.pp rn pp_reg_list regs
+  | Stm (rn, regs) ->
+      Format.fprintf ppf "stmdb %a!, %a" Reg.pp rn pp_reg_list regs
+  | Mov (r, op) -> Format.fprintf ppf "mov %a, %a" Reg.pp r pp_operand op
+  | Mvn (r, op) -> Format.fprintf ppf "mvn %a, %a" Reg.pp r pp_operand op
+  | Alu (op, flags, d, s, o) ->
+      Format.fprintf ppf "%s%s %a, %a, %a" (alu_name op)
+        (if flags then "s" else "")
+        Reg.pp d Reg.pp s pp_operand o
+  | Ubfx (d, s, lsb, w) ->
+      Format.fprintf ppf "ubfx %a, %a, #%d, #%d" Reg.pp d Reg.pp s lsb w
+  | Udiv (d, n, m) ->
+      Format.fprintf ppf "udiv %a, %a, %a" Reg.pp d Reg.pp n Reg.pp m
+  | Cmp (r, op) -> Format.fprintf ppf "cmp %a, %a" Reg.pp r pp_operand op
+  | B (c, target) -> Format.fprintf ppf "b%a .L%d" Cond.pp c target
+  | Bl target -> Format.fprintf ppf "bl .L%d" target
+  | Bx r -> Format.fprintf ppf "bx %a" Reg.pp r
+  | Nop -> Format.pp_print_string ppf "nop"
+
+let to_string i = Format.asprintf "%a" pp i

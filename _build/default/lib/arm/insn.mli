@@ -1,0 +1,66 @@
+(** The simulated instruction set: an ARM-flavoured load/store RISC ISA.
+
+    Only the features that shape the paper's traces are modelled: byte /
+    halfword / word / doubleword loads and stores with immediate, register
+    and shifted-register addressing (including pre/post-index writeback),
+    load/store-multiple, the ALU operations appearing in Dalvik
+    translations ([mov], [add], [sub], [mul], [and], [orr], [eor], shifts,
+    [ubfx], [udiv]), comparison, and (conditional) branches.
+
+    Branch targets are indices into the enclosing fragment's instruction
+    array; {!Asm} resolves symbolic labels to indices. *)
+
+type width = Byte | Half | Word | Dword
+
+val width_bytes : width -> int
+(** 1, 2, 4 or 8. *)
+
+type shift = Lsl of int | Lsr of int | Asr of int
+
+type operand =
+  | Imm of int
+  | Reg of Reg.t
+  | Shifted of Reg.t * shift
+      (** e.g. [r9, lsl #2] in the GET_VREG addressing idiom. *)
+
+type amode =
+  | Offset of Reg.t * operand  (** [\[rn, op\]] — no writeback *)
+  | Pre of Reg.t * operand  (** [\[rn, op\]!] — writeback before access *)
+  | Post of Reg.t * operand  (** [\[rn\], op] — writeback after access *)
+
+type alu = Add | Sub | Rsb | Mul | And | Orr | Eor | Lsl_op | Lsr_op | Asr_op
+
+type t =
+  | Ldr of width * Reg.t * amode
+      (** [Ldr (Dword, r, am)] also fills [Reg.succ r]. *)
+  | Str of width * Reg.t * amode
+      (** [Str (Dword, r, am)] also stores [Reg.succ r]. *)
+  | Ldm of Reg.t * Reg.t list
+      (** [ldmia rn!, {regs}] — ascending with writeback (pop idiom). *)
+  | Stm of Reg.t * Reg.t list
+      (** [stmdb rn!, {regs}] — descending with writeback (push idiom). *)
+  | Mov of Reg.t * operand
+  | Mvn of Reg.t * operand
+  | Alu of alu * bool * Reg.t * Reg.t * operand
+      (** [Alu (op, set_flags, dst, src, operand)]; with [set_flags] the
+          result is compared against zero for later conditional branches
+          (the [adds]/[subs] idiom). *)
+  | Ubfx of Reg.t * Reg.t * int * int
+      (** [Ubfx (dst, src, lsb, width)] — unsigned bit-field extract. *)
+  | Udiv of Reg.t * Reg.t * Reg.t
+      (** [Udiv (dst, num, den)] — unsigned division; division by zero
+          yields 0, as on ARMv7-M. *)
+  | Cmp of Reg.t * operand
+  | B of Cond.t * int  (** conditional branch to a fragment index *)
+  | Bl of int  (** call: [LR <- next index]; jump *)
+  | Bx of Reg.t  (** indirect jump, [bx lr] is the return idiom *)
+  | Nop
+
+val is_load : t -> bool
+val is_store : t -> bool
+val is_memory : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly, e.g. [ldrh r6, \[r1, r4\]]. *)
+
+val to_string : t -> string

@@ -1,0 +1,329 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* --- lexing ---------------------------------------------------------------- *)
+
+(* Split a line into tokens; punctuation characters are their own tokens. *)
+let tokenize line =
+  let buf = Buffer.create 8 in
+  let tokens = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' -> flush ()
+      | '[' | ']' | '{' | '}' | ',' | '!' | ':' ->
+          flush ();
+          tokens := String.make 1 c :: !tokens
+      | _ -> Buffer.add_char buf c)
+    line;
+  flush ();
+  List.rev !tokens
+
+(* --- atoms ----------------------------------------------------------------- *)
+
+let reg_of_string s =
+  match String.lowercase_ascii s with
+  | "sp" -> Some Reg.SP
+  | "lr" -> Some Reg.LR
+  | "pc" -> Some Reg.PC
+  | s when String.length s >= 2 && s.[0] = 'r' -> (
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some n when n >= 0 && n <= 12 -> Some (Reg.of_index n)
+      | Some _ | None -> None)
+  | _ -> None
+
+let reg_exn s =
+  match reg_of_string s with
+  | Some r -> r
+  | None -> fail "expected a register, got %S" s
+
+let imm_exn s =
+  if String.length s < 2 || s.[0] <> '#' then
+    fail "expected an immediate, got %S" s
+  else
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some v -> v
+    | None -> fail "bad immediate %S" s
+
+let label_index_exn s =
+  (* .L<n> *)
+  if String.length s > 2 && s.[0] = '.' && s.[1] = 'L' then
+    match int_of_string_opt (String.sub s 2 (String.length s - 2)) with
+    | Some n -> n
+    | None -> fail "bad label %S" s
+  else fail "expected a .L<n> label, got %S" s
+
+let shift_exn kind amount =
+  let n = imm_exn amount in
+  match String.lowercase_ascii kind with
+  | "lsl" -> Insn.Lsl n
+  | "lsr" -> Insn.Lsr n
+  | "asr" -> Insn.Asr n
+  | _ -> fail "bad shift kind %S" kind
+
+(* An operand at the end of a token list: #imm | reg | reg , shift #n *)
+let operand_exn tokens =
+  match tokens with
+  | [ t ] when String.length t > 0 && t.[0] = '#' -> Insn.Imm (imm_exn t)
+  | [ t ] -> Insn.Reg (reg_exn t)
+  | [ r; ","; kind; amount ] -> Insn.Shifted (reg_exn r, shift_exn kind amount)
+  | _ -> fail "bad operand %S" (String.concat " " tokens)
+
+(* --- addressing modes ------------------------------------------------------- *)
+
+(* tokens after the transfer register, e.g. ["["; "r1"; ","; "r4"; "]"] *)
+let amode_exn tokens =
+  let split_bracket inner rest =
+    let base, op =
+      match inner with
+      | [ rn ] -> (reg_exn rn, Insn.Imm 0)
+      | rn :: "," :: op -> (reg_exn rn, operand_exn op)
+      | _ -> fail "bad address %S" (String.concat " " inner)
+    in
+    match rest with
+    | [] -> Insn.Offset (base, op)
+    | [ "!" ] -> Insn.Pre (base, op)
+    | "," :: post_op -> (
+        match op with
+        | Insn.Imm 0 -> Insn.Post (base, operand_exn post_op)
+        | _ -> fail "post-index with an offset inside the brackets")
+    | _ -> fail "trailing tokens after address: %S" (String.concat " " rest)
+  in
+  match tokens with
+  | "[" :: rest -> (
+      (* find the matching close bracket *)
+      let rec split acc = function
+        | "]" :: tail -> (List.rev acc, tail)
+        | t :: tail -> split (t :: acc) tail
+        | [] -> fail "missing ]"
+      in
+      let inner, rest = split [] rest in
+      split_bracket inner rest)
+  | _ -> fail "expected [, got %S" (String.concat " " tokens)
+
+let reg_list_exn tokens =
+  match tokens with
+  | "{" :: rest ->
+      let rec go acc = function
+        | "}" :: [] -> List.rev acc
+        | r :: "," :: rest -> go (reg_exn r :: acc) rest
+        | [ r; "}" ] -> List.rev (reg_exn r :: acc)
+        | other -> fail "bad register list %S" (String.concat " " other)
+      in
+      go [] rest
+  | _ -> fail "expected {, got %S" (String.concat " " tokens)
+
+(* --- mnemonics ---------------------------------------------------------------- *)
+
+let conds =
+  [
+    ("eq", Cond.Eq); ("ne", Cond.Ne); ("lt", Cond.Lt); ("le", Cond.Le);
+    ("gt", Cond.Gt); ("ge", Cond.Ge); ("lo", Cond.Lo); ("hs", Cond.Hs);
+    ("hi", Cond.Hi); ("ls", Cond.Ls);
+  ]
+
+let width_of_suffix = function
+  | "" -> Some Insn.Word
+  | "b" -> Some Insn.Byte
+  | "h" -> Some Insn.Half
+  | "d" -> Some Insn.Dword
+  | _ -> None
+
+let alu_ops =
+  [
+    ("add", Insn.Add); ("sub", Insn.Sub); ("rsb", Insn.Rsb);
+    ("mul", Insn.Mul); ("and", Insn.And); ("orr", Insn.Orr);
+    ("eor", Insn.Eor); ("lsl", Insn.Lsl_op); ("lsr", Insn.Lsr_op);
+    ("asr", Insn.Asr_op);
+  ]
+
+type target = Index of int | Name of string
+
+let parse_target s =
+  if String.length s > 2 && s.[0] = '.' && s.[1] = 'L' then
+    Index (label_index_exn s)
+  else Name s
+
+(* A parsed instruction whose branch target may be symbolic. *)
+type parsed =
+  | Plain of Insn.t
+  | Branch of Cond.t * target
+  | Call of target
+
+let strip_suffix s suffix =
+  let n = String.length s and m = String.length suffix in
+  if n >= m && String.sub s (n - m) m = suffix then Some (String.sub s 0 (n - m))
+  else None
+
+let parse_tokens mnemonic args =
+  let m = String.lowercase_ascii mnemonic in
+  let three_regs_or_op alu flags =
+    match args with
+    | d :: "," :: s :: "," :: op ->
+        Plain (Insn.Alu (alu, flags, reg_exn d, reg_exn s, operand_exn op))
+    | _ -> fail "bad ALU operands %S" (String.concat " " args)
+  in
+  let mem build =
+    match args with
+    | r :: "," :: rest -> build (reg_exn r) (amode_exn rest)
+    | _ -> fail "bad memory operands %S" (String.concat " " args)
+  in
+  match m with
+  | "nop" -> Plain Insn.Nop
+  | "bx" -> (
+      match args with
+      | [ r ] -> Plain (Insn.Bx (reg_exn r))
+      | _ -> fail "bx takes one register")
+  | "bl" -> (
+      match args with
+      | [ t ] -> Call (parse_target t)
+      | _ -> fail "bl takes one target")
+  | "mov" | "mvn" -> (
+      match args with
+      | d :: "," :: op ->
+          let r = reg_exn d and o = operand_exn op in
+          Plain (if m = "mov" then Insn.Mov (r, o) else Insn.Mvn (r, o))
+      | _ -> fail "bad %s operands" m)
+  | "cmp" -> (
+      match args with
+      | r :: "," :: op -> Plain (Insn.Cmp (reg_exn r, operand_exn op))
+      | _ -> fail "bad cmp operands")
+  | "ubfx" -> (
+      match args with
+      | [ d; ","; s; ","; lsb; ","; w ] ->
+          Plain (Insn.Ubfx (reg_exn d, reg_exn s, imm_exn lsb, imm_exn w))
+      | _ -> fail "bad ubfx operands")
+  | "udiv" -> (
+      match args with
+      | [ d; ","; n; ","; dm ] ->
+          Plain (Insn.Udiv (reg_exn d, reg_exn n, reg_exn dm))
+      | _ -> fail "bad udiv operands")
+  | "ldmia" -> (
+      match args with
+      | rn :: "!" :: "," :: rest ->
+          Plain (Insn.Ldm (reg_exn rn, reg_list_exn rest))
+      | _ -> fail "bad ldmia operands")
+  | "stmdb" -> (
+      match args with
+      | rn :: "!" :: "," :: rest ->
+          Plain (Insn.Stm (reg_exn rn, reg_list_exn rest))
+      | _ -> fail "bad stmdb operands")
+  | _ -> (
+      (* ldr/str with width suffix *)
+      let try_load_store () =
+        let attempt prefix build =
+          if String.length m >= String.length prefix
+             && String.sub m 0 (String.length prefix) = prefix
+          then
+            match
+              width_of_suffix
+                (String.sub m (String.length prefix)
+                   (String.length m - String.length prefix))
+            with
+            | Some w -> Some (mem (fun r am -> Plain (build w r am)))
+            | None -> None
+          else None
+        in
+        match attempt "ldr" (fun w r am -> Insn.Ldr (w, r, am)) with
+        | Some p -> Some p
+        | None -> attempt "str" (fun w r am -> Insn.Str (w, r, am))
+      in
+      let try_alu () =
+        let with_flags name flags =
+          match List.assoc_opt name alu_ops with
+          | Some alu -> Some (three_regs_or_op alu flags)
+          | None -> None
+        in
+        match with_flags m false with
+        | Some p -> Some p
+        | None -> (
+            match strip_suffix m "s" with
+            | Some base -> with_flags base true
+            | None -> None)
+      in
+      let try_branch () =
+        if String.length m >= 1 && m.[0] = 'b' then
+          let suffix = String.sub m 1 (String.length m - 1) in
+          let cond =
+            if String.equal suffix "" then Some Cond.Always
+            else List.assoc_opt suffix conds
+          in
+          match (cond, args) with
+          | Some c, [ t ] -> Some (Branch (c, parse_target t))
+          | _ -> None
+        else None
+      in
+      match try_load_store () with
+      | Some p -> p
+      | None -> (
+          match try_alu () with
+          | Some p -> p
+          | None -> (
+              match try_branch () with
+              | Some p -> p
+              | None -> fail "unknown mnemonic %S" mnemonic)))
+
+let parse_line line =
+  match tokenize line with
+  | [] -> None
+  | mnemonic :: args -> Some (parse_tokens mnemonic args)
+
+(* --- public API --------------------------------------------------------------- *)
+
+let insn s =
+  match parse_line s with
+  | None -> Error "empty input"
+  | Some (Plain i) -> Ok i
+  | Some (Branch (c, Index n)) -> Ok (Insn.B (c, n))
+  | Some (Call (Index n)) -> Ok (Insn.Bl n)
+  | Some (Branch (_, Name n)) | Some (Call (Name n)) ->
+      Error (Printf.sprintf "symbolic label %S outside a fragment" n)
+  | exception Parse_error e -> Error e
+
+let insn_exn s =
+  match insn s with Ok i -> i | Error e -> fail "%s" e
+
+(* '#' also starts immediates, so only treat it as a comment when it is
+   the first non-blank character; '@' comments can trail anywhere. *)
+let strip_comments line =
+  let t = String.trim line in
+  if String.length t > 0 && t.[0] = '#' then ""
+  else
+    match String.index_opt t '@' with
+    | Some i -> String.trim (String.sub t 0 i)
+    | None -> t
+
+let fragment text =
+  try
+    let a = Asm.create () in
+    String.split_on_char '\n' text
+    |> List.iter (fun raw ->
+           let line = strip_comments raw in
+           if not (String.equal line "") then
+             match tokenize line with
+             | [ name; ":" ] -> Asm.label a name
+             | tokens -> (
+                 match tokens with
+                 | [] -> ()
+                 | mnemonic :: args -> (
+                     match parse_tokens mnemonic args with
+                     | Plain i -> Asm.emit a i
+                     | Branch (c, Name n) -> Asm.branch a c n
+                     | Branch (c, Index n) -> Asm.emit a (Insn.B (c, n))
+                     | Call (Name n) -> Asm.call a n
+                     | Call (Index n) -> Asm.emit a (Insn.Bl n))));
+    Ok (Asm.assemble a)
+  with
+  | Parse_error e -> Error e
+  | Failure e -> Error e
+  | Invalid_argument e -> Error e
+
+let fragment_exn text =
+  match fragment text with Ok f -> f | Error e -> fail "%s" e

@@ -1,0 +1,37 @@
+(** Parser for the textual assembly syntax produced by {!Insn.pp} —
+    the inverse of the disassembler, so fragments can be written (and
+    traces inspected) as plain text.
+
+    {[
+      let frag =
+        Parse.fragment_exn
+          {|
+            mov r3, #0
+          loop:
+            cmp r3, r5
+            bge end
+            ldrh r6, [r1, r4]
+            strh r6, [r0, r4]
+            add r3, r3, #1
+            add r4, r4, #2
+            b loop
+          end:
+            bx lr
+          |}
+    ]}
+
+    Within {!fragment}, branch targets are symbolic labels (bound with
+    [name:] lines); within {!insn}, they are the [.L<index>] form the
+    printer emits. *)
+
+val insn : string -> (Insn.t, string) result
+(** Parse one instruction.  Round trip: [insn (Insn.to_string i) = Ok i]
+    (property-tested). *)
+
+val insn_exn : string -> Insn.t
+
+val fragment : string -> (Asm.fragment, string) result
+(** Parse a multi-line listing: instructions, [label:] lines, blank lines
+    and [@ comment] / [# comment] suffixes. *)
+
+val fragment_exn : string -> Asm.fragment

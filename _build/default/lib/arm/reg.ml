@@ -1,0 +1,61 @@
+type t =
+  | R0
+  | R1
+  | R2
+  | R3
+  | R4
+  | R5
+  | R6
+  | R7
+  | R8
+  | R9
+  | R10
+  | R11
+  | R12
+  | SP
+  | LR
+  | PC
+
+let all =
+  [| R0; R1; R2; R3; R4; R5; R6; R7; R8; R9; R10; R11; R12; SP; LR; PC |]
+
+let index = function
+  | R0 -> 0
+  | R1 -> 1
+  | R2 -> 2
+  | R3 -> 3
+  | R4 -> 4
+  | R5 -> 5
+  | R6 -> 6
+  | R7 -> 7
+  | R8 -> 8
+  | R9 -> 9
+  | R10 -> 10
+  | R11 -> 11
+  | R12 -> 12
+  | SP -> 13
+  | LR -> 14
+  | PC -> 15
+
+let of_index i =
+  if i < 0 || i > 15 then invalid_arg "Reg.of_index: out of range";
+  all.(i)
+
+let succ r =
+  match r with
+  | PC -> invalid_arg "Reg.succ: no successor of PC"
+  | _ -> of_index (index r + 1)
+
+let rpc = R4
+let rfp = R5
+let rinst = R7
+let ribase = R8
+let equal a b = index a = index b
+
+let to_string = function
+  | SP -> "sp"
+  | LR -> "lr"
+  | PC -> "pc"
+  | r -> "r" ^ string_of_int (index r)
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)

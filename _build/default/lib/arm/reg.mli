@@ -1,0 +1,48 @@
+(** General-purpose registers of the simulated ARM-flavoured CPU.
+
+    The Dalvik interpreter translations (see {!Pift_dalvik.Translate}) use
+    the same register conventions as the paper's traces: [r4] holds the
+    bytecode PC ([rPC]), [r5] the virtual-register frame pointer ([rFP]),
+    [r7] the current instruction word ([rINST]) and [r8] the handler table
+    base ([rIBASE]). *)
+
+type t =
+  | R0
+  | R1
+  | R2
+  | R3
+  | R4
+  | R5
+  | R6
+  | R7
+  | R8
+  | R9
+  | R10
+  | R11
+  | R12
+  | SP
+  | LR
+  | PC
+
+val all : t array
+
+val index : t -> int
+(** Position in the register file, [0..15]. *)
+
+val of_index : int -> t
+(** Inverse of {!index}.  Raises [Invalid_argument] outside [0..15]. *)
+
+val succ : t -> t
+(** Next register, for the second transfer register of [ldrd]/[strd].
+    Raises [Invalid_argument] on [PC]. *)
+
+(* Dalvik interpreter aliases. *)
+
+val rpc : t
+val rfp : t
+val rinst : t
+val ribase : t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,158 @@
+module Iset = Set.Make (Int)
+
+let default_live_out =
+  [ Reg.R4; Reg.R5; Reg.R6; Reg.R7; Reg.R8; Reg.SP; Reg.LR; Reg.PC ]
+
+let straight_line frag =
+  Array.for_all
+    (fun insn ->
+      match insn with
+      | Insn.B _ | Insn.Bl _ -> false
+      | Insn.Bx r -> Reg.equal r Reg.LR
+      | _ -> true)
+    frag
+
+let operand_uses = function
+  | Insn.Imm _ -> []
+  | Insn.Reg r | Insn.Shifted (r, _) -> [ r ]
+
+let amode_uses = function
+  | Insn.Offset (rn, op) | Insn.Pre (rn, op) | Insn.Post (rn, op) ->
+      rn :: operand_uses op
+
+(* (defs, uses) of one instruction; [None] when the instruction must be
+   kept regardless of liveness (memory access, flags, control). *)
+let pure_def_use = function
+  | Insn.Mov (d, op) | Insn.Mvn (d, op) -> Some ([ d ], operand_uses op)
+  | Insn.Alu (_, set_flags, d, s, op) ->
+      if set_flags then None else Some ([ d ], s :: operand_uses op)
+  | Insn.Ubfx (d, s, _, _) -> Some ([ d ], [ s ])
+  | Insn.Udiv (d, n, m) -> Some ([ d ], [ n; m ])
+  | Insn.Nop -> Some ([], [])
+  | Insn.Ldr _ | Insn.Str _ | Insn.Ldm _ | Insn.Stm _ | Insn.Cmp _
+  | Insn.B _ | Insn.Bl _ | Insn.Bx _ ->
+      None
+
+(* All registers an always-kept instruction reads. *)
+let kept_uses = function
+  | Insn.Ldr (_, _, am) -> amode_uses am
+  | Insn.Str (w, r, am) ->
+      let extra =
+        match w with Insn.Dword -> [ Reg.succ r ] | _ -> []
+      in
+      (r :: extra) @ amode_uses am
+  | Insn.Ldm (rn, _) -> [ rn ]
+  | Insn.Stm (rn, regs) -> rn :: regs
+  | Insn.Cmp (r, op) -> r :: operand_uses op
+  | Insn.Bx r -> [ r ]
+  | Insn.Mov _ | Insn.Mvn _ | Insn.Alu _ | Insn.Ubfx _ | Insn.Udiv _
+  | Insn.B _ | Insn.Bl _ | Insn.Nop ->
+      []
+
+let kept_defs = function
+  | Insn.Ldr (w, r, am) ->
+      let extra =
+        match w with Insn.Dword -> [ Reg.succ r ] | _ -> []
+      in
+      let wb =
+        match am with
+        | Insn.Pre (rn, _) | Insn.Post (rn, _) -> [ rn ]
+        | Insn.Offset _ -> []
+      in
+      (r :: extra) @ wb
+  | Insn.Str (_, _, am) -> (
+      match am with
+      | Insn.Pre (rn, _) | Insn.Post (rn, _) -> [ rn ]
+      | Insn.Offset _ -> [])
+  | Insn.Ldm (rn, regs) -> rn :: regs
+  | Insn.Stm (rn, _) -> [ rn ]
+  | Insn.Bl _ -> [ Reg.LR ]
+  | _ -> []
+
+let scrub ?(live_out = default_live_out) frag =
+  if not (straight_line frag) then frag
+  else begin
+    let live = ref Iset.empty in
+    List.iter (fun r -> live := Iset.add (Reg.index r) !live) live_out;
+    let keep = Array.make (Array.length frag) true in
+    for i = Array.length frag - 1 downto 0 do
+      let insn = frag.(i) in
+      match pure_def_use insn with
+      | Some (defs, uses) ->
+          let defines_live =
+            List.exists (fun d -> Iset.mem (Reg.index d) !live) defs
+          in
+          if defines_live then begin
+            List.iter (fun d -> live := Iset.remove (Reg.index d) !live) defs;
+            List.iter (fun u -> live := Iset.add (Reg.index u) !live) uses
+          end
+          else keep.(i) <- false
+      | None ->
+          List.iter
+            (fun d -> live := Iset.remove (Reg.index d) !live)
+            (kept_defs insn);
+          List.iter
+            (fun u -> live := Iset.add (Reg.index u) !live)
+            (kept_uses insn)
+    done;
+    let out = ref [] in
+    for i = Array.length frag - 1 downto 0 do
+      if keep.(i) then out := frag.(i) :: !out
+    done;
+    Array.of_list !out
+  end
+
+(* Registers a store reads: transfer register(s) plus address operands. *)
+let store_uses = function
+  | Insn.Str (w, r, am) ->
+      let extra = match w with Insn.Dword -> [ Reg.succ r ] | _ -> [] in
+      Some ((r :: extra) @ amode_uses am)
+  | _ -> None
+
+(* Does [insn] block hoisting a store above it?  Memory operations (order
+   must be preserved), flag producers/consumers, control flow, and
+   writeback addressing all block; pure register work blocks only if it
+   defines one of the store's operands. *)
+let blocks_hoist ~uses insn =
+  match insn with
+  | Insn.Ldr _ | Insn.Str _ | Insn.Ldm _ | Insn.Stm _ | Insn.Cmp _
+  | Insn.B _ | Insn.Bl _ | Insn.Bx _ ->
+      true
+  | Insn.Alu (_, set_flags, d, _, _) ->
+      set_flags || List.exists (Reg.equal d) uses
+  | Insn.Mov (d, _) | Insn.Mvn (d, _) | Insn.Ubfx (d, _, _, _)
+  | Insn.Udiv (d, _, _) ->
+      List.exists (Reg.equal d) uses
+  | Insn.Nop -> false
+
+let relocate_stores frag =
+  if not (straight_line frag) then frag
+  else begin
+    let insns = Array.copy frag in
+    let n = Array.length insns in
+    for i = 0 to n - 1 do
+      match store_uses insns.(i) with
+      | None -> ()
+      | Some uses ->
+          (* writeback stores move their own base register: don't touch *)
+          let writeback =
+            match insns.(i) with
+            | Insn.Str (_, _, (Insn.Pre _ | Insn.Post _)) -> true
+            | _ -> false
+          in
+          if not writeback then begin
+            let j = ref i in
+            while !j > 0 && not (blocks_hoist ~uses insns.(!j - 1)) do
+              decr j
+            done;
+            if !j < i then begin
+              let store = insns.(i) in
+              Array.blit insns !j insns (!j + 1) (i - !j);
+              insns.(!j) <- store
+            end
+          end
+    done;
+    insns
+  end
+
+let removed ~before ~after = Array.length before - Array.length after

@@ -1,0 +1,43 @@
+(** Compiler support against PIFT evasion (the paper's §4.2 limitation and
+    §7 future work).
+
+    An attacker can defeat the tainting window by inserting a long block
+    of dummy native instructions between the load of sensitive data and
+    its store ("native code obfuscation").  The paper's proposed
+    countermeasure is a compiler pass that "could eliminate dummy code
+    inserted between related load/store instructions and could relocate
+    such instructions to be closer to each other".
+
+    This module implements the eliminate half as a backward-liveness
+    dead-code pass over straight-line fragments: register-only
+    instructions whose results can never reach memory, a live-out
+    register, or the flags are removed, which collapses dummy filler and
+    restores the short load→store distances PIFT relies on.  (The general
+    problem is of course undecidable — the paper says as much — so the
+    pass is sound but not complete: it bails out on fragments with
+    internal control flow.) *)
+
+val straight_line : Asm.fragment -> bool
+(** No internal control flow (only a final [bx lr] return). *)
+
+val scrub : ?live_out:Reg.t list -> Asm.fragment -> Asm.fragment
+(** [scrub ~live_out frag] removes dead register-only instructions.
+    [live_out] is the set of registers meaningful after the fragment
+    returns (defaults to the interpreter convention: r4/r5/r7/r8 state
+    registers, r6, SP, LR, PC — all scratch registers r0–r3, r9–r12 are
+    dead on exit).  Fragments containing internal branches or calls are
+    returned unchanged. *)
+
+val relocate_stores : Asm.fragment -> Asm.fragment
+(** The other half of the §7 countermeasure: "relocate such instructions
+    to be closer to each other".  Each store is hoisted upward past
+    register-only instructions that neither produce its operands nor set
+    flags, until it meets the instruction that defines its data or
+    address (or another memory access / flag producer, which blocks the
+    motion conservatively).  Padding that the dead-code pass cannot
+    remove — because the attacker made it live — still loses its
+    distance-stretching effect.  Straight-line fragments only; others are
+    returned unchanged. *)
+
+val removed : before:Asm.fragment -> after:Asm.fragment -> int
+(** Convenience: how many instructions the pass removed. *)

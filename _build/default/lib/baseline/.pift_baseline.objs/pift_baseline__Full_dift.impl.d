@@ -1,0 +1,1 @@
+lib/baseline/full_dift.ml: Array Hashtbl List Pift_arm Pift_core Pift_trace Pift_util

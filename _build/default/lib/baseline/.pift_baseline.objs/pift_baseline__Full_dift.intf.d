@@ -1,0 +1,1 @@
+lib/baseline/full_dift.mli: Pift_arm Pift_trace Pift_util

@@ -1,0 +1,100 @@
+module Range = Pift_util.Range
+module Insn = Pift_arm.Insn
+module Reg = Pift_arm.Reg
+module Event = Pift_trace.Event
+module Range_set = Pift_core.Range_set
+
+type proc = { regs : bool array; mutable mem : Range_set.t }
+
+type t = { procs : (int, proc) Hashtbl.t; mutable propagations : int }
+
+let create () = { procs = Hashtbl.create 4; propagations = 0 }
+
+let proc t pid =
+  match Hashtbl.find_opt t.procs pid with
+  | Some p -> p
+  | None ->
+      let p = { regs = Array.make 16 false; mem = Range_set.empty } in
+      Hashtbl.add t.procs pid p;
+      p
+
+let taint_source t ~pid r =
+  let p = proc t pid in
+  p.mem <- Range_set.add p.mem r
+
+let is_tainted t ~pid r = Range_set.mem_overlap (proc t pid).mem r
+let reg_tainted t ~pid reg = (proc t pid).regs.(Reg.index reg)
+
+let tainted_bytes t =
+  Hashtbl.fold (fun _ p acc -> acc + Range_set.total_bytes p.mem) t.procs 0
+
+let tainted_ranges t ~pid = Range_set.ranges (proc t pid).mem
+let propagations t = t.propagations
+
+let set_reg t p i v =
+  t.propagations <- t.propagations + 1;
+  p.regs.(i) <- v
+
+let set_mem t p range v =
+  t.propagations <- t.propagations + 1;
+  p.mem <-
+    (if v then Range_set.add p.mem range else Range_set.remove p.mem range)
+
+let operand_taint p = function
+  | Insn.Imm _ -> false
+  | Insn.Reg r | Insn.Shifted (r, _) -> p.regs.(Reg.index r)
+
+(* Word-sized sub-ranges of a multi-register transfer. *)
+let word_slot range i = Range.of_len (Range.lo range + (4 * i)) 4
+
+let observe t e =
+  let p = proc t e.Event.pid in
+  match (e.Event.insn, e.Event.access) with
+  | Insn.Ldr (w, r, _), Event.Load range -> (
+      match w with
+      | Insn.Dword ->
+          let lo_half = Range.of_len (Range.lo range) 4 in
+          let hi_half = Range.of_len (Range.lo range + 4) 4 in
+          set_reg t p (Reg.index r) (Range_set.mem_overlap p.mem lo_half);
+          set_reg t p
+            (Reg.index (Reg.succ r))
+            (Range_set.mem_overlap p.mem hi_half)
+      | Insn.Byte | Insn.Half | Insn.Word ->
+          set_reg t p (Reg.index r) (Range_set.mem_overlap p.mem range))
+  | Insn.Str (w, r, _), Event.Store range -> (
+      match w with
+      | Insn.Dword ->
+          set_mem t p
+            (Range.of_len (Range.lo range) 4)
+            p.regs.(Reg.index r);
+          set_mem t p
+            (Range.of_len (Range.lo range + 4) 4)
+            p.regs.(Reg.index (Reg.succ r))
+      | Insn.Byte | Insn.Half | Insn.Word ->
+          set_mem t p range p.regs.(Reg.index r))
+  | Insn.Ldm (_, regs), Event.Load range ->
+      List.iteri
+        (fun i r ->
+          set_reg t p (Reg.index r)
+            (Range_set.mem_overlap p.mem (word_slot range i)))
+        regs
+  | Insn.Stm (_, regs), Event.Store range ->
+      List.iteri
+        (fun i r -> set_mem t p (word_slot range i) p.regs.(Reg.index r))
+        regs
+  | Insn.Mov (r, op), _ | Insn.Mvn (r, op), _ ->
+      set_reg t p (Reg.index r) (operand_taint p op)
+  | Insn.Alu (_, _, d, s, o), _ ->
+      set_reg t p (Reg.index d) (p.regs.(Reg.index s) || operand_taint p o)
+  | Insn.Ubfx (d, s, _, _), _ ->
+      set_reg t p (Reg.index d) p.regs.(Reg.index s)
+  | Insn.Udiv (d, n, m), _ ->
+      set_reg t p (Reg.index d)
+        (p.regs.(Reg.index n) || p.regs.(Reg.index m))
+  | Insn.Bl _, _ ->
+      (* LR receives a code address: always clean. *)
+      set_reg t p (Reg.index Reg.LR) false
+  | Insn.Cmp _, _ | Insn.B _, _ | Insn.Bx _, _ | Insn.Nop, _ -> ()
+  | (Insn.Ldr _ | Insn.Str _ | Insn.Ldm _ | Insn.Stm _), _ ->
+      (* A memory instruction must carry its access. *)
+      assert false

@@ -1,0 +1,25 @@
+(** Full register-level dynamic information-flow tracking — the
+    conventional design PIFT avoids (Suh et al. / Raksha / TaintDroid
+    style, §6), used here as ground truth and comparison point.
+
+    Every instruction propagates taint from source operands to destination
+    operands: loads copy memory taint into registers, ALU operations OR
+    their source-register taints into the destination, and stores write
+    the register taint back to byte-granular shadow memory (clean stores
+    untaint).  Only direct flows are tracked, matching the paper's threat
+    model (no control-flow/implicit propagation). *)
+
+type t
+
+val create : unit -> t
+
+val taint_source : t -> pid:int -> Pift_util.Range.t -> unit
+val observe : t -> Pift_trace.Event.t -> unit
+val is_tainted : t -> pid:int -> Pift_util.Range.t -> bool
+val reg_tainted : t -> pid:int -> Pift_arm.Reg.t -> bool
+val tainted_bytes : t -> int
+val tainted_ranges : t -> pid:int -> Pift_util.Range.t list
+
+val propagations : t -> int
+(** Number of per-instruction propagation operations performed — the cost
+    PIFT's load/store-only design eliminates. *)

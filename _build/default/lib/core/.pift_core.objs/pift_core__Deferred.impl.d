@@ -1,0 +1,1 @@
+lib/core/deferred.ml: Pift_trace Policy Queue Tracker

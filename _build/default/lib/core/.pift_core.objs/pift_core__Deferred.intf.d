@@ -1,0 +1,1 @@
+lib/core/deferred.mli: Pift_trace Pift_util Policy Tracker

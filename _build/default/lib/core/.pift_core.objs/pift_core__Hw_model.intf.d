@@ -1,0 +1,1 @@
+lib/core/hw_model.mli: Format

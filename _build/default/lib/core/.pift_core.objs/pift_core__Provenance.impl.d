@@ -1,0 +1,1 @@
+lib/core/provenance.ml: Hashtbl Pift_trace Pift_util Policy Range_set Set String

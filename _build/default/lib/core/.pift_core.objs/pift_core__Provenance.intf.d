@@ -1,0 +1,1 @@
+lib/core/provenance.mli: Pift_trace Pift_util Policy

@@ -1,0 +1,1 @@
+lib/core/range_set.ml: Format Int List Map Pift_util

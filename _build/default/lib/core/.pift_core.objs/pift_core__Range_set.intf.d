@@ -1,0 +1,1 @@
+lib/core/range_set.mli: Format Pift_util

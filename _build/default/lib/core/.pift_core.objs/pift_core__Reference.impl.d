@@ -1,0 +1,1 @@
+lib/core/reference.ml: Hashtbl List Pift_trace Pift_util Policy

@@ -1,0 +1,1 @@
+lib/core/reference.mli: Pift_trace Pift_util Policy

@@ -1,0 +1,1 @@
+lib/core/store.ml: Hashtbl Pift_util Range_set Storage

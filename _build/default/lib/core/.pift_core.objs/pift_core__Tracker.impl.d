@@ -1,0 +1,1 @@
+lib/core/tracker.ml: Hashtbl Pift_trace Pift_util Policy Store

@@ -1,0 +1,1 @@
+lib/core/tracker.mli: Pift_trace Pift_util Policy Store

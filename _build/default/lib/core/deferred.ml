@@ -1,0 +1,54 @@
+module Event = Pift_trace.Event
+
+type t = {
+  tracker : Tracker.t;
+  buffer : Event.t Queue.t;
+  buffer_size : int;
+  drain_batch : int;
+  mutable dropped : int;
+}
+
+let create ?(policy = Policy.default) ?(buffer_size = 4096)
+    ?(drain_batch = 256) () =
+  if buffer_size <= 0 then invalid_arg "Deferred.create: buffer_size";
+  if drain_batch <= 0 then invalid_arg "Deferred.create: drain_batch";
+  {
+    tracker = Tracker.create ~policy ();
+    buffer = Queue.create ();
+    buffer_size;
+    drain_batch;
+    dropped = 0;
+  }
+
+let drain_some t n =
+  let consumed = ref 0 in
+  while !consumed < n && not (Queue.is_empty t.buffer) do
+    Tracker.observe t.tracker (Queue.pop t.buffer);
+    incr consumed
+  done
+
+let drain_all t = drain_some t max_int
+
+let taint_source t ~pid r =
+  drain_all t;
+  Tracker.taint_source t.tracker ~pid r
+
+let observe t e =
+  match e.Event.access with
+  | Event.Other -> ()
+  | Event.Load _ | Event.Store _ ->
+      if Queue.length t.buffer >= t.buffer_size then begin
+        ignore (Queue.pop t.buffer);
+        t.dropped <- t.dropped + 1
+      end;
+      Queue.push e t.buffer
+
+let tick t = drain_some t t.drain_batch
+
+let check t ~pid r =
+  drain_all t;
+  Tracker.is_tainted t.tracker ~pid r
+
+let dropped t = t.dropped
+let buffered t = Queue.length t.buffer
+let tracker t = t.tracker

@@ -1,0 +1,15 @@
+type t = { ni : int; nt : int; untaint : bool }
+
+let make ?(untaint = true) ~ni ~nt () =
+  if ni < 1 then invalid_arg "Policy.make: ni must be >= 1";
+  if nt < 1 then invalid_arg "Policy.make: nt must be >= 1";
+  { ni; nt; untaint }
+
+let default = { ni = 13; nt = 3; untaint = true }
+let malware_catching = { ni = 3; nt = 2; untaint = true }
+let perfect_droidbench = { ni = 18; nt = 3; untaint = true }
+
+let pp ppf t =
+  Format.fprintf ppf "{NI=%d, NT=%d, untaint=%b}" t.ni t.nt t.untaint
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,27 @@
+(** Tainting-window policy: the two knobs of Algorithm 1 plus the
+    untainting switch.
+
+    [ni] is the tainting-window size NI (instructions from the last
+    tainted load), [nt] the maximum number of propagations NT per window,
+    and [untaint] enables removing the target ranges of stores that fall
+    outside any window (§3.2). *)
+
+type t = { ni : int; nt : int; untaint : bool }
+
+val make : ?untaint:bool -> ni:int -> nt:int -> unit -> t
+(** Raises [Invalid_argument] unless [ni >= 1] and [nt >= 1].
+    [untaint] defaults to [true], the paper's recommended setting. *)
+
+val default : t
+(** The paper's chosen operating point: NI=13, NT=3, untainting on
+    (98% accuracy on DroidBench, §5.1). *)
+
+val malware_catching : t
+(** NI=3, NT=2 — sufficient to catch all seven real-world malware
+    samples (§5.1). *)
+
+val perfect_droidbench : t
+(** NI=18, NT=3 — 100% accuracy on the DroidBench subset (§5.1). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,90 @@
+module Range = Pift_util.Range
+module Event = Pift_trace.Event
+module Sset = Set.Make (String)
+
+type window = { mutable ltlt : int; mutable nt_used : int; mutable labels : Sset.t }
+
+type t = {
+  policy : Policy.t;
+  (* (pid, label) -> tainted ranges *)
+  state : (int * string, Range_set.t ref) Hashtbl.t;
+  windows : (int, window) Hashtbl.t;
+  mutable known_labels : Sset.t;
+}
+
+let create ?(policy = Policy.default) () =
+  {
+    policy;
+    state = Hashtbl.create 16;
+    windows = Hashtbl.create 4;
+    known_labels = Sset.empty;
+  }
+
+let policy t = t.policy
+
+let set_for t ~pid ~label =
+  match Hashtbl.find_opt t.state (pid, label) with
+  | Some s -> s
+  | None ->
+      let s = ref Range_set.empty in
+      Hashtbl.add t.state (pid, label) s;
+      s
+
+let window t pid =
+  match Hashtbl.find_opt t.windows pid with
+  | Some w -> w
+  | None ->
+      let w = { ltlt = min_int / 2; nt_used = 0; labels = Sset.empty } in
+      Hashtbl.add t.windows pid w;
+      w
+
+let taint_source t ~pid ~label r =
+  t.known_labels <- Sset.add label t.known_labels;
+  let s = set_for t ~pid ~label in
+  s := Range_set.add !s r
+
+let hit_labels t ~pid r =
+  Hashtbl.fold
+    (fun (p, label) s acc ->
+      if p = pid && Range_set.mem_overlap !s r then Sset.add label acc
+      else acc)
+    t.state Sset.empty
+
+let observe t e =
+  match e.Event.access with
+  | Event.Other -> ()
+  | Event.Load r ->
+      let labels = hit_labels t ~pid:e.pid r in
+      if not (Sset.is_empty labels) then begin
+        let w = window t e.pid in
+        w.ltlt <- e.k;
+        w.nt_used <- 0;
+        w.labels <- labels
+      end
+  | Event.Store r ->
+      let w = window t e.pid in
+      if e.k <= w.ltlt + t.policy.Policy.ni && w.nt_used < t.policy.Policy.nt
+      then begin
+        Sset.iter
+          (fun label ->
+            let s = set_for t ~pid:e.pid ~label in
+            s := Range_set.add !s r)
+          w.labels;
+        w.nt_used <- w.nt_used + 1
+      end
+      else if t.policy.Policy.untaint then
+        Hashtbl.iter
+          (fun (p, _) s ->
+            if p = e.pid && Range_set.mem_overlap !s r then
+              s := Range_set.remove !s r)
+          t.state
+
+let labels_of t ~pid r = Sset.elements (hit_labels t ~pid r)
+let is_tainted t ~pid r = not (Sset.is_empty (hit_labels t ~pid r))
+let all_labels t = Sset.elements t.known_labels
+
+let tainted_bytes t ~label =
+  Hashtbl.fold
+    (fun (_, l) s acc ->
+      if String.equal l label then acc + Range_set.total_bytes !s else acc)
+    t.state 0

@@ -1,0 +1,35 @@
+(** Provenance-carrying variant of Algorithm 1: taint tags identify the
+    source that produced them.
+
+    The paper's related work (Raksha, Flexitaint) uses multi-bit tags to
+    carry policy; the natural PIFT extension is to carry *source
+    identity*, so a sink check answers not just "is this tainted" but
+    "this buffer contains data derived from the IMEI and the phone
+    number".  The window mechanics are identical to {!Tracker}: a load
+    hitting any tainted range opens the window and records the union of
+    the labels it touched; the up-to-NT in-window stores inherit that
+    label set; out-of-window stores untaint all labels.
+
+    State is one {!Range_set} per (process, label), so per-label cost
+    matches the plain tracker and the label count only multiplies the
+    source-registration footprint. *)
+
+type t
+
+val create : ?policy:Policy.t -> unit -> t
+
+val policy : t -> Policy.t
+
+val taint_source : t -> pid:int -> label:string -> Pift_util.Range.t -> unit
+
+val observe : t -> Pift_trace.Event.t -> unit
+
+val labels_of : t -> pid:int -> Pift_util.Range.t -> string list
+(** Labels whose taint overlaps the range, sorted. *)
+
+val is_tainted : t -> pid:int -> Pift_util.Range.t -> bool
+
+val all_labels : t -> string list
+(** Every label ever registered, sorted. *)
+
+val tainted_bytes : t -> label:string -> int

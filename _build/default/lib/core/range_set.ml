@@ -1,0 +1,118 @@
+module Range = Pift_util.Range
+module Imap = Map.Make (Int)
+
+(* Invariant: [map] binds each range's low address to its high address;
+   ranges are pairwise disjoint and non-adjacent.  [bytes] and [count]
+   mirror the map so the per-event metrics are O(1). *)
+type t = { map : int Imap.t; bytes : int; count : int }
+
+let empty = { map = Imap.empty; bytes = 0; count = 0 }
+let is_empty t = t.count = 0
+let cardinal t = t.count
+let total_bytes t = t.bytes
+
+(* Entries that must merge with [r]: the nearest entry starting strictly
+   below [r.lo] (it can only be one, by disjointness), plus every entry
+   starting within [r.lo .. r.hi + 1]. *)
+let mergeable t r =
+  let lo = Range.lo r and hi = Range.hi r in
+  let below =
+    match Imap.find_last_opt (fun k -> k < lo) t.map with
+    | Some (k, e) when e >= lo - 1 -> [ (k, e) ]
+    | Some _ | None -> []
+  in
+  let within =
+    Imap.fold
+      (fun k e acc -> if k >= lo && k <= hi + 1 then (k, e) :: acc else acc)
+      (* restrict the fold to the candidate window *)
+      (let _, _, right = Imap.split (lo - 1) t.map in
+       let inside, _, _ = Imap.split (hi + 2) right in
+       inside)
+      []
+  in
+  below @ within
+
+let add t r =
+  let merged = mergeable t r in
+  let lo =
+    List.fold_left (fun acc (k, _) -> min acc k) (Range.lo r) merged
+  in
+  let hi =
+    List.fold_left (fun acc (_, e) -> max acc e) (Range.hi r) merged
+  in
+  let removed_bytes =
+    List.fold_left (fun acc (k, e) -> acc + (e - k + 1)) 0 merged
+  in
+  let map =
+    List.fold_left (fun m (k, _) -> Imap.remove k m) t.map merged
+  in
+  {
+    map = Imap.add lo hi map;
+    bytes = t.bytes - removed_bytes + (hi - lo + 1);
+    count = t.count - List.length merged + 1;
+  }
+
+(* Entries overlapping [r]: nearest entry below plus entries starting in
+   [r.lo .. r.hi]. *)
+let overlapping t r =
+  let lo = Range.lo r and hi = Range.hi r in
+  let below =
+    match Imap.find_last_opt (fun k -> k < lo) t.map with
+    | Some (k, e) when e >= lo -> [ (k, e) ]
+    | Some _ | None -> []
+  in
+  let within =
+    let _, at, right = Imap.split (lo - 1) t.map in
+    ignore at;
+    let inside, at_lo, _ = Imap.split (hi + 1) right in
+    ignore at_lo;
+    Imap.fold (fun k e acc -> (k, e) :: acc) inside []
+  in
+  below @ within
+
+let remove t r =
+  let affected = overlapping t r in
+  let cut (map, bytes, count) (k, e) =
+    let entry = Range.make k e in
+    let pieces = Range.subtract entry r in
+    let map = Imap.remove k map in
+    let map =
+      List.fold_left
+        (fun m p -> Imap.add (Range.lo p) (Range.hi p) m)
+        map pieces
+    in
+    let piece_bytes =
+      List.fold_left (fun acc p -> acc + Range.length p) 0 pieces
+    in
+    (map, bytes - Range.length entry + piece_bytes,
+     count - 1 + List.length pieces)
+  in
+  let map, bytes, count =
+    List.fold_left cut (t.map, t.bytes, t.count) affected
+  in
+  { map; bytes; count }
+
+let mem_overlap t r =
+  match Imap.find_last_opt (fun k -> k <= Range.hi r) t.map with
+  | Some (_, e) -> e >= Range.lo r
+  | None -> false
+
+let covers t r =
+  match Imap.find_last_opt (fun k -> k <= Range.lo r) t.map with
+  | Some (_, e) -> e >= Range.hi r
+  | None -> false
+
+let ranges t =
+  Imap.fold (fun k e acc -> Range.make k e :: acc) t.map [] |> List.rev
+
+let of_list l = List.fold_left add empty l
+
+let equal a b =
+  a.count = b.count && a.bytes = b.bytes && Imap.equal Int.equal a.map b.map
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Range.pp)
+    (ranges t)

@@ -1,0 +1,40 @@
+module Range = Pift_util.Range
+
+type t = {
+  add : pid:int -> Range.t -> unit;
+  remove : pid:int -> Range.t -> unit;
+  overlaps : pid:int -> Range.t -> bool;
+  tainted_bytes : unit -> int;
+  range_count : unit -> int;
+  ranges : pid:int -> Range.t list;
+}
+
+let range_sets () =
+  let sets : (int, Range_set.t ref) Hashtbl.t = Hashtbl.create 4 in
+  let set pid =
+    match Hashtbl.find_opt sets pid with
+    | Some s -> s
+    | None ->
+        let s = ref Range_set.empty in
+        Hashtbl.add sets pid s;
+        s
+  in
+  let sum f = Hashtbl.fold (fun _ s acc -> acc + f !s) sets 0 in
+  {
+    add = (fun ~pid r -> let s = set pid in s := Range_set.add !s r);
+    remove = (fun ~pid r -> let s = set pid in s := Range_set.remove !s r);
+    overlaps = (fun ~pid r -> Range_set.mem_overlap !(set pid) r);
+    tainted_bytes = (fun () -> sum Range_set.total_bytes);
+    range_count = (fun () -> sum Range_set.cardinal);
+    ranges = (fun ~pid -> Range_set.ranges !(set pid));
+  }
+
+let of_storage storage =
+  {
+    add = (fun ~pid r -> Storage.insert storage ~pid r);
+    remove = (fun ~pid r -> Storage.remove storage ~pid r);
+    overlaps = (fun ~pid r -> Storage.lookup storage ~pid r);
+    tainted_bytes = (fun () -> Storage.tainted_bytes storage);
+    range_count = (fun () -> Storage.range_count storage);
+    ranges = (fun ~pid -> Storage.ranges storage ~pid);
+  }

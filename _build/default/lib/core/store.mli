@@ -1,0 +1,24 @@
+(** Pluggable taint-state backends for the tracker.
+
+    Algorithm 1 is defined over an abstract tainted-range state R; the
+    software model backs it with {!Range_set} (exact, unbounded), while the
+    hardware model backs it with the {!Storage} range cache (bounded,
+    lossy under the drop policy).  The tracker is written once against
+    this record of operations. *)
+
+type t = {
+  add : pid:int -> Pift_util.Range.t -> unit;
+  remove : pid:int -> Pift_util.Range.t -> unit;
+  overlaps : pid:int -> Pift_util.Range.t -> bool;
+  tainted_bytes : unit -> int;  (** across all processes *)
+  range_count : unit -> int;  (** across all processes *)
+  ranges : pid:int -> Pift_util.Range.t list;
+}
+
+val range_sets : unit -> t
+(** Exact per-process {!Range_set} state — the software reference the
+    paper's trace-driven evaluation uses. *)
+
+val of_storage : Storage.t -> t
+(** State held in a hardware range cache; behaviour (and possible false
+    negatives) follow the cache's eviction policy. *)

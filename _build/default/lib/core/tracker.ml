@@ -1,0 +1,127 @@
+module Range = Pift_util.Range
+module Series = Pift_util.Series
+module Event = Pift_trace.Event
+
+type window = { mutable ltlt : int; mutable nt_used : int }
+
+type stats = {
+  taint_ops : int;
+  untaint_ops : int;
+  lookups : int;
+  tainted_loads : int;
+  max_tainted_bytes : int;
+  max_ranges : int;
+  events : int;
+}
+
+type t = {
+  policy : Policy.t;
+  store : Store.t;
+  windows : (int, window) Hashtbl.t;
+  mutable taint_ops : int;
+  mutable untaint_ops : int;
+  mutable lookups : int;
+  mutable tainted_loads : int;
+  mutable max_tainted_bytes : int;
+  mutable max_ranges : int;
+  mutable events : int;
+  mutable last_time : int;
+  bytes_series : Series.t;
+  ops_series : Series.t;
+}
+
+(* LTLT <- -inf (Algorithm 1 line 8); any value with ltlt + ni < 1 works. *)
+let minus_infinity = min_int / 2
+
+let create ?(policy = Policy.default) ?(store = Store.range_sets ()) () =
+  {
+    policy;
+    store;
+    windows = Hashtbl.create 4;
+    taint_ops = 0;
+    untaint_ops = 0;
+    lookups = 0;
+    tainted_loads = 0;
+    max_tainted_bytes = 0;
+    max_ranges = 0;
+    events = 0;
+    last_time = 0;
+    bytes_series = Series.create ~name:"tainted bytes" ();
+    ops_series = Series.create ~name:"taint+untaint ops" ();
+  }
+
+let policy t = t.policy
+
+let window t pid =
+  match Hashtbl.find_opt t.windows pid with
+  | Some w -> w
+  | None ->
+      let w = { ltlt = minus_infinity; nt_used = 0 } in
+      Hashtbl.add t.windows pid w;
+      w
+
+let update_peaks t ~time =
+  let bytes = t.store.Store.tainted_bytes () in
+  let count = t.store.Store.range_count () in
+  if bytes > t.max_tainted_bytes then t.max_tainted_bytes <- bytes;
+  if count > t.max_ranges then t.max_ranges <- count;
+  Series.record_if_changed t.bytes_series ~time ~value:bytes
+
+let record_op t ~time =
+  Series.record t.ops_series ~time ~value:(t.taint_ops + t.untaint_ops)
+
+let taint_source t ~pid r =
+  t.store.Store.add ~pid r;
+  update_peaks t ~time:t.last_time
+
+let untaint_range t ~pid r = t.store.Store.remove ~pid r
+let is_tainted t ~pid r = t.store.Store.overlaps ~pid r
+let tainted_ranges t ~pid = t.store.Store.ranges ~pid
+
+let observe t e =
+  t.events <- t.events + 1;
+  if e.Event.seq > t.last_time then t.last_time <- e.Event.seq;
+  match e.Event.access with
+  | Event.Other -> ()
+  | Event.Load r ->
+      (* Lines 10–15: a load overlapping R starts (over) the window. *)
+      t.lookups <- t.lookups + 1;
+      if t.store.Store.overlaps ~pid:e.pid r then begin
+        t.tainted_loads <- t.tainted_loads + 1;
+        let w = window t e.pid in
+        w.ltlt <- e.k;
+        w.nt_used <- 0
+      end
+  | Event.Store r ->
+      (* Lines 16–23: taint inside the window, up to NT times; otherwise
+         untaint (if enabled). *)
+      let w = window t e.pid in
+      if e.k <= w.ltlt + t.policy.Policy.ni && w.nt_used < t.policy.Policy.nt
+      then begin
+        t.store.Store.add ~pid:e.pid r;
+        w.nt_used <- w.nt_used + 1;
+        t.taint_ops <- t.taint_ops + 1;
+        record_op t ~time:e.seq;
+        update_peaks t ~time:e.seq
+      end
+      else if t.policy.Policy.untaint && t.store.Store.overlaps ~pid:e.pid r
+      then begin
+        t.store.Store.remove ~pid:e.pid r;
+        t.untaint_ops <- t.untaint_ops + 1;
+        record_op t ~time:e.seq;
+        update_peaks t ~time:e.seq
+      end
+
+let stats t =
+  {
+    taint_ops = t.taint_ops;
+    untaint_ops = t.untaint_ops;
+    lookups = t.lookups;
+    tainted_loads = t.tainted_loads;
+    max_tainted_bytes = t.max_tainted_bytes;
+    max_ranges = t.max_ranges;
+    events = t.events;
+  }
+
+let tainted_bytes_series t = t.bytes_series
+let ops_series t = t.ops_series

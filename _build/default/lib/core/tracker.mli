@@ -1,0 +1,54 @@
+(** The PIFT taint-propagation heuristic — Algorithm 1 of the paper.
+
+    The tracker consumes the instruction-event stream.  On a load whose
+    address range overlaps tainted state it opens (or restarts) a
+    *tainting window* of [ni] instructions; the target ranges of the next
+    up-to-[nt] stores inside the window are tainted; stores outside the
+    window (or beyond the propagation cap) are optionally *untainted*.
+    Windows are per-process, measured on the per-process instruction
+    counter.
+
+    Sources register tainted ranges with {!taint_source} (the PIFT
+    Manager / Native / Module path of Fig. 3); sinks query with
+    {!is_tainted}. *)
+
+type t
+
+val create : ?policy:Policy.t -> ?store:Store.t -> unit -> t
+(** [policy] defaults to {!Policy.default}; [store] to
+    {!Store.range_sets}. *)
+
+val policy : t -> Policy.t
+
+val taint_source : t -> pid:int -> Pift_util.Range.t -> unit
+(** Software-level registration at a source: taint a fresh range. *)
+
+val untaint_range : t -> pid:int -> Pift_util.Range.t -> unit
+(** Software-level removal (e.g. buffer freed and cleared). *)
+
+val is_tainted : t -> pid:int -> Pift_util.Range.t -> bool
+(** Software-level query at a sink. *)
+
+val observe : t -> Pift_trace.Event.t -> unit
+(** Feed one instruction event (the hardware fast path). *)
+
+val tainted_ranges : t -> pid:int -> Pift_util.Range.t list
+
+type stats = {
+  taint_ops : int;  (** store ranges tainted by propagation *)
+  untaint_ops : int;  (** store ranges actually untainted *)
+  lookups : int;  (** load-time taint queries *)
+  tainted_loads : int;  (** queries that hit and opened a window *)
+  max_tainted_bytes : int;
+  max_ranges : int;
+  events : int;
+}
+
+val stats : t -> stats
+
+val tainted_bytes_series : t -> Pift_util.Series.t
+(** Tainted-bytes-over-time samples (paper Fig. 15); time is the global
+    instruction sequence number. *)
+
+val ops_series : t -> Pift_util.Series.t
+(** Cumulative tainting+untainting operations over time (Fig. 16). *)

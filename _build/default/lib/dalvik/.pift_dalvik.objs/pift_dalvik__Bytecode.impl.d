@@ -1,0 +1,1 @@
+lib/dalvik/bytecode.ml: Format Hashtbl

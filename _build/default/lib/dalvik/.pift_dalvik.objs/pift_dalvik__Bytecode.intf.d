@@ -1,0 +1,1 @@
+lib/dalvik/bytecode.mli: Format

@@ -1,0 +1,1 @@
+lib/dalvik/dex_stats.ml: Array Bytecode Hashtbl Int List Method Program Translate

@@ -1,0 +1,1 @@
+lib/dalvik/dex_stats.mli: Program Translate

@@ -1,0 +1,1 @@
+lib/dalvik/method.ml: Array Bytecode List Pift_arm Printf

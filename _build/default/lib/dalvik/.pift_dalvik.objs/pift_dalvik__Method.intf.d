@@ -1,0 +1,1 @@
+lib/dalvik/method.mli: Bytecode Pift_arm

@@ -1,0 +1,1 @@
+lib/dalvik/program.ml: Hashtbl List Method Printf String

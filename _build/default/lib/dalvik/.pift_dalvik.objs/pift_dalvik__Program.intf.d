@@ -1,0 +1,1 @@
+lib/dalvik/program.mli: Method

@@ -1,0 +1,1 @@
+lib/dalvik/translate.ml: Array Bytecode List Pift_arm Pift_runtime

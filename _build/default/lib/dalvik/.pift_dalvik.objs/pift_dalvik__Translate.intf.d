@@ -1,0 +1,1 @@
+lib/dalvik/translate.mli: Bytecode Pift_arm

@@ -1,0 +1,1 @@
+lib/dalvik/vm.ml: Array Bytecode Hashtbl Lazy List Method Pift_arm Pift_machine Pift_runtime Printf Program String Translate

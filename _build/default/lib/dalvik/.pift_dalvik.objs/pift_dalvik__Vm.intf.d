@@ -1,0 +1,1 @@
+lib/dalvik/vm.mli: Pift_runtime Program

@@ -1,0 +1,185 @@
+type v = int
+type label = int
+
+type binop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+
+type test = Eq | Ne | Lt | Ge | Gt | Le
+
+type invoke_kind = Virtual | Direct | Static | Interface | Super
+
+type t =
+  | Nop
+  | Move of v * v
+  | Move_from16 of v * v
+  | Move_wide of v * v
+  | Move_object of v * v
+  | Move_object_from16 of v * v
+  | Move_result of v
+  | Move_result_object of v
+  | Move_exception of v
+  | Const4 of v * int
+  | Const16 of v * int
+  | Const of v * int
+  | Const_string of v * string
+  | Return_void
+  | Return of v
+  | Return_wide of v
+  | Return_object of v
+  | New_instance of v * string
+  | New_array of v * v * string
+  | Array_length of v * v
+  | Aget of v * v * v
+  | Aget_char of v * v * v
+  | Aget_byte of v * v * v
+  | Aget_object of v * v * v
+  | Aput of v * v * v
+  | Aput_char of v * v * v
+  | Aput_byte of v * v * v
+  | Aput_object of v * v * v
+  | Iget of v * v * string
+  | Iget_object of v * v * string
+  | Iget_wide of v * v * string
+  | Iput of v * v * string
+  | Iput_object of v * v * string
+  | Sget of v * string
+  | Sget_object of v * string
+  | Sput of v * string
+  | Sput_object of v * string
+  | Binop of binop * v * v * v
+  | Binop_2addr of binop * v * v
+  | Binop_lit8 of binop * v * v * int
+  | Neg_int of v * v
+  | Int_to_char of v * v
+  | Int_to_byte of v * v
+  | Int_to_long of v * v
+  | Long_to_int of v * v
+  | Add_long of v * v * v
+  | Sub_long of v * v * v
+  | Mul_long of v * v * v
+  | Shr_long of v * v * v
+  | Cmp_long of v * v * v
+  | Goto of label
+  | If_test of test * v * v * label
+  | If_testz of test * v * label
+  | Packed_switch of v * (int * label) list * label
+  | Invoke of invoke_kind * string * v list
+  | Invoke_range of invoke_kind * string * v list
+  | Monitor_enter of v
+  | Monitor_exit of v
+  | Check_cast of v * string
+  | Instance_of of v * v * string
+  | Throw of v
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+
+let test_name = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Ge -> "ge"
+  | Gt -> "gt"
+  | Le -> "le"
+
+let invoke_name = function
+  | Virtual -> "invoke-virtual"
+  | Direct -> "invoke-direct"
+  | Static -> "invoke-static"
+  | Interface -> "invoke-interface"
+  | Super -> "invoke-super"
+
+let mnemonic = function
+  | Nop -> "nop"
+  | Move _ -> "move"
+  | Move_from16 _ -> "move/from16"
+  | Move_wide _ -> "move-wide"
+  | Move_object _ -> "move-object"
+  | Move_object_from16 _ -> "move-object/from16"
+  | Move_result _ -> "move-result"
+  | Move_result_object _ -> "move-result-object"
+  | Move_exception _ -> "move-exception"
+  | Const4 _ -> "const/4"
+  | Const16 _ -> "const/16"
+  | Const _ -> "const"
+  | Const_string _ -> "const-string"
+  | Return_void -> "return-void"
+  | Return _ -> "return"
+  | Return_wide _ -> "return-wide"
+  | Return_object _ -> "return-object"
+  | New_instance _ -> "new-instance"
+  | New_array _ -> "new-array"
+  | Array_length _ -> "array-length"
+  | Aget _ -> "aget"
+  | Aget_char _ -> "aget-char"
+  | Aget_byte _ -> "aget-byte"
+  | Aget_object _ -> "aget-object"
+  | Aput _ -> "aput"
+  | Aput_char _ -> "aput-char"
+  | Aput_byte _ -> "aput-byte"
+  | Aput_object _ -> "aput-object"
+  | Iget _ -> "iget"
+  | Iget_object _ -> "iget-object"
+  | Iget_wide _ -> "iget-wide"
+  | Iput _ -> "iput"
+  | Iput_object _ -> "iput-object"
+  | Sget _ -> "sget"
+  | Sget_object _ -> "sget-object"
+  | Sput _ -> "sput"
+  | Sput_object _ -> "sput-object"
+  | Binop (op, _, _, _) -> binop_name op ^ "-int"
+  | Binop_2addr (op, _, _) -> binop_name op ^ "-int/2addr"
+  | Binop_lit8 (op, _, _, _) -> binop_name op ^ "-int/lit8"
+  | Neg_int _ -> "neg-int"
+  | Int_to_char _ -> "int-to-char"
+  | Int_to_byte _ -> "int-to-byte"
+  | Int_to_long _ -> "int-to-long"
+  | Long_to_int _ -> "long-to-int"
+  | Add_long _ -> "add-long"
+  | Sub_long _ -> "sub-long"
+  | Mul_long _ -> "mul-long"
+  | Shr_long _ -> "shr-long"
+  | Cmp_long _ -> "cmp-long"
+  | Goto _ -> "goto"
+  | If_test (t, _, _, _) -> "if-" ^ test_name t
+  | If_testz (t, _, _) -> "if-" ^ test_name t ^ "z"
+  | Packed_switch _ -> "packed-switch"
+  | Invoke (k, _, _) -> invoke_name k
+  | Invoke_range (k, _, _) -> invoke_name k ^ "/range"
+  | Monitor_enter _ -> "monitor-enter"
+  | Monitor_exit _ -> "monitor-exit"
+  | Check_cast _ -> "check-cast"
+  | Instance_of _ -> "instance-of"
+  | Throw _ -> "throw"
+
+(* Stable encoding derived from the mnemonic; only used to fill simulated
+   code memory with plausible bytes. *)
+let opcode t = Hashtbl.hash (mnemonic t) land 0xFF
+
+let moves_data = function
+  | Move _ | Move_from16 _ | Move_wide _ | Move_object _
+  | Move_object_from16 _ | Move_result _
+  | Move_result_object _ | Move_exception _ | Return _ | Return_wide _
+  | Return_object _ | Aget _ | Aget_char _ | Aget_byte _ | Aget_object _
+  | Aput _ | Aput_char _ | Aput_byte _ | Aput_object _ | Iget _
+  | Iget_object _ | Iget_wide _ | Iput _ | Iput_object _ | Sget _
+  | Sget_object _ | Sput _ | Sput_object _ | Binop _ | Binop_2addr _
+  | Binop_lit8 _ | Neg_int _ | Int_to_char _ | Int_to_byte _ | Int_to_long _
+  | Long_to_int _ | Add_long _ | Sub_long _ | Mul_long _ | Shr_long _
+  | Cmp_long _ | Array_length _ ->
+      true
+  | Nop | Const4 _ | Const16 _ | Const _ | Const_string _ | Return_void
+  | New_instance _ | New_array _ | Goto _ | If_test _ | If_testz _
+  | Packed_switch _ | Invoke _ | Invoke_range _ | Monitor_enter _
+  | Monitor_exit _ | Check_cast _ | Instance_of _ | Throw _ ->
+      false
+
+let pp ppf t = Format.pp_print_string ppf (mnemonic t)

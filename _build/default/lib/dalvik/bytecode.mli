@@ -1,0 +1,100 @@
+(** The Dalvik-style register-based bytecode set.
+
+    Operands are virtual-register indices; each virtual register is a
+    4-byte slot in the in-memory frame at [rFP + 4*v] — the property the
+    paper's predictability argument rests on (§4.1): every bytecode that
+    moves data issues real loads and stores against the frame.
+
+    Method and field references are by name (the workloads are assembled
+    programmatically; there is no dex parser).  Branch targets are
+    bytecode indices within the method. *)
+
+type v = int
+(** Virtual-register index. *)
+
+type label = int
+(** Bytecode index within the enclosing method. *)
+
+type binop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+
+type test = Eq | Ne | Lt | Ge | Gt | Le
+
+type invoke_kind = Virtual | Direct | Static | Interface | Super
+
+type t =
+  | Nop
+  | Move of v * v
+  | Move_from16 of v * v
+  | Move_wide of v * v  (** moves the pair (v, v+1) *)
+  | Move_object of v * v
+  | Move_object_from16 of v * v
+  | Move_result of v
+  | Move_result_object of v
+  | Move_exception of v
+  | Const4 of v * int
+  | Const16 of v * int
+  | Const of v * int
+  | Const_string of v * string
+  | Return_void
+  | Return of v
+  | Return_wide of v
+  | Return_object of v
+  | New_instance of v * string
+  | New_array of v * v * string  (** dst, length, element class *)
+  | Array_length of v * v
+  | Aget of v * v * v  (** value, array, index — int elements *)
+  | Aget_char of v * v * v
+  | Aget_byte of v * v * v
+  | Aget_object of v * v * v
+  | Aput of v * v * v
+  | Aput_char of v * v * v
+  | Aput_byte of v * v * v
+  | Aput_object of v * v * v
+  | Iget of v * v * string  (** value, object, field *)
+  | Iget_object of v * v * string
+  | Iget_wide of v * v * string
+  | Iput of v * v * string
+  | Iput_object of v * v * string
+  | Sget of v * string
+  | Sget_object of v * string
+  | Sput of v * string
+  | Sput_object of v * string
+  | Binop of binop * v * v * v  (** dst, src1, src2 *)
+  | Binop_2addr of binop * v * v  (** dst/src1, src2 *)
+  | Binop_lit8 of binop * v * v * int
+  | Neg_int of v * v
+  | Int_to_char of v * v
+  | Int_to_byte of v * v
+  | Int_to_long of v * v  (** dst pair, src *)
+  | Long_to_int of v * v  (** dst, src pair *)
+  | Add_long of v * v * v  (** operates on register pairs *)
+  | Sub_long of v * v * v
+  | Mul_long of v * v * v
+  | Shr_long of v * v * v  (** dst pair, src pair, shift (single reg) *)
+  | Cmp_long of v * v * v
+  | Goto of label
+  | If_test of test * v * v * label
+  | If_testz of test * v * label
+  | Packed_switch of v * (int * label) list * label
+      (** value, (case, target) table, default target *)
+  | Invoke of invoke_kind * string * v list
+  | Invoke_range of invoke_kind * string * v list
+      (** semantically identical to [Invoke]; the /range encoding *)
+  | Monitor_enter of v
+  | Monitor_exit of v
+  | Check_cast of v * string
+  | Instance_of of v * v * string
+  | Throw of v
+
+val mnemonic : t -> string
+(** Dalvik-style opcode name, e.g. ["mul-int/2addr"], ["iget-object"]. *)
+
+val opcode : t -> int
+(** Stable 0–255 encoding (written into simulated code memory so the
+    interpreter's fetch loads read real values). *)
+
+val moves_data : t -> bool
+(** Does this bytecode move data (real or reference) between storage
+    locations — the highlighted rows of Fig. 10. *)
+
+val pp : Format.formatter -> t -> unit

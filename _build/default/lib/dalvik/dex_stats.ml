@@ -1,0 +1,46 @@
+type row = {
+  mnemonic : string;
+  count : int;
+  share : float;
+  moves_data : bool;
+  distance : Translate.distance_spec;
+}
+
+let fold_bytecodes f init programs =
+  List.fold_left
+    (fun acc program ->
+      List.fold_left
+        (fun acc (m : Method.t) -> Array.fold_left f acc m.Method.code)
+        acc (Program.methods program))
+    init programs
+
+let total_bytecodes programs = fold_bytecodes (fun n _ -> n + 1) 0 programs
+
+let rows programs =
+  let counts : (string, int ref * Bytecode.t) Hashtbl.t = Hashtbl.create 64 in
+  let total =
+    fold_bytecodes
+      (fun n bc ->
+        let key = Bytecode.mnemonic bc in
+        (match Hashtbl.find_opt counts key with
+        | Some (r, _) -> incr r
+        | None -> Hashtbl.add counts key (ref 1, bc));
+        n + 1)
+      0 programs
+  in
+  Hashtbl.fold
+    (fun mnemonic (r, bc) acc ->
+      {
+        mnemonic;
+        count = !r;
+        share = (if total = 0 then 0. else float_of_int !r /. float_of_int total);
+        moves_data = Bytecode.moves_data bc;
+        distance = Translate.expected_distance bc;
+      }
+      :: acc)
+    counts []
+  |> List.sort (fun a b -> Int.compare b.count a.count)
+
+let top n programs =
+  let all = rows programs in
+  List.filteri (fun i _ -> i < n) all

@@ -1,0 +1,19 @@
+(** Static bytecode-frequency analysis over loaded programs — the
+    methodology behind the paper's Fig. 10 (distribution of the top-30
+    bytecodes in application and system-library dex files, annotated with
+    their load–store distances). *)
+
+type row = {
+  mnemonic : string;
+  count : int;
+  share : float;  (** fraction of all counted bytecodes *)
+  moves_data : bool;
+  distance : Translate.distance_spec;
+}
+
+val rows : Program.t list -> row list
+(** All opcodes by descending frequency. *)
+
+val top : int -> Program.t list -> row list
+
+val total_bytecodes : Program.t list -> int

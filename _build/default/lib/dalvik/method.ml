@@ -1,0 +1,59 @@
+type handler = { try_start : int; try_end : int; target : int }
+
+type t = {
+  name : string;
+  registers : int;
+  ins : int;
+  code : Bytecode.t array;
+  handlers : handler list;
+  mutable code_addr : int;
+  frags : Pift_arm.Asm.fragment option array;
+}
+
+let check_target name len pc =
+  if pc < 0 || pc >= len then
+    invalid_arg
+      (Printf.sprintf "Method.make(%s): branch target %d outside body" name
+         pc)
+
+let targets = function
+  | Bytecode.Goto l -> [ l ]
+  | Bytecode.If_test (_, _, _, l) | Bytecode.If_testz (_, _, l) -> [ l ]
+  | Bytecode.Packed_switch (_, table, default) ->
+      default :: List.map snd table
+  | _ -> []
+
+let make ~name ~registers ~ins ?(handlers = []) code =
+  if code = [] then invalid_arg "Method.make: empty body";
+  if ins > registers then invalid_arg "Method.make: ins > registers";
+  if registers <= 0 then invalid_arg "Method.make: no registers";
+  let code = Array.of_list code in
+  let len = Array.length code in
+  Array.iter (fun bc -> List.iter (check_target name len) (targets bc)) code;
+  List.iter
+    (fun h ->
+      check_target name len h.target;
+      if h.try_start < 0 || h.try_end > len || h.try_start >= h.try_end then
+        invalid_arg (Printf.sprintf "Method.make(%s): bad try range" name))
+    handlers;
+  {
+    name;
+    registers;
+    ins;
+    code;
+    handlers;
+    code_addr = 0;
+    frags = Array.make len None;
+  }
+
+let arg_reg t i =
+  if i < 0 || i >= t.ins then invalid_arg "Method.arg_reg: bad index";
+  t.registers - t.ins + i
+
+let frame_bytes t = 4 * t.registers
+
+let handler_for t ~pc =
+  List.find_map
+    (fun h ->
+      if h.try_start <= pc && pc < h.try_end then Some h.target else None)
+    t.handlers

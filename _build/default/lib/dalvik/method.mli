@@ -1,0 +1,36 @@
+(** Methods: register count, argument count, bytecode body, and exception
+    handler table.
+
+    As in Dalvik, arguments occupy the *last* [ins] registers of the
+    frame.  Handlers are (try-start, try-end exclusive, handler-pc)
+    triples searched in order. *)
+
+type handler = { try_start : int; try_end : int; target : int }
+
+type t = {
+  name : string;
+  registers : int;
+  ins : int;
+  code : Bytecode.t array;
+  handlers : handler list;
+  mutable code_addr : int;  (** simulated code address, set at load *)
+  frags : Pift_arm.Asm.fragment option array;  (** translation cache *)
+}
+
+val make :
+  name:string ->
+  registers:int ->
+  ins:int ->
+  ?handlers:handler list ->
+  Bytecode.t list ->
+  t
+(** Raises [Invalid_argument] on an empty body, [ins > registers], or a
+    handler/branch target outside the body. *)
+
+val arg_reg : t -> int -> int
+(** Frame register index of argument [i]. *)
+
+val frame_bytes : t -> int
+
+val handler_for : t -> pc:int -> int option
+(** Handler pc covering [pc], if any. *)

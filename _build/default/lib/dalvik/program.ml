@@ -1,0 +1,42 @@
+type t = {
+  methods : (string, Method.t) Hashtbl.t;
+  classes : (string, string list) Hashtbl.t;
+  entry : string;
+  method_list : Method.t list;
+}
+
+let make ?(classes = []) ~entry methods =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (m : Method.t) ->
+      if Hashtbl.mem tbl m.Method.name then
+        invalid_arg ("Program.make: duplicate method " ^ m.Method.name);
+      Hashtbl.add tbl m.Method.name m)
+    methods;
+  if not (Hashtbl.mem tbl entry) then
+    invalid_arg ("Program.make: missing entry method " ^ entry);
+  let cls = Hashtbl.create 8 in
+  List.iter (fun (name, fields) -> Hashtbl.replace cls name fields) classes;
+  { methods = tbl; classes = cls; entry; method_list = methods }
+
+let entry t = t.entry
+let find_method t name = Hashtbl.find_opt t.methods name
+let methods t = t.method_list
+
+let field_index t ~class_name ~field =
+  match Hashtbl.find_opt t.classes class_name with
+  | None -> failwith ("Program.field_index: unknown class " ^ class_name)
+  | Some fields -> (
+      let rec scan i = function
+        | [] ->
+            failwith
+              (Printf.sprintf "Program.field_index: no field %s in %s" field
+                 class_name)
+        | f :: rest -> if String.equal f field then i else scan (i + 1) rest
+      in
+      scan 0 fields)
+
+let field_count t ~class_name =
+  match Hashtbl.find_opt t.classes class_name with
+  | None -> 0
+  | Some fields -> List.length fields

@@ -1,0 +1,22 @@
+(** A loaded application: its methods and class definitions.
+
+    Classes declare their instance fields (word-sized) in order; field
+    resolution at [iget]/[iput] goes through the receiver's runtime class,
+    as the interpreter's quickened field access would. *)
+
+type t
+
+val make :
+  ?classes:(string * string list) list -> entry:string -> Method.t list -> t
+(** Raises [Invalid_argument] on duplicate method names or a missing
+    entry method. *)
+
+val entry : t -> string
+val find_method : t -> string -> Method.t option
+val methods : t -> Method.t list
+
+val field_index : t -> class_name:string -> field:string -> int
+(** Raises [Failure] for an unknown class/field. *)
+
+val field_count : t -> class_name:string -> int
+(** Number of declared fields; 0 for undeclared classes. *)

@@ -1,0 +1,563 @@
+module Asm = Pift_arm.Asm
+module Insn = Pift_arm.Insn
+module Reg = Pift_arm.Reg
+module Cond = Pift_arm.Cond
+module B = Bytecode
+open Insn
+
+type resolved =
+  | Plain of Bytecode.t
+  | Static of Bytecode.t * int
+  | Field of Bytecode.t * int
+  | Invoke_bytecode of { arg_moves : (int * int) list; callee_registers : int }
+  | Invoke_native of int list
+  | New_ref of int
+
+(* Interpreter register conventions (paper §4.1): r4 = rPC, r5 = rFP,
+   r7 = rINST, r8 = rIBASE, r6 = rSELF.  Handlers use r0–r3 and r9–r12. *)
+let rfp = Reg.rfp
+let rpc = Reg.rpc
+let rinst = Reg.rinst
+let ribase = Reg.ribase
+let rself = Reg.R6
+
+let retval_off = Pift_runtime.Tcb.retval_offset
+let exception_off = Pift_runtime.Tcb.exception_offset
+
+let imm n = Imm n
+let reg r = Reg r
+
+(* mov rX, #v — operand decode with the vreg index baked in (the real
+   interpreter extracts it from rINST with mov/ubfx). *)
+let decode a dreg v = Asm.emit a (Mov (dreg, imm v))
+
+(* GET_VREG / SET_VREG through a previously decoded index register. *)
+let ldr_vreg a dst idx = Asm.emit a (Ldr (Word, dst, Offset (rfp, Shifted (idx, Lsl 2))))
+let str_vreg a src idx = Asm.emit a (Str (Word, src, Offset (rfp, Shifted (idx, Lsl 2))))
+let ldrd_vreg a dst idx = Asm.emit a (Ldr (Dword, dst, Offset (rfp, Shifted (idx, Lsl 2))))
+let strd_vreg a src idx = Asm.emit a (Str (Dword, src, Offset (rfp, Shifted (idx, Lsl 2))))
+
+(* FETCH_ADVANCE_INST: advance rPC one (4-byte) code unit and load the
+   next instruction word — a real load from simulated code memory. *)
+let fetch a = Asm.emit a (Ldr (Half, rinst, Pre (rpc, imm 4)))
+
+(* GET_INST_OPCODE: extract the next opcode. *)
+let opcode_extract a = Asm.emit a (Alu (And, false, Reg.R12, rinst, imm 255))
+
+(* Handler-address computation preceding GOTO_OPCODE. *)
+let dispatch_addr a =
+  Asm.emit a (Alu (Add, false, Reg.R10, ribase, Shifted (Reg.R12, Lsl 6)))
+
+let alu_of_binop = function
+  | B.Add -> Add
+  | B.Sub -> Sub
+  | B.Mul -> Mul
+  | B.And -> And
+  | B.Or -> Orr
+  | B.Xor -> Eor
+  | B.Shl -> Lsl_op
+  | B.Shr -> Asr_op
+  | B.Div | B.Rem -> invalid_arg "alu_of_binop: division uses the helper"
+
+(* Inline software division (the runtime-ABI helper of §4.1): restoring
+   binary long division, 32 rounds.  Quotient in r10, remainder in r11.
+   Numerator r0, denominator r1; r2/r3/r12 clobbered. *)
+let emit_division a =
+  Asm.emit a (Mov (Reg.R10, imm 0));
+  Asm.emit a (Mov (Reg.R11, imm 0));
+  Asm.emit a (Mov (Reg.R2, imm 31));
+  Asm.label a "divloop";
+  Asm.emit a (Alu (Lsl_op, false, Reg.R11, Reg.R11, imm 1));
+  Asm.emit a (Alu (Lsr_op, false, Reg.R3, Reg.R0, reg Reg.R2));
+  Asm.emit a (Alu (And, false, Reg.R3, Reg.R3, imm 1));
+  Asm.emit a (Alu (Orr, false, Reg.R11, Reg.R11, reg Reg.R3));
+  Asm.emit a (Alu (Lsl_op, false, Reg.R10, Reg.R10, imm 1));
+  Asm.emit a (Cmp (Reg.R11, reg Reg.R1));
+  Asm.branch a Cond.Lt "divskip";
+  Asm.emit a (Alu (Sub, false, Reg.R11, Reg.R11, reg Reg.R1));
+  Asm.emit a (Alu (Orr, false, Reg.R10, Reg.R10, imm 1));
+  Asm.label a "divskip";
+  Asm.emit a (Alu (Sub, true, Reg.R2, Reg.R2, imm 1));
+  Asm.branch a Cond.Ge "divloop"
+
+let build f =
+  let a = Asm.create () in
+  f a;
+  Asm.ret a;
+  Asm.assemble a
+
+let elem_shift = function
+  | `Word -> 2
+  | `Char -> 1
+  | `Byte -> 0
+
+let elem_width = function `Word -> Word | `Char -> Half | `Byte -> Byte
+
+(* aget family: value <- array element.  Data-load → store distance 2. *)
+let emit_aget a ~dst ~arr ~idx ~kind =
+  decode a Reg.R3 arr;
+  decode a Reg.R2 idx;
+  decode a Reg.R9 dst;
+  ldr_vreg a Reg.R0 Reg.R3;
+  ldr_vreg a Reg.R1 Reg.R2;
+  Asm.emit a (Alu (Add, false, Reg.R0, Reg.R0, Shifted (Reg.R1, Lsl (elem_shift kind))));
+  Asm.emit a (Ldr (elem_width kind, Reg.R10, Offset (Reg.R0, imm 8)));
+  fetch a;
+  str_vreg a Reg.R10 Reg.R9;
+  opcode_extract a
+
+(* aput family (non-object): element <- value.  Distance 2. *)
+let emit_aput a ~src ~arr ~idx ~kind =
+  decode a Reg.R3 arr;
+  decode a Reg.R2 idx;
+  decode a Reg.R9 src;
+  ldr_vreg a Reg.R0 Reg.R3;
+  ldr_vreg a Reg.R1 Reg.R2;
+  Asm.emit a (Alu (Add, false, Reg.R0, Reg.R0, Shifted (Reg.R1, Lsl (elem_shift kind))));
+  ldr_vreg a Reg.R10 Reg.R9;
+  fetch a;
+  Asm.emit a (Str (elem_width kind, Reg.R10, Offset (Reg.R0, imm 8)));
+  opcode_extract a
+
+(* aput-object: the type check (two class loads, compare) between the
+   value load and the element store stretches the distance to 10. *)
+let emit_aput_object a ~src ~arr ~idx =
+  decode a Reg.R3 arr;
+  decode a Reg.R2 idx;
+  decode a Reg.R9 src;
+  ldr_vreg a Reg.R0 Reg.R3;
+  ldr_vreg a Reg.R1 Reg.R2;
+  ldr_vreg a Reg.R10 Reg.R9;
+  (* value ref loaded; type check + dispatch + address arithmetic: *)
+  Asm.emit a (Ldr (Word, Reg.R11, Offset (Reg.R10, imm 0)));
+  Asm.emit a (Ldr (Word, Reg.R12, Offset (Reg.R0, imm 0)));
+  Asm.emit a (Cmp (Reg.R11, reg Reg.R12));
+  fetch a;
+  opcode_extract a;
+  (* handler-address computation into r3 (r10 holds the value) *)
+  Asm.emit a (Alu (Add, false, Reg.R3, ribase, Shifted (Reg.R12, Lsl 6)));
+  Asm.emit a (Alu (Add, false, Reg.R0, Reg.R0, Shifted (Reg.R1, Lsl 2)));
+  Asm.emit a (Alu (Add, false, Reg.R0, Reg.R0, imm 8));
+  Asm.emit a (Mov (Reg.R11, reg Reg.R10));
+  Asm.emit a (Str (Word, Reg.R11, Offset (Reg.R0, imm 0)))
+
+let emit_move a ~dst ~src ~short =
+  decode a Reg.R3 src;
+  decode a Reg.R9 dst;
+  ldr_vreg a Reg.R1 Reg.R3;
+  fetch a;
+  if not short then opcode_extract a;
+  str_vreg a Reg.R1 Reg.R9;
+  if short then opcode_extract a
+
+let emit_binop a op ~dst ~src1 ~src2 =
+  decode a Reg.R3 src1;
+  decode a Reg.R2 src2;
+  decode a Reg.R9 dst;
+  ldr_vreg a Reg.R1 Reg.R3;
+  ldr_vreg a Reg.R0 Reg.R2;
+  match op with
+  | B.Div | B.Rem ->
+      fetch a;
+      (* numerator r0? arguments: numerator = src1 (r1), denom = src2 (r0):
+         move into helper registers. *)
+      Asm.emit a (Mov (Reg.R12, reg Reg.R0));
+      Asm.emit a (Mov (Reg.R0, reg Reg.R1));
+      Asm.emit a (Mov (Reg.R1, reg Reg.R12));
+      emit_division a;
+      opcode_extract a;
+      let res = if op = B.Div then Reg.R10 else Reg.R11 in
+      str_vreg a res Reg.R9
+  | _ ->
+      fetch a;
+      Asm.emit a (Alu (alu_of_binop op, false, Reg.R0, Reg.R1, reg Reg.R0));
+      opcode_extract a;
+      str_vreg a Reg.R0 Reg.R9
+
+let fragment resolved =
+  match resolved with
+  | New_ref dst ->
+      (* Allocator/resolver result arrives in r0; store it to vA. *)
+      build (fun a ->
+          decode a Reg.R9 dst;
+          fetch a;
+          opcode_extract a;
+          str_vreg a Reg.R0 Reg.R9)
+  | Invoke_bytecode { arg_moves; callee_registers } ->
+      build (fun a ->
+          (* Save interpreter state, carve the callee frame just below the
+             caller's, copy arguments (load/store distance 1 each). *)
+          Asm.emit a (Stm (Reg.SP, [ rpc; rfp; rinst ]));
+          Asm.emit a
+            (Alu (Sub, false, Reg.R11, rfp, imm (4 * callee_registers)));
+          List.iter
+            (fun (src, dst) ->
+              Asm.emit a (Ldr (Word, Reg.R2, Offset (rfp, imm (4 * src))));
+              Asm.emit a (Str (Word, Reg.R2, Offset (Reg.R11, imm (4 * dst)))))
+            arg_moves)
+  | Invoke_native srcs ->
+      build (fun a ->
+          let arg_regs = [| Reg.R0; Reg.R1; Reg.R2; Reg.R10; Reg.R11 |] in
+          List.iteri
+            (fun i src ->
+              if i >= Array.length arg_regs then
+                invalid_arg "Translate: too many native arguments";
+              decode a Reg.R3 src;
+              ldr_vreg a arg_regs.(i) Reg.R3)
+            srcs)
+  | Static (bc, addr) -> (
+      match bc with
+      | B.Sget (dst, _) | B.Sget_object (dst, _) ->
+          build (fun a ->
+              Asm.emit a (Mov (Reg.R2, imm addr));
+              decode a Reg.R9 dst;
+              Asm.emit a (Ldr (Word, Reg.R0, Offset (Reg.R2, imm 0)));
+              fetch a;
+              opcode_extract a;
+              str_vreg a Reg.R0 Reg.R9)
+      | B.Sput (src, _) | B.Sput_object (src, _) ->
+          build (fun a ->
+              decode a Reg.R9 src;
+              Asm.emit a (Mov (Reg.R2, imm addr));
+              ldr_vreg a Reg.R0 Reg.R9;
+              fetch a;
+              Asm.emit a (Str (Word, Reg.R0, Offset (Reg.R2, imm 0)));
+              opcode_extract a)
+      | _ -> invalid_arg "Translate.fragment: Static wraps non-static op")
+  | Field (bc, off) -> (
+      match bc with
+      | B.Iget (dst, obj, _) | B.Iget_object (dst, obj, _) ->
+          build (fun a ->
+              decode a Reg.R3 obj;
+              decode a Reg.R9 dst;
+              ldr_vreg a Reg.R0 Reg.R3;
+              Asm.emit a (Cmp (Reg.R0, imm 0));
+              Asm.emit a (Ldr (Word, Reg.R1, Offset (Reg.R0, imm off)));
+              fetch a;
+              opcode_extract a;
+              dispatch_addr a;
+              Asm.emit a (Mov (Reg.R2, reg Reg.R1));
+              str_vreg a Reg.R2 Reg.R9)
+      | B.Iget_wide (dst, obj, _) ->
+          build (fun a ->
+              decode a Reg.R3 obj;
+              decode a Reg.R9 dst;
+              ldr_vreg a Reg.R0 Reg.R3;
+              Asm.emit a (Cmp (Reg.R0, imm 0));
+              Asm.emit a (Ldr (Dword, Reg.R1, Offset (Reg.R0, imm off)));
+              fetch a;
+              opcode_extract a;
+              dispatch_addr a;
+              Asm.emit a (Mov (Reg.R10, reg Reg.R1));
+              strd_vreg a Reg.R1 Reg.R9)
+      | B.Iput (src, obj, _) | B.Iput_object (src, obj, _) ->
+          build (fun a ->
+              decode a Reg.R3 obj;
+              decode a Reg.R9 src;
+              ldr_vreg a Reg.R0 Reg.R3;
+              Asm.emit a (Cmp (Reg.R0, imm 0));
+              ldr_vreg a Reg.R1 Reg.R9;
+              fetch a;
+              opcode_extract a;
+              dispatch_addr a;
+              Asm.emit a (Str (Word, Reg.R1, Offset (Reg.R0, imm off))))
+      | _ -> invalid_arg "Translate.fragment: Field wraps non-field op")
+  | Plain bc -> (
+      match bc with
+      | B.Nop -> build (fun a -> fetch a; opcode_extract a)
+      | B.Move (dst, src) | B.Move_object (dst, src) ->
+          build (fun a -> emit_move a ~dst ~src ~short:false)
+      | B.Move_from16 (dst, src) | B.Move_object_from16 (dst, src) ->
+          build (fun a -> emit_move a ~dst ~src ~short:true)
+      | B.Move_wide (dst, src) ->
+          build (fun a ->
+              decode a Reg.R3 src;
+              decode a Reg.R9 dst;
+              ldrd_vreg a Reg.R0 Reg.R3;
+              fetch a;
+              opcode_extract a;
+              strd_vreg a Reg.R0 Reg.R9)
+      | B.Move_result dst | B.Move_result_object dst ->
+          build (fun a ->
+              decode a Reg.R9 dst;
+              Asm.emit a (Ldr (Word, Reg.R0, Offset (rself, imm retval_off)));
+              fetch a;
+              str_vreg a Reg.R0 Reg.R9;
+              opcode_extract a)
+      | B.Move_exception dst ->
+          build (fun a ->
+              decode a Reg.R9 dst;
+              Asm.emit a
+                (Ldr (Word, Reg.R0, Offset (rself, imm exception_off)));
+              fetch a;
+              str_vreg a Reg.R0 Reg.R9;
+              opcode_extract a)
+      | B.Const4 (dst, v) | B.Const16 (dst, v) | B.Const (dst, v) ->
+          build (fun a ->
+              decode a Reg.R9 dst;
+              Asm.emit a (Mov (Reg.R1, imm v));
+              fetch a;
+              opcode_extract a;
+              str_vreg a Reg.R1 Reg.R9)
+      | B.Return_void -> build (fun a -> ignore a)
+      | B.Return src | B.Return_object src ->
+          build (fun a ->
+              decode a Reg.R9 src;
+              ldr_vreg a Reg.R0 Reg.R9;
+              Asm.emit a (Str (Word, Reg.R0, Offset (rself, imm retval_off))))
+      | B.Return_wide src ->
+          build (fun a ->
+              decode a Reg.R9 src;
+              ldrd_vreg a Reg.R0 Reg.R9;
+              Asm.emit a (Str (Dword, Reg.R0, Offset (rself, imm retval_off))))
+      | B.Array_length (dst, arr) ->
+          build (fun a ->
+              decode a Reg.R3 arr;
+              decode a Reg.R9 dst;
+              ldr_vreg a Reg.R0 Reg.R3;
+              Asm.emit a (Ldr (Word, Reg.R1, Offset (Reg.R0, imm 4)));
+              fetch a;
+              str_vreg a Reg.R1 Reg.R9;
+              opcode_extract a)
+      | B.Aget (d, r, i) -> build (fun a -> emit_aget a ~dst:d ~arr:r ~idx:i ~kind:`Word)
+      | B.Aget_char (d, r, i) -> build (fun a -> emit_aget a ~dst:d ~arr:r ~idx:i ~kind:`Char)
+      | B.Aget_byte (d, r, i) -> build (fun a -> emit_aget a ~dst:d ~arr:r ~idx:i ~kind:`Byte)
+      | B.Aget_object (d, r, i) -> build (fun a -> emit_aget a ~dst:d ~arr:r ~idx:i ~kind:`Word)
+      | B.Aput (s, r, i) -> build (fun a -> emit_aput a ~src:s ~arr:r ~idx:i ~kind:`Word)
+      | B.Aput_char (s, r, i) -> build (fun a -> emit_aput a ~src:s ~arr:r ~idx:i ~kind:`Char)
+      | B.Aput_byte (s, r, i) -> build (fun a -> emit_aput a ~src:s ~arr:r ~idx:i ~kind:`Byte)
+      | B.Aput_object (s, r, i) -> build (fun a -> emit_aput_object a ~src:s ~arr:r ~idx:i)
+      | B.Binop (op, d, s1, s2) -> build (fun a -> emit_binop a op ~dst:d ~src1:s1 ~src2:s2)
+      | B.Binop_2addr (op, d, s) -> build (fun a -> emit_binop a op ~dst:d ~src1:d ~src2:s)
+      | B.Binop_lit8 (op, d, s, lit) -> (
+          match op with
+          | B.Div | B.Rem ->
+              build (fun a ->
+                  decode a Reg.R3 s;
+                  decode a Reg.R9 d;
+                  ldr_vreg a Reg.R0 Reg.R3;
+                  fetch a;
+                  Asm.emit a (Mov (Reg.R1, imm lit));
+                  emit_division a;
+                  opcode_extract a;
+                  let res = if op = B.Div then Reg.R10 else Reg.R11 in
+                  str_vreg a res Reg.R9)
+          | _ ->
+              build (fun a ->
+                  decode a Reg.R3 s;
+                  decode a Reg.R9 d;
+                  ldr_vreg a Reg.R0 Reg.R3;
+                  fetch a;
+                  Asm.emit a (Mov (Reg.R1, imm lit));
+                  Asm.emit a
+                    (Alu (alu_of_binop op, false, Reg.R0, Reg.R0, reg Reg.R1));
+                  opcode_extract a;
+                  str_vreg a Reg.R0 Reg.R9))
+      | B.Neg_int (d, s) ->
+          build (fun a ->
+              decode a Reg.R3 s;
+              decode a Reg.R9 d;
+              ldr_vreg a Reg.R0 Reg.R3;
+              fetch a;
+              Asm.emit a (Alu (Rsb, false, Reg.R0, Reg.R0, imm 0));
+              opcode_extract a;
+              str_vreg a Reg.R0 Reg.R9)
+      | B.Int_to_char (d, s) | B.Int_to_byte (d, s) ->
+          let mask = match bc with B.Int_to_char _ -> 0xFFFF | _ -> 0xFF in
+          build (fun a ->
+              decode a Reg.R3 s;
+              decode a Reg.R9 d;
+              ldr_vreg a Reg.R0 Reg.R3;
+              fetch a;
+              Asm.emit a (Alu (And, false, Reg.R0, Reg.R0, imm mask));
+              opcode_extract a;
+              dispatch_addr a;
+              Asm.emit a (Mov (Reg.R1, reg Reg.R0));
+              str_vreg a Reg.R1 Reg.R9)
+      | B.Int_to_long (d, s) ->
+          build (fun a ->
+              decode a Reg.R3 s;
+              decode a Reg.R9 d;
+              ldr_vreg a Reg.R0 Reg.R3;
+              fetch a;
+              Asm.emit a (Alu (Asr_op, false, Reg.R1, Reg.R0, imm 31));
+              opcode_extract a;
+              dispatch_addr a;
+              strd_vreg a Reg.R0 Reg.R9)
+      | B.Long_to_int (d, s) ->
+          build (fun a ->
+              decode a Reg.R3 s;
+              decode a Reg.R9 d;
+              ldr_vreg a Reg.R0 Reg.R3;
+              fetch a;
+              opcode_extract a;
+              str_vreg a Reg.R0 Reg.R9)
+      | B.Add_long (d, s1, s2) | B.Sub_long (d, s1, s2) ->
+          let op = match bc with B.Add_long _ -> Add | _ -> Sub in
+          build (fun a ->
+              decode a Reg.R3 s1;
+              decode a Reg.R2 s2;
+              decode a Reg.R9 d;
+              ldrd_vreg a Reg.R0 Reg.R3;
+              ldrd_vreg a Reg.R2 Reg.R2;
+              fetch a;
+              Asm.emit a (Alu (op, false, Reg.R0, Reg.R0, reg Reg.R2));
+              Asm.emit a (Alu (op, false, Reg.R1, Reg.R1, reg Reg.R3));
+              opcode_extract a;
+              strd_vreg a Reg.R0 Reg.R9)
+      | B.Mul_long (d, s1, s2) ->
+          build (fun a ->
+              decode a Reg.R3 s1;
+              decode a Reg.R2 s2;
+              decode a Reg.R9 d;
+              ldrd_vreg a Reg.R0 Reg.R3;
+              ldrd_vreg a Reg.R2 Reg.R2;
+              fetch a;
+              Asm.emit a (Alu (Mul, false, Reg.R10, Reg.R0, reg Reg.R3));
+              Asm.emit a (Alu (Mul, false, Reg.R11, Reg.R1, reg Reg.R2));
+              Asm.emit a (Alu (Add, false, Reg.R10, Reg.R10, reg Reg.R11));
+              Asm.emit a (Alu (Mul, false, Reg.R11, Reg.R0, reg Reg.R2));
+              Asm.emit a (Alu (Add, false, Reg.R1, Reg.R10, imm 0));
+              Asm.emit a (Mov (Reg.R0, reg Reg.R11));
+              opcode_extract a;
+              strd_vreg a Reg.R0 Reg.R9)
+      | B.Shr_long (d, s1, s2) ->
+          build (fun a ->
+              decode a Reg.R3 s1;
+              decode a Reg.R2 s2;
+              decode a Reg.R9 d;
+              ldrd_vreg a Reg.R0 Reg.R3;
+              ldr_vreg a Reg.R2 Reg.R2;
+              fetch a;
+              Asm.emit a (Alu (Rsb, false, Reg.R3, Reg.R2, imm 32));
+              Asm.emit a (Alu (Lsr_op, false, Reg.R0, Reg.R0, reg Reg.R2));
+              Asm.emit a (Alu (Lsl_op, false, Reg.R11, Reg.R1, reg Reg.R3));
+              Asm.emit a (Alu (Orr, false, Reg.R0, Reg.R0, reg Reg.R11));
+              Asm.emit a (Alu (Asr_op, false, Reg.R1, Reg.R1, reg Reg.R2));
+              opcode_extract a;
+              strd_vreg a Reg.R0 Reg.R9)
+      | B.Cmp_long (d, s1, s2) ->
+          build (fun a ->
+              decode a Reg.R3 s1;
+              decode a Reg.R2 s2;
+              decode a Reg.R9 d;
+              ldrd_vreg a Reg.R0 Reg.R3;
+              ldrd_vreg a Reg.R2 Reg.R2;
+              fetch a;
+              Asm.emit a (Alu (Sub, false, Reg.R10, Reg.R1, reg Reg.R3));
+              Asm.emit a (Alu (Sub, false, Reg.R11, Reg.R0, reg Reg.R2));
+              Asm.emit a (Alu (Orr, false, Reg.R10, Reg.R10, reg Reg.R11));
+              opcode_extract a;
+              str_vreg a Reg.R10 Reg.R9)
+      | B.Goto _ -> build (fun a -> fetch a; opcode_extract a)
+      | B.If_test (_, va, vb, _) ->
+          build (fun a ->
+              decode a Reg.R3 va;
+              decode a Reg.R2 vb;
+              ldr_vreg a Reg.R0 Reg.R3;
+              ldr_vreg a Reg.R1 Reg.R2;
+              Asm.emit a (Cmp (Reg.R0, reg Reg.R1));
+              fetch a)
+      | B.If_testz (_, va, _) ->
+          build (fun a ->
+              decode a Reg.R3 va;
+              ldr_vreg a Reg.R0 Reg.R3;
+              Asm.emit a (Cmp (Reg.R0, imm 0));
+              fetch a)
+      | B.Packed_switch (va, _, _) ->
+          build (fun a ->
+              decode a Reg.R3 va;
+              ldr_vreg a Reg.R0 Reg.R3;
+              fetch a)
+      | B.Throw src ->
+          build (fun a ->
+              decode a Reg.R9 src;
+              ldr_vreg a Reg.R0 Reg.R9;
+              Asm.emit a
+                (Str (Word, Reg.R0, Offset (rself, imm exception_off))))
+      | B.Monitor_enter src | B.Monitor_exit src ->
+          build (fun a ->
+              decode a Reg.R3 src;
+              ldr_vreg a Reg.R0 Reg.R3;
+              Asm.emit a (Ldr (Word, Reg.R1, Offset (Reg.R0, imm 0)));
+              Asm.emit a (Cmp (Reg.R1, imm 0));
+              fetch a;
+              opcode_extract a)
+      | B.Check_cast (src, _) ->
+          build (fun a ->
+              decode a Reg.R3 src;
+              ldr_vreg a Reg.R0 Reg.R3;
+              Asm.emit a (Ldr (Word, Reg.R1, Offset (Reg.R0, imm 0)));
+              fetch a;
+              opcode_extract a)
+      | B.Const_string _ | B.New_instance _ | B.New_array _
+      | B.Instance_of _ ->
+          invalid_arg
+            "Translate.fragment: allocator/resolver ops need New_ref"
+      | B.Iget _ | B.Iget_object _ | B.Iget_wide _ | B.Iput _
+      | B.Iput_object _ ->
+          invalid_arg "Translate.fragment: field ops need Field"
+      | B.Sget _ | B.Sget_object _ | B.Sput _ | B.Sput_object _ ->
+          invalid_arg "Translate.fragment: static ops need Static"
+      | B.Invoke _ | B.Invoke_range _ ->
+          invalid_arg "Translate.fragment: invokes need Invoke_*")
+
+let is_interpreter_overhead = function
+  (* FETCH_ADVANCE_INST *)
+  | Ldr (Half, r, Pre (r4, Imm _)) when Reg.equal r rinst && Reg.equal r4 rpc
+    ->
+      true
+  (* GET_INST_OPCODE *)
+  | Alu (And, false, r12, r, Imm 255)
+    when Reg.equal r12 Reg.R12 && Reg.equal r rinst ->
+      true
+  (* handler-address computation *)
+  | Alu (Add, false, _, r8, Shifted (r12, _))
+    when Reg.equal r8 ribase && Reg.equal r12 Reg.R12 ->
+      true
+  | _ -> false
+
+(* Branch targets are indices, so only branch-free handlers are
+   compacted; branchy ones (the division helper) keep their shape, as a
+   real JIT calling the same ABI helper would. *)
+let jit_optimize frag =
+  if not (Pift_arm.Scrubber.straight_line frag) then frag
+  else
+    let kept =
+      Array.of_list
+        (List.filter
+           (fun insn -> not (is_interpreter_overhead insn))
+           (Array.to_list frag))
+    in
+    Pift_arm.Scrubber.scrub kept
+
+type distance_spec = Fixed of int | Approx of int * int | Unknown | No_flow
+
+let expected_distance = function
+  | B.Return _ | B.Return_object _ | B.Return_wide _ -> Fixed 1
+  | B.Move_result _ | B.Move_result_object _ | B.Move_exception _
+  | B.Move_from16 _ | B.Move_object_from16 _ | B.Aget _ | B.Aget_char _ | B.Aget_byte _
+  | B.Aget_object _ | B.Aput _ | B.Aput_char _ | B.Aput_byte _ | B.Sput _
+  | B.Sput_object _ | B.Array_length _ ->
+      Fixed 2
+  | B.Move _ | B.Move_object _ | B.Move_wide _ | B.Sget _ | B.Sget_object _
+  | B.Long_to_int _ ->
+      Fixed 3
+  | B.Iput _ | B.Iput_object _ | B.Neg_int _ -> Fixed 4
+  | B.Iget _ | B.Iget_object _ | B.Iget_wide _ | B.Int_to_long _ -> Fixed 5
+  | B.Binop (op, _, _, _) | B.Binop_2addr (op, _, _) -> (
+      match op with B.Div | B.Rem -> Unknown | _ -> Fixed 5)
+  | B.Binop_lit8 (op, _, _, _) -> (
+      match op with B.Div | B.Rem -> Unknown | _ -> Fixed 5)
+  | B.Int_to_char _ | B.Int_to_byte _ -> Fixed 6
+  | B.Add_long _ | B.Sub_long _ -> Fixed 6
+  | B.Cmp_long _ -> Approx (7, 8)
+  | B.Mul_long _ | B.Shr_long _ -> Approx (9, 12)
+  | B.Aput_object _ -> Approx (9, 12)
+  | B.Throw _ -> Fixed 1
+  | B.Nop | B.Const4 _ | B.Const16 _ | B.Const _ | B.Const_string _
+  | B.Return_void | B.New_instance _ | B.New_array _ | B.Goto _
+  | B.If_test _ | B.If_testz _ | B.Packed_switch _ | B.Invoke _
+  | B.Invoke_range _ | B.Monitor_enter _ | B.Monitor_exit _
+  | B.Check_cast _ | B.Instance_of _ ->
+      No_flow

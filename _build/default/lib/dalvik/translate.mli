@@ -1,0 +1,50 @@
+(** Bytecode → native translation rules (the paper's Fig. 8/9 and §4.1).
+
+    Each bytecode executes as a fixed sequence of native instructions in
+    the style of the Dalvik portable interpreter:
+
+    - operand decode ([mov rX, #v] — immediates are baked where the real
+      interpreter extracts them from [rINST]),
+    - [GET_VREG]: [ldr reg, \[rFP, rX lsl #2\]],
+    - [FETCH_ADVANCE_INST]: [ldrh rINST, \[rPC, #4\]!] — a real load from
+      simulated code memory,
+    - the operation itself,
+    - [GET_INST_OPCODE]/[GOTO_OPCODE]: [and r12, rINST, #255] and the
+      handler-address computation,
+    - [SET_VREG]: [str reg, \[rFP, rX lsl #2\]].
+
+    Because the rules are fixed, the distance from the load of actual
+    data to the store is a per-opcode constant — Table 1.  The
+    {!expected_distance} values here are asserted against dynamic
+    measurements in the test suite. *)
+
+type resolved =
+  | Plain of Bytecode.t
+      (** any bytecode without external references *)
+  | Static of Bytecode.t * int  (** sget/sput with the field's address *)
+  | Field of Bytecode.t * int  (** iget/iput with the field byte offset *)
+  | Invoke_bytecode of { arg_moves : (int * int) list; callee_registers : int }
+      (** (caller src vreg, callee dst register) argument copies *)
+  | Invoke_native of int list  (** caller src vregs loaded into r0..r3,r9 *)
+  | New_ref of int  (** allocator result (in r0) stored to vA *)
+
+val fragment : resolved -> Pift_arm.Asm.fragment
+(** Raises [Invalid_argument] when the bytecode inside doesn't match the
+    resolution (e.g. [Static] wrapping a non-static opcode). *)
+
+val jit_optimize : Pift_arm.Asm.fragment -> Pift_arm.Asm.fragment
+(** What a JIT / AOT compiler does to a handler (§4.1 "Impact of Dalvik
+    JIT and ART"): removes the interpreter's fetch ([ldrh rINST, \[rPC\]!]),
+    opcode extraction and dispatch-address computation, then dead-code
+    eliminates the now-unused scratch work ({!Pift_arm.Scrubber}).
+    Virtual registers stay in memory — the paper's argument for why
+    compilation barely changes the load/store structure. *)
+
+type distance_spec =
+  | Fixed of int  (** exact load→store distance in native instructions *)
+  | Approx of int * int  (** within an interval (long arithmetic) *)
+  | Unknown  (** runtime-ABI helper call; distance data-dependent *)
+  | No_flow  (** no data load feeding a store *)
+
+val expected_distance : Bytecode.t -> distance_spec
+(** The Table 1 row for this opcode. *)

@@ -1,0 +1,1 @@
+lib/eval/accuracy.ml: Hashtbl List Pift_core Pift_util Pift_workloads Printf Recorded

@@ -1,0 +1,1 @@
+lib/eval/accuracy.mli: Format Pift_core Pift_workloads

@@ -1,0 +1,1 @@
+lib/eval/advisor.ml: Format List Pift_core Pift_workloads Recorded String

@@ -1,0 +1,1 @@
+lib/eval/advisor.mli: Format Pift_core Pift_workloads Recorded

@@ -1,0 +1,1 @@
+lib/eval/explain.ml: Array Format Hashtbl List Pift_core Pift_trace Pift_util Recorded

@@ -1,0 +1,1 @@
+lib/eval/explain.mli: Format Pift_core Pift_util Recorded

@@ -1,0 +1,1 @@
+lib/eval/fig10.ml: Format List Pift_dalvik Pift_workloads

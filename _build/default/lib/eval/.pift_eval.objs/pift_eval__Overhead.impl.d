@@ -1,0 +1,1 @@
+lib/eval/overhead.ml: Format Int List Pift_core Pift_util Recorded

@@ -1,0 +1,1 @@
+lib/eval/overhead.mli: Format Recorded

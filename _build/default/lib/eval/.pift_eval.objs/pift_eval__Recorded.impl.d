@@ -1,0 +1,1 @@
+lib/eval/recorded.ml: Array List Pift_baseline Pift_core Pift_dalvik Pift_machine Pift_runtime Pift_trace Pift_util Pift_workloads String

@@ -1,0 +1,1 @@
+lib/eval/recorded.mli: Pift_core Pift_dalvik Pift_trace Pift_util Pift_workloads

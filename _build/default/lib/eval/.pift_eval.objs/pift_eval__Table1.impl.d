@@ -1,0 +1,1 @@
+lib/eval/table1.ml: Format Hashtbl List Option Pift_core Pift_dalvik Pift_machine Pift_runtime Pift_trace Pift_util String

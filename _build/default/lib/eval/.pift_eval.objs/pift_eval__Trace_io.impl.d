@@ -1,0 +1,1 @@
+lib/eval/trace_io.ml: Array Fun List Pift_arm Pift_trace Pift_util Printf Recorded String

@@ -1,0 +1,1 @@
+lib/eval/trace_io.mli: Recorded

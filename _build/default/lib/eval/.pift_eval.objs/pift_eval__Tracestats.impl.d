@@ -1,0 +1,1 @@
+lib/eval/tracestats.ml: Format List Pift_trace Pift_util Printf Recorded

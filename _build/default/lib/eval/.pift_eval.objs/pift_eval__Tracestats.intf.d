@@ -1,0 +1,1 @@
+lib/eval/tracestats.mli: Format Pift_util Recorded

@@ -1,0 +1,100 @@
+module Policy = Pift_core.Policy
+module App = Pift_workloads.App
+
+type confusion = { tp : int; fp : int; tn : int; fn : int }
+
+let total c = c.tp + c.fp + c.tn + c.fn
+
+let accuracy c =
+  if total c = 0 then 0.
+  else float_of_int (c.tp + c.tn) /. float_of_int (total c)
+
+let fp_rate c =
+  if c.fp + c.tn = 0 then 0. else float_of_int c.fp /. float_of_int (c.fp + c.tn)
+
+let fn_rate c =
+  if c.fn + c.tp = 0 then 0. else float_of_int c.fn /. float_of_int (c.fn + c.tp)
+
+type sweep = {
+  apps : int;
+  nis : int list;
+  nts : int list;
+  cells : ((int * int) * confusion) list;
+}
+
+let classify ~leaky ~flagged c =
+  match (leaky, flagged) with
+  | true, true -> { c with tp = c.tp + 1 }
+  | true, false -> { c with fn = c.fn + 1 }
+  | false, true -> { c with fp = c.fp + 1 }
+  | false, false -> { c with tn = c.tn + 1 }
+
+let empty = { tp = 0; fp = 0; tn = 0; fn = 0 }
+
+let evaluate ~policy apps =
+  List.fold_left
+    (fun acc (app : App.t) ->
+      let recorded = Recorded.record app in
+      let replay = Recorded.replay ~policy recorded in
+      classify ~leaky:app.App.leaky ~flagged:replay.Recorded.flagged acc)
+    empty apps
+
+let default_nis = List.init 20 (fun i -> i + 1)
+let default_nts = List.init 10 (fun i -> i + 1)
+
+let sweep ?(nis = default_nis) ?(nts = default_nts) ?progress apps =
+  let n = List.length apps in
+  let cells = Hashtbl.create 256 in
+  List.iter
+    (fun ni -> List.iter (fun nt -> Hashtbl.replace cells (ni, nt) empty) nts)
+    nis;
+  List.iteri
+    (fun i (app : App.t) ->
+      let recorded = Recorded.record app in
+      List.iter
+        (fun ni ->
+          List.iter
+            (fun nt ->
+              let policy = Policy.make ~ni ~nt () in
+              let replay = Recorded.replay ~policy recorded in
+              let c = Hashtbl.find cells (ni, nt) in
+              Hashtbl.replace cells (ni, nt)
+                (classify ~leaky:app.App.leaky ~flagged:replay.Recorded.flagged
+                   c))
+            nts)
+        nis;
+      match progress with Some f -> f (i + 1) n | None -> ())
+    apps;
+  {
+    apps = List.length apps;
+    nis;
+    nts;
+    cells = Hashtbl.fold (fun k v acc -> (k, v) :: acc) cells [];
+  }
+
+let cell sweep ~ni ~nt =
+  match List.assoc_opt (ni, nt) sweep.cells with
+  | Some c -> c
+  | None -> invalid_arg "Accuracy.cell: (ni, nt) outside the sweep"
+
+let misclassified ~policy apps =
+  List.filter_map
+    (fun (app : App.t) ->
+      let recorded = Recorded.record app in
+      let replay = Recorded.replay ~policy recorded in
+      match (app.App.leaky, replay.Recorded.flagged) with
+      | true, false -> Some (app.App.name, `False_negative)
+      | false, true -> Some (app.App.name, `False_positive)
+      | true, true | false, false -> None)
+    apps
+
+let render sweep ppf () =
+  Pift_util.Textplot.heatmap
+    ~title:
+      (Printf.sprintf
+         "Fig. 11 — accuracy (%%) over %d DroidBench apps, NI columns x NT \
+          rows"
+         sweep.apps)
+    ~row_label:"NT" ~col_label:"NI" ~rows:sweep.nts ~cols:sweep.nis
+    (fun ~row ~col -> 100. *. accuracy (cell sweep ~ni:col ~nt:row))
+    ppf ()

@@ -1,0 +1,72 @@
+module Policy = Pift_core.Policy
+module Tracker = Pift_core.Tracker
+
+type labelled = { recording : Recorded.t; leaky : bool }
+
+let of_apps apps =
+  List.map
+    (fun (a : Pift_workloads.App.t) ->
+      { recording = Recorded.record a; leaky = a.Pift_workloads.App.leaky })
+    apps
+
+type candidate = {
+  policy : Policy.t;
+  false_negatives : string list;
+  false_positives : string list;
+  overtaint_cost : int;
+}
+
+let evaluate corpus ~policy =
+  let fns = ref [] and fps = ref [] and cost = ref 0 in
+  List.iter
+    (fun { recording; leaky } ->
+      let replay = Recorded.replay ~policy recording in
+      cost :=
+        !cost + replay.Recorded.stats.Tracker.max_tainted_bytes;
+      match (leaky, replay.Recorded.flagged) with
+      | true, false -> fns := recording.Recorded.name :: !fns
+      | false, true -> fps := recording.Recorded.name :: !fps
+      | true, true | false, false -> ())
+    corpus;
+  {
+    policy;
+    false_negatives = List.rev !fns;
+    false_positives = List.rev !fps;
+    overtaint_cost = !cost;
+  }
+
+let recommend ?(max_ni = 20) ?(max_nt = 10) corpus =
+  let best = ref None in
+  for ni = 1 to max_ni do
+    for nt = 1 to max_nt do
+      let candidate = evaluate corpus ~policy:(Policy.make ~ni ~nt ()) in
+      if candidate.false_negatives = [] && candidate.false_positives = []
+      then
+        match !best with
+        | None -> best := Some candidate
+        | Some b ->
+            let key c =
+              ( c.overtaint_cost,
+                c.policy.Policy.ni,
+                c.policy.Policy.nt )
+            in
+            if key candidate < key b then best := Some candidate
+    done
+  done;
+  !best
+
+let pp_candidate ppf c =
+  Format.fprintf ppf
+    "@[<v>policy %s: %d FN, %d FP, overtaint cost %d bytes%a%a@]"
+    (Policy.to_string c.policy)
+    (List.length c.false_negatives)
+    (List.length c.false_positives)
+    c.overtaint_cost
+    (fun ppf -> function
+      | [] -> ()
+      | l -> Format.fprintf ppf "@,missed: %s" (String.concat ", " l))
+    c.false_negatives
+    (fun ppf -> function
+      | [] -> ()
+      | l -> Format.fprintf ppf "@,false alarms: %s" (String.concat ", " l))
+    c.false_positives

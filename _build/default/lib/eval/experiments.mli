@@ -1,0 +1,19 @@
+(** Per-experiment drivers, keyed by the paper's table/figure ids.
+
+    Each experiment regenerates one artefact of the paper's evaluation
+    section and prints it in a terminal-friendly form.  [run_all] is what
+    the bench harness and [bench_output.txt] are built from. *)
+
+val all : (string * string) list
+(** (id, description) pairs, in paper order: [fig2], [table1], [fig10],
+    [fig11], [malware], [fig12], [fig13], [fig14], [fig15], [fig16],
+    [fig17], [fig18], [fig19], plus the extensions [hw],
+    [ablation-storage], [ablation-granularity], [summary]. *)
+
+val run : string -> Format.formatter -> unit
+(** Raises [Failure] on an unknown id. *)
+
+val run_all : Format.formatter -> unit
+
+val lgroot_recording : unit -> Recorded.t
+(** The shared LGRoot execution trace (recorded once per process). *)

@@ -1,0 +1,157 @@
+module Range = Pift_util.Range
+module Event = Pift_trace.Event
+module Policy = Pift_core.Policy
+module Range_set = Pift_core.Range_set
+
+type hop = {
+  store_seq : int;
+  stored : Range.t;
+  load_seq : int;
+  loaded : Range.t;
+}
+
+type flow = {
+  sink_kind : string;
+  sink_range : Range.t;
+  hops : hop list;
+  source : Range.t option;
+}
+
+type window = {
+  mutable ltlt : int;
+  mutable nt_used : int;
+  mutable opener_seq : int;
+  mutable opener_range : Range.t option;
+}
+
+(* An Algorithm 1 replay that additionally records, per taint
+   propagation, the load that opened the window. *)
+let instrumented_replay ~policy (t : Recorded.t) =
+  let state : (int, Range_set.t ref) Hashtbl.t = Hashtbl.create 4 in
+  let windows : (int, window) Hashtbl.t = Hashtbl.create 4 in
+  let taints = ref [] (* newest first *) in
+  let sources = ref [] in
+  let flagged_sinks = ref [] in
+  let set pid =
+    match Hashtbl.find_opt state pid with
+    | Some s -> s
+    | None ->
+        let s = ref Range_set.empty in
+        Hashtbl.add state pid s;
+        s
+  in
+  let window pid =
+    match Hashtbl.find_opt windows pid with
+    | Some w -> w
+    | None ->
+        let w =
+          { ltlt = min_int / 2; nt_used = 0; opener_seq = 0;
+            opener_range = None }
+        in
+        Hashtbl.add windows pid w;
+        w
+  in
+  let observe e =
+    match e.Event.access with
+    | Event.Other -> ()
+    | Event.Load r ->
+        if Range_set.mem_overlap !(set e.pid) r then begin
+          let w = window e.pid in
+          w.ltlt <- e.k;
+          w.nt_used <- 0;
+          w.opener_seq <- e.seq;
+          w.opener_range <- Some r
+        end
+    | Event.Store r -> (
+        let w = window e.pid in
+        if e.k <= w.ltlt + policy.Policy.ni && w.nt_used < policy.Policy.nt
+        then begin
+          let s = set e.pid in
+          s := Range_set.add !s r;
+          w.nt_used <- w.nt_used + 1;
+          match w.opener_range with
+          | Some loaded ->
+              taints :=
+                { store_seq = e.seq; stored = r; load_seq = w.opener_seq;
+                  loaded }
+                :: !taints
+          | None -> ()
+        end
+        else if policy.Policy.untaint then begin
+          let s = set e.pid in
+          if Range_set.mem_overlap !s r then s := Range_set.remove !s r
+        end)
+  in
+  let on_marker seq = function
+    | Recorded.Source { range; _ } ->
+        sources := range :: !sources;
+        let s = set t.Recorded.pid in
+        s := Range_set.add !s range
+    | Recorded.Sink { kind; ranges } ->
+        List.iter
+          (fun r ->
+            if Range_set.mem_overlap !(set t.Recorded.pid) r then
+              flagged_sinks := (kind, r, seq) :: !flagged_sinks)
+          ranges
+  in
+  let markers = t.Recorded.markers in
+  let mi = ref 0 in
+  let apply_until seq =
+    while !mi < Array.length markers && fst markers.(!mi) <= seq do
+      on_marker (fst markers.(!mi)) (snd markers.(!mi));
+      incr mi
+    done
+  in
+  apply_until 0;
+  Pift_trace.Trace.iter
+    (fun e ->
+      observe e;
+      apply_until e.Event.seq)
+    t.Recorded.trace;
+  apply_until max_int;
+  (!taints, !sources, List.rev !flagged_sinks)
+
+let max_hops = 64
+
+let explain ?(policy = Policy.default) t =
+  let taints, sources, flagged = instrumented_replay ~policy t in
+  let source_for r = List.find_opt (fun s -> Range.overlaps s r) sources in
+  let chain_for sink_range sink_seq =
+    let rec walk target time acc n =
+      if n >= max_hops then (List.rev acc, source_for target)
+      else
+        match source_for target with
+        | Some src -> (List.rev acc, Some src)
+        | None -> (
+            (* the most recent propagation into [target] before [time];
+               [taints] is newest-first *)
+            match
+              List.find_opt
+                (fun h ->
+                  h.store_seq <= time && Range.overlaps h.stored target)
+                taints
+            with
+            | Some h -> walk h.loaded h.load_seq (h :: acc) (n + 1)
+            | None -> (List.rev acc, None))
+    in
+    walk sink_range sink_seq [] 0
+  in
+  List.map
+    (fun (sink_kind, sink_range, seq) ->
+      let hops, source = chain_for sink_range seq in
+      { sink_kind; sink_range; hops; source })
+    flagged
+
+let pp_flow ppf f =
+  Format.fprintf ppf "@[<v>sink %s flagged at %a@," f.sink_kind Range.pp
+    f.sink_range;
+  List.iter
+    (fun h ->
+      Format.fprintf ppf
+        "  <- store @%d tainted %a (window opened by load @%d of %a)@,"
+        h.store_seq Range.pp h.stored h.load_seq Range.pp h.loaded)
+    f.hops;
+  (match f.source with
+  | Some s -> Format.fprintf ppf "  <- source registration %a@," Range.pp s
+  | None -> Format.fprintf ppf "  <- (chain does not reach a source)@,");
+  Format.fprintf ppf "@]"

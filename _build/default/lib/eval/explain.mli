@@ -1,0 +1,33 @@
+(** Flow explanation: reconstruct {e how} taint travelled from a source
+    to a sink under Algorithm 1.
+
+    The replay records, for every propagation, which store was tainted
+    and which tainted load opened its window.  Walking those links
+    backward from the flagged sink range yields the chain of
+    load→store hops — the paper's §2 picture ("repeating this prediction
+    process creates a chain of load–store operations …, eventually
+    establishing whether an information flow from a source to a sink
+    exists"), made inspectable per run. *)
+
+type hop = {
+  store_seq : int;  (** global sequence of the tainted store *)
+  stored : Pift_util.Range.t;  (** range the store tainted *)
+  load_seq : int;  (** the tainted load that opened the window *)
+  loaded : Pift_util.Range.t;  (** range that load read *)
+}
+
+type flow = {
+  sink_kind : string;
+  sink_range : Pift_util.Range.t;  (** the flagged range at the sink *)
+  hops : hop list;  (** sink-to-source order *)
+  source : Pift_util.Range.t option;
+      (** the registered source range the chain bottoms out in, if the
+          walk reaches one *)
+}
+
+val explain :
+  ?policy:Pift_core.Policy.t -> Recorded.t -> flow list
+(** One {!flow} per flagged sink check (empty when nothing is flagged).
+    Chains are capped at 64 hops. *)
+
+val pp_flow : Format.formatter -> flow -> unit

@@ -1,0 +1,56 @@
+module Dex_stats = Pift_dalvik.Dex_stats
+module Translate = Pift_dalvik.Translate
+module Corpus = Pift_workloads.Corpus
+
+let top30 programs = Dex_stats.top 30 programs
+let applications () = top30 (Corpus.applications ())
+let system_libraries () = top30 (Corpus.system_libraries ())
+
+let droidbench_suite () =
+  let programs =
+    List.map
+      (fun (a : Pift_workloads.App.t) -> a.Pift_workloads.App.program ())
+      (Pift_workloads.Droidbench.all @ Pift_workloads.Malware.all)
+  in
+  top30 programs
+
+let short_distance_share rows =
+  let moving =
+    List.filter (fun (r : Dex_stats.row) -> r.Dex_stats.moves_data) rows
+  in
+  let total =
+    List.fold_left (fun acc (r : Dex_stats.row) -> acc +. r.share) 0. moving
+  in
+  let short =
+    List.fold_left
+      (fun acc (r : Dex_stats.row) ->
+        match r.distance with
+        | Translate.Fixed d when d <= 6 -> acc +. r.share
+        | Translate.Fixed _ | Translate.Approx _ | Translate.Unknown
+        | Translate.No_flow ->
+            acc)
+      0. moving
+  in
+  if total = 0. then 0. else short /. total
+
+let pp_spec ppf = function
+  | Translate.Fixed d -> Format.fprintf ppf "%d" d
+  | Translate.Approx (lo, hi) -> Format.fprintf ppf "%d-%d" lo hi
+  | Translate.Unknown -> Format.pp_print_string ppf "unknown"
+  | Translate.No_flow -> Format.pp_print_string ppf ""
+
+let render ~title rows ppf () =
+  Format.fprintf ppf "@[<v>== %s ==@," title;
+  Format.fprintf ppf "%-24s %8s %6s %10s@," "bytecode" "share" "moves"
+    "L-S dist";
+  List.iter
+    (fun (r : Dex_stats.row) ->
+      Format.fprintf ppf "%-24s %7.2f%% %6s %10s@," r.mnemonic
+        (100. *. r.share)
+        (if r.moves_data then "*" else "")
+        (Format.asprintf "%a" pp_spec r.distance))
+    rows;
+  Format.fprintf ppf
+    "share of data-moving occurrences with known distance <= 6: %.1f%%@,"
+    (100. *. short_distance_share rows);
+  Format.fprintf ppf "@]@."

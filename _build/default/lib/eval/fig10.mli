@@ -1,0 +1,24 @@
+(** Fig. 10 — distribution of the top-30 bytecodes in application and
+    system-library dex files, annotated with their load–store distances.
+
+    Runs {!Pift_dalvik.Dex_stats} over the calibrated synthetic corpora
+    ({!Pift_workloads.Corpus}) and, for transparency, over the actual
+    DroidBench-like suite shipped in this repository. *)
+
+val applications : unit -> Pift_dalvik.Dex_stats.row list
+val system_libraries : unit -> Pift_dalvik.Dex_stats.row list
+
+val droidbench_suite : unit -> Pift_dalvik.Dex_stats.row list
+(** Static distribution of this repo's own workload programs. *)
+
+val short_distance_share : Pift_dalvik.Dex_stats.row list -> float
+(** Fraction of data-moving occurrences whose distance is known and
+    <= 6 — the paper's "most of the frequently appearing bytecodes have
+    a short load-store distance". *)
+
+val render :
+  title:string ->
+  Pift_dalvik.Dex_stats.row list ->
+  Format.formatter ->
+  unit ->
+  unit

@@ -1,0 +1,84 @@
+module Policy = Pift_core.Policy
+module Tracker = Pift_core.Tracker
+module Series = Pift_util.Series
+
+type point = {
+  ni : int;
+  nt : int;
+  untaint : bool;
+  max_tainted_bytes : int;
+  max_ranges : int;
+  taint_ops : int;
+  untaint_ops : int;
+}
+
+let measure ?(untaint = true) recorded ~ni ~nt =
+  let policy = Policy.make ~untaint ~ni ~nt () in
+  let replay = Recorded.replay ~policy recorded in
+  let s = replay.Recorded.stats in
+  {
+    ni;
+    nt;
+    untaint;
+    max_tainted_bytes = s.Tracker.max_tainted_bytes;
+    max_ranges = s.Tracker.max_ranges;
+    taint_ops = s.Tracker.taint_ops;
+    untaint_ops = s.Tracker.untaint_ops;
+  }
+
+let default_nis = List.init 20 (fun i -> i + 1)
+let default_nts = List.init 10 (fun i -> i + 1)
+
+let grid ?(nis = default_nis) ?(nts = default_nts) recorded =
+  List.concat_map
+    (fun ni -> List.map (fun nt -> measure recorded ~ni ~nt) nts)
+    nis
+
+let series recorded ~ni ~nt =
+  let policy = Policy.make ~ni ~nt () in
+  let replay = Recorded.replay ~policy recorded in
+  ( Series.downsample replay.Recorded.bytes_series 72,
+    Series.downsample replay.Recorded.ops_series 72 )
+
+let untaint_effect recorded ~nis ~nt =
+  List.map
+    (fun ni ->
+      ( ni,
+        measure ~untaint:true recorded ~ni ~nt,
+        measure ~untaint:false recorded ~ni ~nt ))
+    nis
+
+let render_grid ~title ~metric points ppf () =
+  let nis = List.sort_uniq Int.compare (List.map (fun p -> p.ni) points) in
+  let nts = List.sort_uniq Int.compare (List.map (fun p -> p.nt) points) in
+  let find ni nt =
+    List.find (fun p -> p.ni = ni && p.nt = nt) points
+  in
+  Pift_util.Textplot.heatmap ~title ~row_label:"NT" ~col_label:"NI" ~rows:nts
+    ~cols:nis
+    (fun ~row ~col -> float_of_int (metric (find col row)))
+    ppf ()
+
+let render_series ~title ~log_scale curves ppf () =
+  Pift_util.Textplot.series ~log_scale ~title curves ppf ();
+  (* Numeric companion table: each curve sampled at ~8 common points. *)
+  let tmax =
+    List.fold_left
+      (fun acc (_, pts) ->
+        List.fold_left (fun acc (t, _) -> max acc t) acc pts)
+      1 curves
+  in
+  let samples = List.init 8 (fun i -> tmax * (i + 1) / 8) in
+  Format.fprintf ppf "@[<v>%10s" "t";
+  List.iter (fun t -> Format.fprintf ppf "%10d" t) samples;
+  Format.fprintf ppf "@,";
+  let value_at pts t =
+    List.fold_left (fun acc (t', v) -> if t' <= t then v else acc) 0 pts
+  in
+  List.iter
+    (fun (label, pts) ->
+      Format.fprintf ppf "%10s" label;
+      List.iter (fun t -> Format.fprintf ppf "%10d" (value_at pts t)) samples;
+      Format.fprintf ppf "@,")
+    curves;
+  Format.fprintf ppf "@]@."

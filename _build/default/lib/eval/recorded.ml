@@ -1,0 +1,143 @@
+module Range = Pift_util.Range
+module Trace = Pift_trace.Trace
+module Cpu = Pift_machine.Cpu
+module Env = Pift_runtime.Env
+module Manager = Pift_runtime.Manager
+module Vm = Pift_dalvik.Vm
+module App = Pift_workloads.App
+module Tracker = Pift_core.Tracker
+module Full_dift = Pift_baseline.Full_dift
+
+type marker =
+  | Source of { kind : string; range : Range.t }
+  | Sink of { kind : string; ranges : Range.t list }
+
+type t = {
+  name : string;
+  trace : Trace.t;
+  markers : (int * marker) array;
+  pid : int;
+  bytecodes : int;
+}
+
+let record ?mode (app : App.t) =
+  let trace = Trace.create () in
+  let env = Env.create ~sink:(Trace.sink trace) () in
+  let markers = ref [] in
+  let seq () = Cpu.global_seq env.Env.cpu in
+  Manager.subscribe_sources env.Env.manager (fun ~pid:_ ~kind r ->
+      markers := (seq (), Source { kind; range = r }) :: !markers);
+  Manager.subscribe_checks env.Env.manager (fun ~pid:_ ~kind ranges ->
+      markers := (seq (), Sink { kind; ranges }) :: !markers);
+  let natives = Pift_runtime.Api.registry @ app.App.natives in
+  let vm = Vm.create ?mode ~natives env (app.App.program ()) in
+  (match Vm.run vm with `Ok | `Uncaught _ -> ());
+  {
+    name = app.App.name;
+    trace;
+    markers = Array.of_list (List.rev !markers);
+    pid = Env.pid env;
+    bytecodes = Vm.bytecodes_executed vm;
+  }
+
+type verdict = { kind : string; flagged : bool }
+
+type replay = {
+  verdicts : verdict list;
+  flagged : bool;
+  stats : Tracker.stats;
+  bytes_series : Pift_util.Series.t;
+  ops_series : Pift_util.Series.t;
+}
+
+(* Walk events and markers in global-sequence order, calling [on_marker]
+   for every marker once all events up to its timestamp have been fed. *)
+let interleave t ~observe ~on_marker =
+  let mi = ref 0 in
+  let n = Array.length t.markers in
+  let apply_until seq =
+    while !mi < n && fst t.markers.(!mi) <= seq do
+      on_marker (snd t.markers.(!mi));
+      incr mi
+    done
+  in
+  apply_until 0;
+  Trace.iter
+    (fun e ->
+      observe e;
+      apply_until e.Pift_trace.Event.seq)
+    t.trace;
+  apply_until max_int
+
+let replay ?store ~policy t =
+  let tracker =
+    match store with
+    | Some store -> Tracker.create ~policy ~store ()
+    | None -> Tracker.create ~policy ()
+  in
+  let verdicts = ref [] in
+  let on_marker = function
+    | Source { range; _ } -> Tracker.taint_source tracker ~pid:t.pid range
+    | Sink { kind; ranges } ->
+        let flagged =
+          List.exists (fun r -> Tracker.is_tainted tracker ~pid:t.pid r) ranges
+        in
+        verdicts := { kind; flagged } :: !verdicts
+  in
+  interleave t ~observe:(Tracker.observe tracker) ~on_marker;
+  let verdicts = List.rev !verdicts in
+  {
+    verdicts;
+    flagged = List.exists (fun (v : verdict) -> v.flagged) verdicts;
+    stats = Tracker.stats tracker;
+    bytes_series = Tracker.tainted_bytes_series tracker;
+    ops_series = Tracker.ops_series tracker;
+  }
+
+type dift_replay = {
+  dift_verdicts : verdict list;
+  dift_flagged : bool;
+  propagations : int;
+}
+
+let replay_dift t =
+  let dift = Full_dift.create () in
+  let verdicts = ref [] in
+  let on_marker = function
+    | Source { range; _ } -> Full_dift.taint_source dift ~pid:t.pid range
+    | Sink { kind; ranges } ->
+        let flagged =
+          List.exists
+            (fun r -> Full_dift.is_tainted dift ~pid:t.pid r)
+            ranges
+        in
+        verdicts := { kind; flagged } :: !verdicts
+  in
+  interleave t ~observe:(Full_dift.observe dift) ~on_marker;
+  let dift_verdicts = List.rev !verdicts in
+  {
+    dift_verdicts;
+    dift_flagged = List.exists (fun (v : verdict) -> v.flagged) dift_verdicts;
+    propagations = Full_dift.propagations dift;
+  }
+
+type provenance_verdict = { pv_kind : string; leaked : string list }
+
+let replay_provenance ~policy t =
+  let module Provenance = Pift_core.Provenance in
+  let prov = Provenance.create ~policy () in
+  let verdicts = ref [] in
+  let on_marker = function
+    | Source { kind; range } ->
+        Provenance.taint_source prov ~pid:t.pid ~label:kind range
+    | Sink { kind; ranges } ->
+        let leaked =
+          List.sort_uniq String.compare
+            (List.concat_map
+               (fun r -> Provenance.labels_of prov ~pid:t.pid r)
+               ranges)
+        in
+        verdicts := { pv_kind = kind; leaked } :: !verdicts
+  in
+  interleave t ~observe:(Provenance.observe prov) ~on_marker;
+  List.rev !verdicts

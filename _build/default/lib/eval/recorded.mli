@@ -1,0 +1,58 @@
+(** Record-once / replay-many harness — the paper's offline methodology:
+    "the PIFT Native just prints out the address ranges of source and
+    sink, which then are fed into the PIFT analysis code along with the
+    CPU instruction stream trace obtained by gem5" (§5).
+
+    An application is executed once; its full instruction trace plus the
+    time-stamped source registrations and sink checks are kept.  Any
+    number of tracker configurations (the NI×NT sweep needs 200) can then
+    be replayed against the recording without re-running the program. *)
+
+type marker =
+  | Source of { kind : string; range : Pift_util.Range.t }
+  | Sink of { kind : string; ranges : Pift_util.Range.t list }
+
+type t = {
+  name : string;
+  trace : Pift_trace.Trace.t;
+  markers : (int * marker) array;
+      (** (global seq at occurrence, marker), in order *)
+  pid : int;
+  bytecodes : int;
+}
+
+val record : ?mode:Pift_dalvik.Vm.mode -> Pift_workloads.App.t -> t
+(** Execute the app and capture everything.  An uncaught application
+    exception terminates the run but still yields the recording.
+    [mode] selects interpreter or JIT execution (default interpreter). *)
+
+type verdict = { kind : string; flagged : bool }
+
+type replay = {
+  verdicts : verdict list;  (** in sink-check order *)
+  flagged : bool;  (** any sink check came back tainted *)
+  stats : Pift_core.Tracker.stats;
+  bytes_series : Pift_util.Series.t;
+  ops_series : Pift_util.Series.t;
+}
+
+val replay :
+  ?store:Pift_core.Store.t -> policy:Pift_core.Policy.t -> t -> replay
+(** Run Algorithm 1 over the recording. *)
+
+type dift_replay = {
+  dift_verdicts : verdict list;
+  dift_flagged : bool;
+  propagations : int;
+}
+
+val replay_dift : t -> dift_replay
+(** Full register-level DIFT over the same recording (ground truth). *)
+
+type provenance_verdict = { pv_kind : string; leaked : string list }
+(** One sink check: which source labels reached it. *)
+
+val replay_provenance :
+  policy:Pift_core.Policy.t -> t -> provenance_verdict list
+(** Label-carrying replay ({!Pift_core.Provenance}): each sink verdict
+    lists the sources whose data reached it. *)

@@ -1,0 +1,27 @@
+(** Table 1 — native load→store distances within Dalvik bytecodes.
+
+    The paper measures, for each bytecode that can move data, the longest
+    distance between the loads of actual data and the store instruction
+    in its native translation.  We reproduce the measurement dynamically:
+    for each opcode a micro-method is executed with a tainted operand,
+    and the minimal window size NI that propagates the taint to the
+    destination is searched — by construction of Algorithm 1 this equals
+    the load→store distance.  The static expectation
+    ({!Pift_dalvik.Translate.expected_distance}) is printed alongside. *)
+
+type row = {
+  mnemonic : string;
+  expected : Pift_dalvik.Translate.distance_spec;
+  measured : int option;
+      (** minimal propagating NI, or [None] when no NI <= 30 propagates
+          (the "unknown" runtime-ABI rows) *)
+}
+
+val measure_all : unit -> row list
+(** One row per measured opcode, in Table 1 order (by distance). *)
+
+val consistent : row -> bool
+(** Does the dynamic measurement agree with the static expectation? *)
+
+val render : row list -> Format.formatter -> unit -> unit
+(** Table 1-style output: distance, count, example bytecodes. *)

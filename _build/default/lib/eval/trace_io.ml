@@ -1,0 +1,161 @@
+module Range = Pift_util.Range
+module Event = Pift_trace.Event
+module Trace = Pift_trace.Trace
+module Insn = Pift_arm.Insn
+module Reg = Pift_arm.Reg
+
+let magic = "PIFT-TRACE 1"
+
+let write_range oc r =
+  Printf.fprintf oc " %d %d" (Range.lo r) (Range.length r)
+
+let to_channel (t : Recorded.t) oc =
+  Printf.fprintf oc "%s\n" magic;
+  Printf.fprintf oc "name %s\n" t.Recorded.name;
+  Printf.fprintf oc "pid %d\n" t.Recorded.pid;
+  Printf.fprintf oc "bytecodes %d\n" t.Recorded.bytecodes;
+  (* Merge events and markers in global-sequence order, markers after the
+     event they follow (same order [Recorded.interleave] applies). *)
+  let markers = t.Recorded.markers in
+  let mi = ref 0 in
+  let emit_markers_until seq =
+    while !mi < Array.length markers && fst markers.(!mi) <= seq do
+      let mseq, marker = markers.(!mi) in
+      (match marker with
+      | Recorded.Source { kind; range } ->
+          Printf.fprintf oc "M %d SRC %s" mseq kind;
+          write_range oc range;
+          output_char oc '\n'
+      | Recorded.Sink { kind; ranges } ->
+          Printf.fprintf oc "M %d SNK %s" mseq kind;
+          List.iter (write_range oc) ranges;
+          output_char oc '\n');
+      incr mi
+    done
+  in
+  emit_markers_until 0;
+  Trace.iter
+    (fun e ->
+      (match e.Event.access with
+      | Event.Load r ->
+          Printf.fprintf oc "L %d %d %d" e.seq e.k e.pid;
+          write_range oc r;
+          output_char oc '\n'
+      | Event.Store r ->
+          Printf.fprintf oc "S %d %d %d" e.seq e.k e.pid;
+          write_range oc r;
+          output_char oc '\n'
+      | Event.Other -> Printf.fprintf oc "O %d %d %d\n" e.seq e.k e.pid);
+      emit_markers_until e.Event.seq)
+    t.Recorded.trace;
+  emit_markers_until max_int
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel t oc)
+
+(* --- parsing ------------------------------------------------------------- *)
+
+let fail_line n msg = failwith (Printf.sprintf "Trace_io: line %d: %s" n msg)
+
+let parse_int n s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail_line n ("not an integer: " ^ s)
+
+(* A synthetic instruction for deserialised memory events: serialisation
+   keeps only the access, which is all the PIFT analysis consumes. *)
+let synth_load = Insn.Ldr (Insn.Word, Reg.R0, Insn.Offset (Reg.R0, Insn.Imm 0))
+let synth_store = Insn.Str (Insn.Word, Reg.R0, Insn.Offset (Reg.R0, Insn.Imm 0))
+
+let rec parse_ranges n = function
+  | [] -> []
+  | [ _ ] -> fail_line n "dangling range component"
+  | lo :: len :: rest ->
+      Range.of_len (parse_int n lo) (parse_int n len) :: parse_ranges n rest
+
+let of_channel ic =
+  let line_no = ref 0 in
+  let next () =
+    incr line_no;
+    input_line ic
+  in
+  (match next () with
+  | l when String.equal l magic -> ()
+  | _ -> fail_line !line_no "bad magic"
+  | exception End_of_file -> fail_line 1 "empty file");
+  let header key =
+    match String.split_on_char ' ' (next ()) with
+    | k :: rest when String.equal k key -> String.concat " " rest
+    | _ -> fail_line !line_no ("expected header " ^ key)
+  in
+  let name = header "name" in
+  let pid = parse_int !line_no (header "pid") in
+  let bytecodes = parse_int !line_no (header "bytecodes") in
+  let trace = Trace.create () in
+  let markers = ref [] in
+  (try
+     while true do
+       let line = next () in
+       if not (String.equal line "") then begin
+         let n = !line_no in
+         match String.split_on_char ' ' line with
+         | [ "L"; seq; k; epid; lo; len ] ->
+             Trace.add trace
+               {
+                 Event.seq = parse_int n seq;
+                 k = parse_int n k;
+                 pid = parse_int n epid;
+                 insn = synth_load;
+                 access =
+                   Event.Load (Range.of_len (parse_int n lo) (parse_int n len));
+               }
+         | [ "S"; seq; k; epid; lo; len ] ->
+             Trace.add trace
+               {
+                 Event.seq = parse_int n seq;
+                 k = parse_int n k;
+                 pid = parse_int n epid;
+                 insn = synth_store;
+                 access =
+                   Event.Store
+                     (Range.of_len (parse_int n lo) (parse_int n len));
+               }
+         | [ "O"; seq; k; epid ] ->
+             Trace.add trace
+               {
+                 Event.seq = parse_int n seq;
+                 k = parse_int n k;
+                 pid = parse_int n epid;
+                 insn = Insn.Nop;
+                 access = Event.Other;
+               }
+         | [ "M"; seq; "SRC"; kind; lo; len ] ->
+             markers :=
+               ( parse_int n seq,
+                 Recorded.Source
+                   {
+                     kind;
+                     range = Range.of_len (parse_int n lo) (parse_int n len);
+                   } )
+               :: !markers
+         | "M" :: seq :: "SNK" :: kind :: rest ->
+             markers :=
+               ( parse_int n seq,
+                 Recorded.Sink { kind; ranges = parse_ranges n rest } )
+               :: !markers
+         | _ -> fail_line n ("unrecognised record: " ^ line)
+       end
+     done
+   with End_of_file -> ());
+  {
+    Recorded.name;
+    trace;
+    markers = Array.of_list (List.rev !markers);
+    pid;
+    bytecodes;
+  }
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ic)

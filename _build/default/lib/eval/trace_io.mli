@@ -1,0 +1,34 @@
+(** Recording serialization — the paper's offline pipeline as an artefact.
+
+    The paper's evaluation dumps gem5 instruction traces together with the
+    source/sink address ranges printed by PIFT Native, and feeds both into
+    the analysis code.  This module persists a {!Recorded.t} in a simple
+    line-oriented text format so recordings can be archived, diffed, and
+    re-analysed (including by external tools):
+
+    {v
+    PIFT-TRACE 1
+    name <string>
+    pid <int>
+    bytecodes <int>
+    L <seq> <k> <pid> <lo> <len>     # load event
+    S <seq> <k> <pid> <lo> <len>     # store event
+    O <seq> <k> <pid>                # non-memory event
+    M <seq> SRC <kind> <lo> <len>    # source registration marker
+    M <seq> SNK <kind> (<lo> <len>)* # sink check marker
+    v}
+
+    Loads and stores round-trip exactly.  Non-memory instructions are
+    serialised as opaque [O] lines: a loaded recording supports the PIFT
+    analysis and all trace statistics, but not the register-level
+    full-DIFT baseline (which needs instruction operands — run it live
+    instead). *)
+
+val save : Recorded.t -> string -> unit
+(** [save recording path] — writes the file, overwriting. *)
+
+val load : string -> Recorded.t
+(** Raises [Failure] with a line number on malformed input. *)
+
+val to_channel : Recorded.t -> out_channel -> unit
+val of_channel : in_channel -> Recorded.t

@@ -1,0 +1,64 @@
+module Stats = Pift_trace.Stats
+module Histogram = Pift_util.Histogram
+module Textplot = Pift_util.Textplot
+
+type t = { name : string; trace : Pift_trace.Trace.t }
+
+let analyse (r : Recorded.t) = { name = r.Recorded.name; trace = r.trace }
+
+let load_store_distance t = Stats.load_store_distance t.trace
+let stores_between_loads t = Stats.stores_between_loads t.trace
+let load_load_distance t = Stats.load_load_distance t.trace
+
+let coverage_within t w = Histogram.cdf (load_store_distance t) w
+
+let stores_in_window t ~ni = Stats.stores_in_window ~ni t.trace
+let kth_store_distance t ~ni ~kth = Stats.kth_store_distance ~ni ~kth t.trace
+
+let render_fig2 t ppf () =
+  Textplot.distribution
+    ~title:
+      (Printf.sprintf "Fig. 2a — distance from a store to the last load (%s)"
+         t.name)
+    (load_store_distance t) ppf ();
+  Textplot.distribution ~max_bin:10
+    ~title:
+      (Printf.sprintf "Fig. 2b — number of stores between two loads (%s)"
+         t.name)
+    (stores_between_loads t) ppf ();
+  Textplot.distribution
+    ~title:(Printf.sprintf "Fig. 2c — distance between two loads (%s)" t.name)
+    (load_load_distance t) ppf ();
+  Format.fprintf ppf
+    "coverage: %.2f%% of stores are within 10 instructions of a load@."
+    (100. *. coverage_within t 10)
+
+let render_fig12 ?(nis = [ 5; 10; 15; 20; 40; 60; 80; 100 ]) t ppf () =
+  List.iter
+    (fun ni ->
+      Textplot.distribution ~max_bin:40
+        ~title:
+          (Printf.sprintf "Fig. 12 — # stores in window of NI = %d (%s)" ni
+             t.name)
+        (stores_in_window t ~ni) ppf ())
+    nis
+
+let render_fig13 ?(nis = [ 5; 10; 15; 20 ]) ?(ks = [ 1; 2; 3 ]) t ppf () =
+  Format.fprintf ppf
+    "@[<v>== Fig. 13 — mean distance to the k-th store in a window (%s) ==@,"
+    t.name;
+  Format.fprintf ppf "%8s" "NI";
+  List.iter (fun k -> Format.fprintf ppf "%14s" (Printf.sprintf "store #%d" k)) ks;
+  Format.fprintf ppf "@,";
+  List.iter
+    (fun ni ->
+      Format.fprintf ppf "%8d" ni;
+      List.iter
+        (fun kth ->
+          match kth_store_distance t ~ni ~kth with
+          | Some d -> Format.fprintf ppf "%14.2f" d
+          | None -> Format.fprintf ppf "%14s" "-")
+        ks;
+      Format.fprintf ppf "@,")
+    nis;
+  Format.fprintf ppf "@]@."

@@ -1,0 +1,25 @@
+(** The paper's empirical load/store structure study on the LGRoot trace:
+    Fig. 2 (distance distributions) and the §5.1 micro-benchmarks
+    Fig. 12 (stores per window) and Fig. 13 (distance to the k-th
+    store). *)
+
+type t
+
+val analyse : Recorded.t -> t
+
+val load_store_distance : t -> Pift_util.Histogram.t
+val stores_between_loads : t -> Pift_util.Histogram.t
+val load_load_distance : t -> Pift_util.Histogram.t
+
+val coverage_within : t -> int -> float
+(** Fraction of stores whose distance to the last load is within the
+    given window — the paper's "the range 0–10 captures 99% of all loads
+    and stores". *)
+
+val stores_in_window : t -> ni:int -> Pift_util.Histogram.t
+val kth_store_distance : t -> ni:int -> kth:int -> float option
+
+val render_fig2 : t -> Format.formatter -> unit -> unit
+val render_fig12 : ?nis:int list -> t -> Format.formatter -> unit -> unit
+val render_fig13 :
+  ?nis:int list -> ?ks:int list -> t -> Format.formatter -> unit -> unit

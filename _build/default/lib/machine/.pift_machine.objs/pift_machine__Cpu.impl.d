@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Array Hashtbl List Memory Pift_arm Pift_trace Pift_util Printf

@@ -1,0 +1,6 @@
+let heap_base = 0x4000_0000
+let heap_limit = 0x5fff_ffff
+let frame_base = 0x7000_0000
+let frame_limit = 0x70ff_ffff
+let stack_base = 0x7fff_0000
+let scratch_base = 0x7200_0000

@@ -1,0 +1,18 @@
+(** Address-space layout of a simulated process. *)
+
+val heap_base : int
+(** Start of the managed heap (objects, strings, arrays). *)
+
+val heap_limit : int
+
+val frame_base : int
+(** Start of the Dalvik virtual-register frame area; each invocation frame
+    holds 4-byte virtual registers at [rFP + 4*v]. *)
+
+val frame_limit : int
+
+val stack_base : int
+(** Top of the native stack (grows down via [stmdb sp!]). *)
+
+val scratch_base : int
+(** Scratch area used by native helpers (spill slots of ABI routines). *)

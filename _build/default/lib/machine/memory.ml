@@ -1,0 +1,58 @@
+let page_size = 4096
+
+type t = { pages : (int, bytes) Hashtbl.t }
+
+let create () = { pages = Hashtbl.create 64 }
+
+let check_addr a =
+  if a < 0 || a > 0xFFFF_FFFF then
+    invalid_arg (Printf.sprintf "Memory: address 0x%x out of 32-bit space" a)
+
+let page t idx =
+  match Hashtbl.find_opt t.pages idx with
+  | Some p -> p
+  | None ->
+      let p = Bytes.make page_size '\000' in
+      Hashtbl.add t.pages idx p;
+      p
+
+let read_u8 t a =
+  check_addr a;
+  Char.code (Bytes.get (page t (a / page_size)) (a mod page_size))
+
+let write_u8 t a v =
+  check_addr a;
+  Bytes.set (page t (a / page_size)) (a mod page_size) (Char.chr (v land 0xFF))
+
+let read_u16 t a = read_u8 t a lor (read_u8 t (a + 1) lsl 8)
+
+let write_u16 t a v =
+  write_u8 t a v;
+  write_u8 t (a + 1) (v lsr 8)
+
+let read_u32 t a = read_u16 t a lor (read_u16 t (a + 2) lsl 16)
+
+let write_u32 t a v =
+  write_u16 t a v;
+  write_u16 t (a + 2) (v lsr 16)
+
+let read_u64 t a =
+  Int64.logor
+    (Int64.of_int (read_u32 t a))
+    (Int64.shift_left (Int64.of_int (read_u32 t (a + 4))) 32)
+
+let write_u64 t a v =
+  write_u32 t a (Int64.to_int (Int64.logand v 0xFFFF_FFFFL));
+  write_u32 t (a + 4) (Int64.to_int (Int64.shift_right_logical v 32))
+
+let read_bytes t a len =
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set b i (Char.chr (read_u8 t (a + i)))
+  done;
+  b
+
+let write_bytes t a b =
+  Bytes.iteri (fun i c -> write_u8 t (a + i) (Char.code c)) b
+
+let pages_touched t = Hashtbl.length t.pages

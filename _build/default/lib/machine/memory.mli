@@ -1,0 +1,24 @@
+(** Sparse, paged byte-addressable memory.
+
+    A flat 32-bit address space backed by 4 KiB pages allocated on first
+    touch.  Unwritten memory reads as zero.  Multi-byte accesses are
+    little-endian and may straddle page boundaries. *)
+
+type t
+
+val create : unit -> t
+
+val read_u8 : t -> int -> int
+val read_u16 : t -> int -> int
+val read_u32 : t -> int -> int
+val read_u64 : t -> int -> int64
+val write_u8 : t -> int -> int -> unit
+val write_u16 : t -> int -> int -> unit
+val write_u32 : t -> int -> int -> unit
+val write_u64 : t -> int -> int64 -> unit
+
+val read_bytes : t -> int -> int -> bytes
+val write_bytes : t -> int -> bytes -> unit
+
+val pages_touched : t -> int
+(** Number of pages materialised so far. *)

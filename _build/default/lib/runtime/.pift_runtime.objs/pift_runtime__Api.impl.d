@@ -1,0 +1,1 @@
+lib/runtime/api.ml: Array Char Env Heap Intrinsics Jarray Jstring Manager Pift_arm Pift_machine String Tcb

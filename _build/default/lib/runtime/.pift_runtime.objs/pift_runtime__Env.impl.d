@@ -1,0 +1,1 @@
+lib/runtime/env.ml: Heap Intrinsics Manager Pift_arm Pift_machine Tcb

@@ -1,0 +1,1 @@
+lib/runtime/env.mli: Heap Manager Pift_machine Pift_trace

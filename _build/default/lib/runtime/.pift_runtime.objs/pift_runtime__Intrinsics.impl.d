@@ -1,0 +1,1 @@
+lib/runtime/intrinsics.ml: Pift_arm Pift_machine

@@ -1,0 +1,1 @@
+lib/runtime/intrinsics.mli: Pift_arm Pift_machine

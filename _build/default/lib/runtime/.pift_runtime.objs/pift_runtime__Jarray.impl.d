@@ -1,0 +1,1 @@
+lib/runtime/jarray.ml: Heap Pift_machine Pift_util

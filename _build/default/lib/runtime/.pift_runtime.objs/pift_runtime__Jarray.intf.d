@@ -1,0 +1,1 @@
+lib/runtime/jarray.mli: Heap Pift_util

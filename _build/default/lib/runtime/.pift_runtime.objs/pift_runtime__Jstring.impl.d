@@ -1,0 +1,1 @@
+lib/runtime/jstring.ml: Char Heap Jarray Pift_machine String

@@ -1,0 +1,1 @@
+lib/runtime/jstring.mli: Heap Pift_util

@@ -1,0 +1,1 @@
+lib/runtime/manager.ml: List Pift_util

@@ -1,0 +1,1 @@
+lib/runtime/tcb.ml: Pift_machine Pift_util

@@ -1,0 +1,1 @@
+lib/runtime/tcb.mli: Pift_util

@@ -1,0 +1,323 @@
+module Memory = Pift_machine.Memory
+module Insn = Pift_arm.Insn
+
+let imei = "358240051111110"
+let serial = "89014103211118510720"
+let phone_number = "15555215554"
+let latitude_ud = 37_421_998
+let longitude_ud = 122_084_000
+
+let mem (env : Env.t) = Pift_machine.Cpu.memory env.cpu
+let string_data env s = Jarray.data_addr (Jstring.char_array env.Env.heap s)
+
+let string_range env s =
+  match Jstring.data_range env.Env.heap s with
+  | Some r -> [ r ]
+  | None -> []
+
+(* --- Sources --------------------------------------------------------- *)
+
+let string_source ~kind value : Env.native =
+ fun env ~args:_ ~arg_addrs:_ ->
+  let s = Jstring.alloc env.heap value in
+  (match Jstring.data_range env.heap s with
+  | Some r -> Manager.register_source env.manager ~pid:(Env.pid env) ~kind r
+  | None -> ());
+  Env.set_retval_ref env s
+
+let get_device_id = string_source ~kind:"IMEI" imei
+let get_sim_serial = string_source ~kind:"SerialNumber" serial
+let get_line1_number = string_source ~kind:"PhoneNumber" phone_number
+
+(* Primitive-typed source: the kernel deposits the value in the return
+   slot and the slot itself is registered as tainted; the following
+   [move-result] load then opens a tainting window. *)
+let primitive_source ~kind value : Env.native =
+ fun env ~args:_ ~arg_addrs:_ ->
+  Memory.write_u32 (mem env) (Env.retval_addr env) value;
+  Manager.register_source env.manager ~pid:(Env.pid env) ~kind
+    (Tcb.retval_range ~pid:(Env.pid env))
+
+let get_latitude = primitive_source ~kind:"Location" latitude_ud
+let get_longitude = primitive_source ~kind:"Location" longitude_ud
+
+(* --- Sinks ----------------------------------------------------------- *)
+
+let send_text_message : Env.native =
+ fun env ~args ~arg_addrs:_ ->
+  Manager.check_sink env.manager ~pid:(Env.pid env) ~kind:"sms"
+    (string_range env args.(1))
+
+let http_post : Env.native =
+ fun env ~args ~arg_addrs:_ ->
+  Manager.check_sink env.manager ~pid:(Env.pid env) ~kind:"http"
+    (string_range env args.(0) @ string_range env args.(1))
+
+let log_i : Env.native =
+ fun env ~args ~arg_addrs:_ ->
+  Manager.check_sink env.manager ~pid:(Env.pid env) ~kind:"log"
+    (string_range env args.(1))
+
+let write_bytes_sink : Env.native =
+ fun env ~args ~arg_addrs:_ ->
+  let ranges =
+    match Jarray.data_range Jarray.Bytes env.heap args.(0) with
+    | Some r -> [ r ]
+    | None -> []
+  in
+  Manager.check_sink env.manager ~pid:(Env.pid env) ~kind:"http" ranges
+
+(* --- Strings --------------------------------------------------------- *)
+
+let string_concat : Env.native =
+ fun env ~args ~arg_addrs:_ ->
+  let a = args.(0) and b = args.(1) in
+  let la = Jstring.length env.heap a and lb = Jstring.length env.heap b in
+  let dst = Jstring.alloc_empty env.heap ~capacity:(la + lb) in
+  let data = string_data env dst in
+  Intrinsics.char_copy env.cpu ~dst:data ~src:(string_data env a) ~chars:la;
+  Intrinsics.char_copy env.cpu ~dst:(data + (2 * la))
+    ~src:(string_data env b) ~chars:lb;
+  Env.set_retval_ref env dst
+
+let itoa_buf env = Tcb.base ~pid:(Env.pid env) + 16
+
+let string_value_of_int : Env.native =
+ fun env ~args:_ ~arg_addrs ->
+  let buf = itoa_buf env in
+  let n = Intrinsics.itoa env.cpu ~value_addr:arg_addrs.(0) ~buf in
+  let s = Jstring.alloc_empty env.heap ~capacity:n in
+  Intrinsics.reverse_bytes_to_chars env.cpu ~dst:(string_data env s) ~src:buf
+    ~count:n;
+  Env.set_retval_ref env s
+
+let string_char_at : Env.native =
+ fun env ~args ~arg_addrs:_ ->
+  let s = args.(0) and i = args.(1) in
+  let arr = Jstring.char_array env.heap s in
+  let src = Jarray.elem_addr Jarray.Chars ~arr ~index:i in
+  (* Two pad instructions model the interpreter's bounds check. *)
+  Intrinsics.scalar_move env.cpu ~dst:(Env.retval_addr env) ~src
+    ~src_width:Insn.Half ~dst_width:Insn.Word ~pad:2
+
+let string_substring : Env.native =
+ fun env ~args ~arg_addrs:_ ->
+  let s = args.(0) and start = args.(1) and len = args.(2) in
+  let dst = Jstring.alloc_empty env.heap ~capacity:len in
+  Intrinsics.char_copy env.cpu ~dst:(string_data env dst)
+    ~src:(string_data env s + (2 * start))
+    ~chars:len;
+  Env.set_retval_ref env dst
+
+let string_to_upper : Env.native =
+ fun env ~args ~arg_addrs:_ ->
+  let s = args.(0) in
+  let n = Jstring.length env.heap s in
+  let dst = Jstring.alloc_empty env.heap ~capacity:n in
+  Intrinsics.char_copy_transform env.cpu ~dst:(string_data env dst)
+    ~src:(string_data env s) ~chars:n ~xor:0x20;
+  Env.set_retval_ref env dst
+
+let string_get_bytes : Env.native =
+ fun env ~args ~arg_addrs:_ ->
+  let s = args.(0) in
+  let n = Jstring.length env.heap s in
+  let arr = Jarray.alloc env.heap Jarray.Bytes n in
+  Intrinsics.char_to_byte_copy env.cpu ~dst:(Jarray.data_addr arr)
+    ~src:(string_data env s) ~chars:n;
+  Env.set_retval_ref env arr
+
+let string_from_bytes : Env.native =
+ fun env ~args ~arg_addrs:_ ->
+  let arr = args.(0) in
+  let n = Jarray.length env.heap arr in
+  let s = Jstring.alloc_empty env.heap ~capacity:n in
+  Intrinsics.byte_to_char_copy env.cpu ~dst:(string_data env s)
+    ~src:(Jarray.data_addr arr) ~bytes:n;
+  Env.set_retval_ref env s
+
+let string_get_chars : Env.native =
+ fun env ~args ~arg_addrs:_ ->
+  let s = args.(0) and arr = args.(1) in
+  let n = min (Jstring.length env.heap s) (Jarray.length env.heap arr) in
+  Intrinsics.char_copy env.cpu ~dst:(Jarray.data_addr arr)
+    ~src:(string_data env s) ~chars:n
+
+let string_from_chars : Env.native =
+ fun env ~args ~arg_addrs:_ ->
+  let arr = args.(0) in
+  let n = Jarray.length env.heap arr in
+  let s = Jstring.alloc_empty env.heap ~capacity:n in
+  Intrinsics.char_copy env.cpu ~dst:(string_data env s)
+    ~src:(Jarray.data_addr arr) ~chars:n;
+  Env.set_retval_ref env s
+
+let string_length : Env.native =
+ fun env ~args ~arg_addrs:_ ->
+  let arr = Jstring.char_array env.heap args.(0) in
+  Intrinsics.scalar_move env.cpu ~dst:(Env.retval_addr env) ~src:(arr + 4)
+    ~src_width:Insn.Word ~dst_width:Insn.Word ~pad:0
+
+let base64_alphabet =
+  "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+(* android.util.Base64-style encoder over a byte array; trailing bytes
+   beyond the last full 3-byte group are dropped (no padding), which is
+   enough for the exfiltration paths that use it. *)
+let base64_encode : Env.native =
+ fun env ~args ~arg_addrs:_ ->
+  let arr = args.(0) in
+  let n = Jarray.length env.heap arr in
+  let groups = n / 3 in
+  let table = Heap.alloc env.heap 64 in
+  String.iteri
+    (fun i c -> Memory.write_u8 (mem env) (table + i) (Char.code c))
+    base64_alphabet;
+  let out = Jstring.alloc_empty env.heap ~capacity:(4 * groups) in
+  Intrinsics.base64_encode env.cpu ~dst:(string_data env out)
+    ~src:(Jarray.data_addr arr) ~groups ~table;
+  Env.set_retval_ref env out
+
+(* --- StringBuilder ---------------------------------------------------- *)
+
+let sb_class = "java/lang/StringBuilder"
+let sb_initial_capacity = 32
+
+let sb_array env sb =
+  Memory.read_u32 (mem env) (Heap.field_addr ~obj:sb ~index:0)
+
+let sb_length env sb =
+  Memory.read_u32 (mem env) (Heap.field_addr ~obj:sb ~index:1)
+
+let sb_capacity env sb = Jarray.length env.Env.heap (sb_array env sb)
+
+let sb_new : Env.native =
+ fun env ~args:_ ~arg_addrs:_ ->
+  let sb = Heap.new_object env.heap ~class_name:sb_class ~field_count:2 in
+  let arr = Jarray.alloc env.heap Jarray.Chars sb_initial_capacity in
+  Memory.write_u32 (mem env) (Heap.field_addr ~obj:sb ~index:0) arr;
+  Memory.write_u32 (mem env) (Heap.field_addr ~obj:sb ~index:1) 0;
+  Env.set_retval_ref env sb
+
+(* Grow the value array so [extra] more chars fit; the old contents move
+   through an executed word-copy (their taint moves with them only if the
+   tracker catches the copy — exactly as on real hardware). *)
+let sb_ensure env sb extra =
+  let len = sb_length env sb in
+  let cap = sb_capacity env sb in
+  if len + extra > cap then begin
+    let new_cap = max (len + extra) (2 * cap) in
+    let old_arr = sb_array env sb in
+    let arr = Jarray.alloc env.Env.heap Jarray.Chars new_cap in
+    Intrinsics.word_copy env.Env.cpu ~dst:(Jarray.data_addr arr)
+      ~src:(Jarray.data_addr old_arr)
+      ~words:(((2 * len) + 3) / 4);
+    Memory.write_u32 (mem env) (Heap.field_addr ~obj:sb ~index:0) arr
+  end
+
+let sb_append : Env.native =
+ fun env ~args ~arg_addrs:_ ->
+  let sb = args.(0) and s = args.(1) in
+  let n = Jstring.length env.heap s in
+  sb_ensure env sb n;
+  let len = sb_length env sb in
+  let dst = Jarray.data_addr (sb_array env sb) + (2 * len) in
+  (* The per-iteration length store is real StringBuilder bookkeeping and
+     is why string-building flows need NT >= 2. *)
+  Intrinsics.char_copy_with_counter env.cpu ~dst ~src:(string_data env s)
+    ~chars:n
+    ~counter_addr:(Heap.field_addr ~obj:sb ~index:1);
+  Memory.write_u32 (mem env) (Heap.field_addr ~obj:sb ~index:1) (len + n);
+  Env.set_retval_ref env sb
+
+let sb_append_char : Env.native =
+ fun env ~args ~arg_addrs ->
+  let sb = args.(0) in
+  sb_ensure env sb 1;
+  let len = sb_length env sb in
+  let dst = Jarray.data_addr (sb_array env sb) + (2 * len) in
+  Intrinsics.scalar_move env.cpu ~dst ~src:arg_addrs.(1)
+    ~src_width:Insn.Word ~dst_width:Insn.Half ~pad:1;
+  Intrinsics.increment_word env.cpu
+    ~addr:(Heap.field_addr ~obj:sb ~index:1);
+  Env.set_retval_ref env sb
+
+let sb_append_int : Env.native =
+ fun env ~args ~arg_addrs ->
+  let sb = args.(0) in
+  let buf = itoa_buf env in
+  let n = Intrinsics.itoa env.cpu ~value_addr:arg_addrs.(1) ~buf in
+  sb_ensure env sb n;
+  let len = sb_length env sb in
+  let dst = Jarray.data_addr (sb_array env sb) + (2 * len) in
+  Intrinsics.reverse_bytes_to_chars env.cpu ~dst ~src:buf ~count:n;
+  Memory.write_u32 (mem env) (Heap.field_addr ~obj:sb ~index:1) (len + n);
+  Env.set_retval_ref env sb
+
+let sb_to_string : Env.native =
+ fun env ~args ~arg_addrs:_ ->
+  let sb = args.(0) in
+  let len = sb_length env sb in
+  let s = Jstring.alloc_empty env.heap ~capacity:len in
+  Intrinsics.char_copy env.cpu ~dst:(string_data env s)
+    ~src:(Jarray.data_addr (sb_array env sb))
+    ~chars:len;
+  Env.set_retval_ref env s
+
+(* --- Arrays ----------------------------------------------------------- *)
+
+let array_copy : Env.native =
+ fun env ~args ~arg_addrs:_ ->
+  let src = args.(0)
+  and src_pos = args.(1)
+  and dst = args.(2)
+  and dst_pos = args.(3)
+  and len = args.(4) in
+  let cls = Heap.read_class env.heap src in
+  let kind =
+    if cls = Heap.class_id (Jarray.class_name Jarray.Chars) then Jarray.Chars
+    else if cls = Heap.class_id (Jarray.class_name Jarray.Bytes) then
+      Jarray.Bytes
+    else Jarray.Words
+  in
+  let addr arr pos = Jarray.elem_addr kind ~arr ~index:pos in
+  match kind with
+  | Jarray.Chars ->
+      Intrinsics.char_copy env.cpu ~dst:(addr dst dst_pos)
+        ~src:(addr src src_pos) ~chars:len
+  | Jarray.Bytes ->
+      Intrinsics.byte_copy env.cpu ~dst:(addr dst dst_pos)
+        ~src:(addr src src_pos) ~bytes:len
+  | Jarray.Words ->
+      Intrinsics.word_copy env.cpu ~dst:(addr dst dst_pos)
+        ~src:(addr src src_pos) ~words:len
+
+let registry =
+  [
+    ("TelephonyManager.getDeviceId", get_device_id);
+    ("TelephonyManager.getSimSerialNumber", get_sim_serial);
+    ("TelephonyManager.getLine1Number", get_line1_number);
+    ("LocationManager.getLatitude", get_latitude);
+    ("LocationManager.getLongitude", get_longitude);
+    ("SmsManager.sendTextMessage", send_text_message);
+    ("HttpURLConnection.post", http_post);
+    ("Log.i", log_i);
+    ("OutputStream.write", write_bytes_sink);
+    ("String.concat", string_concat);
+    ("String.valueOf", string_value_of_int);
+    ("String.charAt", string_char_at);
+    ("String.substring", string_substring);
+    ("String.toUpperCase", string_to_upper);
+    ("String.getBytes", string_get_bytes);
+    ("String.fromBytes", string_from_bytes);
+    ("String.getChars", string_get_chars);
+    ("String.fromChars", string_from_chars);
+    ("Base64.encode", base64_encode);
+    ("String.length", string_length);
+    ("StringBuilder.new", sb_new);
+    ("StringBuilder.append", sb_append);
+    ("StringBuilder.appendChar", sb_append_char);
+    ("StringBuilder.appendInt", sb_append_int);
+    ("StringBuilder.toString", sb_to_string);
+    ("System.arraycopy", array_copy);
+  ]

@@ -1,0 +1,86 @@
+(** The Android-framework surface: sensitive sources, exfiltration sinks,
+    and the String / StringBuilder / array natives whose copy loops carry
+    the actual data flows.
+
+    Every function has the {!Env.native} shape and is registered in the
+    VM's native-method table under its Java-flavoured name (see
+    {!registry}).  Sources register their data's address ranges with the
+    {!Manager}; sinks pass the outgoing ranges down for a taint check —
+    the DroidBench sources (device ID, serial, phone number, location) and
+    sinks (SMS, HTTP, log) of §5. *)
+
+val imei : string
+val serial : string
+val phone_number : string
+val latitude_ud : int
+(** Latitude in positive microdegrees (primitive-typed source; its
+    decimal conversion exercises the long-distance itoa path). *)
+
+val longitude_ud : int
+
+(* Sources *)
+
+val get_device_id : Env.native
+val get_sim_serial : Env.native
+val get_line1_number : Env.native
+val get_latitude : Env.native
+val get_longitude : Env.native
+
+(* Sinks *)
+
+val send_text_message : Env.native
+(** [args = \[|dest; msg|\]] — checks the message text. *)
+
+val http_post : Env.native
+(** [args = \[|url; body|\]] — checks both URL and body strings. *)
+
+val log_i : Env.native
+(** [args = \[|tag; msg|\]]. *)
+
+val write_bytes_sink : Env.native
+(** [args = \[|byte_array|\]] — an output-stream write (counted as an
+    [http] sink; DroidBench network leaks go through streams). *)
+
+(* Strings *)
+
+val string_concat : Env.native
+val string_value_of_int : Env.native
+val string_char_at : Env.native
+val string_substring : Env.native
+(** [args = \[|s; start; len|\]]. *)
+
+val string_to_upper : Env.native
+val string_get_bytes : Env.native
+val string_from_bytes : Env.native
+
+val string_get_chars : Env.native
+(** [args = \[|s; char_array|\]] — copy the string's chars into an array
+    ([String.getChars]). *)
+
+val string_from_chars : Env.native
+(** [args = \[|char_array|\]] — new string from a char array. *)
+
+val string_length : Env.native
+
+val base64_encode : Env.native
+(** [args = \[|byte_array|\]] — Base64 via an alphabet table
+    ({!Intrinsics.base64_encode}): an index-based implicit flow that
+    exact DIFT misses but PIFT's temporal locality catches. *)
+
+(* StringBuilder: object with fields {0: char\[\] ref; 1: length}. *)
+
+val sb_new : Env.native
+val sb_append : Env.native
+val sb_append_char : Env.native
+val sb_append_int : Env.native
+val sb_to_string : Env.native
+
+(* Arrays *)
+
+val array_copy : Env.native
+(** [System.arraycopy]: [args = \[|src; srcPos; dst; dstPos; len|\]];
+    element width follows the source array's class. *)
+
+val registry : (string * Env.native) list
+(** All natives under their method names, e.g.
+    ["TelephonyManager.getDeviceId"]. *)

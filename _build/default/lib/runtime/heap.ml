@@ -1,0 +1,41 @@
+module Memory = Pift_machine.Memory
+module Layout = Pift_machine.Layout
+
+type t = { mem : Memory.t; mutable brk : int }
+
+let create mem = { mem; brk = Layout.heap_base }
+let memory t = t.mem
+
+let alloc t bytes =
+  if bytes < 0 then invalid_arg "Heap.alloc: negative size";
+  let addr = t.brk in
+  let aligned = (bytes + 7) / 8 * 8 in
+  if addr + aligned > Layout.heap_limit then failwith "Heap.alloc: exhausted";
+  t.brk <- addr + aligned;
+  addr
+
+let class_ids : (string, int) Hashtbl.t = Hashtbl.create 32
+let next_class_id = ref 1
+
+let class_names : (int, string) Hashtbl.t = Hashtbl.create 32
+
+let class_id name =
+  match Hashtbl.find_opt class_ids name with
+  | Some id -> id
+  | None ->
+      let id = !next_class_id in
+      incr next_class_id;
+      Hashtbl.add class_ids name id;
+      Hashtbl.add class_names id name;
+      id
+
+let class_name_of_id id = Hashtbl.find_opt class_names id
+
+let new_object t ~class_name ~field_count =
+  let obj = alloc t (4 + (4 * field_count)) in
+  Memory.write_u32 t.mem obj (class_id class_name);
+  obj
+
+let field_addr ~obj ~index = obj + 4 + (4 * index)
+let read_class t obj = Memory.read_u32 t.mem obj
+let allocated_bytes t = t.brk - Layout.heap_base

@@ -1,0 +1,34 @@
+(** Bump-pointer heap allocator and object layout.
+
+    Objects are laid out as [class_id] word at offset 0 followed by 4-byte
+    fields.  Allocation and header initialisation are performed directly
+    by the runtime (no instruction events) — in the real system they
+    happen in the allocator, whose stores are of non-sensitive metadata;
+    all *data* movement into and out of objects goes through executed
+    native fragments or bytecode. *)
+
+type t
+
+val create : Pift_machine.Memory.t -> t
+val memory : t -> Pift_machine.Memory.t
+
+val alloc : t -> int -> int
+(** [alloc t bytes] returns the address of a fresh 8-byte-aligned block.
+    Raises [Failure] on heap exhaustion. *)
+
+val class_id : string -> int
+(** Stable identifier for a class name. *)
+
+val class_name_of_id : int -> string option
+(** Reverse lookup (runtime type dispatch). *)
+
+val new_object : t -> class_name:string -> field_count:int -> int
+(** Allocate and tag an object with [field_count] word fields (zeroed). *)
+
+val field_addr : obj:int -> index:int -> int
+(** Address of word field [index] (0-based). *)
+
+val read_class : t -> int -> int
+(** Class id stored in an object header. *)
+
+val allocated_bytes : t -> int

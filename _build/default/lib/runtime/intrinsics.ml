@@ -1,0 +1,324 @@
+module Cpu = Pift_machine.Cpu
+module Asm = Pift_arm.Asm
+module Insn = Pift_arm.Insn
+module Reg = Pift_arm.Reg
+module Cond = Pift_arm.Cond
+open Insn
+
+type cpu = Cpu.t
+
+(* Register conventions within intrinsics: r0 dst / primary pointer,
+   r1 src, r2 auxiliary pointer, r3 element counter, r4 source offset,
+   r5 element count, r6 transfer data, r8/r9 scratch. *)
+
+let imm n = Imm n
+let reg r = Reg r
+
+(* A copy loop: [body cpu asm] emits load(+work)+store for one element;
+   offsets are advanced by [src_step]/[dst_step] in r4/r9. *)
+let copy_loop cpu ~dst ~src ~count ~src_step ~dst_step ~body =
+  let a = Asm.create () in
+  Asm.emit a (Mov (Reg.R3, imm 0));
+  Asm.emit a (Mov (Reg.R4, imm 0));
+  Asm.emit a (Mov (Reg.R9, imm 0));
+  Asm.label a "loop";
+  Asm.emit a (Cmp (Reg.R3, reg Reg.R5));
+  Asm.branch a Cond.Ge "end";
+  body a;
+  Asm.emit a (Alu (Add, false, Reg.R3, Reg.R3, imm 1));
+  Asm.emit a (Alu (Add, false, Reg.R4, Reg.R4, imm src_step));
+  Asm.emit a (Alu (Add, false, Reg.R9, Reg.R9, imm dst_step));
+  Asm.branch a Cond.Always "loop";
+  Asm.label a "end";
+  Asm.ret a;
+  Cpu.set cpu Reg.R0 dst;
+  Cpu.set cpu Reg.R1 src;
+  Cpu.set cpu Reg.R5 count;
+  Cpu.run cpu (Asm.assemble a)
+
+let char_copy cpu ~dst ~src ~chars =
+  let body a =
+    Asm.emit_all a
+      [
+        Ldr (Half, Reg.R6, Offset (Reg.R1, reg Reg.R4));
+        Alu (Add, false, Reg.R8, Reg.R8, imm 1);
+        Str (Half, Reg.R6, Offset (Reg.R0, reg Reg.R9));
+      ]
+  in
+  copy_loop cpu ~dst ~src ~count:chars ~src_step:2 ~dst_step:2 ~body
+
+let char_copy_with_counter cpu ~dst ~src ~chars ~counter_addr =
+  Cpu.set cpu Reg.R2 counter_addr;
+  let body a =
+    Asm.emit_all a
+      [
+        Ldr (Half, Reg.R6, Offset (Reg.R1, reg Reg.R4));
+        Alu (Add, false, Reg.R8, Reg.R3, imm 1);
+        Str (Word, Reg.R8, Offset (Reg.R2, imm 0));
+        Str (Half, Reg.R6, Offset (Reg.R0, reg Reg.R9));
+      ]
+  in
+  copy_loop cpu ~dst ~src ~count:chars ~src_step:2 ~dst_step:2 ~body
+
+(* Shared body of the logged copies: char load, bounds-check load of the
+   source length header (r11 points at it; array headers are never
+   stored to, so this load is always clean), char store, progress-counter
+   store. *)
+let logged_body a =
+  Asm.emit_all a
+    [
+      Ldr (Half, Reg.R6, Offset (Reg.R1, reg Reg.R4));
+      Ldr (Word, Reg.R10, Offset (Reg.R11, imm 0));
+      Alu (Add, false, Reg.R8, Reg.R3, imm 1);
+      Str (Half, Reg.R6, Offset (Reg.R0, reg Reg.R9));
+      Str (Word, Reg.R8, Offset (Reg.R2, imm 0));
+    ]
+
+let char_copy_logged ?header cpu ~dst ~src ~chars ~counter_addr =
+  Cpu.set cpu Reg.R2 counter_addr;
+  Cpu.set cpu Reg.R11 (match header with Some h -> h | None -> src - 4);
+  copy_loop cpu ~dst ~src ~count:chars ~src_step:2 ~dst_step:2
+    ~body:logged_body
+
+let char_deinterleave cpu ~dst ~src ~chars ~counter_addr =
+  if chars land 1 <> 0 then
+    invalid_arg "Intrinsics.char_deinterleave: odd length";
+  let half = chars / 2 in
+  Cpu.set cpu Reg.R2 counter_addr;
+  Cpu.set cpu Reg.R11 (src - 4);
+  (* even code units into the first half... *)
+  copy_loop cpu ~dst ~src ~count:half ~src_step:4 ~dst_step:2
+    ~body:logged_body;
+  Cpu.set cpu Reg.R2 counter_addr;
+  Cpu.set cpu Reg.R11 (src - 4);
+  (* ...odd code units into the second half. *)
+  copy_loop cpu ~dst:(dst + (2 * half)) ~src:(src + 2) ~count:half
+    ~src_step:4 ~dst_step:2 ~body:logged_body
+
+let base64_encode cpu ~dst ~src ~groups ~table =
+  let a = Asm.create () in
+  (* r0 dst, r1 src, r2 table, r3 group counter, r4 src offset,
+     r9 dst offset, r5 group count, r6/r10/r11/r12 data *)
+  Asm.emit a (Mov (Reg.R3, imm 0));
+  Asm.emit a (Mov (Reg.R4, imm 0));
+  Asm.emit a (Mov (Reg.R9, imm 0));
+  Asm.label a "group";
+  Asm.emit a (Cmp (Reg.R3, reg Reg.R5));
+  Asm.branch a Cond.Ge "end";
+  Asm.emit_all a
+    [
+      Ldr (Byte, Reg.R6, Offset (Reg.R1, reg Reg.R4));
+      Alu (Add, false, Reg.R4, Reg.R4, imm 1);
+      Ldr (Byte, Reg.R10, Offset (Reg.R1, reg Reg.R4));
+      Alu (Add, false, Reg.R4, Reg.R4, imm 1);
+      Ldr (Byte, Reg.R11, Offset (Reg.R1, reg Reg.R4));
+      Alu (Add, false, Reg.R4, Reg.R4, imm 1);
+      (* sextet 0: b0 >> 2 *)
+      Alu (Lsr_op, false, Reg.R12, Reg.R6, imm 2);
+      Ldr (Byte, Reg.R12, Offset (Reg.R2, reg Reg.R12));
+      Str (Half, Reg.R12, Offset (Reg.R0, reg Reg.R9));
+      Alu (Add, false, Reg.R9, Reg.R9, imm 2);
+      (* sextet 1: ((b0 & 3) << 4) | (b1 >> 4) *)
+      Alu (And, false, Reg.R6, Reg.R6, imm 3);
+      Alu (Lsl_op, false, Reg.R6, Reg.R6, imm 4);
+      Alu (Lsr_op, false, Reg.R12, Reg.R10, imm 4);
+      Alu (Orr, false, Reg.R12, Reg.R12, reg Reg.R6);
+      Ldr (Byte, Reg.R12, Offset (Reg.R2, reg Reg.R12));
+      Str (Half, Reg.R12, Offset (Reg.R0, reg Reg.R9));
+      Alu (Add, false, Reg.R9, Reg.R9, imm 2);
+      (* sextet 2: ((b1 & 15) << 2) | (b2 >> 6) *)
+      Alu (And, false, Reg.R10, Reg.R10, imm 15);
+      Alu (Lsl_op, false, Reg.R10, Reg.R10, imm 2);
+      Alu (Lsr_op, false, Reg.R12, Reg.R11, imm 6);
+      Alu (Orr, false, Reg.R12, Reg.R12, reg Reg.R10);
+      Ldr (Byte, Reg.R12, Offset (Reg.R2, reg Reg.R12));
+      Str (Half, Reg.R12, Offset (Reg.R0, reg Reg.R9));
+      Alu (Add, false, Reg.R9, Reg.R9, imm 2);
+      (* sextet 3: b2 & 63 *)
+      Alu (And, false, Reg.R12, Reg.R11, imm 63);
+      Ldr (Byte, Reg.R12, Offset (Reg.R2, reg Reg.R12));
+      Str (Half, Reg.R12, Offset (Reg.R0, reg Reg.R9));
+      Alu (Add, false, Reg.R9, Reg.R9, imm 2);
+      Alu (Add, false, Reg.R3, Reg.R3, imm 1);
+    ];
+  Asm.branch a Cond.Always "group";
+  Asm.label a "end";
+  Asm.ret a;
+  Cpu.set cpu Reg.R0 dst;
+  Cpu.set cpu Reg.R1 src;
+  Cpu.set cpu Reg.R2 table;
+  Cpu.set cpu Reg.R5 groups;
+  Cpu.run cpu (Asm.assemble a)
+
+let fill_chars cpu ~dst ~chars ~value =
+  (* r11 points at the destination length header: the per-iteration
+     bounds-check load (always clean, headers are never stored to). *)
+  Cpu.set cpu Reg.R11 (dst - 4);
+  let body a =
+    Asm.emit_all a
+      [
+        Mov (Reg.R6, imm value);
+        Ldr (Word, Reg.R10, Offset (Reg.R11, imm 0));
+        Str (Half, Reg.R6, Offset (Reg.R0, reg Reg.R9));
+      ]
+  in
+  copy_loop cpu ~dst ~src:0 ~count:chars ~src_step:0 ~dst_step:2 ~body
+
+let char_copy_transform cpu ~dst ~src ~chars ~xor =
+  let body a =
+    Asm.emit_all a
+      [
+        Ldr (Half, Reg.R6, Offset (Reg.R1, reg Reg.R4));
+        Alu (Eor, false, Reg.R6, Reg.R6, imm xor);
+        Str (Half, Reg.R6, Offset (Reg.R0, reg Reg.R9));
+      ]
+  in
+  copy_loop cpu ~dst ~src ~count:chars ~src_step:2 ~dst_step:2 ~body
+
+let char_to_byte_copy cpu ~dst ~src ~chars =
+  let body a =
+    Asm.emit_all a
+      [
+        Ldr (Half, Reg.R6, Offset (Reg.R1, reg Reg.R4));
+        Alu (And, false, Reg.R6, Reg.R6, imm 0xFF);
+        Str (Byte, Reg.R6, Offset (Reg.R0, reg Reg.R9));
+      ]
+  in
+  copy_loop cpu ~dst ~src ~count:chars ~src_step:2 ~dst_step:1 ~body
+
+let byte_to_char_copy cpu ~dst ~src ~bytes =
+  let body a =
+    Asm.emit_all a
+      [
+        Ldr (Byte, Reg.R6, Offset (Reg.R1, reg Reg.R4));
+        Alu (And, false, Reg.R6, Reg.R6, imm 0xFF);
+        Str (Half, Reg.R6, Offset (Reg.R0, reg Reg.R9));
+      ]
+  in
+  copy_loop cpu ~dst ~src ~count:bytes ~src_step:1 ~dst_step:2 ~body
+
+let word_copy cpu ~dst ~src ~words =
+  let body a =
+    Asm.emit_all a
+      [
+        Ldr (Word, Reg.R6, Offset (Reg.R1, reg Reg.R4));
+        Alu (Add, false, Reg.R8, Reg.R8, imm 1);
+        Str (Word, Reg.R6, Offset (Reg.R0, reg Reg.R9));
+      ]
+  in
+  copy_loop cpu ~dst ~src ~count:words ~src_step:4 ~dst_step:4 ~body
+
+let itoa_first_store_distance = 10
+
+(* Decimal conversion.  The value is *loaded* (possibly from a tainted
+   slot); the first digit store then follows after exactly
+   [itoa_first_store_distance] instructions — sign handling, constant
+   setup and one divide round — reproducing the long-distance
+   "runtime ABI helper" behaviour the paper observes for location data. *)
+let itoa cpu ~value_addr ~buf =
+  let a = Asm.create () in
+  Asm.emit_all a
+    [
+      Ldr (Word, Reg.R1, Offset (Reg.R0, imm 0));
+      (* +1 *) Mov (Reg.R2, imm 10);
+      (* +2 *) Mov (Reg.R4, imm 0);
+      (* +3 *) Cmp (Reg.R1, imm 0);
+      (* +4 *) Mov (Reg.R9, imm 0);
+    ];
+  Asm.label a "digit";
+  Asm.emit_all a
+    [
+      (* +5 *) Udiv (Reg.R3, Reg.R1, Reg.R2);
+      (* +6 *) Alu (Mul, false, Reg.R6, Reg.R3, reg Reg.R2);
+      (* +7 *) Alu (Sub, false, Reg.R8, Reg.R1, reg Reg.R6);
+      (* +8 *) Alu (Add, false, Reg.R8, Reg.R8, imm 48);
+      (* +9 *) Alu (And, false, Reg.R8, Reg.R8, imm 0xFF);
+      (* +10 *) Str (Byte, Reg.R8, Offset (Reg.R5, reg Reg.R4));
+      Alu (Add, false, Reg.R4, Reg.R4, imm 1);
+      Mov (Reg.R1, reg Reg.R3);
+      Cmp (Reg.R1, imm 0);
+    ];
+  Asm.branch a Cond.Ne "digit";
+  Asm.ret a;
+  Cpu.set cpu Reg.R0 value_addr;
+  Cpu.set cpu Reg.R5 buf;
+  Cpu.run cpu (Asm.assemble a);
+  Cpu.get cpu Reg.R4
+
+let reverse_bytes_to_chars cpu ~dst ~src ~count =
+  let a = Asm.create () in
+  (* r1 walks src from the last byte down; r0 walks dst up. *)
+  Asm.emit a (Mov (Reg.R3, imm 0));
+  Asm.label a "loop";
+  Asm.emit a (Cmp (Reg.R3, reg Reg.R5));
+  Asm.branch a Cond.Ge "end";
+  Asm.emit_all a
+    [
+      Ldr (Byte, Reg.R6, Post (Reg.R1, imm (-1)));
+      Alu (Add, false, Reg.R3, Reg.R3, imm 1);
+      Str (Half, Reg.R6, Post (Reg.R0, imm 2));
+    ];
+  Asm.branch a Cond.Always "loop";
+  Asm.label a "end";
+  Asm.ret a;
+  Cpu.set cpu Reg.R0 dst;
+  Cpu.set cpu Reg.R1 (src + count - 1);
+  Cpu.set cpu Reg.R5 count;
+  Cpu.run cpu (Asm.assemble a)
+
+let byte_copy cpu ~dst ~src ~bytes =
+  let body a =
+    Asm.emit_all a
+      [
+        Ldr (Byte, Reg.R6, Offset (Reg.R1, reg Reg.R4));
+        Alu (Add, false, Reg.R8, Reg.R8, imm 1);
+        Str (Byte, Reg.R6, Offset (Reg.R0, reg Reg.R9));
+      ]
+  in
+  copy_loop cpu ~dst ~src ~count:bytes ~src_step:1 ~dst_step:1 ~body
+
+let scalar_move cpu ~dst ~src ~src_width ~dst_width ~pad =
+  if pad < 0 then invalid_arg "Intrinsics.scalar_move: negative pad";
+  let a = Asm.create () in
+  Asm.emit a (Ldr (src_width, Reg.R6, Offset (Reg.R1, imm 0)));
+  for _ = 1 to pad do
+    Asm.emit a (Alu (Add, false, Reg.R9, Reg.R9, imm 1))
+  done;
+  Asm.emit a (Str (dst_width, Reg.R6, Offset (Reg.R0, imm 0)));
+  Asm.ret a;
+  Cpu.set cpu Reg.R0 dst;
+  Cpu.set cpu Reg.R1 src;
+  Cpu.run cpu (Asm.assemble a)
+
+let increment_word cpu ~addr =
+  let a = Asm.create () in
+  Asm.emit_all a
+    [
+      Ldr (Word, Reg.R6, Offset (Reg.R0, imm 0));
+      Alu (Add, false, Reg.R6, Reg.R6, imm 1);
+      Str (Word, Reg.R6, Offset (Reg.R0, imm 0));
+    ];
+  Asm.ret a;
+  Cpu.set cpu Reg.R0 addr;
+  Cpu.run cpu (Asm.assemble a)
+
+let load_store_word cpu ~dst ~src ~pad =
+  if pad < 0 then invalid_arg "Intrinsics.load_store_word: negative pad";
+  let a = Asm.create () in
+  Asm.emit a (Ldr (Word, Reg.R6, Offset (Reg.R1, imm 0)));
+  for _ = 1 to pad do
+    Asm.emit a (Alu (Add, false, Reg.R9, Reg.R9, imm 1))
+  done;
+  Asm.emit a (Str (Word, Reg.R6, Offset (Reg.R0, imm 0)));
+  Asm.ret a;
+  Cpu.set cpu Reg.R0 dst;
+  Cpu.set cpu Reg.R1 src;
+  Cpu.run cpu (Asm.assemble a)
+
+let store_word cpu ~addr ~value =
+  let a = Asm.create () in
+  Asm.emit a (Mov (Reg.R6, imm value));
+  Asm.emit a (Str (Word, Reg.R6, Offset (Reg.R0, imm 0)));
+  Asm.ret a;
+  Cpu.set cpu Reg.R0 addr;
+  Cpu.run cpu (Asm.assemble a)

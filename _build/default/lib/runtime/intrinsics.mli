@@ -1,0 +1,125 @@
+(** Native code fragments for the runtime's data movement.
+
+    These are the hand-written ARM routines the Android framework would
+    run: the char-copy loop behind string concatenation (paper Fig. 1),
+    narrowing/widening copies behind [String.getBytes] and [new
+    String(byte\[\])], the integer-to-decimal conversion behind
+    [String.valueOf] (the paper's "ARM runtime ABI" long-distance case),
+    and word-granular [memcpy].  Every routine executes on the CPU and
+    emits real instruction events; the load→store distances noted per
+    function are load-bearing for the evaluation. *)
+
+type cpu = Pift_machine.Cpu.t
+
+val char_copy : cpu -> dst:int -> src:int -> chars:int -> unit
+(** Fig. 1 loop: [ldrh r6,\[r1,r4\]; add; strh r6,\[r0,r4\]; ...].
+    Load→store distance 2.  [dst]/[src] are char-data addresses. *)
+
+val char_copy_with_counter :
+  cpu -> dst:int -> src:int -> chars:int -> counter_addr:int -> unit
+(** Copy that also stores an updated element count every iteration
+    (StringBuilder-style bookkeeping).  The counter store lands between
+    the char load (distance 2) and the char store (distance 3), so
+    propagation needs NT >= 2. *)
+
+val char_copy_logged :
+  ?header:int ->
+  cpu ->
+  dst:int ->
+  src:int ->
+  chars:int ->
+  counter_addr:int ->
+  unit
+(** [header] is the address of the source array's length word (defaults
+    to [src - 4]; pass it explicitly when [src] is not the array's data
+    base — the bounds-check load must never overlap data).
+    Copy with a per-iteration bounds-check load and a progress-counter
+    store after each char store.  In a window opened by a tainted char
+    load, the stores line up as: own char store (distance 3, NT 1),
+    counter store (distance 4, NT 2), {e next iteration's} char store
+    (distance 14, NT 3).  This loop shape is behind the paper's
+    taint-explosion regime: spreading to the following element needs
+    NI >= 14 {e and} NT >= 3 — explosive at (15,3)/(20,3), flat
+    elsewhere (Fig. 15). *)
+
+val char_deinterleave :
+  cpu -> dst:int -> src:int -> chars:int -> counter_addr:int -> unit
+(** Two {!char_copy_logged}-shaped passes that split even and odd code
+    units into the two halves of [dst] (rootkit-style payload
+    shuffling).  Each pass splits every tainted run in two, so under the
+    spreading regime the number of tainted ranges — and with the +1
+    per-run spread, the tainted byte count — grows geometrically.
+    Requires an even [chars]. *)
+
+val char_copy_transform : cpu -> dst:int -> src:int -> chars:int -> xor:int -> unit
+(** Copy XOR-ing each code unit with [xor] (cheap obfuscation).
+    Load→store distance 2. *)
+
+val char_to_byte_copy : cpu -> dst:int -> src:int -> chars:int -> unit
+(** Narrowing copy ([String.getBytes]): [ldrh]/[strb], distance 2. *)
+
+val byte_to_char_copy : cpu -> dst:int -> src:int -> bytes:int -> unit
+(** Widening copy ([new String(byte\[\])]): [ldrb]/[strh], distance 2. *)
+
+val word_copy : cpu -> dst:int -> src:int -> words:int -> unit
+(** [System.arraycopy]/[memcpy] inner loop: [ldr]/[str], distance 2. *)
+
+val itoa : cpu -> value_addr:int -> buf:int -> int
+(** Decimal conversion of the 32-bit value *loaded from* [value_addr];
+    digits are stored least-significant-first at [buf].  Returns the digit
+    count.  The distance from the (possibly tainted) value load to the
+    first digit store is exactly {!itoa_first_store_distance} — the GPS
+    detection threshold of Fig. 11. *)
+
+val itoa_first_store_distance : int
+(** 10, by construction of {!itoa}. *)
+
+val reverse_bytes_to_chars : cpu -> dst:int -> src:int -> count:int -> unit
+(** Copy [count] bytes from [src + count - 1] downward into 2-byte chars
+    at [dst] (finishing an [itoa]).  [ldrb]/[strh], distance 2. *)
+
+val byte_copy : cpu -> dst:int -> src:int -> bytes:int -> unit
+(** [ldrb]/[strb] copy loop, distance 2. *)
+
+val base64_encode :
+  cpu -> dst:int -> src:int -> groups:int -> table:int -> unit
+(** Base64-encode [3 * groups] bytes at [src] into [4 * groups] 2-byte
+    chars at [dst], using the 64-entry alphabet at [table].
+
+    Each output character is fetched from the alphabet by a *computed
+    index* — so under exact data-flow tracking the output is clean (the
+    loaded alphabet bytes are constants; only the index derives from the
+    input): table-lookup encoding is an implicit flow, the classic
+    trick real exfiltration code uses against TaintDroid-style trackers.
+    PIFT still catches it by temporal locality: the four output stores
+    land 5/11/17/22 instructions after the group's last input-byte load,
+    so the first two fall inside the default (13,3) window. *)
+
+val fill_chars : cpu -> dst:int -> chars:int -> value:int -> unit
+(** Store-only fill loop ([memset]).  Its stores carry constant data, so
+    under Algorithm 1 they untaint whatever they overwrite (when
+    untainting is enabled). *)
+
+val scalar_move :
+  cpu ->
+  dst:int ->
+  src:int ->
+  src_width:Pift_arm.Insn.width ->
+  dst_width:Pift_arm.Insn.width ->
+  pad:int ->
+  unit
+(** One element moved from [src] to [dst] with [pad] register-only
+    instructions between load and store (distance [pad + 1]). *)
+
+val increment_word : cpu -> addr:int -> unit
+(** [ldr; add #1; str] read-modify-write (distance 2). *)
+
+val load_store_word : cpu -> dst:int -> src:int -> pad:int -> unit
+(** One word moved from [src] to [dst] with [pad] register-only
+    instructions in between: load→store distance [pad + 1].  Used by
+    workloads that need a precise distance (the §4.2 evasion case and the
+    hard implicit flow). *)
+
+val store_word : cpu -> addr:int -> value:int -> unit
+(** [mov r6,#value; str r6,\[r0\]] — a store of a constant (clean under
+    full DIFT). *)

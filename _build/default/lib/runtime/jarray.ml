@@ -1,0 +1,42 @@
+module Memory = Pift_machine.Memory
+module Range = Pift_util.Range
+
+type elem = Bytes | Chars | Words
+
+let elem_size = function Bytes -> 1 | Chars -> 2 | Words -> 4
+let class_name = function Bytes -> "byte[]" | Chars -> "char[]" | Words -> "int[]"
+
+let header_size = 8
+
+let alloc heap elem n =
+  if n < 0 then invalid_arg "Jarray.alloc: negative length";
+  let arr = Heap.alloc heap (header_size + (elem_size elem * n)) in
+  let mem = Heap.memory heap in
+  Memory.write_u32 mem arr (Heap.class_id (class_name elem));
+  Memory.write_u32 mem (arr + 4) n;
+  arr
+
+let length heap arr = Memory.read_u32 (Heap.memory heap) (arr + 4)
+let data_addr arr = arr + header_size
+let elem_addr elem ~arr ~index = data_addr arr + (elem_size elem * index)
+
+let data_range elem heap arr =
+  let n = length heap arr in
+  if n = 0 then None
+  else Some (Range.of_len (data_addr arr) (elem_size elem * n))
+
+let set elem heap arr index v =
+  let mem = Heap.memory heap in
+  let a = elem_addr elem ~arr ~index in
+  match elem with
+  | Bytes -> Memory.write_u8 mem a v
+  | Chars -> Memory.write_u16 mem a v
+  | Words -> Memory.write_u32 mem a v
+
+let get elem heap arr index =
+  let mem = Heap.memory heap in
+  let a = elem_addr elem ~arr ~index in
+  match elem with
+  | Bytes -> Memory.read_u8 mem a
+  | Chars -> Memory.read_u16 mem a
+  | Words -> Memory.read_u32 mem a

@@ -1,0 +1,30 @@
+(** Java-style arrays on the simulated heap.
+
+    Layout: [class_id] at offset 0, element count at offset 4, elements
+    from offset 8.  Element width is 1 (byte\[\]), 2 (char\[\]) or 4
+    (int\[\] / object\[\]) bytes.
+
+    The [get_*]/[set_*] accessors here read and write memory *directly*
+    (no instruction events) and are for test setup and inspection only;
+    program-visible element traffic must go through bytecode ([aget]/
+    [aput]) or native fragments. *)
+
+type elem = Bytes | Chars | Words
+
+val elem_size : elem -> int
+val class_name : elem -> string
+
+val alloc : Heap.t -> elem -> int -> int
+(** [alloc heap elem n] allocates an [n]-element array, zeroed. *)
+
+val length : Heap.t -> int -> int
+val data_addr : int -> int
+val elem_addr : elem -> arr:int -> index:int -> int
+
+val data_range : elem -> Heap.t -> int -> Pift_util.Range.t option
+(** Byte range of the element data; [None] for an empty array. *)
+
+val set : elem -> Heap.t -> int -> int -> int -> unit
+(** [set elem heap arr index v] — direct write, no events. *)
+
+val get : elem -> Heap.t -> int -> int -> int

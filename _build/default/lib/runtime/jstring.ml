@@ -1,0 +1,38 @@
+module Memory = Pift_machine.Memory
+
+let string_class = "java/lang/String"
+
+let alloc_empty heap ~capacity =
+  let arr = Jarray.alloc heap Jarray.Chars capacity in
+  let obj = Heap.new_object heap ~class_name:string_class ~field_count:1 in
+  Memory.write_u32 (Heap.memory heap)
+    (Heap.field_addr ~obj ~index:0)
+    arr;
+  obj
+
+let alloc heap s =
+  let obj = alloc_empty heap ~capacity:(String.length s) in
+  let arr =
+    Memory.read_u32 (Heap.memory heap) (Heap.field_addr ~obj ~index:0)
+  in
+  String.iteri
+    (fun i c -> Jarray.set Jarray.Chars heap arr i (Char.code c))
+    s;
+  obj
+
+let char_array heap obj =
+  Memory.read_u32 (Heap.memory heap) (Heap.field_addr ~obj ~index:0)
+
+let length heap obj = Jarray.length heap (char_array heap obj)
+
+let data_range heap obj =
+  Jarray.data_range Jarray.Chars heap (char_array heap obj)
+
+let to_string heap obj =
+  let arr = char_array heap obj in
+  String.init (Jarray.length heap arr) (fun i ->
+      Char.chr (Jarray.get Jarray.Chars heap arr i land 0xFF))
+
+let set_length heap obj n =
+  let arr = char_array heap obj in
+  Memory.write_u32 (Heap.memory heap) (arr + 4) n

@@ -1,0 +1,31 @@
+(** Java-style strings: an object holding a reference to a char\[\] whose
+    elements are 2-byte code units (the paper notes each character
+    consumes two bytes, §2 footnote 1).
+
+    Allocation writes characters directly (literal strings and
+    freshly-materialised source values are produced by the runtime, not by
+    tracked code); all subsequent movement of string *data* happens
+    through executed copy loops. *)
+
+val alloc : Heap.t -> string -> int
+(** Materialise an OCaml string (one code unit per byte) as a Java
+    string; returns the string object reference. *)
+
+val alloc_empty : Heap.t -> capacity:int -> int
+(** String backed by a zeroed char array of [capacity] chars (used as a
+    copy destination). *)
+
+val char_array : Heap.t -> int -> int
+(** The char\[\] reference of a string object. *)
+
+val length : Heap.t -> int -> int
+
+val data_range : Heap.t -> int -> Pift_util.Range.t option
+(** Byte range of the character data — the range PIFT Native hands to the
+    kernel module at sources and sinks (Fig. 3). *)
+
+val to_string : Heap.t -> int -> string
+(** Read the contents back (low bytes of each code unit). *)
+
+val set_length : Heap.t -> int -> int -> unit
+(** Shrink/grow the logical length (must fit the allocation). *)

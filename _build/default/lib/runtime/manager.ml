@@ -1,0 +1,61 @@
+module Range = Pift_util.Range
+
+type verdict = {
+  sink : string;
+  pid : int;
+  seq : int;
+  tainted : (string * bool) list;
+}
+
+type tracker = {
+  name : string;
+  taint : pid:int -> Range.t -> unit;
+  check : pid:int -> Range.t -> bool;
+}
+
+type t = {
+  mutable trackers : tracker list;  (* reverse attachment order *)
+  mutable sources : (string * int * Range.t) list;  (* newest first *)
+  mutable verdicts : verdict list;  (* newest first *)
+  mutable next_seq : int;
+  mutable source_subs : (pid:int -> kind:string -> Range.t -> unit) list;
+  mutable check_subs : (pid:int -> kind:string -> Range.t list -> unit) list;
+}
+
+let create () =
+  {
+    trackers = [];
+    sources = [];
+    verdicts = [];
+    next_seq = 0;
+    source_subs = [];
+    check_subs = [];
+  }
+
+let subscribe_sources t f = t.source_subs <- f :: t.source_subs
+let subscribe_checks t f = t.check_subs <- f :: t.check_subs
+
+let add_tracker t ~name ~taint ~check =
+  t.trackers <- { name; taint; check } :: t.trackers
+
+let register_source t ~pid ~kind range =
+  t.sources <- (kind, pid, range) :: t.sources;
+  List.iter (fun f -> f ~pid ~kind range) t.source_subs;
+  List.iter (fun tr -> tr.taint ~pid range) t.trackers
+
+let check_sink t ~pid ~kind ranges =
+  List.iter (fun f -> f ~pid ~kind ranges) t.check_subs;
+  let tainted =
+    List.rev_map
+      (fun tr -> (tr.name, List.exists (fun r -> tr.check ~pid r) ranges))
+      t.trackers
+  in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.verdicts <- { sink = kind; pid; seq; tainted } :: t.verdicts
+
+let sources t = List.rev t.sources
+let verdicts t = List.rev t.verdicts
+
+let leaked t ~tracker =
+  List.exists (fun v -> List.assoc tracker v.tainted) t.verdicts

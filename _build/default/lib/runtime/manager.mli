@@ -1,0 +1,52 @@
+(** PIFT Manager: the framework-level component of Fig. 3.
+
+    Sources register the address ranges of freshly fetched sensitive data;
+    sinks hand the ranges of outgoing data down for a taint check.  The
+    manager fans these out to any number of attached trackers (the PIFT
+    heuristic, the full-DIFT ground truth, hardware-backed variants, ...)
+    and records every source registration and sink verdict for the
+    evaluation harness. *)
+
+type verdict = {
+  sink : string;  (** sink kind, e.g. ["sms"], ["http"], ["log"] *)
+  pid : int;
+  seq : int;  (** order of the check *)
+  tainted : (string * bool) list;  (** per-tracker answers *)
+}
+
+type t
+
+val create : unit -> t
+
+val add_tracker :
+  t ->
+  name:string ->
+  taint:(pid:int -> Pift_util.Range.t -> unit) ->
+  check:(pid:int -> Pift_util.Range.t -> bool) ->
+  unit
+
+val subscribe_sources :
+  t -> (pid:int -> kind:string -> Pift_util.Range.t -> unit) -> unit
+(** Observe raw source registrations (used by the trace recorder). *)
+
+val subscribe_checks :
+  t -> (pid:int -> kind:string -> Pift_util.Range.t list -> unit) -> unit
+(** Observe raw sink checks with their full range lists. *)
+
+val register_source : t -> pid:int -> kind:string -> Pift_util.Range.t -> unit
+(** Called by sources; taints the range in every attached tracker. *)
+
+val check_sink :
+  t -> pid:int -> kind:string -> Pift_util.Range.t list -> unit
+(** Called by sinks with the outgoing data's ranges; records one verdict
+    (a tracker flags the sink if {e any} of the ranges is tainted). *)
+
+val sources : t -> (string * int * Pift_util.Range.t) list
+(** Registrations, oldest first. *)
+
+val verdicts : t -> verdict list
+(** Sink checks, oldest first. *)
+
+val leaked : t -> tracker:string -> bool
+(** Did any sink check come back tainted for [tracker]?  Raises
+    [Not_found] if a verdict lacks that tracker. *)

@@ -1,0 +1,6 @@
+let size = 64
+let base ~pid = Pift_machine.Layout.scratch_base + (pid * size)
+let retval_offset = 0
+let exception_offset = 8
+
+let retval_range ~pid = Pift_util.Range.of_len (base ~pid + retval_offset) 4

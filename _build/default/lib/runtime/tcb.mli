@@ -1,0 +1,21 @@
+(** Per-thread control block, the interpreter's [rSELF] structure.
+
+    Dalvik keeps the pending method return value and the pending exception
+    in thread-local memory; [move-result] and [move-exception] read them
+    with real loads, which is how taint flows across call and throw edges.
+    Register [r6] holds the TCB address while interpreting. *)
+
+val size : int
+
+val base : pid:int -> int
+(** TCB address of a process (in the scratch region). *)
+
+val retval_offset : int
+(** Return value slot (4 bytes; wide results use 8). *)
+
+val exception_offset : int
+(** Pending-exception object reference. *)
+
+val retval_range : pid:int -> Pift_util.Range.t
+(** The 4-byte return-value slot as a range (used by primitive-typed
+    sources to taint their result). *)

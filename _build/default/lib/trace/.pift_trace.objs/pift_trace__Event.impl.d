@@ -1,0 +1,1 @@
+lib/trace/event.ml: Format Pift_arm Pift_util

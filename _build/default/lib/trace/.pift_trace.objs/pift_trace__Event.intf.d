@@ -1,0 +1,1 @@
+lib/trace/event.mli: Format Pift_arm Pift_util

@@ -1,0 +1,1 @@
+lib/trace/stats.ml: Array Event Hashtbl List Pift_util Trace

@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Event Int List Pift_arm Set

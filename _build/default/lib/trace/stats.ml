@@ -1,0 +1,127 @@
+module Histogram = Pift_util.Histogram
+
+(* Per-pid folding: [f state event] where state is created per process on
+   first sight. *)
+let fold_per_pid ~init ~f trace =
+  let states = Hashtbl.create 4 in
+  let visit e =
+    let pid = e.Event.pid in
+    let state =
+      match Hashtbl.find_opt states pid with
+      | Some s -> s
+      | None ->
+          let s = ref (init ()) in
+          Hashtbl.add states pid s;
+          s
+    in
+    state := f !state e
+  in
+  Trace.iter visit trace
+
+let load_store_distance trace =
+  let h = Histogram.create () in
+  let f last_load e =
+    match e.Event.access with
+    | Event.Load _ -> Some e.Event.k
+    | Event.Store _ ->
+        (match last_load with
+        | Some k_l -> Histogram.add h (e.Event.k - k_l)
+        | None -> ());
+        last_load
+    | Event.Other -> last_load
+  in
+  fold_per_pid ~init:(fun () -> None) ~f trace;
+  h
+
+let stores_between_loads trace =
+  let h = Histogram.create () in
+  let f (seen_load, count) e =
+    match e.Event.access with
+    | Event.Load _ ->
+        if seen_load then Histogram.add h count;
+        (true, 0)
+    | Event.Store _ -> (seen_load, count + 1)
+    | Event.Other -> (seen_load, count)
+  in
+  fold_per_pid ~init:(fun () -> (false, 0)) ~f trace;
+  h
+
+let load_load_distance trace =
+  let h = Histogram.create () in
+  let f last_load e =
+    match e.Event.access with
+    | Event.Load _ ->
+        (match last_load with
+        | Some k_l -> Histogram.add h (e.Event.k - k_l)
+        | None -> ());
+        Some e.Event.k
+    | Event.Store _ | Event.Other -> last_load
+  in
+  fold_per_pid ~init:(fun () -> None) ~f trace;
+  h
+
+(* Per-pid sorted arrays of load and store counters, for window lookups. *)
+let memory_counters trace =
+  let tbl = Hashtbl.create 4 in
+  let visit e =
+    let entry =
+      match Hashtbl.find_opt tbl e.Event.pid with
+      | Some x -> x
+      | None ->
+          let x = (ref [], ref []) in
+          Hashtbl.add tbl e.Event.pid x;
+          x
+    in
+    let loads, stores = entry in
+    match e.Event.access with
+    | Event.Load _ -> loads := e.Event.k :: !loads
+    | Event.Store _ -> stores := e.Event.k :: !stores
+    | Event.Other -> ()
+  in
+  Trace.iter visit trace;
+  Hashtbl.fold
+    (fun _pid (loads, stores) acc ->
+      let arr l = Array.of_list (List.rev !l) in
+      (arr loads, arr stores) :: acc)
+    tbl []
+
+(* Index of the first element of sorted [a] strictly greater than [v]. *)
+let upper_bound a v =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) <= v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let stores_in_window ~ni trace =
+  if ni <= 0 then invalid_arg "Stats.stores_in_window: non-positive ni";
+  let h = Histogram.create () in
+  let per_pid (loads, stores) =
+    let count_for k_l =
+      let first = upper_bound stores k_l in
+      let after = upper_bound stores (k_l + ni) in
+      Histogram.add h (after - first)
+    in
+    Array.iter count_for loads
+  in
+  List.iter per_pid (memory_counters trace);
+  h
+
+let kth_store_distance ~ni ~kth trace =
+  if ni <= 0 then invalid_arg "Stats.kth_store_distance: non-positive ni";
+  if kth <= 0 then invalid_arg "Stats.kth_store_distance: non-positive kth";
+  let sum = ref 0 and n = ref 0 in
+  let per_pid (loads, stores) =
+    let measure k_l =
+      let first = upper_bound stores k_l in
+      let idx = first + kth - 1 in
+      if idx < Array.length stores && stores.(idx) - k_l <= ni then begin
+        sum := !sum + (stores.(idx) - k_l);
+        incr n
+      end
+    in
+    Array.iter measure loads
+  in
+  List.iter per_pid (memory_counters trace);
+  if !n = 0 then None else Some (float_of_int !sum /. float_of_int !n)

@@ -1,0 +1,27 @@
+(** Trace statistics from the paper's empirical study (§2, Fig. 2) and
+    micro-benchmarks (§5.1, Figs. 12–13).
+
+    All distances are measured in numbers of instructions on the
+    per-process instruction counter, matching Algorithm 1's window
+    arithmetic: a store at counter [k_s] is within the window opened by a
+    load at [k_l] iff [k_s - k_l <= ni]. *)
+
+val load_store_distance : Trace.t -> Pift_util.Histogram.t
+(** Fig. 2a: for every store, the distance to the most recent load of the
+    same process.  Stores with no preceding load are skipped. *)
+
+val stores_between_loads : Trace.t -> Pift_util.Histogram.t
+(** Fig. 2b: for every pair of consecutive loads, the number of stores
+    executed between them. *)
+
+val load_load_distance : Trace.t -> Pift_util.Histogram.t
+(** Fig. 2c: distance between consecutive loads of the same process. *)
+
+val stores_in_window : ni:int -> Trace.t -> Pift_util.Histogram.t
+(** Fig. 12: for every load, the number of stores within the next [ni]
+    instructions of the same process. *)
+
+val kth_store_distance : ni:int -> kth:int -> Trace.t -> float option
+(** Fig. 13: mean distance from a load to the [kth] store (1-based) inside
+    its window of size [ni], over the loads that have at least [kth]
+    stores in the window.  [None] when no load qualifies. *)

@@ -1,0 +1,49 @@
+type t = {
+  mutable events : Event.t array;
+  mutable len : int;
+  mutable loads : int;
+  mutable stores : int;
+}
+
+let dummy =
+  {
+    Event.seq = 0;
+    k = 0;
+    pid = 0;
+    insn = Pift_arm.Insn.Nop;
+    access = Event.Other;
+  }
+
+let create () = { events = Array.make 1024 dummy; len = 0; loads = 0; stores = 0 }
+
+let add t e =
+  if t.len = Array.length t.events then
+    t.events <- Array.append t.events (Array.make t.len dummy);
+  t.events.(t.len) <- e;
+  t.len <- t.len + 1;
+  if Event.is_load e then t.loads <- t.loads + 1
+  else if Event.is_store e then t.stores <- t.stores + 1
+
+let sink t = add t
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Trace.get: out of bounds";
+  t.events.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.events.(i)
+  done
+
+let replay t consumers =
+  iter (fun e -> List.iter (fun c -> c e) consumers) t
+
+let loads t = t.loads
+let stores t = t.stores
+
+let pids t =
+  let module Iset = Set.Make (Int) in
+  let set = ref Iset.empty in
+  iter (fun e -> set := Iset.add e.Event.pid !set) t;
+  Iset.elements !set

@@ -1,0 +1,32 @@
+(** Recorded instruction streams.
+
+    A trace is recorded once per workload execution and replayed into any
+    number of trackers or statistics passes (the paper records gem5 traces
+    and feeds them to the PIFT analysis code offline, §5). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Event.t -> unit
+
+val sink : t -> Event.t -> unit
+(** [sink t] is [add t] in the shape expected by event producers. *)
+
+val length : t -> int
+val get : t -> int -> Event.t
+
+val iter : (Event.t -> unit) -> t -> unit
+(** In recording order. *)
+
+val replay : t -> (Event.t -> unit) list -> unit
+(** Feed every event to every consumer, in order. *)
+
+val loads : t -> int
+(** Number of load events. *)
+
+val stores : t -> int
+(** Number of store events. *)
+
+val pids : t -> int list
+(** Distinct process IDs, sorted. *)

@@ -1,0 +1,1 @@
+lib/util/range.ml: Format Int

@@ -1,0 +1,1 @@
+lib/util/textplot.ml: Array Float Format Histogram List String

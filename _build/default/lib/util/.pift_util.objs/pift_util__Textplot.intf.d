@@ -1,0 +1,1 @@
+lib/util/textplot.mli: Format Histogram

@@ -1,0 +1,79 @@
+type t = { tbl : (int, int ref) Hashtbl.t; mutable total : int }
+
+let create () = { tbl = Hashtbl.create 64; total = 0 }
+
+let add_many h v n =
+  if n < 0 then invalid_arg "Histogram.add_many: negative count";
+  (match Hashtbl.find_opt h.tbl v with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add h.tbl v (ref n));
+  h.total <- h.total + n
+
+let add h v = add_many h v 1
+
+let count h v =
+  match Hashtbl.find_opt h.tbl v with Some r -> !r | None -> 0
+
+let total h = h.total
+let is_empty h = h.total = 0
+
+let pdf h v =
+  if h.total = 0 then 0. else float_of_int (count h v) /. float_of_int h.total
+
+let bindings h =
+  Hashtbl.fold (fun v r acc -> (v, !r) :: acc) h.tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let cdf h v =
+  if h.total = 0 then 0.
+  else begin
+    let below =
+      Hashtbl.fold
+        (fun v' r acc -> if v' <= v then acc + !r else acc)
+        h.tbl 0
+    in
+    float_of_int below /. float_of_int h.total
+  end
+
+let fold_values f h init =
+  Hashtbl.fold (fun v r acc -> f v !r acc) h.tbl init
+
+let mean h =
+  if h.total = 0 then 0.
+  else
+    let sum = fold_values (fun v n acc -> acc + (v * n)) h 0 in
+    float_of_int sum /. float_of_int h.total
+
+let max_value h =
+  if is_empty h then invalid_arg "Histogram.max_value: empty";
+  fold_values (fun v _ acc -> max v acc) h min_int
+
+let min_value h =
+  if is_empty h then invalid_arg "Histogram.min_value: empty";
+  fold_values (fun v _ acc -> min v acc) h max_int
+
+let percentile h p =
+  if is_empty h then invalid_arg "Histogram.percentile: empty";
+  if p < 0. || p > 1. then invalid_arg "Histogram.percentile: p out of [0,1]";
+  let target = p *. float_of_int h.total in
+  let rec scan acc = function
+    | [] -> invalid_arg "Histogram.percentile: unreachable"
+    | [ (v, _) ] -> v
+    | (v, n) :: rest ->
+        let acc = acc + n in
+        if float_of_int acc >= target then v else scan acc rest
+  in
+  scan 0 (bindings h)
+
+let merge a b =
+  let h = create () in
+  List.iter (fun (v, n) -> add_many h v n) (bindings a);
+  List.iter (fun (v, n) -> add_many h v n) (bindings b);
+  h
+
+let pp_summary ppf h =
+  if is_empty h then Format.fprintf ppf "(empty)"
+  else
+    Format.fprintf ppf "n=%d mean=%.2f min=%d max=%d p50=%d p99=%d" h.total
+      (mean h) (min_value h) (max_value h) (percentile h 0.5)
+      (percentile h 0.99)

@@ -1,0 +1,44 @@
+(** Integer-keyed frequency histograms with pdf/cdf views.
+
+    Used for the paper's trace statistics (Fig. 2, Fig. 12): distributions
+    over instruction distances and store counts. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** Record one observation of value [v]. *)
+
+val add_many : t -> int -> int -> unit
+(** [add_many h v n] records [n] observations of [v]. *)
+
+val count : t -> int -> int
+(** Observations of exactly [v]. *)
+
+val total : t -> int
+(** Total number of observations. *)
+
+val is_empty : t -> bool
+
+val pdf : t -> int -> float
+(** Probability mass at [v]; 0 for an empty histogram. *)
+
+val cdf : t -> int -> float
+(** Cumulative probability of values [<= v]. *)
+
+val mean : t -> float
+val max_value : t -> int
+val min_value : t -> int
+
+val percentile : t -> float -> int
+(** [percentile h p] with [p] in [0,1]: smallest [v] with [cdf h v >= p].
+    Raises [Invalid_argument] on an empty histogram. *)
+
+val bindings : t -> (int * int) list
+(** Sorted [(value, count)] pairs. *)
+
+val merge : t -> t -> t
+(** New histogram combining both inputs. *)
+
+val pp_summary : Format.formatter -> t -> unit

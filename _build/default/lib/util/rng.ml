@@ -1,0 +1,43 @@
+type t = { mutable state : int64 }
+
+let create seed =
+  let s = Int64.of_int seed in
+  { state = (if Int64.equal s 0L then 0x9E3779B97F4A7C15L else s) }
+
+(* xorshift64*: Marsaglia 2003 / Vigna 2016. *)
+let next t =
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_right_logical x 12) in
+  let x = Int64.logxor x (Int64.shift_left x 25) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 27) in
+  t.state <- x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+let bits62 t = Int64.to_int (Int64.shift_right_logical (next t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  bits62 t mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let float t bound =
+  float_of_int (bits62 t) /. float_of_int (1 lsl 62) *. bound
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let split t = { state = next t }

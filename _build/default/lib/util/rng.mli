@@ -1,0 +1,28 @@
+(** Deterministic xorshift64* random number generator.
+
+    Workload generators and property tests need reproducible randomness
+    that does not depend on [Stdlib.Random] global state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] — any seed is accepted; 0 is remapped internally. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  Raises [Invalid_argument]
+    when [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val bool : t -> bool
+val float : t -> float -> float
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** Derive an independent generator (for parallel sub-streams). *)

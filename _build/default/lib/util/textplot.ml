@@ -1,0 +1,115 @@
+let repeat_char c n = String.make (max 0 n) c
+
+let bar_chart ?(width = 50) ~title items ppf () =
+  Format.fprintf ppf "@[<v>== %s ==@," title;
+  let vmax = List.fold_left (fun m (_, v) -> Float.max m v) 0. items in
+  let label_w =
+    List.fold_left (fun m (l, _) -> max m (String.length l)) 0 items
+  in
+  let draw (label, v) =
+    let n =
+      if vmax <= 0. then 0
+      else int_of_float (Float.round (v /. vmax *. float_of_int width))
+    in
+    Format.fprintf ppf "%-*s | %-*s %g@," label_w label width
+      (repeat_char '#' n) v
+  in
+  List.iter draw items;
+  Format.fprintf ppf "@]@."
+
+let distribution ?(max_bin = 30) ~title h ppf () =
+  Format.fprintf ppf "@[<v>== %s ==@," title;
+  if Histogram.is_empty h then Format.fprintf ppf "(empty)@,"
+  else begin
+    Format.fprintf ppf "%a@," Histogram.pp_summary h;
+    Format.fprintf ppf "%6s %10s %8s %8s  %s@," "value" "count" "pdf" "cdf"
+      "";
+    let overflow = ref 0 in
+    let draw (v, n) =
+      if v > max_bin then overflow := !overflow + n
+      else begin
+        let p = Histogram.pdf h v and c = Histogram.cdf h v in
+        let bar = repeat_char '#' (int_of_float (p *. 60.)) in
+        Format.fprintf ppf "%6d %10d %8.4f %8.4f  %s@," v n p c bar
+      end
+    in
+    List.iter draw (Histogram.bindings h);
+    if !overflow > 0 then
+      Format.fprintf ppf "%5s%d %10d %8.4f %8s@," ">" max_bin !overflow
+        (float_of_int !overflow /. float_of_int (Histogram.total h))
+        ""
+  end;
+  Format.fprintf ppf "@]@."
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&'; '$'; '~' |]
+
+let series ?(height = 18) ?(log_scale = false) ~title curves ppf () =
+  Format.fprintf ppf "@[<v>== %s ==@," title;
+  let all = List.concat_map snd curves in
+  if all = [] then Format.fprintf ppf "(no data)@]@."
+  else begin
+    let tmax = List.fold_left (fun m (t, _) -> max m t) 0 all in
+    let tmin = List.fold_left (fun m (t, _) -> min m t) max_int all in
+    let vmax = List.fold_left (fun m (_, v) -> max m v) 1 all in
+    let width = 72 in
+    let scale_v v =
+      let v = max v 0 in
+      let f =
+        if log_scale then
+          log (float_of_int (v + 1)) /. log (float_of_int (vmax + 1))
+        else float_of_int v /. float_of_int vmax
+      in
+      min (height - 1) (int_of_float (f *. float_of_int (height - 1)))
+    in
+    let scale_t t =
+      if tmax = tmin then 0
+      else min (width - 1) ((t - tmin) * (width - 1) / (tmax - tmin))
+    in
+    let grid = Array.make_matrix height width ' ' in
+    let draw_curve idx (_, points) =
+      let g = glyphs.(idx mod Array.length glyphs) in
+      let plot (t, v) = grid.(height - 1 - scale_v v).(scale_t t) <- g in
+      List.iter plot points
+    in
+    (* draw back-to-front so the first (primary) curve stays visible
+       where curves overlap *)
+    List.iteri
+      (fun i curve -> draw_curve (List.length curves - 1 - i) curve)
+      (List.rev curves);
+    let axis_note = if log_scale then " (log scale)" else "" in
+    Format.fprintf ppf "y: 0..%d%s, x: %d..%d@," vmax axis_note tmin tmax;
+    Array.iter
+      (fun row ->
+        Format.fprintf ppf "|%s@," (String.init width (Array.get row)))
+      grid;
+    Format.fprintf ppf "+%s@," (repeat_char '-' width);
+    List.iteri
+      (fun idx (label, _) ->
+        Format.fprintf ppf "  %c = %s@,"
+          glyphs.(idx mod Array.length glyphs)
+          label)
+      curves
+  end;
+  Format.fprintf ppf "@]@."
+
+let heatmap ~title ~row_label ~col_label ~rows ~cols cell ppf () =
+  Format.fprintf ppf "@[<v>== %s ==@," title;
+  Format.fprintf ppf "rows: %s, cols: %s@," row_label col_label;
+  let cell_w = 8 in
+  Format.fprintf ppf "%6s" "";
+  List.iter (fun c -> Format.fprintf ppf "%*d" cell_w c) cols;
+  Format.fprintf ppf "@,";
+  let draw_row r =
+    Format.fprintf ppf "%6d" r;
+    let draw_cell c =
+      let v = cell ~row:r ~col:c in
+      if Float.is_integer v && Float.abs v < 1e7 then
+        Format.fprintf ppf "%*.0f" cell_w v
+      else if Float.abs v >= 1000. then Format.fprintf ppf "%*.3g" cell_w v
+      else Format.fprintf ppf "%*.3f" cell_w v
+    in
+    List.iter draw_cell cols;
+    Format.fprintf ppf "@,"
+  in
+  List.iter draw_row rows;
+  Format.fprintf ppf "@]@."

@@ -1,0 +1,49 @@
+(** ASCII rendering of the paper's figures: bar-chart distributions,
+    log-scale time series, and NI×NT heatmaps.
+
+    The bench harness and the CLI print every reproduced figure through
+    these renderers so results are readable in a terminal and diffable in
+    [bench_output.txt]. *)
+
+val bar_chart :
+  ?width:int ->
+  title:string ->
+  (string * float) list ->
+  Format.formatter ->
+  unit ->
+  unit
+(** Horizontal bars, one per labelled value, scaled to the maximum. *)
+
+val distribution :
+  ?max_bin:int ->
+  title:string ->
+  Histogram.t ->
+  Format.formatter ->
+  unit ->
+  unit
+(** pdf + cdf table with bars for an integer histogram (Fig. 2 style).
+    Bins above [max_bin] are folded into a final ">max" row. *)
+
+val series :
+  ?height:int ->
+  ?log_scale:bool ->
+  title:string ->
+  (string * (int * int) list) list ->
+  Format.formatter ->
+  unit ->
+  unit
+(** Multi-curve scatter over a shared time axis (Fig. 15/16 style).  Each
+    curve is drawn with its own glyph; a legend maps glyphs to labels. *)
+
+val heatmap :
+  title:string ->
+  row_label:string ->
+  col_label:string ->
+  rows:int list ->
+  cols:int list ->
+  (row:int -> col:int -> float) ->
+  Format.formatter ->
+  unit ->
+  unit
+(** Numeric grid (Fig. 11/14/17 style): columns are [cols] (e.g. NI), rows
+    are [rows] (e.g. NT), cells printed with adaptive precision. *)

@@ -1,0 +1,1 @@
+lib/workloads/app.ml: Pift_dalvik Pift_runtime

@@ -1,0 +1,1 @@
+lib/workloads/browser.ml: App Dsl Pift_dalvik

@@ -1,0 +1,1 @@
+lib/workloads/corpus.ml: Hashtbl List Option Pift_dalvik Pift_util Printf

@@ -1,0 +1,1 @@
+lib/workloads/droidbench.mli: App

@@ -1,0 +1,1 @@
+lib/workloads/droidbench_arrays.ml: App Dsl Pift_dalvik

@@ -1,0 +1,1 @@
+lib/workloads/droidbench_components.ml: App Dsl Pift_dalvik

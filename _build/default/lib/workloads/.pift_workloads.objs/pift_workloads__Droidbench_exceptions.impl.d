@@ -1,0 +1,1 @@
+lib/workloads/droidbench_exceptions.ml: App Dsl Pift_dalvik

@@ -1,0 +1,1 @@
+lib/workloads/droidbench_fields.ml: App Dsl Pift_dalvik

@@ -1,0 +1,1 @@
+lib/workloads/droidbench_general.ml: App Dsl Pift_dalvik

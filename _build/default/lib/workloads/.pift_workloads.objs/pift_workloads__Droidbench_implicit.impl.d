@@ -1,0 +1,1 @@
+lib/workloads/droidbench_implicit.ml: App Dsl List Pift_dalvik Printf

@@ -1,0 +1,1 @@
+lib/workloads/evasion.ml: App Array Dsl Pift_arm Pift_dalvik Pift_machine Pift_runtime

@@ -1,0 +1,1 @@
+lib/workloads/evasion.mli: App

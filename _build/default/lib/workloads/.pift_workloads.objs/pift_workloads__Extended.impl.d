@@ -1,0 +1,1 @@
+lib/workloads/extended.ml: App Dsl List Pift_dalvik Printf String

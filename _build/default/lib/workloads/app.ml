@@ -1,0 +1,11 @@
+type t = {
+  name : string;
+  category : string;
+  leaky : bool;
+  subset48 : bool;
+  program : unit -> Pift_dalvik.Program.t;
+  natives : (string * Pift_runtime.Env.native) list;
+}
+
+let make ?(subset48 = true) ?(natives = []) ~name ~category ~leaky program =
+  { name; category; leaky; subset48; program; natives }

@@ -1,0 +1,25 @@
+(** A test application: a labelled Dalvik program.
+
+    Mirrors a DroidBench case: the [leaky] flag is the ground-truth label
+    ("does sensitive data reach a sink on this execution"), [category] the
+    DroidBench folder, and [subset48] marks membership in the 48-app
+    subset used for the Fig. 11 accuracy heatmap. *)
+
+type t = {
+  name : string;
+  category : string;
+  leaky : bool;
+  subset48 : bool;
+  program : unit -> Pift_dalvik.Program.t;
+  natives : (string * Pift_runtime.Env.native) list;
+      (** extra natives beyond {!Pift_runtime.Api.registry} *)
+}
+
+val make :
+  ?subset48:bool ->
+  ?natives:(string * Pift_runtime.Env.native) list ->
+  name:string ->
+  category:string ->
+  leaky:bool ->
+  (unit -> Pift_dalvik.Program.t) ->
+  t

@@ -1,0 +1,88 @@
+module B = Pift_dalvik.Bytecode
+open Dsl
+
+(* One "page": a markup string is scanned character by character
+   (bytecode loop with aget-char and a switch on tag boundaries), text
+   runs are appended to the rendered buffer, and a DOM-ish node object is
+   allocated per tag with its text length stored in a field. *)
+let page_markup =
+  "<html><head><title>news</title></head><body><h1>headline</h1><p>the \
+   quick brown fox jumps over the lazy dog</p><p>second paragraph with \
+   more text to lay out</p></body></html>"
+
+let sized ~pages =
+  App.make ~name:"Browser" ~category:"Benchmark" ~leaky:false
+    ~subset48:false (fun () ->
+      prog
+        ~classes:[ ("Node", [ "text_len"; "depth" ]) ]
+        [
+          (* render(markup): returns the rendered string *)
+          meth ~name:"render" ~registers:14 ~ins:1
+            (body
+               [
+                 (* v13 = markup *)
+                 I (call "String.length" [ 13 ]);
+                 I (B.Move_result 0);
+                 I (B.New_array (1, 0, "char[]"));
+                 I (call "String.getChars" [ 13; 1 ]);
+                 Is (sb_new ~dst:2);
+                 I (B.Const4 (3, 0)) (* i *);
+                 I (B.Const4 (4, 0)) (* in_tag *);
+                 I (B.Const4 (7, 0)) (* text_len *);
+                 L "scan";
+                 If_l (B.Ge, 3, 0, "done");
+                 I (B.Aget_char (5, 1, 3));
+                 (* '<' opens a tag, '>' closes it *)
+                 I (B.Const16 (6, 60));
+                 If_l (B.Eq, 5, 6, "open_tag");
+                 I (B.Const16 (6, 62));
+                 If_l (B.Eq, 5, 6, "close_tag");
+                 Ifz_l (B.Ne, 4, "next");
+                 (* text outside tags: render it and count it *)
+                 I (call "StringBuilder.appendChar" [ 2; 5 ]);
+                 I (B.Move_result_object 2);
+                 I (B.Binop_lit8 (B.Add, 7, 7, 1));
+                 Goto_l "next";
+                 L "open_tag";
+                 I (B.Const4 (4, 1));
+                 (* a DOM node records the text run so far *)
+                 I (B.New_instance (8, "Node"));
+                 I (B.Iput (7, 8, "text_len"));
+                 I (B.Iput (3, 8, "depth"));
+                 I (B.Const4 (7, 0));
+                 Goto_l "next";
+                 L "close_tag";
+                 I (B.Const4 (4, 0));
+                 Goto_l "next";
+                 L "next";
+                 I (B.Binop_lit8 (B.Add, 3, 3, 1));
+                 Goto_l "scan";
+                 L "done";
+                 I (call "StringBuilder.toString" [ 2 ]);
+                 I (B.Move_result_object 9);
+                 I (B.Return_object 9);
+               ]);
+          meth ~name:"main" ~registers:8 ~ins:0
+            (body
+               [
+                 I (B.Const4 (0, 0));
+                 I (B.Const16 (1, pages));
+                 I (lit 2 page_markup);
+                 L "pages";
+                 If_l (B.Ge, 0, 1, "quit");
+                 I (B.Invoke (B.Static, "render", [ 2 ]));
+                 I (B.Move_result_object 3);
+                 (* status line *)
+                 I (call "String.length" [ 3 ]);
+                 I (B.Move_result 4);
+                 Is (int_to_string ~dst:5 4);
+                 I (lit 6 "render");
+                 I (log ~tag:6 ~msg:5);
+                 I (B.Binop_lit8 (B.Add, 0, 0, 1));
+                 Goto_l "pages";
+                 L "quit";
+                 I B.Return_void;
+               ]);
+        ])
+
+let app = sized ~pages:6

@@ -1,0 +1,10 @@
+(** A BBench-style interactive browser workload (the paper's trace study
+    cites BBench-gem5 and says it analysed "a number of app executions",
+    §2/§5).  The app renders a sequence of synthetic pages: parses
+    markup-ish text, builds a DOM-like tree of objects, lays out strings
+    through StringBuilder, and logs a benign status line.  It reads no
+    sensitive source, so it doubles as a large benign control for
+    overtainting studies. *)
+
+val app : App.t
+val sized : pages:int -> App.t

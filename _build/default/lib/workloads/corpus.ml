@@ -1,0 +1,177 @@
+module B = Pift_dalvik.Bytecode
+module Method = Pift_dalvik.Method
+module Program = Pift_dalvik.Program
+module Rng = Pift_util.Rng
+
+(* Opcode templates.  [last] is the method's final index (a return), used
+   as the target of every branch so generated bodies are always valid. *)
+let template rng ~last name =
+  let v () = Rng.int rng 8 in
+  match name with
+  | "invoke-virtual" -> B.Invoke (B.Virtual, "Lib.m", [ v () ])
+  | "invoke-virtual/range" -> B.Invoke_range (B.Virtual, "Lib.m", [ v () ])
+  | "invoke-static" -> B.Invoke (B.Static, "Lib.s", [ v () ])
+  | "invoke-direct" -> B.Invoke (B.Direct, "Lib.<init>", [ v () ])
+  | "invoke-interface" -> B.Invoke (B.Interface, "Lib.i", [ v () ])
+  | "move-result-object" -> B.Move_result_object (v ())
+  | "move-result" -> B.Move_result (v ())
+  | "move-exception" -> B.Move_exception (v ())
+  | "iget-object" -> B.Iget_object (v (), v (), "f0")
+  | "iget" -> B.Iget (v (), v (), "f1")
+  | "iget-wide" -> B.Iget_wide (v (), v (), "f2")
+  | "iput-object" -> B.Iput_object (v (), v (), "f0")
+  | "iput" -> B.Iput (v (), v (), "f1")
+  | "sget-object" -> B.Sget_object (v (), "Lib.g0")
+  | "sget" -> B.Sget (v (), "Lib.g1")
+  | "sput-object" -> B.Sput_object (v (), "Lib.g0")
+  | "sput" -> B.Sput (v (), "Lib.g1")
+  | "const/4" -> B.Const4 (v (), Rng.int rng 8)
+  | "const/16" -> B.Const16 (v (), Rng.int rng 1000)
+  | "const" -> B.Const (v (), Rng.int rng 100000)
+  | "const-string" -> B.Const_string (v (), "s")
+  | "return-void" -> B.Nop (* bodies end with one real return *)
+  | "return" -> B.Nop
+  | "return-object" -> B.Nop
+  | "goto" -> B.Goto last
+  | "if-eqz" -> B.If_testz (B.Eq, v (), last)
+  | "if-nez" -> B.If_testz (B.Ne, v (), last)
+  | "if-lt" -> B.If_test (B.Lt, v (), v (), last)
+  | "packed-switch" -> B.Packed_switch (v (), [ (0, last) ], last)
+  | "aput-object" -> B.Aput_object (v (), v (), v ())
+  | "aget-object" -> B.Aget_object (v (), v (), v ())
+  | "aget" -> B.Aget (v (), v (), v ())
+  | "aput" -> B.Aput (v (), v (), v ())
+  | "aget-char" -> B.Aget_char (v (), v (), v ())
+  | "aput-char" -> B.Aput_char (v (), v (), v ())
+  | "new-instance" -> B.New_instance (v (), "Lib")
+  | "new-array" -> B.New_array (v (), v (), "int[]")
+  | "array-length" -> B.Array_length (v (), v ())
+  | "check-cast" -> B.Check_cast (v (), "Lib")
+  | "instance-of" -> B.Instance_of (v (), v (), "Lib")
+  | "move" -> B.Move (v (), v ())
+  | "move/from16" -> B.Move_from16 (v (), v ())
+  | "move-object" -> B.Move_object (v (), v ())
+  | "move-object/from16" -> B.Move_object_from16 (v (), v ())
+  | "move-wide" -> B.Move_wide (v (), v ())
+  | "throw" -> B.Throw (v ())
+  | "add-int/lit8" -> B.Binop_lit8 (B.Add, v (), v (), Rng.int rng 100)
+  | "xor-int/lit8" -> B.Binop_lit8 (B.Xor, v (), v (), Rng.int rng 100)
+  | "add-int/2addr" -> B.Binop_2addr (B.Add, v (), v ())
+  | "mul-int/2addr" -> B.Binop_2addr (B.Mul, v (), v ())
+  | "sub-int" -> B.Binop (B.Sub, v (), v (), v ())
+  | "div-int" -> B.Binop (B.Div, v (), v (), v ())
+  | "neg-int" -> B.Neg_int (v (), v ())
+  | "int-to-char" -> B.Int_to_char (v (), v ())
+  | "int-to-byte" -> B.Int_to_byte (v (), v ())
+  | "int-to-long" -> B.Int_to_long (v (), v ())
+  | "long-to-int" -> B.Long_to_int (v (), v ())
+  | "add-long" -> B.Add_long (v (), v (), v ())
+  | "sub-long" -> B.Sub_long (v (), v (), v ())
+  | "mul-long" -> B.Mul_long (v (), v (), v ())
+  | "shr-long" -> B.Shr_long (v (), v (), v ())
+  | "cmp-long" -> B.Cmp_long (v (), v (), v ())
+  | "monitor-enter" -> B.Monitor_enter (v ())
+  | "monitor-exit" -> B.Monitor_exit (v ())
+  | "nop" -> B.Nop
+  | other -> failwith ("Corpus.template: unknown opcode " ^ other)
+
+(* Fig. 10(a): Google stock applications, top 30, in 1/10000 units. *)
+let app_weights =
+  [
+    ("invoke-virtual", 1106); ("move-result-object", 898);
+    ("iget-object", 710); ("const/4", 519); ("const-string", 485);
+    ("invoke-static", 445); ("move-result", 442); ("invoke-direct", 431);
+    ("return-void", 319); ("goto", 310); ("invoke-interface", 304);
+    ("const/16", 282); ("if-eqz", 282); ("return-object", 279);
+    ("aput-object", 250); ("new-instance", 236); ("iput-object", 197);
+    ("move-object/from16", 184); ("return", 168); ("iget", 146);
+    ("if-nez", 140); ("check-cast", 131); ("sget-object", 109);
+    ("add-int/lit8", 80); ("iput", 74); ("move", 68); ("move/from16", 65);
+    ("throw", 64); ("const", 60); ("move-object", 53);
+  ]
+
+(* Fig. 10(b): Android system libraries, top 30. *)
+let lib_weights =
+  [
+    ("invoke-virtual", 1257); ("iget-object", 751);
+    ("move-result-object", 746); ("const/4", 564); ("invoke-direct", 457);
+    ("move-result", 416); ("const-string", 384); ("invoke-static", 359);
+    ("goto", 330); ("if-eqz", 326); ("move-object/from16", 322);
+    ("return-void", 283); ("iget", 260); ("new-instance", 257);
+    ("iput-object", 176); ("if-nez", 161); ("invoke-interface", 157);
+    ("const/16", 150); ("return-object", 144); ("throw", 130);
+    ("iput", 127); ("return", 117); ("move/from16", 113);
+    ("move-exception", 112); ("add-int/lit8", 96); ("check-cast", 95);
+    ("sget-object", 91); ("monitor-exit", 82);
+    ("invoke-virtual/range", 74); ("move", 74);
+  ]
+
+(* Long-tail opcodes carrying the mass outside the top 30. *)
+let tail_weights =
+  [
+    ("aget", 110); ("aput", 100); ("aget-object", 90); ("aget-char", 40);
+    ("aput-char", 40); ("new-array", 70); ("array-length", 65);
+    ("if-lt", 60); ("packed-switch", 45); ("move-exception", 40);
+    ("sput", 40); ("sget", 40); ("sput-object", 30);
+    ("xor-int/lit8", 35); ("add-int/2addr", 55); ("mul-int/2addr", 35);
+    ("sub-int", 30); ("div-int", 18); ("neg-int", 14);
+    ("int-to-char", 25); ("int-to-byte", 15); ("int-to-long", 22);
+    ("long-to-int", 18); ("add-long", 16); ("sub-long", 12);
+    ("mul-long", 8); ("shr-long", 7); ("cmp-long", 16);
+    ("monitor-enter", 34); ("monitor-exit", 20); ("move-wide", 28);
+    ("instance-of", 26); ("iget-wide", 20); ("nop", 12);
+  ]
+
+let merge base tail =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (k, w) -> Hashtbl.replace tbl k w) tail;
+  List.iter
+    (fun (k, w) ->
+      let extra = Option.value ~default:0 (Hashtbl.find_opt tbl k) in
+      Hashtbl.replace tbl k (w + extra))
+    base;
+  Hashtbl.fold (fun k w acc -> (k, w) :: acc) tbl []
+
+let sampler weights =
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 weights in
+  fun rng ->
+    let x = Rng.int rng total in
+    let rec pick acc = function
+      | [] -> fst (List.hd weights)
+      | (k, w) :: rest -> if x < acc + w then k else pick (acc + w) rest
+    in
+    pick 0 weights
+
+let method_len = 40
+let methods_per_program = 60
+
+let gen_program ~index ~prefix ~sample rng =
+  let gen_method i =
+    let name = Printf.sprintf "%s%d.m%d" prefix index i in
+    let last = method_len - 1 in
+    let body =
+      List.init (method_len - 1) (fun _ -> template rng ~last (sample rng))
+    in
+    Method.make ~name ~registers:8 ~ins:0 (body @ [ B.Return_void ])
+  in
+  let methods = List.init methods_per_program gen_method in
+  Program.make
+    ~classes:[ ("Lib", [ "f0"; "f1"; "f2"; "f3" ]) ]
+    ~entry:(Printf.sprintf "%s%d.m0" prefix index)
+    methods
+
+let generate ~seed ~prefix ~weights ~lines =
+  let rng = Rng.create seed in
+  let sample = sampler weights in
+  let per_program = method_len * methods_per_program in
+  let programs = max 1 (lines / per_program) in
+  List.init programs (fun index -> gen_program ~index ~prefix ~sample rng)
+
+let applications ?(lines = 120_000) () =
+  generate ~seed:0xA991 ~prefix:"App" ~weights:(merge app_weights tail_weights)
+    ~lines
+
+let system_libraries ?(lines = 130_000) () =
+  generate ~seed:0x51B5 ~prefix:"Sys"
+    ~weights:(merge lib_weights tail_weights)
+    ~lines

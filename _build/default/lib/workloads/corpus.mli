@@ -1,0 +1,16 @@
+(** Synthetic dex corpora for the Fig. 10 static-frequency study.
+
+    The paper counts bytecode frequencies over the dex files of Google
+    stock applications (1.2M lines) and the Android system libraries
+    (1.3M lines).  Those dex files are not available here, so we generate
+    corpora whose opcode mix is calibrated to the paper's published
+    top-30 frequencies (Fig. 10a/b); the residual mass is spread over the
+    remaining opcodes.  The corpora are static artefacts — they are
+    analysed, never executed. *)
+
+val applications : ?lines:int -> unit -> Pift_dalvik.Program.t list
+(** Calibrated to Fig. 10(a).  [lines] defaults to 120_000 bytecodes
+    (1/10 of the paper's corpus). *)
+
+val system_libraries : ?lines:int -> unit -> Pift_dalvik.Program.t list
+(** Calibrated to Fig. 10(b); default 130_000 bytecodes. *)

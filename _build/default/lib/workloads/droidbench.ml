@@ -1,0 +1,11 @@
+let all : App.t list =
+  Droidbench_general.all @ Droidbench_fields.all @ Droidbench_arrays.all
+  @ Droidbench_components.all @ Droidbench_exceptions.all
+  @ Droidbench_implicit.all
+
+let subset48 = List.filter (fun (a : App.t) -> a.App.subset48) all
+let leaky = List.filter (fun (a : App.t) -> a.App.leaky) all
+let benign = List.filter (fun (a : App.t) -> not a.App.leaky) all
+
+let find name =
+  List.find_opt (fun (a : App.t) -> String.equal a.App.name name) all

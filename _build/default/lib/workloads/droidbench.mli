@@ -1,0 +1,21 @@
+(** The DroidBench-like benchmark suite (paper §5): 57 labelled apps —
+    41 leaky, 16 benign — across the DroidBench 1.1 categories, with a
+    48-app subset ([subset48]) used for the Fig. 11 accuracy heatmap.
+
+    Detection-difficulty bands (engineered via the bytecode patterns each
+    app uses, see the per-file comments):
+    - reference/short-copy flows: caught by tiny windows,
+    - StringBuilder flows: need NT >= 2,
+    - field/long/transform loops: need NI in 5–8,
+    - GPS via decimal conversion: needs NI >= 10,
+    - one hard implicit flow: needs NI >= 18 (the paper's 2%% FN). *)
+
+val all : App.t list
+(** All 57 apps. *)
+
+val subset48 : App.t list
+(** The Fig. 11 heatmap subset (32 leaky + 16 benign). *)
+
+val leaky : App.t list
+val benign : App.t list
+val find : string -> App.t option

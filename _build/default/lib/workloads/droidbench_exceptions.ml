@@ -1,0 +1,82 @@
+(* Exception-driven flows. *)
+
+module B = Pift_dalvik.Bytecode
+module Method = Pift_dalvik.Method
+open Dsl
+
+let app = App.make
+let exc = ("LeakException", [ "payload" ])
+
+(* The reference survives the throw; the handler sends it. *)
+let exceptions1 =
+  app ~name:"Exceptions1" ~category:"Exceptions" ~leaky:true (fun () ->
+      prog ~classes:[ exc ]
+        [
+          meth ~name:"main" ~registers:7 ~ins:0
+            ~handlers:[ { Method.try_start = 2; try_end = 5; target = 5 } ]
+            (imei 0
+            (* pc 2..4: try block *)
+            @ [ B.New_instance (1, "LeakException"); B.Throw 1;
+                B.Return_void ]
+            (* pc 5: handler *)
+            @ [ B.Move_exception 2 ]
+            @ [ lit 3 "5554"; send_sms ~dest:3 ~msg:0; B.Return_void ]);
+        ])
+
+(* The exception object carries a char of the IMEI in a field:
+   iput (4) before the throw, iget (5) in the handler — needs NI >= 5. *)
+let exceptions2 =
+  app ~name:"Exceptions2" ~category:"Exceptions" ~leaky:true (fun () ->
+      prog ~classes:[ exc ]
+        [
+          meth ~name:"main" ~registers:10 ~ins:0
+            ~handlers:[ { Method.try_start = 7; try_end = 9; target = 9 } ]
+            (imei 0
+            @ [ B.Const4 (1, 4) ]
+            @ [ call "String.charAt" [ 0; 1 ]; B.Move_result 2 ]
+            @ [ B.New_instance (3, "LeakException") ]
+            (* pc 6 *)
+            @ [ B.Iput (2, 3, "payload") ]
+            (* pc 7..8: try *)
+            @ [ B.Throw 3; B.Return_void ]
+            (* pc 9: handler *)
+            @ [ B.Move_exception 4; B.Iget (5, 4, "payload") ]
+            @ sb_new ~dst:6
+            @ [ call "StringBuilder.appendChar" [ 6; 5 ];
+                B.Move_result_object 6 ]
+            @ sb_to_string ~dst:7 ~sb:6
+            @ [ lit 8 "TAG"; log ~tag:8 ~msg:7; B.Return_void ]);
+        ])
+
+(* The throwing branch is never taken, so the leaking handler is dead. *)
+let exceptions3 =
+  app ~name:"Exceptions3" ~category:"Exceptions" ~leaky:false (fun () ->
+      prog ~classes:[ exc ]
+        [
+          meth ~name:"main" ~registers:8 ~ins:0
+            ~handlers:[ { Method.try_start = 4; try_end = 6; target = 11 } ]
+            (body
+               [
+                 Is (imei 0);
+                 I (B.Const4 (1, 0));
+                 (* pc 2 *)
+                 Ifz_l (B.Eq, 1, "safe");
+                 (* try: never reached *)
+                 I (B.New_instance (2, "LeakException"));
+                 I (B.Throw 2);
+                 I B.Return_void;
+                 L "safe";
+                 I (lit 3 "ok");
+                 I (lit 4 "TAG");
+                 I (log ~tag:4 ~msg:3);
+                 I B.Return_void;
+                 (* handler *)
+                 L "handler";
+                 I (B.Move_exception 5);
+                 I (lit 6 "5554");
+                 I (send_sms ~dest:6 ~msg:0);
+                 I B.Return_void;
+               ]);
+        ])
+
+let all : App.t list = [ exceptions1; exceptions2; exceptions3 ]

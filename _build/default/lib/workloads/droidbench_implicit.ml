@@ -1,0 +1,133 @@
+(* Implicit (control-flow) leaks — §4.2 of the paper.
+
+   ImplicitFlow1 is the DroidBench case the paper explicitly discusses:
+   a switch-based character substitution.  PIFT catches it *despite* not
+   tracking control flow, because the constant store in each case arm
+   lands a handful of instructions after the tainted comparison load.
+
+   ImplicitFlow2 is the one false negative at the paper's (13,3)
+   operating point: the comparison and the dependent store are separated
+   by enough clean control flow (two never-taken tests here) that the
+   store sits exactly 18 instructions after the last tainted load — only
+   a window of NI >= 18 connects them. *)
+
+module B = Pift_dalvik.Bytecode
+open Dsl
+
+let app = App.make
+
+(* switch (c) { case '0': r='a'; ... } per character. *)
+let implicit_flow1 =
+  app ~name:"ImplicitFlow1" ~category:"ImplicitFlows" ~leaky:true (fun () ->
+      let cases =
+        List.init 10 (fun d -> (48 + d, Printf.sprintf "case%d" d))
+      in
+      let arms =
+        List.concat
+          (List.init 10 (fun d ->
+               [
+                 L (Printf.sprintf "case%d" d);
+                 I (B.Const16 (6, 97 + d));
+                 Goto_l "store";
+               ]))
+      in
+      prog
+        [
+          meth ~name:"main" ~registers:10 ~ins:0
+            (body
+               ([
+                  Is (imei 0);
+                  I (call "String.length" [ 0 ]);
+                  I (B.Move_result 1);
+                  I (B.New_array (2, 1, "char[]"));
+                  I (call "String.getChars" [ 0; 2 ]);
+                  I (B.New_array (3, 1, "char[]"));
+                  I (B.Const4 (4, 0));
+                  L "head";
+                  If_l (B.Ge, 4, 1, "done");
+                  I (B.Aget_char (5, 2, 4));
+                  Switch_l (5, cases, "default");
+                  L "default";
+                  I (B.Const16 (6, 63));
+                  Goto_l "store";
+                ]
+               @ arms
+               @ [
+                   L "store";
+                   I (B.Aput_char (6, 3, 4));
+                   I (B.Binop_lit8 (B.Add, 4, 4, 1));
+                   Goto_l "head";
+                   L "done";
+                   I (call "String.fromChars" [ 3 ]);
+                   I (B.Move_result_object 7);
+                   I (lit 8 "5554");
+                   I (send_sms ~dest:8 ~msg:7);
+                   I B.Return_void;
+                 ]));
+        ])
+
+(* One character, compared digit by digit; the matching arm delays the
+   constant store behind two never-taken clean tests so it falls exactly
+   18 instructions after the last tainted load. *)
+let implicit_flow2 =
+  app ~name:"ImplicitFlow2" ~category:"ImplicitFlows" ~leaky:true (fun () ->
+      let arm d =
+        [
+          L (Printf.sprintf "case%d" d);
+          (* v8 is always 1: two clean never-taken tests as delay *)
+          Ifz_l (B.Eq, 8, "never");
+          Ifz_l (B.Eq, 8, "never");
+          I (B.Const16 (6, 97 + d));
+          Goto_l "store";
+        ]
+      in
+      let dispatch =
+        List.concat
+          (List.init 10 (fun d ->
+               [
+                 (* t = c - '0' - d accumulated by repeated decrement *)
+                 Ifz_l (B.Eq, 5, Printf.sprintf "case%d" d);
+                 I (B.Binop_lit8 (B.Sub, 5, 5, 1));
+               ]))
+      in
+      prog
+        [
+          meth ~name:"main" ~registers:12 ~ins:0
+            (body
+               ([
+                  Is (imei 0);
+                  I (call "String.length" [ 0 ]);
+                  I (B.Move_result 1);
+                  (* both arrays allocated before the tainted copy so
+                     their reference slots stay clean *)
+                  I (B.New_array (2, 1, "char[]"));
+                  I (B.New_array (3, 1, "char[]"));
+                  I (B.Const4 (4, 0));
+                  I (B.Const4 (8, 1));
+                  I (call "String.getChars" [ 0; 2 ]);
+                ]
+               @ window_gap 8
+               @ [
+                  L "head";
+                  If_l (B.Ge, 4, 1, "done");
+                  I (B.Aget_char (5, 2, 4));
+                  I (B.Binop_lit8 (B.Sub, 5, 5, 48));
+                ]
+               @ dispatch
+               @ [ L "never"; I (B.Const16 (6, 63)); Goto_l "store" ]
+               @ List.concat (List.init 10 arm)
+               @ [
+                   L "store";
+                   I (B.Aput_char (6, 3, 4));
+                   I (B.Binop_lit8 (B.Add, 4, 4, 1));
+                   Goto_l "head";
+                   L "done";
+                   I (call "String.fromChars" [ 3 ]);
+                   I (B.Move_result_object 7);
+                   I (lit 9 "5554");
+                   I (send_sms ~dest:9 ~msg:7);
+                   I B.Return_void;
+                 ]));
+        ])
+
+let all : App.t list = [ implicit_flow1; implicit_flow2 ]

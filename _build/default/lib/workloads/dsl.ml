@@ -1,0 +1,110 @@
+module B = Pift_dalvik.Bytecode
+module Method = Pift_dalvik.Method
+module Program = Pift_dalvik.Program
+
+let meth ~name ~registers ~ins ?handlers code =
+  Method.make ~name ~registers ~ins ?handlers code
+
+let prog ?classes ?(entry = "main") methods =
+  Program.make ?classes ~entry methods
+
+let call0 name = B.Invoke (B.Static, name, [])
+let call name args = B.Invoke (B.Static, name, args)
+let source_obj name dst = [ call0 name; B.Move_result_object dst ]
+let source_int name dst = [ call0 name; B.Move_result dst ]
+let imei dst = source_obj "TelephonyManager.getDeviceId" dst
+let serial dst = source_obj "TelephonyManager.getSimSerialNumber" dst
+let phone_number dst = source_obj "TelephonyManager.getLine1Number" dst
+let latitude dst = source_int "LocationManager.getLatitude" dst
+let longitude dst = source_int "LocationManager.getLongitude" dst
+let lit dst s = B.Const_string (dst, s)
+
+let concat ~dst a b =
+  [ call "String.concat" [ a; b ]; B.Move_result_object dst ]
+
+let int_to_string ~dst v =
+  [ call "String.valueOf" [ v ]; B.Move_result_object dst ]
+
+let send_sms ~dest ~msg = call "SmsManager.sendTextMessage" [ dest; msg ]
+let http ~url ~body = call "HttpURLConnection.post" [ url; body ]
+let log ~tag ~msg = call "Log.i" [ tag; msg ]
+let sb_new ~dst = [ call0 "StringBuilder.new"; B.Move_result_object dst ]
+
+let sb_append ~sb v =
+  [ call "StringBuilder.append" [ sb; v ]; B.Move_result_object sb ]
+
+let sb_to_string ~dst ~sb =
+  [ call "StringBuilder.toString" [ sb ]; B.Move_result_object dst ]
+
+type item =
+  | I of B.t
+  | Is of B.t list
+  | L of string
+  | Goto_l of string
+  | If_l of B.test * B.v * B.v * string
+  | Ifz_l of B.test * B.v * string
+  | Switch_l of B.v * (int * string) list * string
+
+let body items =
+  (* First pass: assign indices; labels bind to the next bytecode. *)
+  let labels = Hashtbl.create 8 in
+  let count_of = function
+    | I _ | Goto_l _ | If_l _ | Ifz_l _ | Switch_l _ -> 1
+    | Is l -> List.length l
+    | L _ -> 0
+  in
+  let _ =
+    List.fold_left
+      (fun idx item ->
+        (match item with
+        | L name ->
+            if Hashtbl.mem labels name then
+              failwith ("Dsl.body: duplicate label " ^ name)
+            else Hashtbl.add labels name idx
+        | I _ | Is _ | Goto_l _ | If_l _ | Ifz_l _ | Switch_l _ -> ());
+        idx + count_of item)
+      0 items
+  in
+  let resolve name =
+    match Hashtbl.find_opt labels name with
+    | Some i -> i
+    | None -> failwith ("Dsl.body: unbound label " ^ name)
+  in
+  List.concat_map
+    (function
+      | I bc -> [ bc ]
+      | Is l -> l
+      | L _ -> []
+      | Goto_l name -> [ B.Goto (resolve name) ]
+      | If_l (t, a, b, name) -> [ B.If_test (t, a, b, resolve name) ]
+      | Ifz_l (t, a, name) -> [ B.If_testz (t, a, resolve name) ]
+      | Switch_l (v, table, default) ->
+          [
+            B.Packed_switch
+              ( v,
+                List.map (fun (k, name) -> (k, resolve name)) table,
+                resolve default );
+          ])
+    items
+
+let gap_counter = ref 0
+
+let window_gap n =
+  List.concat
+    (List.init n (fun _ ->
+         incr gap_counter;
+         let l = Printf.sprintf "gap%d" !gap_counter in
+         [ Goto_l l; L l ]))
+
+let clean_loop ~counter ~bound ~iterations =
+  let head = Printf.sprintf "clean%d_%d" counter iterations in
+  let out = head ^ "_out" in
+  [
+    I (B.Const4 (counter, 0));
+    I (B.Const16 (bound, iterations));
+    L head;
+    If_l (B.Ge, counter, bound, out);
+    I (B.Binop_lit8 (B.Add, counter, counter, 1));
+    Goto_l head;
+    L out;
+  ]

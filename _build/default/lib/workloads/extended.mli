@@ -1,0 +1,12 @@
+(** Extended test suite beyond the paper's DroidBench 1.1 snapshot —
+    flow patterns from later DroidBench generations and from production
+    apps.  These apps are {e not} part of the Fig. 11 subset or the 57-app
+    inventory; they widen coverage of the tracker: shared-state handoffs,
+    persistence round trips, deep call chains, recursion, partial
+    overwrites (range splitting), and multi-source merges (provenance).
+
+    All are detected/cleared correctly by PIFT at the paper's (13,3)
+    operating point, and their labels agree with the full-DIFT oracle. *)
+
+val all : App.t list
+val find : string -> App.t option

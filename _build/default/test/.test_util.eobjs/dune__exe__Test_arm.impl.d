@@ -1,0 +1,1 @@
+test/test_arm.ml: Alcotest Array List Pift_arm Pift_machine Printf QCheck2 QCheck_alcotest

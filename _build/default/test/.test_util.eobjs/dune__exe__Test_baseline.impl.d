@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array List Pift_arm Pift_baseline Pift_machine Pift_util QCheck2 QCheck_alcotest

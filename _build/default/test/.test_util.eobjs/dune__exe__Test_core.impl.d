@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Hashtbl List Pift_arm Pift_core Pift_trace Pift_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dalvik.ml: Alcotest Array List Pift_dalvik Pift_eval Pift_runtime Pift_trace Pift_util Printf QCheck2 QCheck_alcotest

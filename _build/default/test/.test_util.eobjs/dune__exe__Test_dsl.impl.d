@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest List Pift_dalvik Pift_runtime Pift_workloads

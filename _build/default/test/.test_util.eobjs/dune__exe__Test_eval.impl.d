@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Buffer Float Format Lazy List Pift_core Pift_eval Pift_trace Pift_util Pift_workloads String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Filename Fun List Option Pift_arm Pift_core Pift_dalvik Pift_eval Pift_machine Pift_runtime Pift_trace Pift_util Pift_workloads QCheck2 QCheck_alcotest Sys

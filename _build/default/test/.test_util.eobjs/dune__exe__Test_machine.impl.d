@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Bytes Char List Pift_arm Pift_machine Pift_trace Pift_util

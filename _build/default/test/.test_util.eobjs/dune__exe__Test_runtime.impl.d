@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Char List Pift_machine Pift_runtime Pift_trace Pift_util String

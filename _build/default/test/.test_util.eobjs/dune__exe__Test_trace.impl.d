@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Hashtbl List Option Pift_arm Pift_trace Pift_util QCheck2 QCheck_alcotest

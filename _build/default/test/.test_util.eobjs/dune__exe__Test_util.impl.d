@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Buffer Format Fun Int List Pift_util QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array List Pift_core Pift_dalvik Pift_eval Pift_trace Pift_workloads Printf String

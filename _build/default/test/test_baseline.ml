@@ -1,0 +1,174 @@
+(* Unit and property tests for the full register-level DIFT baseline. *)
+
+module Range = Pift_util.Range
+module Full_dift = Pift_baseline.Full_dift
+module Insn = Pift_arm.Insn
+module Reg = Pift_arm.Reg
+module Memory = Pift_machine.Memory
+module Cpu = Pift_machine.Cpu
+module Asm = Pift_arm.Asm
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let r a b = Range.make a b
+let imm n = Insn.Imm n
+let rg x = Insn.Reg x
+
+(* Run a fragment on a real CPU with the DIFT attached as the event sink,
+   so events carry consistent instructions and resolved ranges. *)
+let run ?(taint = []) insns =
+  let dift = Full_dift.create () in
+  List.iter (fun range -> Full_dift.taint_source dift ~pid:1 range) taint;
+  let m = Memory.create () in
+  let cpu = Cpu.create ~sink:(Full_dift.observe dift) m in
+  let a = Asm.create () in
+  Asm.emit_all a insns;
+  Asm.ret a;
+  Cpu.run cpu (Asm.assemble a);
+  dift
+
+let test_load_taints_register () =
+  let dift =
+    run
+      ~taint:[ r 0x1000 0x1003 ]
+      [
+        Insn.Mov (Reg.R0, imm 0x1000);
+        Insn.Ldr (Insn.Word, Reg.R1, Insn.Offset (Reg.R0, imm 0));
+        Insn.Ldr (Insn.Word, Reg.R2, Insn.Offset (Reg.R0, imm 0x100));
+      ]
+  in
+  checkb "loaded reg tainted" true (Full_dift.reg_tainted dift ~pid:1 Reg.R1);
+  checkb "clean load clean reg" false
+    (Full_dift.reg_tainted dift ~pid:1 Reg.R2);
+  checkb "address reg clean" false (Full_dift.reg_tainted dift ~pid:1 Reg.R0)
+
+let test_store_propagates_and_untaints () =
+  let dift =
+    run
+      ~taint:[ r 0x1000 0x1003 ]
+      [
+        Insn.Mov (Reg.R0, imm 0x1000);
+        Insn.Ldr (Insn.Word, Reg.R1, Insn.Offset (Reg.R0, imm 0));
+        (* copy tainted word to 0x2000 *)
+        Insn.Mov (Reg.R2, imm 0x2000);
+        Insn.Str (Insn.Word, Reg.R1, Insn.Offset (Reg.R2, imm 0));
+        (* overwrite the original with a constant: exact untaint *)
+        Insn.Mov (Reg.R3, imm 0);
+        Insn.Str (Insn.Word, Reg.R3, Insn.Offset (Reg.R0, imm 0));
+      ]
+  in
+  checkb "copy tainted" true
+    (Full_dift.is_tainted dift ~pid:1 (r 0x2000 0x2003));
+  checkb "original untainted by clean store" false
+    (Full_dift.is_tainted dift ~pid:1 (r 0x1000 0x1003))
+
+let test_alu_combines () =
+  let dift =
+    run
+      ~taint:[ r 0x1000 0x1003 ]
+      [
+        Insn.Mov (Reg.R0, imm 0x1000);
+        Insn.Ldr (Insn.Word, Reg.R1, Insn.Offset (Reg.R0, imm 0));
+        Insn.Mov (Reg.R2, imm 7);
+        (* tainted op clean -> tainted *)
+        Insn.Alu (Insn.Add, false, Reg.R3, Reg.R1, rg Reg.R2);
+        (* clean op clean -> clean *)
+        Insn.Alu (Insn.Add, false, Reg.R9, Reg.R2, rg Reg.R2);
+        (* mov of tainted stays tainted; mov imm cleans *)
+        Insn.Mov (Reg.R10, rg Reg.R1);
+        Insn.Mov (Reg.R1, imm 0);
+        (* derived ops *)
+        Insn.Ubfx (Reg.R11, Reg.R3, 0, 8);
+        Insn.Udiv (Reg.R12, Reg.R3, Reg.R2);
+      ]
+  in
+  checkb "add taints" true (Full_dift.reg_tainted dift ~pid:1 Reg.R3);
+  checkb "clean add clean" false (Full_dift.reg_tainted dift ~pid:1 Reg.R9);
+  checkb "mov keeps taint" true (Full_dift.reg_tainted dift ~pid:1 Reg.R10);
+  checkb "mov imm cleans" false (Full_dift.reg_tainted dift ~pid:1 Reg.R1);
+  checkb "ubfx derives" true (Full_dift.reg_tainted dift ~pid:1 Reg.R11);
+  checkb "udiv derives" true (Full_dift.reg_tainted dift ~pid:1 Reg.R12)
+
+let test_dword_precision () =
+  (* taint only the low half of a dword load *)
+  let dift =
+    run
+      ~taint:[ r 0x1000 0x1003 ]
+      [
+        Insn.Mov (Reg.R0, imm 0x1000);
+        Insn.Ldr (Insn.Dword, Reg.R2, Insn.Offset (Reg.R0, imm 0));
+      ]
+  in
+  checkb "low half tainted" true (Full_dift.reg_tainted dift ~pid:1 Reg.R2);
+  checkb "high half clean" false (Full_dift.reg_tainted dift ~pid:1 Reg.R3)
+
+let test_ldm_stm_slots () =
+  let dift =
+    run
+      ~taint:[ r 0x1004 0x1007 ]
+      [
+        Insn.Mov (Reg.R0, imm 0x1000);
+        Insn.Ldm (Reg.R0, [ Reg.R1; Reg.R2 ]);
+        Insn.Mov (Reg.SP, imm 0x9000);
+        Insn.Stm (Reg.SP, [ Reg.R1; Reg.R2 ]);
+      ]
+  in
+  checkb "first slot clean" false (Full_dift.reg_tainted dift ~pid:1 Reg.R1);
+  checkb "second slot tainted" true (Full_dift.reg_tainted dift ~pid:1 Reg.R2);
+  (* push wrote r1 at sp-8, r2 at sp-4 *)
+  checkb "pushed clean slot" false
+    (Full_dift.is_tainted dift ~pid:1 (r (0x9000 - 8) (0x9000 - 5)));
+  checkb "pushed tainted slot" true
+    (Full_dift.is_tainted dift ~pid:1 (r (0x9000 - 4) (0x9000 - 1)))
+
+let test_propagation_count () =
+  let dift =
+    run [ Insn.Mov (Reg.R0, imm 1); Insn.Mov (Reg.R1, imm 2); Insn.Nop ]
+  in
+  (* two movs propagate; nop and the final bx don't *)
+  checki "propagations" 2 (Full_dift.propagations dift)
+
+(* Property: for a chain of register copies ending in a store, the stored
+   location is tainted iff the chain started at the tainted load. *)
+let prop_copy_chain =
+  QCheck2.Test.make ~name:"copy chains preserve taint end-to-end" ~count:200
+    QCheck2.Gen.(pair bool (int_range 1 10))
+    (fun (from_tainted, hops) ->
+      let src = if from_tainted then 0x1000 else 0x1100 in
+      let regs = [| Reg.R1; Reg.R2; Reg.R3; Reg.R9; Reg.R10 |] in
+      let chain =
+        List.init hops (fun i ->
+            Insn.Mov (regs.((i + 1) mod 5), rg regs.(i mod 5)))
+      in
+      let insns =
+        [
+          Insn.Mov (Reg.R0, imm src);
+          Insn.Ldr (Insn.Word, regs.(0), Insn.Offset (Reg.R0, imm 0));
+        ]
+        @ chain
+        @ [
+            Insn.Mov (Reg.R11, imm 0x3000);
+            Insn.Str
+              (Insn.Word, regs.(hops mod 5), Insn.Offset (Reg.R11, imm 0));
+          ]
+      in
+      let dift = run ~taint:[ r 0x1000 0x1003 ] insns in
+      Full_dift.is_tainted dift ~pid:1 (r 0x3000 0x3003) = from_tainted)
+
+let () =
+  Alcotest.run "pift_baseline"
+    [
+      ( "full-dift",
+        [
+          Alcotest.test_case "load taints register" `Quick
+            test_load_taints_register;
+          Alcotest.test_case "store propagates & untaints" `Quick
+            test_store_propagates_and_untaints;
+          Alcotest.test_case "alu combining" `Quick test_alu_combines;
+          Alcotest.test_case "dword precision" `Quick test_dword_precision;
+          Alcotest.test_case "ldm/stm slots" `Quick test_ldm_stm_slots;
+          Alcotest.test_case "propagation count" `Quick
+            test_propagation_count;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_copy_chain ]);
+    ]

@@ -1,0 +1,411 @@
+(* Tests for the extension features: the dead-code scrubber (§7 compiler
+   countermeasure), the evasion workloads, JIT-mode execution (§4.1), and
+   recording serialization. *)
+
+module Range = Pift_util.Range
+module Insn = Pift_arm.Insn
+module Reg = Pift_arm.Reg
+module Asm = Pift_arm.Asm
+module Scrubber = Pift_arm.Scrubber
+module Cpu = Pift_machine.Cpu
+module Memory = Pift_machine.Memory
+module Policy = Pift_core.Policy
+module Vm = Pift_dalvik.Vm
+module Translate = Pift_dalvik.Translate
+module Recorded = Pift_eval.Recorded
+module Trace_io = Pift_eval.Trace_io
+module Trace = Pift_trace.Trace
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let imm n = Insn.Imm n
+
+(* --- Scrubber -------------------------------------------------------------- *)
+
+let frag insns =
+  let a = Asm.create () in
+  Asm.emit_all a insns;
+  Asm.ret a;
+  Asm.assemble a
+
+let test_scrubber_removes_dummy_block () =
+  let before =
+    frag
+      ([ Insn.Ldr (Insn.Half, Reg.R6, Insn.Offset (Reg.R1, imm 0)) ]
+      @ List.init 10 (fun _ ->
+            Insn.Alu (Insn.Add, false, Reg.R10, Reg.R10, imm 1))
+      @ [ Insn.Str (Insn.Half, Reg.R6, Insn.Offset (Reg.R0, imm 0)) ])
+  in
+  let after = Scrubber.scrub before in
+  checki "dummy block removed" 10 (Scrubber.removed ~before ~after);
+  (* semantics preserved: run both on fresh machines, compare the store *)
+  let run f =
+    let m = Memory.create () in
+    let cpu = Cpu.create ~sink:(fun _ -> ()) m in
+    Memory.write_u16 m 0x1000 0xBEEF;
+    Cpu.set cpu Reg.R0 0x2000;
+    Cpu.set cpu Reg.R1 0x1000;
+    Cpu.run cpu f;
+    Memory.read_u16 m 0x2000
+  in
+  checki "same result" (run before) (run after)
+
+let test_scrubber_keeps_contributing_ops () =
+  let before =
+    frag
+      [
+        Insn.Ldr (Insn.Half, Reg.R6, Insn.Offset (Reg.R1, imm 0));
+        (* contributes to the stored value: must stay *)
+        Insn.Alu (Insn.Eor, false, Reg.R6, Reg.R6, imm 0x20);
+        (* dead: r9 never used *)
+        Insn.Mov (Reg.R9, imm 7);
+        Insn.Str (Insn.Half, Reg.R6, Insn.Offset (Reg.R0, imm 0));
+      ]
+  in
+  let after = Scrubber.scrub before in
+  checki "only the dead mov removed" 1 (Scrubber.removed ~before ~after);
+  checkb "eor kept" true
+    (Array.exists
+       (function Insn.Alu (Insn.Eor, _, _, _, _) -> true | _ -> false)
+       after)
+
+let test_scrubber_respects_live_out () =
+  let before = frag [ Insn.Mov (Reg.R9, imm 7) ] in
+  let after_default = Scrubber.scrub before in
+  checki "scratch reg dead by default" 1
+    (Scrubber.removed ~before ~after:after_default);
+  let after_live = Scrubber.scrub ~live_out:[ Reg.R9; Reg.LR ] before in
+  checki "kept when live-out" 0 (Scrubber.removed ~before ~after:after_live)
+
+let test_scrubber_bails_on_branches () =
+  let a = Asm.create () in
+  Asm.label a "top";
+  Asm.emit a (Insn.Alu (Insn.Add, false, Reg.R10, Reg.R10, imm 1));
+  Asm.emit a (Insn.Cmp (Reg.R10, imm 5));
+  Asm.branch a Pift_arm.Cond.Lt "top";
+  Asm.ret a;
+  let f = Asm.assemble a in
+  checkb "not straight-line" false (Scrubber.straight_line f);
+  checki "unchanged" 0 (Scrubber.removed ~before:f ~after:(Scrubber.scrub f))
+
+let test_scrubber_flags_and_addressing () =
+  let before =
+    frag
+      [
+        (* sets flags: must stay even though r3 is scratch *)
+        Insn.Alu (Insn.Sub, true, Reg.R3, Reg.R3, imm 1);
+        (* feeds the address of a kept load: must stay *)
+        Insn.Mov (Reg.R2, imm 0x1000);
+        Insn.Ldr (Insn.Word, Reg.R4, Insn.Offset (Reg.R2, imm 0));
+      ]
+  in
+  let after = Scrubber.scrub before in
+  checki "nothing removed" 0 (Scrubber.removed ~before ~after)
+
+let test_relocate_stores () =
+  (* the live-dummy pattern: pads feed a later accumulator store, so the
+     scrubber keeps them; relocation hoists the data store anyway *)
+  let before =
+    frag
+      ([ Insn.Ldr (Insn.Half, Reg.R6, Insn.Offset (Reg.R1, imm 0)) ]
+      @ List.init 8 (fun _ ->
+            Insn.Alu (Insn.Add, false, Reg.R10, Reg.R10, imm 1))
+      @ [
+          Insn.Str (Insn.Half, Reg.R6, Insn.Offset (Reg.R0, imm 0));
+          Insn.Str (Insn.Word, Reg.R10, Insn.Offset (Reg.R2, imm 0));
+        ])
+  in
+  let scrubbed = Scrubber.scrub before in
+  checki "live pads survive scrubbing" 0
+    (Scrubber.removed ~before ~after:scrubbed);
+  let after = Scrubber.relocate_stores scrubbed in
+  (* data store now immediately follows the load *)
+  (match after.(1) with
+  | Insn.Str (Insn.Half, _, _) -> ()
+  | i -> Alcotest.failf "store not hoisted: %s" (Insn.to_string i));
+  (* the accumulator store stays below its producers *)
+  (match after.(Array.length after - 2) with
+  | Insn.Str (Insn.Word, _, _) -> ()
+  | i -> Alcotest.failf "accumulator store moved wrongly: %s" (Insn.to_string i));
+  (* semantics preserved *)
+  let run f =
+    let m = Memory.create () in
+    let cpu = Cpu.create ~sink:(fun _ -> ()) m in
+    Memory.write_u16 m 0x1000 0xBEEF;
+    Cpu.set cpu Reg.R0 0x2000;
+    Cpu.set cpu Reg.R1 0x1000;
+    Cpu.set cpu Reg.R2 0x3000;
+    Cpu.run cpu f;
+    (Memory.read_u16 m 0x2000, Memory.read_u32 m 0x3000)
+  in
+  checkb "same results" true (run before = run after)
+
+let test_relocate_respects_dependencies () =
+  (* a store whose data is produced mid-block must not cross its def *)
+  let before =
+    frag
+      [
+        Insn.Mov (Reg.R9, imm 1);
+        Insn.Alu (Insn.Add, false, Reg.R6, Reg.R9, imm 41);
+        Insn.Alu (Insn.Add, false, Reg.R10, Reg.R10, imm 1);
+        Insn.Mov (Reg.R0, imm 0x2000);
+        Insn.Str (Insn.Word, Reg.R6, Insn.Offset (Reg.R0, imm 0));
+      ]
+  in
+  let after = Scrubber.relocate_stores before in
+  (* the store needs r0 (defined at index 3): it cannot move above it *)
+  (match after.(4) with
+  | Insn.Str _ -> ()
+  | i -> Alcotest.failf "store moved past its address def: %s" (Insn.to_string i));
+  (* memory order is preserved across other memory ops *)
+  let mem_pair =
+    frag
+      [
+        Insn.Mov (Reg.R0, imm 0x2000);
+        Insn.Mov (Reg.R6, imm 7);
+        Insn.Str (Insn.Word, Reg.R6, Insn.Offset (Reg.R0, imm 0));
+        Insn.Alu (Insn.Add, false, Reg.R10, Reg.R10, imm 1);
+        Insn.Str (Insn.Word, Reg.R6, Insn.Offset (Reg.R0, imm 4));
+      ]
+  in
+  let after = Scrubber.relocate_stores mem_pair in
+  match (after.(2), after.(3)) with
+  | Insn.Str (_, _, Insn.Offset (_, Insn.Imm 0)),
+    Insn.Str (_, _, Insn.Offset (_, Insn.Imm 4)) ->
+      ()
+  | _ -> Alcotest.fail "store order not preserved"
+
+(* Property: on random straight-line fragments, scrubbing and relocation
+   preserve the memory image and the callee-saved registers. *)
+let frag_gen =
+  QCheck2.Gen.(
+    let data_reg =
+      map
+        (fun i -> [| Reg.R1; Reg.R2; Reg.R3; Reg.R6; Reg.R9; Reg.R10;
+                     Reg.R11; Reg.R12 |].(i))
+        (int_range 0 7)
+    in
+    let offset = map (fun i -> Insn.Imm (4 * i)) (int_range 0 15) in
+    let insn =
+      oneof
+        [
+          (let* d = data_reg and* v = int_range 0 999 in
+           return (Insn.Mov (d, Insn.Imm v)));
+          (let* d = data_reg and* s = data_reg in
+           return (Insn.Mov (d, Insn.Reg s)));
+          (let* d = data_reg and* s = data_reg and* v = int_range 0 99 in
+           return (Insn.Alu (Insn.Add, false, d, s, Insn.Imm v)));
+          (let* d = data_reg and* s = data_reg and* o = data_reg in
+           return (Insn.Alu (Insn.Eor, false, d, s, Insn.Reg o)));
+          (let* d = data_reg and* off = offset in
+           return (Insn.Ldr (Insn.Word, d, Insn.Offset (Reg.R0, off))));
+          (let* s = data_reg and* off = offset in
+           return (Insn.Str (Insn.Word, s, Insn.Offset (Reg.R0, off))));
+        ]
+    in
+    list_size (int_range 1 30) insn)
+
+let prop_scrub_preserves_semantics =
+  QCheck2.Test.make
+    ~name:"scrub + relocate preserve memory and callee-saved state"
+    ~count:300 frag_gen (fun insns ->
+      let original = frag insns in
+      let transformed =
+        Scrubber.relocate_stores (Scrubber.scrub original)
+      in
+      let run f =
+        let m = Memory.create () in
+        let cpu = Cpu.create ~sink:(fun _ -> ()) m in
+        Cpu.set cpu Reg.R0 0x1000;
+        (* deterministic nonzero starting registers *)
+        Array.iteri
+          (fun i r -> if i <= 12 && i <> 0 then Cpu.set cpu r (i * 17))
+          Reg.all;
+        for i = 0 to 15 do
+          Memory.write_u32 m (0x1000 + (4 * i)) (i * 1001)
+        done;
+        Cpu.run cpu f;
+        ( List.init 16 (fun i -> Memory.read_u32 m (0x1000 + (4 * i))),
+          List.map (Cpu.get cpu) [ Reg.R4; Reg.R5; Reg.R7; Reg.R8 ] )
+      in
+      run original = run transformed)
+
+(* --- Evasion --------------------------------------------------------------- *)
+
+let test_evasion_live_variant () =
+  let run app policy =
+    (Recorded.replay ~policy (Recorded.record app)).Recorded.flagged
+  in
+  checkb "live-dummy attack evades" false
+    (run Pift_workloads.Evasion.attack_live Policy.default);
+  checkb "relocation restores detection" true
+    (run Pift_workloads.Evasion.hardened_live Policy.default)
+
+let test_evasion_pair () =
+  let run app policy =
+    (Recorded.replay ~policy (Recorded.record app)).Recorded.flagged
+  in
+  let big = Policy.make ~ni:20 ~nt:10 () in
+  checkb "attack evades the default window" false
+    (run Pift_workloads.Evasion.attack Policy.default);
+  checkb "attack evades even (20,10)" false
+    (run Pift_workloads.Evasion.attack big);
+  checkb "full DIFT still catches the attack" true
+    (Recorded.replay_dift (Recorded.record Pift_workloads.Evasion.attack))
+      .Recorded.dift_flagged;
+  checkb "hardened runtime restores detection" true
+    (run Pift_workloads.Evasion.hardened Policy.default)
+
+(* --- JIT mode ---------------------------------------------------------------- *)
+
+let test_jit_optimize_removes_overhead () =
+  let f = Translate.fragment (Translate.Plain (Pift_dalvik.Bytecode.Move (0, 1))) in
+  let j = Translate.jit_optimize f in
+  checkb "shorter" true (Array.length j < Array.length f);
+  checkb "no fetch left" true
+    (not
+       (Array.exists
+          (function
+            | Insn.Ldr (Insn.Half, r, Insn.Pre _) -> Reg.equal r Reg.rinst
+            | _ -> false)
+          j));
+  (* GET/SET_VREG memory traffic preserved *)
+  checkb "vreg load kept" true (Array.exists Insn.is_load j);
+  checkb "vreg store kept" true (Array.exists Insn.is_store j)
+
+let test_jit_semantics_match () =
+  (* the factorial program computes the same value in both modes *)
+  let module B = Pift_dalvik.Bytecode in
+  let methods () =
+    [
+      Pift_dalvik.Method.make ~name:"fact" ~registers:5 ~ins:1
+        [
+          B.Const4 (0, 1);
+          B.If_test (B.Gt, 4, 0, 3);
+          B.Return 4;
+          B.Binop_lit8 (B.Sub, 1, 4, 1);
+          B.Invoke (B.Static, "fact", [ 1 ]);
+          B.Move_result 2;
+          B.Binop (B.Mul, 3, 2, 4);
+          B.Return 3;
+        ];
+      Pift_dalvik.Method.make ~name:"main" ~registers:3 ~ins:0
+        [
+          B.Const4 (0, 6);
+          B.Invoke (B.Static, "fact", [ 0 ]);
+          B.Move_result 1;
+          B.Return 1;
+        ];
+    ]
+  in
+  let run mode =
+    let env = Pift_runtime.Env.create ~sink:(fun _ -> ()) () in
+    let vm =
+      Vm.create ~mode env
+        (Pift_dalvik.Program.make ~entry:"main" (methods ()))
+    in
+    Vm.call vm "main" []
+  in
+  checki "interp 6!" 720 (run Vm.Interpreter);
+  checki "jit 6!" 720 (run Vm.Jit)
+
+let test_jit_shorter_traces_same_verdict () =
+  let app = Option.get (Pift_workloads.Droidbench.find "StringConcat1") in
+  let ri = Recorded.record ~mode:Vm.Interpreter app in
+  let rj = Recorded.record ~mode:Vm.Jit app in
+  checkb "jit trace shorter" true
+    (Trace.length rj.Recorded.trace < Trace.length ri.Recorded.trace);
+  let f r = (Recorded.replay ~policy:Policy.default r).Recorded.flagged in
+  checkb "both detect" true (f ri && f rj)
+
+(* --- Trace serialization ------------------------------------------------------ *)
+
+let test_trace_io_roundtrip () =
+  let app = Option.get (Pift_workloads.Droidbench.find "BatchLeak1") in
+  let original = Recorded.record app in
+  let path = Filename.temp_file "pift" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_io.save original path;
+      let loaded = Trace_io.load path in
+      Alcotest.(check string) "name" original.Recorded.name
+        loaded.Recorded.name;
+      checki "pid" original.Recorded.pid loaded.Recorded.pid;
+      checki "bytecodes" original.Recorded.bytecodes
+        loaded.Recorded.bytecodes;
+      checki "events"
+        (Trace.length original.Recorded.trace)
+        (Trace.length loaded.Recorded.trace);
+      checki "loads"
+        (Trace.loads original.Recorded.trace)
+        (Trace.loads loaded.Recorded.trace);
+      checki "markers"
+        (Array.length original.Recorded.markers)
+        (Array.length loaded.Recorded.markers);
+      (* the PIFT analysis gives identical answers on the loaded copy *)
+      let sweep r =
+        List.map
+          (fun (ni, nt) ->
+            let rep = Recorded.replay ~policy:(Policy.make ~ni ~nt ()) r in
+            ( rep.Recorded.flagged,
+              rep.Recorded.stats.Pift_core.Tracker.taint_ops,
+              rep.Recorded.stats.Pift_core.Tracker.max_tainted_bytes ))
+          [ (2, 1); (3, 2); (13, 3); (20, 10) ]
+      in
+      checkb "identical analysis" true (sweep original = sweep loaded))
+
+let test_trace_io_rejects_garbage () =
+  let path = Filename.temp_file "pift" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "not a trace\n";
+      close_out oc;
+      try
+        ignore (Trace_io.load path);
+        Alcotest.fail "garbage accepted"
+      with Failure _ -> ())
+
+let () =
+  Alcotest.run "pift_extensions"
+    [
+      ( "scrubber",
+        [
+          Alcotest.test_case "removes dummy blocks" `Quick
+            test_scrubber_removes_dummy_block;
+          Alcotest.test_case "keeps contributing ops" `Quick
+            test_scrubber_keeps_contributing_ops;
+          Alcotest.test_case "live-out" `Quick test_scrubber_respects_live_out;
+          Alcotest.test_case "bails on branches" `Quick
+            test_scrubber_bails_on_branches;
+          Alcotest.test_case "flags & addressing" `Quick
+            test_scrubber_flags_and_addressing;
+          Alcotest.test_case "store relocation" `Quick test_relocate_stores;
+          Alcotest.test_case "relocation dependencies" `Quick
+            test_relocate_respects_dependencies;
+          QCheck_alcotest.to_alcotest prop_scrub_preserves_semantics;
+        ] );
+      ( "evasion",
+        [
+          Alcotest.test_case "attack & countermeasure" `Quick
+            test_evasion_pair;
+          Alcotest.test_case "live dummy & relocation" `Quick
+            test_evasion_live_variant;
+        ] );
+      ( "jit",
+        [
+          Alcotest.test_case "optimizer" `Quick
+            test_jit_optimize_removes_overhead;
+          Alcotest.test_case "semantics" `Quick test_jit_semantics_match;
+          Alcotest.test_case "verdicts" `Quick
+            test_jit_shorter_traces_same_verdict;
+        ] );
+      ( "trace_io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_trace_io_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_trace_io_rejects_garbage;
+        ] );
+    ]

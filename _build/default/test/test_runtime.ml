@@ -1,0 +1,353 @@
+(* Tests for the Android-like runtime: heap objects, Java strings and
+   arrays, native intrinsics (both their data results and the
+   load→store distances the evaluation depends on), the PIFT manager,
+   and the framework API natives. *)
+
+module Range = Pift_util.Range
+module Memory = Pift_machine.Memory
+module Cpu = Pift_machine.Cpu
+module Env = Pift_runtime.Env
+module Heap = Pift_runtime.Heap
+module Jstring = Pift_runtime.Jstring
+module Jarray = Pift_runtime.Jarray
+module Intrinsics = Pift_runtime.Intrinsics
+module Manager = Pift_runtime.Manager
+module Api = Pift_runtime.Api
+module Tcb = Pift_runtime.Tcb
+module Trace = Pift_trace.Trace
+module Event = Pift_trace.Event
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let fresh () =
+  let trace = Trace.create () in
+  let env = Env.create ~sink:(Trace.sink trace) () in
+  (env, trace)
+
+(* --- Heap / Jstring / Jarray --------------------------------------------- *)
+
+let test_heap () =
+  let env, _ = fresh () in
+  let h = env.Env.heap in
+  let a = Heap.alloc h 10 in
+  let b = Heap.alloc h 1 in
+  checkb "aligned" true (a mod 8 = 0 && b mod 8 = 0);
+  checkb "disjoint" true (b >= a + 16);
+  let obj = Heap.new_object h ~class_name:"Foo" ~field_count:2 in
+  checki "class id stored" (Heap.class_id "Foo") (Heap.read_class h obj);
+  checkb "class id stable" true (Heap.class_id "Foo" = Heap.class_id "Foo");
+  checkb "class names differ" true (Heap.class_id "Foo" <> Heap.class_id "Bar");
+  checkb "reverse lookup" true
+    (Heap.class_name_of_id (Heap.class_id "Foo") = Some "Foo");
+  checki "field addr" (obj + 8) (Heap.field_addr ~obj ~index:1);
+  checkb "allocated grows" true (Heap.allocated_bytes h > 0)
+
+let test_jstring () =
+  let env, _ = fresh () in
+  let h = env.Env.heap in
+  let s = Jstring.alloc h "hello" in
+  checki "length" 5 (Jstring.length h s);
+  checks "roundtrip" "hello" (Jstring.to_string h s);
+  (match Jstring.data_range h s with
+  | Some r -> checki "2 bytes per char" 10 (Range.length r)
+  | None -> Alcotest.fail "missing data range");
+  let empty = Jstring.alloc h "" in
+  checkb "empty has no range" true (Jstring.data_range h empty = None)
+
+let test_jarray () =
+  let env, _ = fresh () in
+  let h = env.Env.heap in
+  let arr = Jarray.alloc h Jarray.Chars 4 in
+  checki "length" 4 (Jarray.length h arr);
+  Jarray.set Jarray.Chars h arr 2 0x41;
+  checki "get" 0x41 (Jarray.get Jarray.Chars h arr 2);
+  checki "elem addr" (Jarray.data_addr arr + 4)
+    (Jarray.elem_addr Jarray.Chars ~arr ~index:2);
+  (match Jarray.data_range Jarray.Chars h arr with
+  | Some r -> checki "range bytes" 8 (Range.length r)
+  | None -> Alcotest.fail "missing range");
+  checki "byte elem size" 1 (Jarray.elem_size Jarray.Bytes);
+  checki "word elem size" 4 (Jarray.elem_size Jarray.Words)
+
+(* --- Intrinsics: results ---------------------------------------------------- *)
+
+let test_char_copy () =
+  let env, _ = fresh () in
+  let h = env.Env.heap in
+  let src = Jstring.alloc h "abcdef" in
+  let dst = Jstring.alloc_empty h ~capacity:6 in
+  let data s = Jarray.data_addr (Jstring.char_array h s) in
+  Intrinsics.char_copy env.Env.cpu ~dst:(data dst) ~src:(data src) ~chars:6;
+  checks "copied" "abcdef" (Jstring.to_string h dst);
+  (* zero-length copies are safe *)
+  Intrinsics.char_copy env.Env.cpu ~dst:(data dst) ~src:(data src) ~chars:0;
+  checks "still intact" "abcdef" (Jstring.to_string h dst)
+
+let test_itoa_values () =
+  let env, _ = fresh () in
+  let mem = Cpu.memory env.Env.cpu in
+  let slot = 0x7300_0000 and buf = 0x7300_0100 in
+  let convert v =
+    Memory.write_u32 mem slot v;
+    let n = Intrinsics.itoa env.Env.cpu ~value_addr:slot ~buf in
+    String.init n (fun i -> Char.chr (Memory.read_u8 mem (buf + n - 1 - i)))
+  in
+  checks "0" "0" (convert 0);
+  checks "7" "7" (convert 7);
+  checks "42" "42" (convert 42);
+  checks "37421998" "37421998" (convert 37421998);
+  checks "1000" "1000" (convert 1000)
+
+let test_transforms () =
+  let env, _ = fresh () in
+  let h = env.Env.heap in
+  let data s = Jarray.data_addr (Jstring.char_array h s) in
+  let src = Jstring.alloc h "abc" in
+  let dst = Jstring.alloc_empty h ~capacity:3 in
+  Intrinsics.char_copy_transform env.Env.cpu ~dst:(data dst) ~src:(data src)
+    ~chars:3 ~xor:0x20;
+  checks "xor 0x20 uppercases" "ABC" (Jstring.to_string h dst);
+  (* narrowing + widening round trip *)
+  let bytes = Jarray.alloc h Jarray.Bytes 3 in
+  Intrinsics.char_to_byte_copy env.Env.cpu ~dst:(Jarray.data_addr bytes)
+    ~src:(data src) ~chars:3;
+  checki "narrowed" (Char.code 'b') (Jarray.get Jarray.Bytes h bytes 1);
+  let back = Jstring.alloc_empty h ~capacity:3 in
+  Intrinsics.byte_to_char_copy env.Env.cpu ~dst:(data back)
+    ~src:(Jarray.data_addr bytes) ~bytes:3;
+  checks "widened" "abc" (Jstring.to_string h back)
+
+let test_deinterleave () =
+  let env, _ = fresh () in
+  let h = env.Env.heap in
+  let data s = Jarray.data_addr (Jstring.char_array h s) in
+  let src = Jstring.alloc h "a1b2c3" in
+  let dst = Jstring.alloc_empty h ~capacity:6 in
+  Intrinsics.char_deinterleave env.Env.cpu ~dst:(data dst) ~src:(data src)
+    ~chars:6 ~counter_addr:0x7300_0000;
+  checks "evens then odds" "abc123" (Jstring.to_string h dst);
+  Alcotest.check_raises "odd length"
+    (Invalid_argument "Intrinsics.char_deinterleave: odd length") (fun () ->
+      Intrinsics.char_deinterleave env.Env.cpu ~dst:(data dst)
+        ~src:(data src) ~chars:3 ~counter_addr:0x7300_0000)
+
+let test_fill_and_word_copy () =
+  let env, _ = fresh () in
+  let h = env.Env.heap in
+  let arr = Jarray.alloc h Jarray.Chars 4 in
+  Intrinsics.fill_chars env.Env.cpu ~dst:(Jarray.data_addr arr) ~chars:4
+    ~value:(Char.code 'x');
+  checki "filled" (Char.code 'x') (Jarray.get Jarray.Chars h arr 3);
+  let warr = Jarray.alloc h Jarray.Words 3 in
+  Jarray.set Jarray.Words h warr 0 111;
+  Jarray.set Jarray.Words h warr 2 333;
+  let wdst = Jarray.alloc h Jarray.Words 3 in
+  Intrinsics.word_copy env.Env.cpu ~dst:(Jarray.data_addr wdst)
+    ~src:(Jarray.data_addr warr) ~words:3;
+  checki "word copy" 333 (Jarray.get Jarray.Words h wdst 2)
+
+(* --- Intrinsics: the distances the evaluation depends on ------------------- *)
+
+(* Distance from the data load to the next store of the same run. *)
+let measured_distance trace ~load_range =
+  let result = ref None in
+  let last_load_k = ref None in
+  Trace.iter
+    (fun e ->
+      match e.Event.access with
+      | Event.Load r when Range.overlaps r load_range ->
+          last_load_k := Some e.Event.k
+      | Event.Store _ -> (
+          match (!last_load_k, !result) with
+          | Some k, None -> result := Some (e.Event.k - k)
+          | _ -> ())
+      | _ -> ())
+    trace;
+  !result
+
+let test_itoa_distance () =
+  let env, trace = fresh () in
+  let mem = Cpu.memory env.Env.cpu in
+  let slot = 0x7300_0000 and buf = 0x7300_0100 in
+  Memory.write_u32 mem slot 12345;
+  ignore (Intrinsics.itoa env.Env.cpu ~value_addr:slot ~buf);
+  match measured_distance trace ~load_range:(Range.of_len slot 4) with
+  | Some d ->
+      checki "itoa first-store distance" Intrinsics.itoa_first_store_distance
+        d
+  | None -> Alcotest.fail "no store observed"
+
+let test_char_copy_distance () =
+  let env, trace = fresh () in
+  let h = env.Env.heap in
+  let src = Jstring.alloc h "zz" in
+  let dst = Jstring.alloc_empty h ~capacity:2 in
+  let data s = Jarray.data_addr (Jstring.char_array h s) in
+  Intrinsics.char_copy env.Env.cpu ~dst:(data dst) ~src:(data src) ~chars:2;
+  (match
+     measured_distance trace ~load_range:(Range.of_len (data src) 4)
+   with
+  | Some d -> checki "char_copy distance" 2 d
+  | None -> Alcotest.fail "no store observed");
+  (* the logged variant stores counter after data: distances 3 then 4 *)
+  let env2, trace2 = fresh () in
+  let h2 = env2.Env.heap in
+  let src2 = Jstring.alloc h2 "zz" in
+  let dst2 = Jstring.alloc_empty h2 ~capacity:2 in
+  let data2 s = Jarray.data_addr (Jstring.char_array h2 s) in
+  Intrinsics.char_copy_logged env2.Env.cpu ~dst:(data2 dst2)
+    ~src:(data2 src2) ~chars:2 ~counter_addr:0x7300_0000;
+  match
+    measured_distance trace2 ~load_range:(Range.of_len (data2 src2) 4)
+  with
+  | Some d -> checki "char_copy_logged distance" 3 d
+  | None -> Alcotest.fail "no store observed"
+
+(* --- Manager ---------------------------------------------------------------- *)
+
+let test_manager () =
+  let m = Manager.create () in
+  let tainted = ref [] in
+  Manager.add_tracker m ~name:"t"
+    ~taint:(fun ~pid:_ r -> tainted := r :: !tainted)
+    ~check:(fun ~pid:_ r -> Range.lo r = 0x100);
+  let sources = ref 0 and checks_seen = ref 0 in
+  Manager.subscribe_sources m (fun ~pid:_ ~kind:_ _ -> incr sources);
+  Manager.subscribe_checks m (fun ~pid:_ ~kind:_ _ -> incr checks_seen);
+  Manager.register_source m ~pid:1 ~kind:"IMEI" (Range.of_len 0x100 4);
+  checki "taint hook ran" 1 (List.length !tainted);
+  checki "source sub ran" 1 !sources;
+  Manager.check_sink m ~pid:1 ~kind:"sms" [ Range.of_len 0x100 4 ];
+  Manager.check_sink m ~pid:1 ~kind:"http" [ Range.of_len 0x200 4 ];
+  checki "check subs ran" 2 !checks_seen;
+  checkb "leaked" true (Manager.leaked m ~tracker:"t");
+  let verdicts = Manager.verdicts m in
+  checki "two verdicts" 2 (List.length verdicts);
+  let first = List.hd verdicts in
+  checks "ordered" "sms" first.Manager.sink;
+  checkb "first flagged" true (List.assoc "t" first.Manager.tainted);
+  checki "sources recorded" 1 (List.length (Manager.sources m))
+
+(* --- Api natives ------------------------------------------------------------ *)
+
+let run_native env native args =
+  let fp = 0x70e0_0000 in
+  let mem = Cpu.memory env.Env.cpu in
+  List.iteri (fun i v -> Memory.write_u32 mem (fp + (4 * i)) v) args;
+  native env ~args:(Array.of_list args)
+    ~arg_addrs:(Array.of_list (List.mapi (fun i _ -> fp + (4 * i)) args));
+  Env.retval env
+
+let test_api_strings () =
+  let env, _ = fresh () in
+  let h = env.Env.heap in
+  let s str = Jstring.alloc h str in
+  let concat = run_native env Api.string_concat [ s "foo"; s "bar" ] in
+  checks "concat" "foobar" (Jstring.to_string h concat);
+  let upper = run_native env Api.string_to_upper [ s "abc" ] in
+  checks "upper" "ABC" (Jstring.to_string h upper);
+  let sub = run_native env Api.string_substring [ s "abcdef"; 2; 3 ] in
+  checks "substring" "cde" (Jstring.to_string h sub);
+  let n = run_native env Api.string_length [ s "abcd" ] in
+  checki "length" 4 n;
+  let c = run_native env Api.string_char_at [ s "abcd"; 2 ] in
+  checki "charAt" (Char.code 'c') c;
+  let v = run_native env Api.string_value_of_int [ 4321 ] in
+  checks "valueOf" "4321" (Jstring.to_string h v);
+  let bytes = run_native env Api.string_get_bytes [ s "xyz" ] in
+  let back = run_native env Api.string_from_bytes [ bytes ] in
+  checks "bytes roundtrip" "xyz" (Jstring.to_string h back)
+
+let test_api_string_builder () =
+  let env, _ = fresh () in
+  let h = env.Env.heap in
+  let s str = Jstring.alloc h str in
+  let sb = run_native env Api.sb_new [] in
+  let sb = run_native env Api.sb_append [ sb; s "count=" ] in
+  let sb = run_native env Api.sb_append_int [ sb; 99 ] in
+  let sb = run_native env Api.sb_append_char [ sb; Char.code '!' ] in
+  (* growth beyond the 32-char initial capacity *)
+  let sb = run_native env Api.sb_append [ sb; s (String.make 40 'x') ] in
+  let str = run_native env Api.sb_to_string [ sb ] in
+  checks "builder contents" ("count=99!" ^ String.make 40 'x')
+    (Jstring.to_string h str)
+
+let test_api_sources_sinks () =
+  let env, _ = fresh () in
+  let h = env.Env.heap in
+  let m = env.Env.manager in
+  let imei_ref = run_native env Api.get_device_id [] in
+  checks "imei value" Api.imei (Jstring.to_string h imei_ref);
+  checki "source registered" 1 (List.length (Manager.sources m));
+  (* primitive source taints the return slot *)
+  ignore (run_native env Api.get_latitude []);
+  checki "two sources" 2 (List.length (Manager.sources m));
+  checki "latitude value" Api.latitude_ud (Env.retval env);
+  (* sinks record verdicts with no trackers attached *)
+  let dest = Jstring.alloc h "5554" in
+  ignore (run_native env Api.send_text_message [ dest; imei_ref ]);
+  ignore (run_native env Api.log_i [ dest; imei_ref ]);
+  let kinds =
+    List.map (fun (v : Manager.verdict) -> v.Manager.sink) (Manager.verdicts m)
+  in
+  checkb "sms then log" true (kinds = [ "sms"; "log" ])
+
+let test_api_base64 () =
+  let env, trace = fresh () in
+  let h = env.Env.heap in
+  let s = Jstring.alloc h "Man" in
+  let bytes = run_native env Api.string_get_bytes [ s ] in
+  let encoded = run_native env Api.base64_encode [ bytes ] in
+  checks "RFC 4648 vector" "TWFu" (Jstring.to_string h encoded);
+  let s2 = Jstring.alloc h "ManMan" in
+  let bytes2 = run_native env Api.string_get_bytes [ s2 ] in
+  let encoded2 = run_native env Api.base64_encode [ bytes2 ] in
+  checks "two groups" "TWFuTWFu" (Jstring.to_string h encoded2);
+  (* the alphabet lookups are real loads in the event stream *)
+  checkb "emits events" true (Trace.length trace > 50)
+
+let test_api_arraycopy () =
+  let env, _ = fresh () in
+  let h = env.Env.heap in
+  let src = Jarray.alloc h Jarray.Chars 4 in
+  let dst = Jarray.alloc h Jarray.Chars 4 in
+  List.iteri (fun i c -> Jarray.set Jarray.Chars h src i c) [ 10; 20; 30; 40 ];
+  ignore (run_native env Api.array_copy [ src; 1; dst; 0; 3 ]);
+  checki "copied elem" 20 (Jarray.get Jarray.Chars h dst 0);
+  checki "copied elem 2" 40 (Jarray.get Jarray.Chars h dst 2)
+
+let () =
+  Alcotest.run "pift_runtime"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "allocator & classes" `Quick test_heap;
+          Alcotest.test_case "strings" `Quick test_jstring;
+          Alcotest.test_case "arrays" `Quick test_jarray;
+        ] );
+      ( "intrinsics",
+        [
+          Alcotest.test_case "char copy" `Quick test_char_copy;
+          Alcotest.test_case "itoa values" `Quick test_itoa_values;
+          Alcotest.test_case "transforms" `Quick test_transforms;
+          Alcotest.test_case "deinterleave" `Quick test_deinterleave;
+          Alcotest.test_case "fill & word copy" `Quick
+            test_fill_and_word_copy;
+        ] );
+      ( "distances",
+        [
+          Alcotest.test_case "itoa = 10" `Quick test_itoa_distance;
+          Alcotest.test_case "copies" `Quick test_char_copy_distance;
+        ] );
+      ("manager", [ Alcotest.test_case "hooks & verdicts" `Quick test_manager ]);
+      ( "api",
+        [
+          Alcotest.test_case "strings" `Quick test_api_strings;
+          Alcotest.test_case "string builder" `Quick test_api_string_builder;
+          Alcotest.test_case "sources & sinks" `Quick test_api_sources_sinks;
+          Alcotest.test_case "arraycopy" `Quick test_api_arraycopy;
+          Alcotest.test_case "base64" `Quick test_api_base64;
+        ] );
+    ]

@@ -1,0 +1,202 @@
+(* Tests for Pift_trace: events, trace storage, and the §2 statistics
+   (validated against naive recomputations on hand-built streams). *)
+
+module Range = Pift_util.Range
+module Event = Pift_trace.Event
+module Trace = Pift_trace.Trace
+module Stats = Pift_trace.Stats
+module Histogram = Pift_util.Histogram
+module Insn = Pift_arm.Insn
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let ev ?(pid = 1) k access =
+  { Event.seq = k; k; pid; insn = Insn.Nop; access }
+
+let load ?pid k lo len = ev ?pid k (Event.Load (Range.of_len lo len))
+let store ?pid k lo len = ev ?pid k (Event.Store (Range.of_len lo len))
+let other ?pid k = ev ?pid k Event.Other
+
+let of_list events =
+  let t = Trace.create () in
+  List.iter (Trace.add t) events;
+  t
+
+let test_event_meta () =
+  checkb "load" true (Event.is_load (load 1 0 4));
+  checkb "store" true (Event.is_store (store 1 0 4));
+  checkb "other neither" true
+    ((not (Event.is_load (other 1))) && not (Event.is_store (other 1)));
+  (match Event.range (load 1 16 4) with
+  | Some r -> checki "range lo" 16 (Range.lo r)
+  | None -> Alcotest.fail "range expected");
+  checkb "other has no range" true (Event.range (other 1) = None)
+
+let test_trace_storage () =
+  let t = of_list [ load 1 0 4; other 2; store 3 8 2; load 4 0 4 ] in
+  checki "length" 4 (Trace.length t);
+  checki "loads" 2 (Trace.loads t);
+  checki "stores" 1 (Trace.stores t);
+  checki "get" 3 (Trace.get t 2).Event.k;
+  (try
+     ignore (Trace.get t 4);
+     Alcotest.fail "out of bounds accepted"
+   with Invalid_argument _ -> ());
+  let seen = ref 0 in
+  Trace.iter (fun _ -> incr seen) t;
+  checki "iter visits all" 4 !seen;
+  let a = ref 0 and b = ref 0 in
+  Trace.replay t [ (fun _ -> incr a); (fun _ -> incr b) ];
+  checki "replay consumer 1" 4 !a;
+  checki "replay consumer 2" 4 !b;
+  (* growth beyond the initial capacity *)
+  let big = Trace.create () in
+  for i = 1 to 5000 do
+    Trace.add big (other i)
+  done;
+  checki "grows" 5000 (Trace.length big)
+
+let test_pids () =
+  let t = of_list [ load ~pid:3 1 0 4; load ~pid:1 2 0 4; other ~pid:3 3 ] in
+  checkb "pids sorted" true (Trace.pids t = [ 1; 3 ])
+
+let test_load_store_distance () =
+  (* L@1 .. S@4 (d=3), S@6 (d=5), L@7, S@8 (d=1) *)
+  let t =
+    of_list
+      [
+        load 1 0 4; other 2; other 3; store 4 8 4; other 5; store 6 8 4;
+        load 7 0 4; store 8 8 4;
+      ]
+  in
+  let h = Stats.load_store_distance t in
+  checki "n" 3 (Histogram.total h);
+  checki "d3" 1 (Histogram.count h 3);
+  checki "d5" 1 (Histogram.count h 5);
+  checki "d1" 1 (Histogram.count h 1);
+  (* stores before any load are skipped *)
+  let t2 = of_list [ store 1 0 4; load 2 0 4 ] in
+  checki "orphan store skipped" 0 (Histogram.total (Stats.load_store_distance t2))
+
+let test_stores_between_loads () =
+  let t =
+    of_list
+      [ load 1 0 4; store 2 8 4; store 3 8 4; load 4 0 4; load 5 0 4 ]
+  in
+  let h = Stats.stores_between_loads t in
+  checki "pairs" 2 (Histogram.total h);
+  checki "two stores once" 1 (Histogram.count h 2);
+  checki "zero stores once" 1 (Histogram.count h 0)
+
+let test_load_load_distance () =
+  let t = of_list [ load 1 0 4; other 2; load 3 0 4; load 4 0 4 ] in
+  let h = Stats.load_load_distance t in
+  checki "pairs" 2 (Histogram.total h);
+  checki "d2" 1 (Histogram.count h 2);
+  checki "d1" 1 (Histogram.count h 1)
+
+let test_stores_in_window () =
+  (* L@1 with stores at k=2,3,12; window 5 -> 2 stores; window 11 -> 3 *)
+  let t =
+    of_list
+      [ load 1 0 4; store 2 8 4; store 3 8 4; store 12 8 4; load 13 0 4 ]
+  in
+  let h5 = Stats.stores_in_window ~ni:5 t in
+  checki "first load window 5" 1 (Histogram.count h5 2);
+  let h11 = Stats.stores_in_window ~ni:11 t in
+  checki "first load window 11" 1 (Histogram.count h11 3);
+  (* the second load has no stores after it *)
+  checki "empty window" 1 (Histogram.count h5 0);
+  Alcotest.check_raises "ni must be positive"
+    (Invalid_argument "Stats.stores_in_window: non-positive ni") (fun () ->
+      ignore (Stats.stores_in_window ~ni:0 t))
+
+let test_kth_store_distance () =
+  let t =
+    of_list [ load 1 0 4; store 3 8 4; store 5 8 4; store 9 8 4 ]
+  in
+  (match Stats.kth_store_distance ~ni:10 ~kth:1 t with
+  | Some d -> Alcotest.(check (float 1e-9)) "1st" 2.0 d
+  | None -> Alcotest.fail "expected distance");
+  (match Stats.kth_store_distance ~ni:10 ~kth:3 t with
+  | Some d -> Alcotest.(check (float 1e-9)) "3rd" 8.0 d
+  | None -> Alcotest.fail "expected distance");
+  (* 3rd store outside a window of 4 *)
+  checkb "outside window" true
+    (Stats.kth_store_distance ~ni:4 ~kth:3 t = None)
+
+let test_per_pid_isolation () =
+  (* pid 2's store must not pair with pid 1's load *)
+  let t = of_list [ load ~pid:1 1 0 4; store ~pid:2 1 8 4 ] in
+  checki "no cross-pid pairing" 0
+    (Histogram.total (Stats.load_store_distance t))
+
+(* Property: load_store_distance against a naive recomputation on random
+   single-pid streams. *)
+let prop_distance_naive =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 80)
+        (let* kind = int_range 0 2 in
+         return kind))
+  in
+  QCheck2.Test.make ~name:"load-store distance matches naive recompute"
+    ~count:300 gen (fun kinds ->
+      let events =
+        List.mapi
+          (fun i kind ->
+            let k = i + 1 in
+            match kind with
+            | 0 -> load k 0 4
+            | 1 -> store k 8 4
+            | _ -> other k)
+          kinds
+      in
+      let t = of_list events in
+      let h = Stats.load_store_distance t in
+      (* naive *)
+      let naive = Hashtbl.create 16 in
+      let last = ref None in
+      List.iter
+        (fun e ->
+          match e.Event.access with
+          | Event.Load _ -> last := Some e.Event.k
+          | Event.Store _ -> (
+              match !last with
+              | Some kl ->
+                  let d = e.Event.k - kl in
+                  Hashtbl.replace naive d
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt naive d))
+              | None -> ())
+          | Event.Other -> ())
+        events;
+      Hashtbl.fold (fun d n ok -> ok && Histogram.count h d = n) naive true
+      && Histogram.total h = Hashtbl.fold (fun _ n acc -> acc + n) naive 0)
+
+let () =
+  Alcotest.run "pift_trace"
+    [
+      ( "events & storage",
+        [
+          Alcotest.test_case "event metadata" `Quick test_event_meta;
+          Alcotest.test_case "trace storage" `Quick test_trace_storage;
+          Alcotest.test_case "pids" `Quick test_pids;
+        ] );
+      ( "statistics",
+        [
+          Alcotest.test_case "load-store distance" `Quick
+            test_load_store_distance;
+          Alcotest.test_case "stores between loads" `Quick
+            test_stores_between_loads;
+          Alcotest.test_case "load-load distance" `Quick
+            test_load_load_distance;
+          Alcotest.test_case "stores in window" `Quick test_stores_in_window;
+          Alcotest.test_case "k-th store distance" `Quick
+            test_kth_store_distance;
+          Alcotest.test_case "per-pid isolation" `Quick
+            test_per_pid_isolation;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_distance_naive ] );
+    ]
