@@ -71,6 +71,18 @@ let test_tracker_observe =
          Tracker.taint_source t ~pid:1 (Range.of_len 0x4000_0000 32);
          Array.iter (Tracker.observe t) events))
 
+(* Same workload with a live metrics registry — the gap between this and
+   tracker/observe-20k-events is the cost of observation, and the no-op
+   path above must not regress when lib/obs changes. *)
+let test_tracker_observe_metrics =
+  Test.make ~name:"tracker/observe-20k-events-metrics"
+    (Staged.stage (fun () ->
+         let events = Lazy.force tracker_events in
+         let registry = Pift_obs.Registry.create () in
+         let t = Tracker.create ~policy:Policy.default ~metrics:registry () in
+         Tracker.taint_source t ~pid:1 (Range.of_len 0x4000_0000 32);
+         Array.iter (Tracker.observe t) events))
+
 let test_dift_observe =
   Test.make ~name:"full_dift/observe-20k-events"
     (Staged.stage (fun () ->
@@ -135,6 +147,7 @@ let tests =
     test_range_set_add;
     test_range_set_query;
     test_tracker_observe;
+    test_tracker_observe_metrics;
     test_dift_observe;
     test_provenance_observe;
     test_storage_lookup;
@@ -164,8 +177,45 @@ let run_microbenchmarks () =
     tests;
   print_newline ()
 
+(* Machine-readable observability snapshot of a reference run, so the
+   BENCH_* perf trajectory can be diffed across commits:
+   `pift report BENCH_obs.json` renders it. *)
+let write_obs_snapshot () =
+  let module Obs = Pift_obs in
+  Obs.Span.reset ();
+  let registry = Obs.Registry.create () in
+  let recorded =
+    Obs.Span.with_ ~name:"record" (fun () ->
+        Recorded.record ~metrics:registry
+          (Pift_workloads.Malware.lgroot_sized ~rounds:2 ~payload_chars:256))
+  in
+  let _replay =
+    Obs.Span.with_ ~name:"replay" (fun () ->
+        Recorded.replay ~policy:Policy.default ~metrics:registry recorded)
+  in
+  Obs.Span.with_ ~name:"hw-model" (fun () ->
+      let storage = Storage.create ~metrics:registry () in
+      ignore
+        (Recorded.replay
+           ~store:(Pift_core.Store.of_storage storage)
+           ~policy:Policy.default recorded);
+      let st = Storage.stats storage in
+      let trace = recorded.Recorded.trace in
+      Pift_core.Hw_model.observe ~metrics:registry
+        (Pift_core.Hw_model.estimate ~total_insns:(Trace.length trace)
+           ~loads:(Trace.loads trace) ~stores:(Trace.stores trace)
+           ~secondary_hits:st.Storage.secondary_hits ()));
+  let oc = open_out "BENCH_obs.json" in
+  Obs.Sink.write_jsonl oc
+    (Obs.Sink.snapshot_to_json ~run:"bench:lgroot-2x256"
+       ~spans:(Obs.Span.roots ())
+       (Obs.Registry.snapshot registry));
+  close_out oc;
+  print_endline "wrote BENCH_obs.json"
+
 let () =
   run_microbenchmarks ();
+  write_obs_snapshot ();
   print_endline "######## paper reproduction (every table & figure) ########";
   Pift_eval.Experiments.run_all Format.std_formatter;
   Format.print_flush ()

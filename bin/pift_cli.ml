@@ -46,6 +46,68 @@ let jit =
 
 let mode_of jit = if jit then Pift_dalvik.Vm.Jit else Pift_dalvik.Vm.Interpreter
 
+(* --- metrics options --- *)
+
+module Obs = Pift_obs
+
+type metrics_format = Jsonl | Prom | Text
+
+let metrics_out =
+  let doc =
+    "Write a metrics snapshot of the run to $(docv) ($(b,-) for stdout)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let metrics_format =
+  let fmt =
+    Arg.enum [ ("jsonl", Jsonl); ("prom", Prom); ("text", Text) ]
+  in
+  let doc =
+    "Snapshot format: $(b,jsonl) (one JSON object per line, readable by \
+     $(b,pift report)), $(b,prom) (Prometheus text exposition), or \
+     $(b,text) (human summary)."
+  in
+  Arg.(value & opt fmt Jsonl & info [ "metrics-format" ] ~docv:"FORMAT" ~doc)
+
+(* Fresh registry when --metrics-out was given; [None] leaves every
+   instrumented hot path on its no-op branch. *)
+let registry_of metrics_out =
+  match metrics_out with
+  | None -> None
+  | Some _ ->
+      Obs.Span.reset ();
+      Some (Obs.Registry.create ())
+
+let write_metrics ~out ~format ~run registry =
+  let samples = Obs.Registry.snapshot registry in
+  let spans = Obs.Span.roots () in
+  let emit oc =
+    match format with
+    | Jsonl ->
+        Obs.Sink.write_jsonl oc
+          (Obs.Sink.snapshot_to_json ~run ~spans samples)
+    | Prom ->
+        let ppf = Format.formatter_of_out_channel oc in
+        Obs.Sink.prometheus samples ppf ();
+        Format.pp_print_flush ppf ()
+    | Text ->
+        let ppf = Format.formatter_of_out_channel oc in
+        Obs.Sink.render ~run ~spans samples ppf ();
+        Format.pp_print_flush ppf ()
+  in
+  if String.equal out "-" then begin
+    emit stdout;
+    flush stdout
+  end
+  else begin
+    let oc = open_out out in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> emit oc);
+    Printf.printf "metrics:    wrote %s\n" out
+  end
+
 (* --- list-apps --- *)
 
 let list_apps () =
@@ -64,12 +126,41 @@ let list_apps_cmd =
 
 (* --- run-app --- *)
 
-let run_app name ni nt untaint verbose jit explain =
+let run_app name ni nt untaint verbose jit explain metrics_out metrics_format
+    =
   let app = find_app name in
   let policy = policy_of ni nt untaint in
-  let recorded = Recorded.record ~mode:(mode_of jit) app in
-  let replay = Recorded.replay ~policy recorded in
-  let dift = Recorded.replay_dift recorded in
+  let metrics = registry_of metrics_out in
+  let recorded =
+    Obs.Span.with_ ~name:"record" (fun () ->
+        Recorded.record ~mode:(mode_of jit) ?metrics app)
+  in
+  let replay =
+    Obs.Span.with_ ~name:"replay" (fun () ->
+        Recorded.replay ~policy ?metrics recorded)
+  in
+  let dift =
+    Obs.Span.with_ ~name:"full-dift" (fun () -> Recorded.replay_dift recorded)
+  in
+  (* Replay once more against the hardware range cache so the snapshot
+     carries pift_storage_* hits and the modelled stall cycles.  The
+     tracker side runs un-instrumented: tracker counters must equal the
+     software replay's stats. *)
+  (match metrics with
+  | None -> ()
+  | Some registry ->
+      Obs.Span.with_ ~name:"hw-model" (fun () ->
+          let storage = Pift_core.Storage.create ~metrics:registry () in
+          let hw_store = Pift_core.Store.of_storage storage in
+          ignore (Recorded.replay ~store:hw_store ~policy recorded);
+          let st = Pift_core.Storage.stats storage in
+          let trace = recorded.Recorded.trace in
+          Pift_core.Hw_model.observe ~metrics:registry
+            (Pift_core.Hw_model.estimate
+               ~total_insns:(Pift_trace.Trace.length trace)
+               ~loads:(Pift_trace.Trace.loads trace)
+               ~stores:(Pift_trace.Trace.stores trace)
+               ~secondary_hits:st.Pift_core.Storage.secondary_hits ())));
   Printf.printf "app:        %s (%s, labelled %s)\n" app.App.name
     app.App.category
     (if app.App.leaky then "leaky" else "benign");
@@ -116,7 +207,11 @@ let run_app name ni nt untaint verbose jit explain =
             Printf.printf "  @%-8d sink %s (%d ranges)\n" seq kind
               (List.length ranges))
       recorded.Recorded.markers
-  end
+  end;
+  match (metrics, metrics_out) with
+  | Some registry, Some out ->
+      write_metrics ~out ~format:metrics_format ~run:app.App.name registry
+  | _ -> ()
 
 let run_app_cmd =
   let app_arg =
@@ -139,17 +234,26 @@ let run_app_cmd =
     (Cmd.info "run-app"
        ~doc:"Execute one app and report PIFT and full-DIFT verdicts.")
     Term.(
-      const run_app $ app_arg $ ni $ nt $ untaint $ verbose $ jit $ explain)
+      const run_app $ app_arg $ ni $ nt $ untaint $ verbose $ jit $ explain
+      $ metrics_out $ metrics_format)
 
 (* --- sweep --- *)
 
-let sweep subset_only =
+let sweep subset_only metrics_out metrics_format =
   let apps =
     if subset_only then Pift_workloads.Droidbench.subset48
     else Pift_workloads.Droidbench.all
   in
-  let sweep = Pift_eval.Accuracy.sweep apps in
-  Pift_eval.Accuracy.render sweep Format.std_formatter ()
+  let metrics = registry_of metrics_out in
+  let sweep =
+    Obs.Span.with_ ~name:"sweep" (fun () ->
+        Pift_eval.Accuracy.sweep ?metrics apps)
+  in
+  Pift_eval.Accuracy.render sweep Format.std_formatter ();
+  match (metrics, metrics_out) with
+  | Some registry, Some out ->
+      write_metrics ~out ~format:metrics_format ~run:"sweep" registry
+  | _ -> ()
 
 let sweep_cmd =
   let subset =
@@ -159,7 +263,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Accuracy sweep over the NI x NT grid (Fig. 11).")
-    Term.(const sweep $ subset)
+    Term.(const sweep $ subset $ metrics_out $ metrics_format)
 
 (* --- experiment --- *)
 
@@ -282,6 +386,52 @@ let advise_cmd =
           classifies the suite perfectly.")
     Term.(const advise $ subset)
 
+(* --- report --- *)
+
+let report path =
+  let ic = open_in path in
+  let rendered = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          if not (String.equal (String.trim line) "") then begin
+            (match Obs.Json.of_string line with
+            | json -> Obs.Sink.render_json json Format.std_formatter ()
+            | exception Obs.Json.Parse_error msg ->
+                Printf.eprintf
+                  "%s:%d: not a JSONL metrics snapshot (%s)\n" path
+                  (!rendered + 1) msg;
+                exit 2
+            | exception Obs.Sink.Malformed msg ->
+                Printf.eprintf "%s:%d: %s\n" path (!rendered + 1) msg;
+                exit 2);
+            incr rendered
+          end
+        done
+      with End_of_file -> ());
+  if !rendered = 0 then begin
+    Printf.eprintf "%s: no snapshots found\n" path;
+    exit 2
+  end
+
+let report_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"JSONL metrics file from --metrics-out (jsonl format).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render the metrics snapshots of a previous run: span timings, \
+          counters, gauges and histograms.")
+    Term.(const report $ path)
+
 (* --- trace-stats --- *)
 
 let trace_stats name =
@@ -315,6 +465,7 @@ let main_cmd =
       advise_cmd;
       record_trace_cmd;
       analyze_trace_cmd;
+      report_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -20,10 +20,13 @@ type eviction =
 type t
 
 val create :
-  ?entries:int -> ?eviction:eviction -> ?granularity:int option -> unit -> t
+  ?entries:int -> ?eviction:eviction -> ?granularity:int option ->
+  ?metrics:Pift_obs.Registry.t -> unit -> t
 (** [entries] defaults to 2730 (32 KiB of 12-byte entries).
     [granularity] is [None] for arbitrary ranges, or [Some r] for
-    [2^r]-byte block tagging. *)
+    [2^r]-byte block tagging.  With [metrics], [pift_storage_*] counters
+    (lookups, primary/secondary hits, insertions, evictions, drops,
+    writebacks) and an occupancy gauge mirror {!stats} live. *)
 
 val insert : t -> pid:int -> Pift_util.Range.t -> unit
 val remove : t -> pid:int -> Pift_util.Range.t -> unit

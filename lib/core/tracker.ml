@@ -1,8 +1,49 @@
 module Range = Pift_util.Range
 module Series = Pift_util.Series
 module Event = Pift_trace.Event
+module Counter = Pift_obs.Metric.Counter
+module Gauge = Pift_obs.Metric.Gauge
 
 type window = { mutable ltlt : int; mutable nt_used : int }
+
+(* Cells resolved once at [create]; the hot path is a field load and an
+   integer store per event when metrics are on, nothing when off. *)
+type meters = {
+  m_events : Counter.t;
+  m_lookups : Counter.t;
+  m_tainted_loads : Counter.t;
+  m_taint_ops : Counter.t;
+  m_untaint_ops : Counter.t;
+  m_tainted_bytes : Gauge.t;
+  m_ranges : Gauge.t;
+  m_window_opens : int -> Counter.t;
+}
+
+let meters_of registry =
+  let c help name = Pift_obs.Registry.counter registry ~help name in
+  let g help name = Pift_obs.Registry.gauge registry ~help name in
+  let opens =
+    Pift_obs.Registry.counter_family registry
+      ~help:"tainting windows opened or restarted, per process" ~label:"pid"
+      "pift_tracker_window_opens_total"
+  in
+  {
+    m_events = c "instruction events observed" "pift_tracker_events_total";
+    m_lookups = c "load-time taint queries" "pift_tracker_lookups_total";
+    m_tainted_loads =
+      c "queries that hit and opened a window"
+        "pift_tracker_tainted_loads_total";
+    m_taint_ops =
+      c "store ranges tainted by propagation (Fig. 16)"
+        "pift_tracker_taint_ops_total";
+    m_untaint_ops =
+      c "store ranges untainted (Fig. 16)" "pift_tracker_untaint_ops_total";
+    m_tainted_bytes =
+      g "currently tainted bytes across processes (Fig. 15)"
+        "pift_tracker_tainted_bytes";
+    m_ranges = g "distinct tainted ranges" "pift_tracker_ranges";
+    m_window_opens = (fun pid -> opens (string_of_int pid));
+  }
 
 type stats = {
   taint_ops : int;
@@ -28,12 +69,14 @@ type t = {
   mutable last_time : int;
   bytes_series : Series.t;
   ops_series : Series.t;
+  meters : meters option;
 }
 
 (* LTLT <- -inf (Algorithm 1 line 8); any value with ltlt + ni < 1 works. *)
 let minus_infinity = min_int / 2
 
-let create ?(policy = Policy.default) ?(store = Store.range_sets ()) () =
+let create ?(policy = Policy.default) ?(store = Store.range_sets ()) ?metrics
+    () =
   {
     policy;
     store;
@@ -48,6 +91,7 @@ let create ?(policy = Policy.default) ?(store = Store.range_sets ()) () =
     last_time = 0;
     bytes_series = Series.create ~name:"tainted bytes" ();
     ops_series = Series.create ~name:"taint+untaint ops" ();
+    meters = Option.map meters_of metrics;
   }
 
 let policy t = t.policy
@@ -65,6 +109,11 @@ let update_peaks t ~time =
   let count = t.store.Store.range_count () in
   if bytes > t.max_tainted_bytes then t.max_tainted_bytes <- bytes;
   if count > t.max_ranges then t.max_ranges <- count;
+  (match t.meters with
+  | None -> ()
+  | Some m ->
+      Gauge.set m.m_tainted_bytes bytes;
+      Gauge.set m.m_ranges count);
   Series.record_if_changed t.bytes_series ~time ~value:bytes
 
 let record_op t ~time =
@@ -80,14 +129,25 @@ let tainted_ranges t ~pid = t.store.Store.ranges ~pid
 
 let observe t e =
   t.events <- t.events + 1;
+  (match t.meters with
+  | None -> ()
+  | Some m -> Counter.incr m.m_events);
   if e.Event.seq > t.last_time then t.last_time <- e.Event.seq;
   match e.Event.access with
   | Event.Other -> ()
   | Event.Load r ->
       (* Lines 10–15: a load overlapping R starts (over) the window. *)
       t.lookups <- t.lookups + 1;
+      (match t.meters with
+      | None -> ()
+      | Some m -> Counter.incr m.m_lookups);
       if t.store.Store.overlaps ~pid:e.pid r then begin
         t.tainted_loads <- t.tainted_loads + 1;
+        (match t.meters with
+        | None -> ()
+        | Some m ->
+            Counter.incr m.m_tainted_loads;
+            Counter.incr (m.m_window_opens e.pid));
         let w = window t e.pid in
         w.ltlt <- e.k;
         w.nt_used <- 0
@@ -101,6 +161,9 @@ let observe t e =
         t.store.Store.add ~pid:e.pid r;
         w.nt_used <- w.nt_used + 1;
         t.taint_ops <- t.taint_ops + 1;
+        (match t.meters with
+        | None -> ()
+        | Some m -> Counter.incr m.m_taint_ops);
         record_op t ~time:e.seq;
         update_peaks t ~time:e.seq
       end
@@ -108,6 +171,9 @@ let observe t e =
       then begin
         t.store.Store.remove ~pid:e.pid r;
         t.untaint_ops <- t.untaint_ops + 1;
+        (match t.meters with
+        | None -> ()
+        | Some m -> Counter.incr m.m_untaint_ops);
         record_op t ~time:e.seq;
         update_peaks t ~time:e.seq
       end

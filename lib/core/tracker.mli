@@ -14,9 +14,15 @@
 
 type t
 
-val create : ?policy:Policy.t -> ?store:Store.t -> unit -> t
+val create :
+  ?policy:Policy.t -> ?store:Store.t -> ?metrics:Pift_obs.Registry.t ->
+  unit -> t
 (** [policy] defaults to {!Policy.default}; [store] to
-    {!Store.range_sets}. *)
+    {!Store.range_sets}.  When [metrics] is given, the tracker registers
+    [pift_tracker_*] counters and gauges (events, lookups, tainted loads,
+    taint/untaint ops, tainted-bytes and range-count gauges, and a
+    per-pid [pift_tracker_window_opens_total] family) and keeps them in
+    lock-step with {!stats}; without it the observer path is a no-op. *)
 
 val policy : t -> Policy.t
 

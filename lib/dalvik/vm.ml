@@ -14,6 +14,32 @@ exception Thrown of int
 
 type mode = Interpreter | Jit
 
+module Counter = Pift_obs.Metric.Counter
+
+type meters = {
+  m_bytecodes : Counter.t;  (* labelled by dispatch mode *)
+  m_frag_hits : Counter.t;
+  m_frag_misses : Counter.t;
+}
+
+let mode_label = function Interpreter -> "interpreter" | Jit -> "jit"
+
+let meters_of ~mode registry =
+  let bytecodes =
+    Pift_obs.Registry.counter_family registry
+      ~help:"bytecodes dispatched, by execution mode" ~label:"mode"
+      "pift_vm_bytecodes_total"
+  in
+  let c help name = Pift_obs.Registry.counter registry ~help name in
+  {
+    m_bytecodes = bytecodes (mode_label mode);
+    m_frag_hits =
+      c "translation-fragment cache hits" "pift_vm_frag_cache_hits_total";
+    m_frag_misses =
+      c "fragments translated on a cache miss"
+        "pift_vm_frag_cache_misses_total";
+  }
+
 type t = {
   mode : mode;
   env : Env.t;
@@ -25,14 +51,15 @@ type t = {
   mutable code_next : int;
   frag_cache : (string * int * int, Asm.fragment) Hashtbl.t;
   mutable bytecodes : int;
+  meters : meters option;
 }
 
 let code_base = 0x1000_0000
 let entry_fp = 0x70f0_0000
 let statics_base = Layout.scratch_base + 0x10000
 
-let create ?(mode = Interpreter) ?(natives = Pift_runtime.Api.registry) env
-    program =
+let create ?(mode = Interpreter) ?(natives = Pift_runtime.Api.registry)
+    ?metrics env program =
   let tbl = Hashtbl.create 32 in
   List.iter (fun (name, fn) -> Hashtbl.replace tbl name fn) natives;
   Cpu.set env.Env.cpu Reg.SP Layout.stack_base;
@@ -47,6 +74,7 @@ let create ?(mode = Interpreter) ?(natives = Pift_runtime.Api.registry) env
     code_next = code_base;
     frag_cache = Hashtbl.create 64;
     bytecodes = 0;
+    meters = Option.map (meters_of ~mode) metrics;
   }
 
 let env t = t.env
@@ -90,8 +118,15 @@ let literal t s =
 let cached_fragment t (m : Method.t) ~pc ~key resolved =
   let cache_key = (m.Method.name, pc, key) in
   match Hashtbl.find_opt t.frag_cache cache_key with
-  | Some f -> f
+  | Some f ->
+      (match t.meters with
+      | None -> ()
+      | Some ms -> Counter.incr ms.m_frag_hits);
+      f
   | None ->
+      (match t.meters with
+      | None -> ()
+      | Some ms -> Counter.incr ms.m_frag_misses);
       let f = Translate.fragment resolved in
       let f =
         match t.mode with
@@ -156,6 +191,9 @@ let rec exec_method t (m : Method.t) ~fp ~depth =
     Cpu.set cpu Reg.R6 (Pift_runtime.Tcb.base ~pid:(Cpu.pid cpu));
     Cpu.set cpu Reg.ribase 0x2000_0000;
     t.bytecodes <- t.bytecodes + 1;
+    (match t.meters with
+    | None -> ()
+    | Some ms -> Counter.incr ms.m_bytecodes);
     let bc = m.Method.code.(cur) in
     try
       match bc with

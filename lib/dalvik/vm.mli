@@ -26,11 +26,14 @@ type mode =
 val create :
   ?mode:mode ->
   ?natives:(string * Pift_runtime.Env.native) list ->
+  ?metrics:Pift_obs.Registry.t ->
   Pift_runtime.Env.t ->
   Program.t ->
   t
 (** [natives] defaults to {!Pift_runtime.Api.registry}; [mode] to
-    [Interpreter]. *)
+    [Interpreter].  With [metrics], the VM counts dispatched bytecodes
+    (labelled by execution mode) and translation-fragment cache
+    hits/misses as [pift_vm_*]. *)
 
 val env : t -> Pift_runtime.Env.t
 

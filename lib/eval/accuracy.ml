@@ -42,8 +42,21 @@ let evaluate ~policy apps =
 let default_nis = List.init 20 (fun i -> i + 1)
 let default_nts = List.init 10 (fun i -> i + 1)
 
-let sweep ?(nis = default_nis) ?(nts = default_nts) ?progress apps =
+let sweep ?(nis = default_nis) ?(nts = default_nts) ?progress ?metrics apps =
   let n = List.length apps in
+  let meters =
+    Option.map
+      (fun registry ->
+        ( Pift_obs.Registry.counter registry ~help:"apps recorded by the sweep"
+            "pift_sweep_apps_total",
+          Pift_obs.Registry.counter registry
+            ~help:"tracker replays across the NIxNT grid"
+            "pift_sweep_replays_total",
+          Pift_obs.Registry.histogram registry
+            ~help:"instructions per recorded app trace"
+            "pift_sweep_trace_insns" ))
+      metrics
+  in
   let cells = Hashtbl.create 256 in
   List.iter
     (fun ni -> List.iter (fun nt -> Hashtbl.replace cells (ni, nt) empty) nts)
@@ -51,12 +64,22 @@ let sweep ?(nis = default_nis) ?(nts = default_nts) ?progress apps =
   List.iteri
     (fun i (app : App.t) ->
       let recorded = Recorded.record app in
+      (match meters with
+      | None -> ()
+      | Some (m_apps, _, m_insns) ->
+          Pift_obs.Metric.Counter.incr m_apps;
+          Pift_obs.Metric.Histogram.observe m_insns
+            (Pift_trace.Trace.length recorded.Recorded.trace));
       List.iter
         (fun ni ->
           List.iter
             (fun nt ->
               let policy = Policy.make ~ni ~nt () in
               let replay = Recorded.replay ~policy recorded in
+              (match meters with
+              | None -> ()
+              | Some (_, m_replays, _) ->
+                  Pift_obs.Metric.Counter.incr m_replays);
               let c = Hashtbl.find cells (ni, nt) in
               Hashtbl.replace cells (ni, nt)
                 (classify ~leaky:app.App.leaky ~flagged:replay.Recorded.flagged

@@ -27,11 +27,14 @@ val sweep :
   ?nis:int list ->
   ?nts:int list ->
   ?progress:(int -> int -> unit) ->
+  ?metrics:Pift_obs.Registry.t ->
   Pift_workloads.App.t list ->
   sweep
 (** Full NI×NT grid (defaults NI=1..20, NT=1..10, the paper's 200
     combinations).  Each app is executed once and replayed per cell.
-    [progress done total] is called per app recorded. *)
+    [progress done total] is called per app recorded.  With [metrics],
+    [pift_sweep_*] counters track recorded apps and grid replays, and a
+    log2 histogram collects per-app trace lengths. *)
 
 val cell : sweep -> ni:int -> nt:int -> confusion
 

@@ -6,6 +6,7 @@ module Manager = Pift_runtime.Manager
 module Vm = Pift_dalvik.Vm
 module App = Pift_workloads.App
 module Tracker = Pift_core.Tracker
+module Store = Pift_core.Store
 module Full_dift = Pift_baseline.Full_dift
 
 type marker =
@@ -20,9 +21,9 @@ type t = {
   bytecodes : int;
 }
 
-let record ?mode (app : App.t) =
+let record ?mode ?metrics (app : App.t) =
   let trace = Trace.create () in
-  let env = Env.create ~sink:(Trace.sink trace) () in
+  let env = Env.create ?metrics ~sink:(Trace.sink trace) () in
   let markers = ref [] in
   let seq () = Cpu.global_seq env.Env.cpu in
   Manager.subscribe_sources env.Env.manager (fun ~pid:_ ~kind r ->
@@ -30,7 +31,7 @@ let record ?mode (app : App.t) =
   Manager.subscribe_checks env.Env.manager (fun ~pid:_ ~kind ranges ->
       markers := (seq (), Sink { kind; ranges }) :: !markers);
   let natives = Pift_runtime.Api.registry @ app.App.natives in
-  let vm = Vm.create ?mode ~natives env (app.App.program ()) in
+  let vm = Vm.create ?mode ~natives ?metrics env (app.App.program ()) in
   (match Vm.run vm with `Ok | `Uncaught _ -> ());
   {
     name = app.App.name;
@@ -69,11 +70,19 @@ let interleave t ~observe ~on_marker =
     t.trace;
   apply_until max_int
 
-let replay ?store ~policy t =
+let replay ?store ?metrics ~policy t =
+  let store =
+    match (store, metrics) with
+    | Some store, Some registry -> Some (Store.with_metrics registry store)
+    | Some store, None -> Some store
+    | None, Some registry ->
+        Some (Store.with_metrics registry (Store.range_sets ()))
+    | None, None -> None
+  in
   let tracker =
     match store with
-    | Some store -> Tracker.create ~policy ~store ()
-    | None -> Tracker.create ~policy ()
+    | Some store -> Tracker.create ~policy ~store ?metrics ()
+    | None -> Tracker.create ~policy ?metrics ()
   in
   let verdicts = ref [] in
   let on_marker = function

@@ -10,8 +10,12 @@
 
 type t
 
-val create : ?pid:int -> sink:(Pift_trace.Event.t -> unit) -> Memory.t -> t
-(** A CPU with zeroed registers.  [pid] defaults to 1. *)
+val create :
+  ?pid:int -> ?metrics:Pift_obs.Registry.t ->
+  sink:(Pift_trace.Event.t -> unit) -> Memory.t -> t
+(** A CPU with zeroed registers.  [pid] defaults to 1.  With [metrics],
+    [pift_cpu_*] counters track instructions retired and the load/store
+    mix; without it the retire path stays untouched. *)
 
 val memory : t -> Memory.t
 

@@ -1,0 +1,25 @@
+(** Minimal JSON — just enough for the metrics sinks and [pift report]
+    to round-trip their own output without an external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (JSON Lines friendly). *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Raises {!Parse_error} on malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,340 @@
+module R = Registry
+
+(* --- JSON encoding ----------------------------------------------------- *)
+
+let json_of_labels labels =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
+
+let json_of_point (labels, point) =
+  let base = [ ("labels", json_of_labels labels) ] in
+  match point with
+  | R.P_counter v -> Json.Obj (base @ [ ("value", Json.Int v) ])
+  | R.P_gauge { value; peak } ->
+      Json.Obj (base @ [ ("value", Json.Float value); ("peak", Json.Float peak) ])
+  | R.P_histogram { count; sum; vmax; buckets } ->
+      Json.Obj
+        (base
+        @ [
+            ("count", Json.Int count);
+            ("sum", Json.Int sum);
+            ("max", Json.Int vmax);
+            ( "buckets",
+              Json.List
+                (List.map
+                   (fun (ub, n) -> Json.List [ Json.Int ub; Json.Int n ])
+                   buckets) );
+          ])
+
+let json_of_sample (s : R.sample) =
+  Json.Obj
+    [
+      ("name", Json.String s.R.s_name);
+      ("kind", Json.String (R.kind_to_string s.R.s_kind));
+      ("help", Json.String s.R.s_help);
+      ("points", Json.List (List.map json_of_point s.R.s_points));
+    ]
+
+let rec json_of_span span =
+  Json.Obj
+    [
+      ("name", Json.String (Span.name span));
+      ("seconds", Json.Float (Span.seconds span));
+      ("children", Json.List (List.map json_of_span (Span.children span)));
+    ]
+
+let snapshot_to_json ?(run = "") ?(spans = []) samples =
+  let fields =
+    (if String.equal run "" then [] else [ ("run", Json.String run) ])
+    @ [
+        ("metrics", Json.List (List.map json_of_sample samples));
+        ("spans", Json.List (List.map json_of_span spans));
+      ]
+  in
+  Json.Obj fields
+
+let write_jsonl oc json =
+  output_string oc (Json.to_string json);
+  output_char oc '\n'
+
+(* --- JSON decoding (pift report / tests) ------------------------------- *)
+
+exception Malformed of string
+
+let get ~ctx what = function
+  | Some v -> v
+  | None -> raise (Malformed (Printf.sprintf "%s: missing %s" ctx what))
+
+let labels_of_json j =
+  match j with
+  | Json.Obj fields ->
+      List.map
+        (fun (k, v) ->
+          (k, get ~ctx:"labels" "string value" (Json.to_str v)))
+        fields
+  | _ -> raise (Malformed "labels: expected object")
+
+let point_of_json ~kind j =
+  let labels =
+    match Json.member "labels" j with
+    | Some l -> labels_of_json l
+    | None -> []
+  in
+  let point =
+    match kind with
+    | R.Counter_kind ->
+        R.P_counter
+          (get ~ctx:"counter point" "value"
+             (Option.bind (Json.member "value" j) Json.to_int))
+    | R.Gauge_kind ->
+        R.P_gauge
+          {
+            value =
+              get ~ctx:"gauge point" "value"
+                (Option.bind (Json.member "value" j) Json.to_float);
+            peak =
+              get ~ctx:"gauge point" "peak"
+                (Option.bind (Json.member "peak" j) Json.to_float);
+          }
+    | R.Histogram_kind ->
+        let int_field name =
+          get ~ctx:"histogram point" name
+            (Option.bind (Json.member name j) Json.to_int)
+        in
+        let buckets =
+          List.map
+            (fun pair ->
+              match Json.to_list pair with
+              | Some [ ub; n ] ->
+                  ( get ~ctx:"bucket" "bound" (Json.to_int ub),
+                    get ~ctx:"bucket" "count" (Json.to_int n) )
+              | Some _ | None -> raise (Malformed "bucket: expected pair"))
+            (get ~ctx:"histogram point" "buckets"
+               (Option.bind (Json.member "buckets" j) Json.to_list))
+        in
+        R.P_histogram
+          { count = int_field "count"; sum = int_field "sum";
+            vmax = int_field "max"; buckets }
+  in
+  (labels, point)
+
+let kind_of_string = function
+  | "counter" -> R.Counter_kind
+  | "gauge" -> R.Gauge_kind
+  | "histogram" -> R.Histogram_kind
+  | s -> raise (Malformed ("unknown metric kind " ^ s))
+
+let sample_of_json j : R.sample =
+  let str name =
+    get ~ctx:"metric" name (Option.bind (Json.member name j) Json.to_str)
+  in
+  let kind = kind_of_string (str "kind") in
+  {
+    R.s_name = str "name";
+    s_help = (match Json.member "help" j with
+             | Some h -> Option.value ~default:"" (Json.to_str h)
+             | None -> "");
+    s_kind = kind;
+    s_points =
+      List.map (point_of_json ~kind)
+        (get ~ctx:"metric" "points"
+           (Option.bind (Json.member "points" j) Json.to_list));
+  }
+
+let samples_of_json j =
+  match Option.bind (Json.member "metrics" j) Json.to_list with
+  | Some metrics -> List.map sample_of_json metrics
+  | None -> raise (Malformed "snapshot: missing metrics array")
+
+let rec span_of_json j =
+  let name =
+    get ~ctx:"span" "name" (Option.bind (Json.member "name" j) Json.to_str)
+  in
+  let seconds =
+    get ~ctx:"span" "seconds"
+      (Option.bind (Json.member "seconds" j) Json.to_float)
+  in
+  let children =
+    match Option.bind (Json.member "children" j) Json.to_list with
+    | Some l -> List.map span_of_json l
+    | None -> []
+  in
+  Span.make ~name ~seconds children
+
+let spans_of_json j =
+  match Option.bind (Json.member "spans" j) Json.to_list with
+  | Some spans -> List.map span_of_json spans
+  | None -> []
+
+let run_of_json j =
+  Option.value ~default:""
+    (Option.bind (Json.member "run" j) Json.to_str)
+
+(* --- Prometheus text exposition ---------------------------------------- *)
+
+let prom_number f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+      let field (k, v) = Printf.sprintf "%s=%S" k v in
+      "{" ^ String.concat "," (List.map field labels) ^ "}"
+
+let prom_header ppf ~name ~help ~kind =
+  if not (String.equal help "") then
+    Format.fprintf ppf "# HELP %s %s@," name help;
+  Format.fprintf ppf "# TYPE %s %s@," name (R.kind_to_string kind)
+
+let prometheus samples ppf () =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (s : R.sample) ->
+      let name = s.R.s_name in
+      (match s.R.s_kind with
+      | R.Counter_kind | R.Gauge_kind ->
+          prom_header ppf ~name ~help:s.R.s_help ~kind:s.R.s_kind
+      | R.Histogram_kind ->
+          prom_header ppf ~name ~help:s.R.s_help ~kind:R.Histogram_kind);
+      List.iter
+        (fun (labels, point) ->
+          match point with
+          | R.P_counter v ->
+              Format.fprintf ppf "%s%s %d@," name (prom_labels labels) v
+          | R.P_gauge { value; _ } ->
+              Format.fprintf ppf "%s%s %s@," name (prom_labels labels)
+                (prom_number value)
+          | R.P_histogram { count; sum; buckets; _ } ->
+              let cumulative = ref 0 in
+              List.iter
+                (fun (ub, n) ->
+                  cumulative := !cumulative + n;
+                  Format.fprintf ppf "%s_bucket%s %d@," name
+                    (prom_labels (labels @ [ ("le", string_of_int ub) ]))
+                    !cumulative)
+                buckets;
+              Format.fprintf ppf "%s_bucket%s %d@," name
+                (prom_labels (labels @ [ ("le", "+Inf") ]))
+                count;
+              Format.fprintf ppf "%s_sum%s %d@," name (prom_labels labels)
+                sum;
+              Format.fprintf ppf "%s_count%s %d@," name (prom_labels labels)
+                count)
+        s.R.s_points;
+      (* Gauge peaks are worth keeping across a run; expose them as a
+         sibling gauge. *)
+      match s.R.s_kind with
+      | R.Gauge_kind ->
+          prom_header ppf ~name:(name ^ "_peak") ~help:"" ~kind:R.Gauge_kind;
+          List.iter
+            (fun (labels, point) ->
+              match point with
+              | R.P_gauge { peak; _ } ->
+                  Format.fprintf ppf "%s_peak%s %s@," name
+                    (prom_labels labels) (prom_number peak)
+              | R.P_counter _ | R.P_histogram _ -> ())
+            s.R.s_points
+      | R.Counter_kind | R.Histogram_kind -> ())
+    samples;
+  Format.fprintf ppf "@]@?"
+
+(* --- human summary ----------------------------------------------------- *)
+
+let label_suffix = function
+  | [] -> ""
+  | labels -> prom_labels labels
+
+(* Each section is its own closed box: Textplot renderers end with a
+   flush, which would tear an enclosing vbox apart. *)
+let render ?(run = "") ?(spans = []) samples ppf () =
+  Format.fprintf ppf "== metrics snapshot%s ==@."
+    (if String.equal run "" then "" else Printf.sprintf " (%s)" run);
+  if spans <> [] then begin
+    Format.fprintf ppf "@[<v>@,spans:@,";
+    List.iter
+      (fun root ->
+        Span.iter
+          (fun ~depth span ->
+            Format.fprintf ppf "  %s%-*s %10.3f ms@,"
+              (String.make (2 * depth) ' ')
+              (max 1 (28 - (2 * depth)))
+              (Span.name span)
+              (1000. *. Span.seconds span))
+          root)
+      spans;
+    Format.fprintf ppf "@]@."
+  end;
+  let counters =
+    List.concat_map
+      (fun (s : R.sample) ->
+        match s.R.s_kind with
+        | R.Counter_kind ->
+            List.filter_map
+              (fun (labels, point) ->
+                match point with
+                | R.P_counter v ->
+                    Some (s.R.s_name ^ label_suffix labels, float_of_int v)
+                | R.P_gauge _ | R.P_histogram _ -> None)
+              s.R.s_points
+        | R.Gauge_kind | R.Histogram_kind -> [])
+      samples
+  in
+  if counters <> [] then
+    Pift_util.Textplot.bar_chart ~title:"counters" counters ppf ();
+  let gauges =
+    List.concat_map
+      (fun (s : R.sample) ->
+        match s.R.s_kind with
+        | R.Gauge_kind ->
+            List.filter_map
+              (fun (labels, point) ->
+                match point with
+                | R.P_gauge { value; peak } ->
+                    Some (s.R.s_name ^ label_suffix labels, value, peak)
+                | R.P_counter _ | R.P_histogram _ -> None)
+              s.R.s_points
+        | R.Counter_kind | R.Histogram_kind -> [])
+      samples
+  in
+  if gauges <> [] then begin
+    Format.fprintf ppf "@[<v>gauges:@,";
+    List.iter
+      (fun (name, value, peak) ->
+        Format.fprintf ppf "  %-40s %14s (peak %s)@," name
+          (prom_number value) (prom_number peak))
+      gauges;
+    Format.fprintf ppf "@]@."
+  end;
+  let histograms =
+    List.concat_map
+      (fun (s : R.sample) ->
+        match s.R.s_kind with
+        | R.Histogram_kind ->
+            List.filter_map
+              (fun (labels, point) ->
+                match point with
+                | R.P_histogram { count; sum; vmax; _ } ->
+                    Some (s.R.s_name ^ label_suffix labels, count, sum, vmax)
+                | R.P_counter _ | R.P_gauge _ -> None)
+              s.R.s_points
+        | R.Counter_kind | R.Gauge_kind -> [])
+      samples
+  in
+  if histograms <> [] then begin
+    Format.fprintf ppf "@[<v>histograms:@,";
+    List.iter
+      (fun (name, count, sum, vmax) ->
+        let mean =
+          if count = 0 then 0. else float_of_int sum /. float_of_int count
+        in
+        Format.fprintf ppf "  %-40s n=%d mean=%.2f max=%d@," name count mean
+          vmax)
+      histograms;
+    Format.fprintf ppf "@]@."
+  end
+
+let render_json j ppf () =
+  let samples = samples_of_json j in
+  let spans = spans_of_json j in
+  render ~run:(run_of_json j) ~spans samples ppf ()

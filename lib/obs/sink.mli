@@ -1,0 +1,36 @@
+(** Snapshot renderers: JSON Lines, Prometheus text exposition, and a
+    human Textplot summary — plus the inverse JSON readers that back
+    [pift report]. *)
+
+val snapshot_to_json :
+  ?run:string -> ?spans:Span.t list -> Registry.sample list -> Json.t
+(** One self-contained snapshot object: [{"run", "metrics", "spans"}].
+    [run] is omitted when empty. *)
+
+val write_jsonl : out_channel -> Json.t -> unit
+(** Compact rendering plus a newline — one snapshot per line. *)
+
+exception Malformed of string
+(** Raised by the readers on structurally invalid snapshot JSON. *)
+
+val samples_of_json : Json.t -> Registry.sample list
+val spans_of_json : Json.t -> Span.t list
+val run_of_json : Json.t -> string
+
+val prometheus : Registry.sample list -> Format.formatter -> unit -> unit
+(** [# HELP]/[# TYPE] exposition.  Histograms expand to cumulative
+    [_bucket{le=...}] lines plus [_sum]/[_count]; gauges also expose a
+    sibling [name_peak] gauge. *)
+
+val render :
+  ?run:string ->
+  ?spans:Span.t list ->
+  Registry.sample list ->
+  Format.formatter ->
+  unit ->
+  unit
+(** Human summary: span tree with durations, counter bar chart, gauge and
+    histogram tables. *)
+
+val render_json : Json.t -> Format.formatter -> unit -> unit
+(** {!render} over a parsed snapshot line (the [pift report] path). *)

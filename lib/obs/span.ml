@@ -1,0 +1,43 @@
+type t = {
+  sp_name : string;
+  mutable sp_seconds : float;
+  mutable sp_children_rev : t list;
+}
+
+let name s = s.sp_name
+let seconds s = s.sp_seconds
+let children s = List.rev s.sp_children_rev
+
+(* One implicit collector per process: the CLI and bench are
+   single-threaded drivers, and a global keeps [with_] callable from deep
+   inside phases without threading a handle everywhere. *)
+let roots_rev : t list ref = ref []
+let stack : t list ref = ref []
+
+let reset () =
+  roots_rev := [];
+  stack := []
+
+let with_ ~name f =
+  let span = { sp_name = name; sp_seconds = 0.; sp_children_rev = [] } in
+  (match !stack with
+  | parent :: _ -> parent.sp_children_rev <- span :: parent.sp_children_rev
+  | [] -> roots_rev := span :: !roots_rev);
+  stack := span :: !stack;
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      span.sp_seconds <- Unix.gettimeofday () -. t0;
+      match !stack with
+      | top :: rest when top == span -> stack := rest
+      | _ -> ())
+    f
+
+let roots () = List.rev !roots_rev
+
+let make ~name ~seconds children =
+  { sp_name = name; sp_seconds = seconds; sp_children_rev = List.rev children }
+
+let rec iter ?(depth = 0) f span =
+  f ~depth span;
+  List.iter (iter ~depth:(depth + 1) f) (children span)

@@ -1,0 +1,29 @@
+(** Wall-clock span tracing for run phases (record / replay / eval).
+
+    [with_ ~name f] times [f] and files the span under the innermost
+    enclosing [with_], producing a tree per top-level call.  The collector
+    is process-global (the CLI and bench drivers are single-threaded);
+    call {!reset} at the start of a run and {!roots} at the end. *)
+
+type t
+
+val with_ : name:string -> (unit -> 'a) -> 'a
+(** Timed even when [f] raises; the exception is re-raised. *)
+
+val reset : unit -> unit
+val roots : unit -> t list
+(** Completed top-level spans, oldest first. *)
+
+val name : t -> string
+
+val seconds : t -> float
+(** Wall-clock duration. *)
+
+val children : t -> t list
+(** Nested spans, in start order. *)
+
+val make : name:string -> seconds:float -> t list -> t
+(** Build a span tree directly (sink round-trips, tests). *)
+
+val iter : ?depth:int -> (depth:int -> t -> unit) -> t -> unit
+(** Pre-order walk with nesting depth. *)

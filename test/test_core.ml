@@ -222,6 +222,47 @@ let test_tracker_per_pid () =
   checkb "window is per-process" false
     (Tracker.is_tainted t ~pid:2 (r 310 311))
 
+(* Regression: a hand-built 10-event trace with known taint traffic must
+   yield the same taint_ops/untaint_ops/lookups through the legacy
+   [stats] record and the [pift_tracker_*] metrics registry. *)
+let test_tracker_ten_event_counts () =
+  let registry = Pift_obs.Registry.create () in
+  let t =
+    Tracker.create ~policy:(Policy.make ~ni:4 ~nt:2 ()) ~metrics:registry ()
+  in
+  Tracker.taint_source t ~pid:1 (r 100 120);
+  feed t
+    [
+      load (r 100 101) 1 (* tainted load: window opens *);
+      other 2;
+      store (r 200 203) 3 (* taint op 1 *);
+      store (r 210 211) 4 (* taint op 2: NT reached *);
+      store (r 220 221) 5 (* NT exhausted, clean target: no-op *);
+      load (r 50 51) 6 (* clean lookup *);
+      store (r 200 201) 7 (* outside window, tainted target: untaint *);
+      load (r 210 210) 8 (* tainted load: window restarts *);
+      store (r 230 231) 9 (* taint op 3 *);
+      other 10;
+    ];
+  let s = Tracker.stats t in
+  checki "events" 10 s.Tracker.events;
+  checki "lookups" 3 s.Tracker.lookups;
+  checki "tainted loads" 2 s.Tracker.tainted_loads;
+  checki "taint ops" 3 s.Tracker.taint_ops;
+  checki "untaint ops" 1 s.Tracker.untaint_ops;
+  let metric name =
+    Option.value ~default:(-1) (Pift_obs.Registry.find_counter registry name)
+  in
+  checki "metric events" s.Tracker.events (metric "pift_tracker_events_total");
+  checki "metric lookups" s.Tracker.lookups
+    (metric "pift_tracker_lookups_total");
+  checki "metric tainted loads" s.Tracker.tainted_loads
+    (metric "pift_tracker_tainted_loads_total");
+  checki "metric taint ops" s.Tracker.taint_ops
+    (metric "pift_tracker_taint_ops_total");
+  checki "metric untaint ops" s.Tracker.untaint_ops
+    (metric "pift_tracker_untaint_ops_total")
+
 (* Differential property: Tracker vs the naive Reference on random event
    streams. *)
 let events_gen =
@@ -510,6 +551,8 @@ let () =
           Alcotest.test_case "untaint switch" `Quick
             test_tracker_untaint_disabled;
           Alcotest.test_case "per-pid state" `Quick test_tracker_per_pid;
+          Alcotest.test_case "10-event stats vs metrics" `Quick
+            test_tracker_ten_event_counts;
         ] );
       ("differential", qsuite);
       ( "provenance",
