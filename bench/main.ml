@@ -213,9 +213,61 @@ let write_obs_snapshot () =
   close_out oc;
   print_endline "wrote BENCH_obs.json"
 
+(* Serial vs parallel Fig. 11 sweep: the same grid replayed at jobs=1
+   and jobs=4, wall-clocked, with the cell lists compared so the
+   speedup never comes at the price of a divergent result.  Emitted as
+   BENCH_par.json for the cross-commit perf trajectory.  On a
+   single-core container the honest speedup is ~1x — the json carries
+   [domains_available] so readers can tell "no parallel hardware" from
+   "regression". *)
+let write_par_bench () =
+  let module Json = Pift_obs.Json in
+  let module Accuracy = Pift_eval.Accuracy in
+  let apps = Pift_workloads.Droidbench.subset48 in
+  let nis = Accuracy.default_nis and nts = Pift_eval.Accuracy.default_nts in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let parallel_jobs = 4 in
+  let serial, serial_s =
+    time (fun () -> Accuracy.sweep ~nis ~nts ~jobs:1 apps)
+  in
+  let parallel, parallel_s =
+    time (fun () -> Accuracy.sweep ~nis ~nts ~jobs:parallel_jobs apps)
+  in
+  let identical = serial.Accuracy.cells = parallel.Accuracy.cells in
+  let json =
+    Json.Obj
+      [
+        ("bench", Json.String "fig11-sweep");
+        ("apps", Json.Int (List.length apps));
+        ("grid_cells", Json.Int (List.length nis * List.length nts));
+        ("domains_available", Json.Int (Pift_par.Pool.default_jobs ()));
+        ("serial_seconds", Json.Float serial_s);
+        ("parallel_jobs", Json.Int parallel_jobs);
+        ("parallel_seconds", Json.Float parallel_s);
+        ( "speedup",
+          Json.Float (if parallel_s > 0. then serial_s /. parallel_s else 0.)
+        );
+        ("identical_cells", Json.Bool identical);
+      ]
+  in
+  let oc = open_out "BENCH_par.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_par.json (serial %.2fs, %d-domain %.2fs, %s)\n"
+    serial_s parallel_jobs parallel_s
+    (if identical then "cells identical" else "CELLS DIVERGED");
+  if not identical then exit 1
+
 let () =
   run_microbenchmarks ();
   write_obs_snapshot ();
+  write_par_bench ();
   print_endline "######## paper reproduction (every table & figure) ########";
-  Pift_eval.Experiments.run_all Format.std_formatter;
+  Pift_eval.Experiments.run_all ~jobs:(Pift_par.Pool.default_jobs ())
+    Format.std_formatter;
   Format.print_flush ()

@@ -44,6 +44,16 @@ let jit =
   let doc = "Execute under the JIT/AOT translation (no fetch/dispatch)." in
   Arg.(value & flag & info [ "jit" ] ~doc)
 
+let jobs =
+  let doc =
+    "Worker domains for the parallel replay pool (default: the machine's \
+     domain count).  Output is byte-identical for every job count."
+  in
+  Arg.(
+    value
+    & opt int (Pift_par.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let mode_of jit = if jit then Pift_dalvik.Vm.Jit else Pift_dalvik.Vm.Interpreter
 
 (* --- metrics options --- *)
@@ -239,7 +249,7 @@ let run_app_cmd =
 
 (* --- sweep --- *)
 
-let sweep subset_only metrics_out metrics_format =
+let sweep subset_only jobs metrics_out metrics_format =
   let apps =
     if subset_only then Pift_workloads.Droidbench.subset48
     else Pift_workloads.Droidbench.all
@@ -247,7 +257,7 @@ let sweep subset_only metrics_out metrics_format =
   let metrics = registry_of metrics_out in
   let sweep =
     Obs.Span.with_ ~name:"sweep" (fun () ->
-        Pift_eval.Accuracy.sweep ?metrics apps)
+        Pift_eval.Accuracy.sweep ?metrics ~jobs apps)
   in
   Pift_eval.Accuracy.render sweep Format.std_formatter ();
   match (metrics, metrics_out) with
@@ -263,11 +273,11 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Accuracy sweep over the NI x NT grid (Fig. 11).")
-    Term.(const sweep $ subset $ metrics_out $ metrics_format)
+    Term.(const sweep $ subset $ jobs $ metrics_out $ metrics_format)
 
 (* --- experiment --- *)
 
-let experiment ids =
+let experiment jobs ids =
   match ids with
   | [] ->
       Printf.printf "available experiments:\n";
@@ -278,8 +288,8 @@ let experiment ids =
       List.iter
         (fun id ->
           if String.equal id "all" then
-            Pift_eval.Experiments.run_all Format.std_formatter
-          else Pift_eval.Experiments.run id Format.std_formatter)
+            Pift_eval.Experiments.run_all ~jobs Format.std_formatter
+          else Pift_eval.Experiments.run ~jobs id Format.std_formatter)
         ids
 
 let experiment_cmd =
@@ -293,7 +303,7 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate one of the paper's tables/figures.")
-    Term.(const experiment $ ids)
+    Term.(const experiment $ jobs $ ids)
 
 (* --- record-trace / analyze-trace --- *)
 

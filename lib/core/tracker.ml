@@ -123,7 +123,13 @@ let taint_source t ~pid r =
   t.store.Store.add ~pid r;
   update_peaks t ~time:t.last_time
 
-let untaint_range t ~pid r = t.store.Store.remove ~pid r
+(* Like [taint_source], a Manager-driven untaint must land in the
+   observability state: without the [update_peaks] call the tainted-bytes
+   gauges went stale and Fig. 15's bytes-over-time curve missed the dip
+   when a source range is untainted. *)
+let untaint_range t ~pid r =
+  t.store.Store.remove ~pid r;
+  update_peaks t ~time:t.last_time
 let is_tainted t ~pid r = t.store.Store.overlaps ~pid r
 let tainted_ranges t ~pid = t.store.Store.ranges ~pid
 

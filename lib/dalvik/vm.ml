@@ -164,12 +164,15 @@ let array_kind_of_class cls =
   else if String.equal cls "byte[]" then Jarray.Bytes
   else Jarray.Words
 
+(* Assembled eagerly: a toplevel [lazy] forced from two domains at once
+   can raise [CamlinternalLazy.Undefined], and VMs run on worker domains
+   during parallel sweeps.  The fragment is three instructions — paying
+   for it at module init is free. *)
 let restore_frag =
-  lazy
-    (let a = Asm.create () in
-     Asm.emit a (Insn.Ldm (Reg.SP, [ Reg.rpc; Reg.rfp; Reg.rinst ]));
-     Asm.ret a;
-     Asm.assemble a)
+  let a = Asm.create () in
+  Asm.emit a (Insn.Ldm (Reg.SP, [ Reg.rpc; Reg.rfp; Reg.rinst ]));
+  Asm.ret a;
+  Asm.assemble a
 
 let max_call_depth = 512
 
@@ -304,7 +307,7 @@ and invoke t (m : Method.t) ~fp ~pc ~depth name args =
                (Translate.Invoke_bytecode
                   { arg_moves; callee_registers = callee.Method.registers }));
           let restore () =
-            run_frag t (Lazy.force restore_frag);
+            run_frag t restore_frag;
             Cpu.set t.env.Env.cpu Reg.rfp fp
           in
           (try exec_method t callee ~fp:callee_fp ~depth:(depth + 1)

@@ -42,58 +42,109 @@ let evaluate ~policy apps =
 let default_nis = List.init 20 (fun i -> i + 1)
 let default_nts = List.init 10 (fun i -> i + 1)
 
-let sweep ?(nis = default_nis) ?(nts = default_nts) ?progress ?metrics apps =
-  let n = List.length apps in
-  let meters =
-    Option.map
-      (fun registry ->
-        ( Pift_obs.Registry.counter registry ~help:"apps recorded by the sweep"
-            "pift_sweep_apps_total",
-          Pift_obs.Registry.counter registry
-            ~help:"tracker replays across the NIxNT grid"
-            "pift_sweep_replays_total",
-          Pift_obs.Registry.histogram registry
-            ~help:"instructions per recorded app trace"
-            "pift_sweep_trace_insns" ))
-      metrics
-  in
-  let cells = Hashtbl.create 256 in
-  List.iter
-    (fun ni -> List.iter (fun nt -> Hashtbl.replace cells (ni, nt) empty) nts)
-    nis;
-  List.iteri
-    (fun i (app : App.t) ->
-      let recorded = Recorded.record app in
-      (match meters with
-      | None -> ()
-      | Some (m_apps, _, m_insns) ->
-          Pift_obs.Metric.Counter.incr m_apps;
-          Pift_obs.Metric.Histogram.observe m_insns
-            (Pift_trace.Trace.length recorded.Recorded.trace));
-      List.iter
-        (fun ni ->
-          List.iter
-            (fun nt ->
-              let policy = Policy.make ~ni ~nt () in
-              let replay = Recorded.replay ~policy recorded in
-              (match meters with
-              | None -> ()
-              | Some (_, m_replays, _) ->
-                  Pift_obs.Metric.Counter.incr m_replays);
-              let c = Hashtbl.find cells (ni, nt) in
-              Hashtbl.replace cells (ni, nt)
-                (classify ~leaky:app.App.leaky ~flagged:replay.Recorded.flagged
-                   c))
-            nts)
-        nis;
-      match progress with Some f -> f (i + 1) n | None -> ())
-    apps;
+(* Per-worker sweep meters, resolved once per registry so the replay loop
+   pays one counter write per replay. *)
+type meters = {
+  m_apps : Pift_obs.Metric.Counter.t;
+  m_replays : Pift_obs.Metric.Counter.t;
+  m_insns : Pift_obs.Metric.Histogram.t;
+}
+
+let meters_of registry =
   {
-    apps = List.length apps;
-    nis;
-    nts;
-    cells = Hashtbl.fold (fun k v acc -> (k, v) :: acc) cells [];
+    m_apps =
+      Pift_obs.Registry.counter registry ~help:"apps recorded by the sweep"
+        "pift_sweep_apps_total";
+    m_replays =
+      Pift_obs.Registry.counter registry
+        ~help:"tracker replays across the NIxNT grid"
+        "pift_sweep_replays_total";
+    m_insns =
+      Pift_obs.Registry.histogram registry
+        ~help:"instructions per recorded app trace" "pift_sweep_trace_insns";
   }
+
+(* Recording runs on the pool (each app builds its own VM, trace, and
+   heap), and the NIxNT grid then replays one cell per work item against
+   the shared read-only recordings.  Each worker slot owns a private
+   metrics registry — merged into the caller's registry afterwards in
+   slot order — so the counters stay lock-free and the merged snapshot
+   is identical whatever the schedule.  Cells come back sorted by
+   (ni, nt): the Hashtbl.fold order of the old implementation leaked
+   hashing order into the result, which both broke run-to-run
+   reproducibility and made parallel merges order-dependent. *)
+let sweep ?(nis = default_nis) ?(nts = default_nts) ?progress ?metrics
+    ?(jobs = 1) apps =
+  Pift_par.Pool.with_pool ~jobs (fun pool ->
+      let slots = Pift_par.Pool.jobs pool in
+      let worker_registries =
+        match metrics with
+        | None -> [||]
+        | Some _ ->
+            Array.init slots (fun _ -> Pift_obs.Registry.create ())
+      in
+      let worker_meters = Array.map meters_of worker_registries in
+      let apps_arr = Array.of_list apps in
+      let n = Array.length apps_arr in
+      let recorded_count = Atomic.make 0 in
+      let progress_mu = Mutex.create () in
+      let recordings =
+        Pift_par.Pool.map_slots pool
+          ~f:(fun ~worker _ (app : App.t) ->
+            let recorded = Recorded.record app in
+            if worker_meters <> [||] then begin
+              let m = worker_meters.(worker) in
+              Pift_obs.Metric.Counter.incr m.m_apps;
+              Pift_obs.Metric.Histogram.observe m.m_insns
+                (Pift_trace.Trace.length recorded.Recorded.trace)
+            end;
+            (match progress with
+            | None -> ()
+            | Some f ->
+                let done_ = 1 + Atomic.fetch_and_add recorded_count 1 in
+                Mutex.lock progress_mu;
+                Fun.protect
+                  ~finally:(fun () -> Mutex.unlock progress_mu)
+                  (fun () -> f done_ n));
+            recorded)
+          apps_arr
+      in
+      let points =
+        Array.of_list
+          (List.concat_map
+             (fun ni -> List.map (fun nt -> (ni, nt)) nts)
+             nis)
+      in
+      let confusions =
+        Pift_par.Pool.map_slots pool
+          ~f:(fun ~worker _ (ni, nt) ->
+            let policy = Policy.make ~ni ~nt () in
+            let c = ref empty in
+            Array.iteri
+              (fun i recorded ->
+                let replay = Recorded.replay ~policy recorded in
+                if worker_meters <> [||] then
+                  Pift_obs.Metric.Counter.incr
+                    worker_meters.(worker).m_replays;
+                c :=
+                  classify ~leaky:apps_arr.(i).App.leaky
+                    ~flagged:replay.Recorded.flagged !c)
+              recordings;
+            !c)
+          points
+      in
+      (match metrics with
+      | None -> ()
+      | Some registry ->
+          Array.iter
+            (fun wr -> Pift_obs.Registry.merge ~into:registry wr)
+            worker_registries);
+      let cells =
+        List.sort
+          (fun (a, _) (b, _) -> compare (a : int * int) b)
+          (Array.to_list (Array.map2 (fun p c -> (p, c)) points confusions))
+      in
+      { apps = n; nis; nts; cells })
 
 let cell sweep ~ni ~nt =
   match List.assoc_opt (ni, nt) sweep.cells with
@@ -112,6 +163,15 @@ let misclassified ~policy apps =
     apps
 
 let render sweep ppf () =
+  (* Index the cells once: a List.assoc per heatmap cell is O(cells^2)
+     across the render. *)
+  let index = Hashtbl.create (List.length sweep.cells) in
+  List.iter (fun (k, c) -> Hashtbl.replace index k c) sweep.cells;
+  let cell ~ni ~nt =
+    match Hashtbl.find_opt index (ni, nt) with
+    | Some c -> c
+    | None -> invalid_arg "Accuracy.render: (ni, nt) outside the sweep"
+  in
   Pift_util.Textplot.heatmap
     ~title:
       (Printf.sprintf
@@ -119,5 +179,5 @@ let render sweep ppf () =
           rows"
          sweep.apps)
     ~row_label:"NT" ~col_label:"NI" ~rows:sweep.nts ~cols:sweep.nis
-    (fun ~row ~col -> 100. *. accuracy (cell sweep ~ni:col ~nt:row))
+    (fun ~row ~col -> 100. *. accuracy (cell ~ni:col ~nt:row))
     ppf ()

@@ -16,25 +16,37 @@ type sweep = {
   apps : int;
   nis : int list;
   nts : int list;
-  cells : ((int * int) * confusion) list;  (** keyed by (ni, nt) *)
+  cells : ((int * int) * confusion) list;
+      (** keyed by (ni, nt), sorted ascending by key *)
 }
 
 val evaluate :
   policy:Pift_core.Policy.t -> Pift_workloads.App.t list -> confusion
 (** Record and replay each app once at the given policy. *)
 
+val default_nis : int list
+(** NI = 1..20, the paper's Fig. 11 columns. *)
+
+val default_nts : int list
+(** NT = 1..10, the paper's Fig. 11 rows. *)
+
 val sweep :
   ?nis:int list ->
   ?nts:int list ->
   ?progress:(int -> int -> unit) ->
   ?metrics:Pift_obs.Registry.t ->
+  ?jobs:int ->
   Pift_workloads.App.t list ->
   sweep
 (** Full NI×NT grid (defaults NI=1..20, NT=1..10, the paper's 200
     combinations).  Each app is executed once and replayed per cell.
-    [progress done total] is called per app recorded.  With [metrics],
-    [pift_sweep_*] counters track recorded apps and grid replays, and a
-    log2 histogram collects per-app trace lengths. *)
+    [progress done total] is called per app recorded (under a lock when
+    parallel, in completion order).  With [metrics], [pift_sweep_*]
+    counters track recorded apps and grid replays, and a log2 histogram
+    collects per-app trace lengths.  [jobs] (default 1) sizes the
+    [Pift_par] domain pool the recordings and grid cells run on; the
+    result — cells and merged metrics both — is identical for every
+    [jobs] value. *)
 
 val cell : sweep -> ni:int -> nt:int -> confusion
 

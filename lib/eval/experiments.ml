@@ -51,8 +51,8 @@ let fig10 ppf =
 
 (* --- Accuracy ----------------------------------------------------------- *)
 
-let fig11 ppf =
-  let sweep = Accuracy.sweep Droidbench.subset48 in
+let fig11 ?(jobs = 1) ppf =
+  let sweep = Accuracy.sweep ~jobs Droidbench.subset48 in
   Accuracy.render sweep ppf ();
   let report (ni, nt) =
     let c = Accuracy.cell sweep ~ni ~nt in
@@ -99,22 +99,30 @@ let malware ppf =
 
 (* --- Overhead ----------------------------------------------------------- *)
 
-(* The 200-replay grid backs both Fig. 14 and Fig. 17; compute it once. *)
+(* The 200-replay grid backs both Fig. 14 and Fig. 17; compute it once
+   (the first caller's job count drives the pool — the points are
+   jobs-independent, so the memo stays coherent). *)
 let lgroot_grid =
-  let memo = lazy (Overhead.grid (lgroot_recording ())) in
-  fun () -> Lazy.force memo
+  let memo = ref None in
+  fun ~jobs () ->
+    match !memo with
+    | Some grid -> grid
+    | None ->
+        let grid = Overhead.grid ~jobs (lgroot_recording ()) in
+        memo := Some grid;
+        grid
 
-let fig14 ppf =
+let fig14 ?(jobs = 1) ppf =
   Overhead.render_grid
     ~title:"Fig. 14 — maximum size of tainted addresses (bytes) vs (NI, NT)"
     ~metric:(fun p -> p.Overhead.max_tainted_bytes)
-    (lgroot_grid ()) ppf ()
+    (lgroot_grid ~jobs ()) ppf ()
 
-let fig17 ppf =
+let fig17 ?(jobs = 1) ppf =
   Overhead.render_grid
     ~title:"Fig. 17 — maximum number of distinct ranges vs (NI, NT)"
     ~metric:(fun p -> p.Overhead.max_ranges)
-    (lgroot_grid ()) ppf ()
+    (lgroot_grid ~jobs ()) ppf ()
 
 let series_params = [ (5, 3); (10, 3); (15, 3); (20, 3); (10, 2); (20, 1) ]
 
@@ -142,9 +150,10 @@ let fig16 ppf =
     ~title:"Fig. 16 — cumulative tainting+untainting operations over time"
     ~log_scale:true curves ppf ()
 
-let untaint_figs ~metric ~title ppf =
+let untaint_figs ?(jobs = 1) ~metric ~title ppf =
   let effects =
-    Overhead.untaint_effect (lgroot_recording ()) ~nis:[ 5; 10; 15; 20 ] ~nt:3
+    Overhead.untaint_effect ~jobs (lgroot_recording ())
+      ~nis:[ 5; 10; 15; 20 ] ~nt:3
   in
   Format.fprintf ppf "@[<v>== %s ==@," title;
   Format.fprintf ppf "%8s %16s %16s %8s@," "NI" "untainting on"
@@ -157,16 +166,16 @@ let untaint_figs ~metric ~title ppf =
     effects;
   Format.fprintf ppf "@]@."
 
-let fig18 ppf =
-  untaint_figs
+let fig18 ?jobs ppf =
+  untaint_figs ?jobs
     ~metric:(fun p -> p.Overhead.max_tainted_bytes)
     ~title:
       "Fig. 18 — effect of untainting on the maximum size of tainted \
        addresses (bytes), NT=3"
     ppf
 
-let fig19 ppf =
-  untaint_figs
+let fig19 ?jobs ppf =
+  untaint_figs ?jobs
     ~metric:(fun p -> p.Overhead.max_ranges)
     ~title:
       "Fig. 19 — effect of untainting on the maximum number of distinct \
@@ -656,22 +665,22 @@ let all =
     ("summary", "headline accuracy and detection numbers");
   ]
 
-let run id ppf =
+let run ?jobs id ppf =
   header ppf id;
   match id with
   | "fig2" -> fig2 ppf
   | "table1" -> table1 ppf
   | "fig10" -> fig10 ppf
-  | "fig11" -> fig11 ppf
+  | "fig11" -> fig11 ?jobs ppf
   | "malware" -> malware ppf
   | "fig12" -> fig12 ppf
   | "fig13" -> fig13 ppf
-  | "fig14" -> fig14 ppf
+  | "fig14" -> fig14 ?jobs ppf
   | "fig15" -> fig15 ppf
   | "fig16" -> fig16 ppf
-  | "fig17" -> fig17 ppf
-  | "fig18" -> fig18 ppf
-  | "fig19" -> fig19 ppf
+  | "fig17" -> fig17 ?jobs ppf
+  | "fig18" -> fig18 ?jobs ppf
+  | "fig19" -> fig19 ?jobs ppf
   | "hw" -> hw ppf
   | "ablation-storage" -> ablation_storage ppf
   | "ablation-granularity" -> ablation_granularity ppf
@@ -688,4 +697,4 @@ let run id ppf =
   | "summary" -> summary ppf
   | other -> failwith ("Experiments.run: unknown experiment " ^ other)
 
-let run_all ppf = List.iter (fun (id, _) -> run id ppf) all
+let run_all ?jobs ppf = List.iter (fun (id, _) -> run ?jobs id ppf) all

@@ -10,10 +10,13 @@ val all : (string * string) list
     [fig17], [fig18], [fig19], plus the extensions [hw],
     [ablation-storage], [ablation-granularity], [summary]. *)
 
-val run : string -> Format.formatter -> unit
-(** Raises [Failure] on an unknown id. *)
+val run : ?jobs:int -> string -> Format.formatter -> unit
+(** Raises [Failure] on an unknown id.  [jobs] (default 1) sizes the
+    [Pift_par] domain pool behind the grid-sweep experiments (fig11,
+    fig14, fig17, fig18, fig19); every experiment's output is identical
+    for every [jobs] value. *)
 
-val run_all : Format.formatter -> unit
+val run_all : ?jobs:int -> Format.formatter -> unit
 
 val lgroot_recording : unit -> Recorded.t
 (** The shared LGRoot execution trace (recorded once per process). *)

@@ -29,10 +29,20 @@ let measure ?(untaint = true) recorded ~ni ~nt =
 let default_nis = List.init 20 (fun i -> i + 1)
 let default_nts = List.init 10 (fun i -> i + 1)
 
-let grid ?(nis = default_nis) ?(nts = default_nts) recorded =
-  List.concat_map
-    (fun ni -> List.map (fun nt -> measure recorded ~ni ~nt) nts)
-    nis
+(* One grid point per work item; the recording is shared read-only, each
+   measure builds its own tracker, so cells are independent.  Results
+   come back in input order — the parallel grid is list-equal to the
+   serial one. *)
+let grid ?(nis = default_nis) ?(nts = default_nts) ?(jobs = 1) recorded =
+  let points =
+    Array.of_list
+      (List.concat_map (fun ni -> List.map (fun nt -> (ni, nt)) nts) nis)
+  in
+  Pift_par.Pool.with_pool ~jobs (fun pool ->
+      Array.to_list
+        (Pift_par.Pool.map pool
+           ~f:(fun (ni, nt) -> measure recorded ~ni ~nt)
+           points))
 
 let series recorded ~ni ~nt =
   let policy = Policy.make ~ni ~nt () in
@@ -40,19 +50,27 @@ let series recorded ~ni ~nt =
   ( Series.downsample replay.Recorded.bytes_series 72,
     Series.downsample replay.Recorded.ops_series 72 )
 
-let untaint_effect recorded ~nis ~nt =
-  List.map
-    (fun ni ->
-      ( ni,
-        measure ~untaint:true recorded ~ni ~nt,
-        measure ~untaint:false recorded ~ni ~nt ))
-    nis
+let untaint_effect ?(jobs = 1) recorded ~nis ~nt =
+  Pift_par.Pool.with_pool ~jobs (fun pool ->
+      Array.to_list
+        (Pift_par.Pool.map pool
+           ~f:(fun ni ->
+             ( ni,
+               measure ~untaint:true recorded ~ni ~nt,
+               measure ~untaint:false recorded ~ni ~nt ))
+           (Array.of_list nis)))
 
 let render_grid ~title ~metric points ppf () =
   let nis = List.sort_uniq Int.compare (List.map (fun p -> p.ni) points) in
   let nts = List.sort_uniq Int.compare (List.map (fun p -> p.nt) points) in
+  (* One pass to index the points: List.find per heatmap cell made the
+     render O(cells^2). *)
+  let index = Hashtbl.create (List.length points) in
+  List.iter (fun p -> Hashtbl.replace index (p.ni, p.nt) p) points;
   let find ni nt =
-    List.find (fun p -> p.ni = ni && p.nt = nt) points
+    match Hashtbl.find_opt index (ni, nt) with
+    | Some p -> p
+    | None -> invalid_arg "Overhead.render_grid: (ni, nt) not in the grid"
   in
   Pift_util.Textplot.heatmap ~title ~row_label:"NT" ~col_label:"NI" ~rows:nts
     ~cols:nis

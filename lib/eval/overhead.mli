@@ -19,9 +19,12 @@ val measure :
 val grid :
   ?nis:int list ->
   ?nts:int list ->
+  ?jobs:int ->
   Recorded.t ->
   point list
-(** Fig. 14 and Fig. 17 sweeps (defaults NI=1..20 × NT=1..10). *)
+(** Fig. 14 and Fig. 17 sweeps (defaults NI=1..20 × NT=1..10).  [jobs]
+    (default 1) replays grid points on a [Pift_par] domain pool; the
+    point list is identical for every [jobs] value. *)
 
 val series :
   Recorded.t ->
@@ -32,8 +35,13 @@ val series :
     cumulative-operations-over-time) samples for one parameter pair. *)
 
 val untaint_effect :
-  Recorded.t -> nis:int list -> nt:int -> (int * point * point) list
-(** Fig. 18/19: per NI, the (untainting-on, untainting-off) pair. *)
+  ?jobs:int ->
+  Recorded.t ->
+  nis:int list ->
+  nt:int ->
+  (int * point * point) list
+(** Fig. 18/19: per NI, the (untainting-on, untainting-off) pair.
+    [jobs] as in {!grid}. *)
 
 val render_grid :
   title:string ->

@@ -6,6 +6,27 @@ module Reg = Pift_arm.Reg
 
 let magic = "PIFT-TRACE 1"
 
+(* Marker kinds are user-controlled strings embedded in a
+   space-separated record format.  A kind containing a space used to
+   serialize fine and then fail on load — "unrecognised record" for SRC
+   (too many fields), a silently truncated kind for SNK (the tail parsed
+   as ranges).  Percent-escape the delimiters at write time instead;
+   kinds without them round-trip byte-identically, so old traces still
+   load. *)
+let escape_kind kind =
+  let needs_escape = function ' ' | '%' | '\n' | '\r' -> true | _ -> false in
+  if String.exists needs_escape kind then begin
+    let buf = Buffer.create (String.length kind + 8) in
+    String.iter
+      (fun c ->
+        if needs_escape c then
+          Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+        else Buffer.add_char buf c)
+      kind;
+    Buffer.contents buf
+  end
+  else kind
+
 let write_range oc r =
   Printf.fprintf oc " %d %d" (Range.lo r) (Range.length r)
 
@@ -23,11 +44,11 @@ let to_channel (t : Recorded.t) oc =
       let mseq, marker = markers.(!mi) in
       (match marker with
       | Recorded.Source { kind; range } ->
-          Printf.fprintf oc "M %d SRC %s" mseq kind;
+          Printf.fprintf oc "M %d SRC %s" mseq (escape_kind kind);
           write_range oc range;
           output_char oc '\n'
       | Recorded.Sink { kind; ranges } ->
-          Printf.fprintf oc "M %d SNK %s" mseq kind;
+          Printf.fprintf oc "M %d SNK %s" mseq (escape_kind kind);
           List.iter (write_range oc) ranges;
           output_char oc '\n');
       incr mi
@@ -67,6 +88,28 @@ let parse_int n s =
    keeps only the access, which is all the PIFT analysis consumes. *)
 let synth_load = Insn.Ldr (Insn.Word, Reg.R0, Insn.Offset (Reg.R0, Insn.Imm 0))
 let synth_store = Insn.Str (Insn.Word, Reg.R0, Insn.Offset (Reg.R0, Insn.Imm 0))
+
+let unescape_kind n s =
+  if not (String.contains s '%') then s
+  else begin
+    let len = String.length s in
+    let buf = Buffer.create len in
+    let i = ref 0 in
+    while !i < len do
+      if s.[!i] <> '%' then begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+      else begin
+        if !i + 2 >= len then fail_line n ("truncated kind escape in: " ^ s);
+        (match int_of_string_opt ("0x" ^ String.sub s (!i + 1) 2) with
+        | Some code -> Buffer.add_char buf (Char.chr code)
+        | None -> fail_line n ("bad kind escape in: " ^ s));
+        i := !i + 3
+      end
+    done;
+    Buffer.contents buf
+  end
 
 let rec parse_ranges n = function
   | [] -> []
@@ -135,14 +178,18 @@ let of_channel ic =
                ( parse_int n seq,
                  Recorded.Source
                    {
-                     kind;
+                     kind = unescape_kind n kind;
                      range = Range.of_len (parse_int n lo) (parse_int n len);
                    } )
                :: !markers
          | "M" :: seq :: "SNK" :: kind :: rest ->
              markers :=
                ( parse_int n seq,
-                 Recorded.Sink { kind; ranges = parse_ranges n rest } )
+                 Recorded.Sink
+                   {
+                     kind = unescape_kind n kind;
+                     ranges = parse_ranges n rest;
+                   } )
                :: !markers
          | _ -> fail_line n ("unrecognised record: " ^ line)
        end

@@ -33,6 +33,19 @@ val counter_family :
 val gauge_family :
   t -> ?help:string -> label:string -> string -> string -> Metric.Gauge.t
 
+val merge : into:t -> t -> unit
+(** Fold every metric of the source registry into [into], matching by
+    name (and label value for families): counters and histograms add,
+    gauges keep the maximum of value and peak (see
+    {!Metric.Gauge.merge_into}).  Metrics missing from [into] are
+    registered in the source's registration order, so merging
+    per-worker registries worker 0 first yields the same snapshot
+    order as a serial run.  Raises [Invalid_argument] if a name is
+    already registered in [into] with a different kind or label key.
+    This is the aggregation rule behind [Pift_par]-driven sweeps: each
+    worker domain owns a private registry (no locks on the hot path)
+    and the driver merges them after the parallel region. *)
+
 (** {2 Snapshots} *)
 
 type point =

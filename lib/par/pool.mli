@@ -1,0 +1,63 @@
+(** Fixed-size domain pool for embarrassingly parallel evaluation work.
+
+    The pool spawns [jobs - 1] worker domains once at {!create}; the
+    calling domain is worker 0 and always participates, so [jobs = 1]
+    never spawns a domain and runs everything inline — the serial and
+    parallel code paths are the same code.
+
+    Work is distributed by chunked self-scheduling: workers pull chunk
+    indices from an atomic counter, so an expensive item (a high-NI×NT
+    grid cell, say) never stalls the others behind a static partition.
+    Results are always slotted by input index, never by completion
+    order — [map pool ~f xs] equals [Array.map f xs] element for
+    element, whatever the schedule.  Determinism of the *result* is the
+    caller's to keep: [f] must not mutate shared state, or must confine
+    mutation to per-worker structures (see [map_slots] and
+    [Pift_obs.Registry.merge]). *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [--jobs] defaults to. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn a pool of [jobs] workers (default {!default_jobs}, clamped to
+    at least 1).  The pool holds [jobs - 1] blocked domains until
+    {!shutdown}. *)
+
+val jobs : t -> int
+(** Worker count, including the calling domain (slot 0). *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent; the pool is unusable after. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, and [shutdown] (also on exception). *)
+
+val map_slots :
+  t -> ?chunk:int -> f:(worker:int -> int -> 'a -> 'b) -> 'a array -> 'b array
+(** The primitive: [f ~worker i x] computes the result for input index
+    [i], on worker slot [worker] (in [0 .. jobs-1]).  The slot index
+    lets callers keep per-worker accumulators (metrics registries,
+    scratch buffers) without locking the hot path.  [chunk] is the
+    number of consecutive indices claimed per scheduling step (default
+    1 — right for coarse items like grid-cell replays).  Results land
+    at their input index.  If any [f] raises, the first exception (in
+    completion order) is re-raised in the caller after all workers have
+    drained. *)
+
+val map : t -> ?chunk:int -> f:('a -> 'b) -> 'a array -> 'b array
+(** [map_slots] without the bookkeeping: order-preserving parallel
+    [Array.map]. *)
+
+val map_reduce :
+  t ->
+  ?chunk:int ->
+  map:('a -> 'b) ->
+  combine:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a array ->
+  'acc
+(** Parallel map, then a *sequential* left fold in input-index order —
+    the fold order is fixed so non-commutative [combine]s still give
+    deterministic results. *)

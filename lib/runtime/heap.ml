@@ -14,22 +14,39 @@ let alloc t bytes =
   t.brk <- addr + aligned;
   addr
 
+(* The class-id intern table is process-global (ids must agree across
+   every Env in the process) and is hit from worker domains when
+   recordings run on a [Pift_par] pool, so all access goes through one
+   mutex.  Numeric ids depend on first-use order and may differ between
+   schedules; that is fine — they are only ever written as object-header
+   *values* and mapped back through [class_name_of_id], never used as
+   addresses, so traces and verdicts do not depend on them. *)
+let class_mu = Mutex.create ()
 let class_ids : (string, int) Hashtbl.t = Hashtbl.create 32
 let next_class_id = ref 1
 
 let class_names : (int, string) Hashtbl.t = Hashtbl.create 32
 
 let class_id name =
-  match Hashtbl.find_opt class_ids name with
-  | Some id -> id
-  | None ->
-      let id = !next_class_id in
-      incr next_class_id;
-      Hashtbl.add class_ids name id;
-      Hashtbl.add class_names id name;
-      id
+  Mutex.lock class_mu;
+  let id =
+    match Hashtbl.find_opt class_ids name with
+    | Some id -> id
+    | None ->
+        let id = !next_class_id in
+        incr next_class_id;
+        Hashtbl.add class_ids name id;
+        Hashtbl.add class_names id name;
+        id
+  in
+  Mutex.unlock class_mu;
+  id
 
-let class_name_of_id id = Hashtbl.find_opt class_names id
+let class_name_of_id id =
+  Mutex.lock class_mu;
+  let name = Hashtbl.find_opt class_names id in
+  Mutex.unlock class_mu;
+  name
 
 let new_object t ~class_name ~field_count =
   let obj = alloc t (4 + (4 * field_count)) in

@@ -87,13 +87,16 @@ let body items =
           ])
     items
 
-let gap_counter = ref 0
+(* Atomic: programs are built concurrently when recordings run on a
+   [Pift_par] pool, and a torn counter could mint duplicate labels
+   inside one program.  The numbers only have to be unique; labels
+   resolve to indices and never reach traces. *)
+let gap_counter = Atomic.make 0
 
 let window_gap n =
   List.concat
     (List.init n (fun _ ->
-         incr gap_counter;
-         let l = Printf.sprintf "gap%d" !gap_counter in
+         let l = Printf.sprintf "gap%d" (1 + Atomic.fetch_and_add gap_counter 1) in
          [ Goto_l l; L l ]))
 
 let clean_loop ~counter ~bound ~iterations =

@@ -355,6 +355,71 @@ let test_trace_io_roundtrip () =
       in
       checkb "identical analysis" true (sweep original = sweep loaded))
 
+(* Marker kinds are free-form strings from the app's source/sink
+   registrations; the file format is space-delimited, so kinds carrying
+   spaces (or newlines, or literal percent signs) must be escaped on
+   write and restored on read.  Before the escaping fix, a spaced SRC
+   kind failed the load with "unrecognised record" and a spaced SNK kind
+   silently truncated at the first space. *)
+let test_trace_io_adversarial_kinds () =
+  let module Event = Pift_trace.Event in
+  let trace = Trace.create () in
+  Trace.add trace
+    {
+      Event.seq = 1;
+      k = 1;
+      pid = 7;
+      insn = Insn.Nop;
+      access = Event.Load (Range.make 100 103);
+    };
+  let kinds =
+    [
+      "IMEI number";
+      "net send";
+      "100% plain";
+      "tabs\tand spaces";
+      "multi\nline\rkind";
+      "%20literal percent-escape";
+    ]
+  in
+  let markers =
+    List.mapi
+      (fun i kind ->
+        if i mod 2 = 0 then
+          (i, Recorded.Source { kind; range = Range.make 100 103 })
+        else (i, Recorded.Sink { kind; ranges = [ Range.make 100 103 ] }))
+      kinds
+  in
+  let original =
+    {
+      Recorded.name = "adversarial";
+      trace;
+      markers = Array.of_list markers;
+      pid = 7;
+      bytecodes = 1;
+    }
+  in
+  let path = Filename.temp_file "pift" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_io.save original path;
+      let loaded = Trace_io.load path in
+      let kind_of = function
+        | Recorded.Source { kind; _ } | Recorded.Sink { kind; _ } -> kind
+      in
+      checki "marker count"
+        (Array.length original.Recorded.markers)
+        (Array.length loaded.Recorded.markers);
+      Array.iteri
+        (fun i (seq, m) ->
+          let seq', m' = loaded.Recorded.markers.(i) in
+          checki "marker seq" seq seq';
+          Alcotest.(check string) "marker kind" (kind_of m) (kind_of m'))
+        original.Recorded.markers;
+      checkb "markers equal" true
+        (original.Recorded.markers = loaded.Recorded.markers))
+
 let test_trace_io_rejects_garbage () =
   let path = Filename.temp_file "pift" ".trace" in
   Fun.protect
@@ -405,6 +470,8 @@ let () =
       ( "trace_io",
         [
           Alcotest.test_case "roundtrip" `Quick test_trace_io_roundtrip;
+          Alcotest.test_case "adversarial marker kinds" `Quick
+            test_trace_io_adversarial_kinds;
           Alcotest.test_case "rejects garbage" `Quick
             test_trace_io_rejects_garbage;
         ] );
