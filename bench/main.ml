@@ -263,10 +263,79 @@ let write_par_bench () =
     (if identical then "cells identical" else "CELLS DIVERGED");
   if not identical then exit 1
 
+(* Tracker throughput with the flight recorder off vs on, over the same
+   replayed event stream: events/sec both ways and the recorder's
+   percentage cost.  The recorder's budget is "allocation-light ring
+   writes"; this stage is the cross-commit guard that keeps it there
+   (BENCH_trace.json, acceptance bar: < 10% overhead). *)
+let write_trace_bench () =
+  let module Json = Pift_obs.Json in
+  let recorded = Lazy.force bench_trace in
+  let events =
+    Array.init (Trace.length recorded.Recorded.trace) (fun i ->
+        Trace.get recorded.Recorded.trace i)
+  in
+  let replay ?flight () =
+    let t = Tracker.create ~policy:Policy.default ?flight () in
+    Tracker.taint_source t ~pid:1 (Range.of_len 0x4000_0000 32);
+    Array.iter (Tracker.observe t) events
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let rounds = 5 in
+  let best f =
+    let b = ref infinity in
+    for _ = 1 to rounds do
+      let s = time f in
+      if s < !b then b := s
+    done;
+    !b
+  in
+  ignore (time (fun () -> replay ()));
+  (* warm-up *)
+  let off_s = best (fun () -> replay ()) in
+  let ring = Pift_obs.Flight.create () in
+  let on_s =
+    best (fun () ->
+        Pift_obs.Flight.clear ring;
+        replay ~flight:ring ())
+  in
+  let n = Array.length events in
+  let rate s = if s > 0. then float_of_int n /. s else 0. in
+  let overhead_pct =
+    if off_s > 0. then 100. *. (on_s -. off_s) /. off_s else 0.
+  in
+  let json =
+    Json.Obj
+      [
+        ("bench", Json.String "tracker-flight-recorder");
+        ("events", Json.Int n);
+        ("rounds", Json.Int rounds);
+        ("recorder_off_seconds", Json.Float off_s);
+        ("recorder_on_seconds", Json.Float on_s);
+        ("recorder_off_events_per_sec", Json.Float (rate off_s));
+        ("recorder_on_events_per_sec", Json.Float (rate on_s));
+        ("recorder_events_written", Json.Int (Pift_obs.Flight.written ring));
+        ("overhead_pct", Json.Float overhead_pct);
+      ]
+  in
+  let oc = open_out "BENCH_trace.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "wrote BENCH_trace.json (recorder off %.0f ev/s, on %.0f ev/s, %.1f%% \
+     overhead)\n"
+    (rate off_s) (rate on_s) overhead_pct
+
 let () =
   run_microbenchmarks ();
   write_obs_snapshot ();
   write_par_bench ();
+  write_trace_bench ();
   print_endline "######## paper reproduction (every table & figure) ########";
   Pift_eval.Experiments.run_all ~jobs:(Pift_par.Pool.default_jobs ())
     Format.std_formatter;

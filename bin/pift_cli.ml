@@ -91,6 +91,59 @@ let registry_of metrics_out =
       Obs.Span.reset ();
       Some (Obs.Registry.create ())
 
+(* --- flight-recorder options --- *)
+
+let trace_out =
+  let doc =
+    "Write a Chrome trace-event / Perfetto JSON timeline of the run to \
+     $(docv) (load it at ui.perfetto.dev).  One track per worker slot.  \
+     Tracing never touches stdout: the run's output is byte-identical \
+     with or without it."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+(* One ring per worker slot when --trace-out was given; [||] keeps every
+   recording call on its no-op branch. *)
+let rings_of trace_out ~slots =
+  match trace_out with
+  | None -> [||]
+  | Some _ -> Array.init (max 1 slots) (fun _ -> Obs.Flight.create ())
+
+let write_trace ~out ~run rings =
+  if Array.length rings > 0 then begin
+    let timeline = Obs.Timeline.of_rings rings in
+    let oc = open_out out in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Obs.Chrome.write oc ~run timeline);
+    (* stderr, not stdout: traced and untraced runs must keep
+       byte-identical standard output. *)
+    Printf.eprintf "trace: wrote %s (%d events across %d tracks%s)\n" out
+      (Obs.Timeline.event_count timeline)
+      (Array.length rings)
+      (let d = Obs.Timeline.dropped timeline in
+       if d > 0 then Printf.sprintf ", %d dropped to wrap-around" d else "")
+  end
+
+(* Live cells-done/total line on stderr, fed by the sweep's [on_cell]
+   hook; created on the first callback, when the total is known. *)
+let cell_progress label =
+  let state = ref None in
+  let on_cell done_ total =
+    let p =
+      match !state with
+      | Some p -> p
+      | None ->
+          let p = Obs.Progress.create ~label ~total () in
+          state := Some p;
+          p
+    in
+    ignore done_;
+    Obs.Progress.step p
+  in
+  let finish () = Option.iter Obs.Progress.finish !state in
+  (on_cell, finish)
+
 let write_metrics ~out ~format ~run registry =
   let samples = Obs.Registry.snapshot registry in
   let spans = Obs.Span.roots () in
@@ -137,20 +190,35 @@ let list_apps_cmd =
 (* --- run-app --- *)
 
 let run_app name ni nt untaint verbose jit explain metrics_out metrics_format
-    =
+    trace_out =
   let app = find_app name in
   let policy = policy_of ni nt untaint in
   let metrics = registry_of metrics_out in
+  let rings = rings_of trace_out ~slots:1 in
+  let flight = if Array.length rings > 0 then Some rings.(0) else None in
+  (* A single replay is cheap enough to flight the tracker itself:
+     per-event counter tracks (tainted bytes, ranges, window occupancy)
+     plus source/sink instants, bracketed by per-phase spans. *)
+  let fspan name f =
+    match flight with
+    | None -> f ()
+    | Some r ->
+        Obs.Flight.begin_ r name;
+        Fun.protect ~finally:(fun () -> Obs.Flight.end_ r name) f
+  in
   let recorded =
     Obs.Span.with_ ~name:"record" (fun () ->
-        Recorded.record ~mode:(mode_of jit) ?metrics app)
+        fspan "record" (fun () ->
+            Recorded.record ~mode:(mode_of jit) ?metrics ?flight app))
   in
   let replay =
     Obs.Span.with_ ~name:"replay" (fun () ->
-        Recorded.replay ~policy ?metrics recorded)
+        fspan "replay" (fun () ->
+            Recorded.replay ~policy ?metrics ?flight recorded))
   in
   let dift =
-    Obs.Span.with_ ~name:"full-dift" (fun () -> Recorded.replay_dift recorded)
+    Obs.Span.with_ ~name:"full-dift" (fun () ->
+        fspan "full-dift" (fun () -> Recorded.replay_dift recorded))
   in
   (* Replay once more against the hardware range cache so the snapshot
      carries pift_storage_* hits and the modelled stall cycles.  The
@@ -218,10 +286,13 @@ let run_app name ni nt untaint verbose jit explain metrics_out metrics_format
               (List.length ranges))
       recorded.Recorded.markers
   end;
-  match (metrics, metrics_out) with
+  (match (metrics, metrics_out) with
   | Some registry, Some out ->
       write_metrics ~out ~format:metrics_format ~run:app.App.name registry
-  | _ -> ()
+  | _ -> ());
+  match trace_out with
+  | Some out -> write_trace ~out ~run:app.App.name rings
+  | None -> ()
 
 let run_app_cmd =
   let app_arg =
@@ -245,25 +316,31 @@ let run_app_cmd =
        ~doc:"Execute one app and report PIFT and full-DIFT verdicts.")
     Term.(
       const run_app $ app_arg $ ni $ nt $ untaint $ verbose $ jit $ explain
-      $ metrics_out $ metrics_format)
+      $ metrics_out $ metrics_format $ trace_out)
 
 (* --- sweep --- *)
 
-let sweep subset_only jobs metrics_out metrics_format =
+let sweep subset_only jobs metrics_out metrics_format trace_out =
   let apps =
     if subset_only then Pift_workloads.Droidbench.subset48
     else Pift_workloads.Droidbench.all
   in
   let metrics = registry_of metrics_out in
+  let rings = rings_of trace_out ~slots:jobs in
+  let on_cell, finish_cells = cell_progress "cells" in
   let sweep =
     Obs.Span.with_ ~name:"sweep" (fun () ->
-        Pift_eval.Accuracy.sweep ?metrics ~jobs apps)
+        Pift_eval.Accuracy.sweep ?metrics ~rings ~on_cell ~jobs apps)
   in
+  finish_cells ();
   Pift_eval.Accuracy.render sweep Format.std_formatter ();
-  match (metrics, metrics_out) with
+  (match (metrics, metrics_out) with
   | Some registry, Some out ->
       write_metrics ~out ~format:metrics_format ~run:"sweep" registry
-  | _ -> ()
+  | _ -> ());
+  match trace_out with
+  | Some out -> write_trace ~out ~run:"sweep" rings
+  | None -> ()
 
 let sweep_cmd =
   let subset =
@@ -273,11 +350,12 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Accuracy sweep over the NI x NT grid (Fig. 11).")
-    Term.(const sweep $ subset $ jobs $ metrics_out $ metrics_format)
+    Term.(
+      const sweep $ subset $ jobs $ metrics_out $ metrics_format $ trace_out)
 
 (* --- experiment --- *)
 
-let experiment jobs ids =
+let experiment jobs trace_out ids =
   match ids with
   | [] ->
       Printf.printf "available experiments:\n";
@@ -285,12 +363,20 @@ let experiment jobs ids =
         (fun (id, doc) -> Printf.printf "  %-22s %s\n" id doc)
         Pift_eval.Experiments.all
   | ids ->
+      let rings = rings_of trace_out ~slots:jobs in
+      let on_cell, finish_cells = cell_progress "cells" in
       List.iter
         (fun id ->
           if String.equal id "all" then
-            Pift_eval.Experiments.run_all ~jobs Format.std_formatter
-          else Pift_eval.Experiments.run ~jobs id Format.std_formatter)
-        ids
+            Pift_eval.Experiments.run_all ~rings ~jobs Format.std_formatter
+          else
+            Pift_eval.Experiments.run ~rings ~on_cell ~jobs id
+              Format.std_formatter)
+        ids;
+      finish_cells ();
+      (match trace_out with
+      | Some out -> write_trace ~out ~run:(String.concat "+" ids) rings
+      | None -> ())
 
 let experiment_cmd =
   let ids =
@@ -303,7 +389,7 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate one of the paper's tables/figures.")
-    Term.(const experiment $ jobs $ ids)
+    Term.(const experiment $ jobs $ trace_out $ ids)
 
 (* --- record-trace / analyze-trace --- *)
 
@@ -398,28 +484,53 @@ let advise_cmd =
 
 (* --- report --- *)
 
+(* Each line is sniffed independently ([Obs.Sink.classify]): metrics
+   snapshots render as before, trace files get the flight-recorder
+   summary, and objects from formats this build doesn't know are skipped
+   with a warning instead of failing the whole report — only parse
+   errors and structurally broken known formats exit 2. *)
 let report path =
   let ic = open_in path in
   let rendered = ref 0 in
+  let lineno = ref 0 in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
       try
         while true do
           let line = input_line ic in
-          if not (String.equal (String.trim line) "") then begin
-            (match Obs.Json.of_string line with
-            | json -> Obs.Sink.render_json json Format.std_formatter ()
+          incr lineno;
+          if not (String.equal (String.trim line) "") then
+            match Obs.Json.of_string line with
             | exception Obs.Json.Parse_error msg ->
-                Printf.eprintf
-                  "%s:%d: not a JSONL metrics snapshot (%s)\n" path
-                  (!rendered + 1) msg;
+                Printf.eprintf "%s:%d: not JSON (%s)\n" path !lineno msg;
                 exit 2
-            | exception Obs.Sink.Malformed msg ->
-                Printf.eprintf "%s:%d: %s\n" path (!rendered + 1) msg;
-                exit 2);
-            incr rendered
-          end
+            | json -> (
+                match Obs.Sink.classify json with
+                | Obs.Sink.Metrics_snapshot -> (
+                    match
+                      Obs.Sink.render_json json Format.std_formatter ()
+                    with
+                    | () -> incr rendered
+                    | exception Obs.Sink.Malformed msg ->
+                        Printf.eprintf "%s:%d: %s\n" path !lineno msg;
+                        exit 2)
+                | Obs.Sink.Trace -> (
+                    match
+                      Obs.Chrome.summarize json Format.std_formatter ()
+                    with
+                    | () -> incr rendered
+                    | exception Obs.Chrome.Invalid msg ->
+                        Printf.eprintf "%s:%d: invalid trace (%s)\n" path
+                          !lineno msg;
+                        exit 2)
+                | Obs.Sink.Unknown keys ->
+                    Printf.eprintf
+                      "%s:%d: skipping unrecognized snapshot (top-level \
+                       keys: %s)\n"
+                      path !lineno
+                      (if keys = [] then "none"
+                       else String.concat ", " keys))
         done
       with End_of_file -> ());
   if !rendered = 0 then begin
@@ -433,13 +544,16 @@ let report_cmd =
       required
       & pos 0 (some file) None
       & info [] ~docv:"FILE"
-          ~doc:"JSONL metrics file from --metrics-out (jsonl format).")
+          ~doc:
+            "JSONL metrics file from --metrics-out, or a Chrome trace \
+             JSON from --trace-out (sniffed per line).")
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:
-         "Render the metrics snapshots of a previous run: span timings, \
-          counters, gauges and histograms.")
+         "Render the snapshots of a previous run: metrics (span timings, \
+          counters, gauges, histograms) or flight-recorder trace \
+          summaries (per-phase time, worker utilization, slowest spans).")
     Term.(const report $ path)
 
 (* --- trace-stats --- *)

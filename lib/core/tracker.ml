@@ -70,14 +70,16 @@ type t = {
   bytes_series : Series.t;
   ops_series : Series.t;
   meters : meters option;
+  flight : Pift_obs.Flight.t option;
 }
 
 (* LTLT <- -inf (Algorithm 1 line 8); any value with ltlt + ni < 1 works. *)
 let minus_infinity = min_int / 2
 
 let create ?(policy = Policy.default) ?(store = Store.range_sets ()) ?metrics
-    () =
+    ?flight () =
   {
+    flight;
     policy;
     store;
     windows = Hashtbl.create 4;
@@ -114,12 +116,20 @@ let update_peaks t ~time =
   | Some m ->
       Gauge.set m.m_tainted_bytes bytes;
       Gauge.set m.m_ranges count);
+  (match t.flight with
+  | None -> ()
+  | Some f ->
+      Pift_obs.Flight.sample f "tainted_bytes" (float_of_int bytes);
+      Pift_obs.Flight.sample f "ranges" (float_of_int count));
   Series.record_if_changed t.bytes_series ~time ~value:bytes
 
 let record_op t ~time =
   Series.record t.ops_series ~time ~value:(t.taint_ops + t.untaint_ops)
 
 let taint_source t ~pid r =
+  (match t.flight with
+  | None -> ()
+  | Some f -> Pift_obs.Flight.instant f "source");
   t.store.Store.add ~pid r;
   update_peaks t ~time:t.last_time
 
@@ -130,7 +140,11 @@ let taint_source t ~pid r =
 let untaint_range t ~pid r =
   t.store.Store.remove ~pid r;
   update_peaks t ~time:t.last_time
-let is_tainted t ~pid r = t.store.Store.overlaps ~pid r
+let is_tainted t ~pid r =
+  (match t.flight with
+  | None -> ()
+  | Some f -> Pift_obs.Flight.instant f "sink-check");
+  t.store.Store.overlaps ~pid r
 let tainted_ranges t ~pid = t.store.Store.ranges ~pid
 
 let observe t e =
@@ -166,6 +180,10 @@ let observe t e =
       then begin
         t.store.Store.add ~pid:e.pid r;
         w.nt_used <- w.nt_used + 1;
+        (match t.flight with
+        | None -> ()
+        | Some f ->
+            Pift_obs.Flight.sample f "window_used" (float_of_int w.nt_used));
         t.taint_ops <- t.taint_ops + 1;
         (match t.meters with
         | None -> ()

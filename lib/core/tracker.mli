@@ -16,13 +16,20 @@ type t
 
 val create :
   ?policy:Policy.t -> ?store:Store.t -> ?metrics:Pift_obs.Registry.t ->
-  unit -> t
+  ?flight:Pift_obs.Flight.t -> unit -> t
 (** [policy] defaults to {!Policy.default}; [store] to
     {!Store.range_sets}.  When [metrics] is given, the tracker registers
     [pift_tracker_*] counters and gauges (events, lookups, tainted loads,
     taint/untaint ops, tainted-bytes and range-count gauges, and a
     per-pid [pift_tracker_window_opens_total] family) and keeps them in
-    lock-step with {!stats}; without it the observer path is a no-op. *)
+    lock-step with {!stats}; without it the observer path is a no-op.
+
+    When [flight] is given, the tracker also stamps the flight recorder:
+    an instant per {!taint_source} (["source"]) and per {!is_tainted}
+    query (["sink-check"]), counter samples ["tainted_bytes"]/["ranges"]
+    whenever the peaks update, and ["window_used"] per in-window store
+    taint — the fine-grained counter tracks behind [--trace-out] on
+    single replays. *)
 
 val policy : t -> Policy.t
 

@@ -52,6 +52,7 @@ type t = {
   frag_cache : (string * int * int, Asm.fragment) Hashtbl.t;
   mutable bytecodes : int;
   meters : meters option;
+  flight : Pift_obs.Flight.t option;
 }
 
 let code_base = 0x1000_0000
@@ -59,7 +60,7 @@ let entry_fp = 0x70f0_0000
 let statics_base = Layout.scratch_base + 0x10000
 
 let create ?(mode = Interpreter) ?(natives = Pift_runtime.Api.registry)
-    ?metrics env program =
+    ?metrics ?flight env program =
   let tbl = Hashtbl.create 32 in
   List.iter (fun (name, fn) -> Hashtbl.replace tbl name fn) natives;
   Cpu.set env.Env.cpu Reg.SP Layout.stack_base;
@@ -75,6 +76,7 @@ let create ?(mode = Interpreter) ?(natives = Pift_runtime.Api.registry)
     frag_cache = Hashtbl.create 64;
     bytecodes = 0;
     meters = Option.map (meters_of ~mode) metrics;
+    flight;
   }
 
 let env t = t.env
@@ -337,6 +339,19 @@ let entry_frame_base t name =
 let static_slot = static_addr
 
 let run t =
-  match call t (Program.entry t.program) [] with
-  | (_ : int) -> `Ok
-  | exception Thrown obj -> `Uncaught obj
+  (match t.flight with
+  | None -> ()
+  | Some f -> Pift_obs.Flight.begin_ f "vm-run");
+  let result =
+    match call t (Program.entry t.program) [] with
+    | (_ : int) -> `Ok
+    | exception Thrown obj ->
+        (match t.flight with
+        | None -> ()
+        | Some f -> Pift_obs.Flight.instant f "vm-uncaught");
+        `Uncaught obj
+  in
+  (match t.flight with
+  | None -> ()
+  | Some f -> Pift_obs.Flight.end_ f "vm-run");
+  result

@@ -27,13 +27,16 @@ val create :
   ?mode:mode ->
   ?natives:(string * Pift_runtime.Env.native) list ->
   ?metrics:Pift_obs.Registry.t ->
+  ?flight:Pift_obs.Flight.t ->
   Pift_runtime.Env.t ->
   Program.t ->
   t
 (** [natives] defaults to {!Pift_runtime.Api.registry}; [mode] to
     [Interpreter].  With [metrics], the VM counts dispatched bytecodes
     (labelled by execution mode) and translation-fragment cache
-    hits/misses as [pift_vm_*]. *)
+    hits/misses as [pift_vm_*].  With [flight], {!run} brackets the
+    whole execution in a ["vm-run"] span and stamps a ["vm-uncaught"]
+    instant when an exception escapes the entry method. *)
 
 val env : t -> Pift_runtime.Env.t
 

@@ -73,10 +73,13 @@ let meters_of registry =
    (ni, nt): the Hashtbl.fold order of the old implementation leaked
    hashing order into the result, which both broke run-to-run
    reproducibility and made parallel merges order-dependent. *)
-let sweep ?(nis = default_nis) ?(nts = default_nts) ?progress ?metrics
-    ?(jobs = 1) apps =
-  Pift_par.Pool.with_pool ~jobs (fun pool ->
+let sweep ?(nis = default_nis) ?(nts = default_nts) ?progress ?on_cell
+    ?metrics ?(rings = [||]) ?(jobs = 1) apps =
+  Pift_par.Pool.with_pool ~jobs ~rings (fun pool ->
       let slots = Pift_par.Pool.jobs pool in
+      let ring worker =
+        if worker < Array.length rings then Some rings.(worker) else None
+      in
       let worker_registries =
         match metrics with
         | None -> [||]
@@ -91,7 +94,20 @@ let sweep ?(nis = default_nis) ?(nts = default_nts) ?progress ?metrics
       let recordings =
         Pift_par.Pool.map_slots pool
           ~f:(fun ~worker _ (app : App.t) ->
+            (* Span names are built off the hot path (once per app /
+               cell); events themselves stay allocation-free. *)
+            let span =
+              Option.map
+                (fun r ->
+                  let name = "record:" ^ app.App.name in
+                  Pift_obs.Flight.begin_ r name;
+                  (r, name))
+                (ring worker)
+            in
             let recorded = Recorded.record app in
+            (match span with
+            | None -> ()
+            | Some (r, name) -> Pift_obs.Flight.end_ r name);
             if worker_meters <> [||] then begin
               let m = worker_meters.(worker) in
               Pift_obs.Metric.Counter.incr m.m_apps;
@@ -115,21 +131,57 @@ let sweep ?(nis = default_nis) ?(nts = default_nts) ?progress ?metrics
              (fun ni -> List.map (fun nt -> (ni, nt)) nts)
              nis)
       in
+      let total_cells = Array.length points in
+      let cells_done = Atomic.make 0 in
       let confusions =
         Pift_par.Pool.map_slots pool
           ~f:(fun ~worker _ (ni, nt) ->
+            let ring = ring worker in
+            let span_name =
+              match ring with
+              | None -> ""
+              | Some r ->
+                  let name = Printf.sprintf "cell(%d,%d)" ni nt in
+                  Pift_obs.Flight.begin_ r name;
+                  name
+            in
             let policy = Policy.make ~ni ~nt () in
             let c = ref empty in
+            let peak_bytes = ref 0 and peak_ranges = ref 0 in
             Array.iteri
               (fun i recorded ->
                 let replay = Recorded.replay ~policy recorded in
                 if worker_meters <> [||] then
                   Pift_obs.Metric.Counter.incr
                     worker_meters.(worker).m_replays;
+                let st = replay.Recorded.stats in
+                if st.Pift_core.Tracker.max_tainted_bytes > !peak_bytes then
+                  peak_bytes := st.Pift_core.Tracker.max_tainted_bytes;
+                if st.Pift_core.Tracker.max_ranges > !peak_ranges then
+                  peak_ranges := st.Pift_core.Tracker.max_ranges;
                 c :=
                   classify ~leaky:apps_arr.(i).App.leaky
                     ~flagged:replay.Recorded.flagged !c)
               recordings;
+            (match ring with
+            | None -> ()
+            | Some r ->
+                (* Per-cell counter tracks: the worst replay's peak
+                   tainted footprint, sampled once per finished cell so
+                   a 200-cell sweep cannot flood the ring. *)
+                Pift_obs.Flight.sample r "max_tainted_bytes"
+                  (float_of_int !peak_bytes);
+                Pift_obs.Flight.sample r "max_ranges"
+                  (float_of_int !peak_ranges);
+                Pift_obs.Flight.end_ r span_name);
+            (match on_cell with
+            | None -> ()
+            | Some f ->
+                let done_ = 1 + Atomic.fetch_and_add cells_done 1 in
+                Mutex.lock progress_mu;
+                Fun.protect
+                  ~finally:(fun () -> Mutex.unlock progress_mu)
+                  (fun () -> f done_ total_cells));
             !c)
           points
       in

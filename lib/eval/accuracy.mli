@@ -34,19 +34,27 @@ val sweep :
   ?nis:int list ->
   ?nts:int list ->
   ?progress:(int -> int -> unit) ->
+  ?on_cell:(int -> int -> unit) ->
   ?metrics:Pift_obs.Registry.t ->
+  ?rings:Pift_obs.Flight.t array ->
   ?jobs:int ->
   Pift_workloads.App.t list ->
   sweep
 (** Full NI×NT grid (defaults NI=1..20, NT=1..10, the paper's 200
     combinations).  Each app is executed once and replayed per cell.
-    [progress done total] is called per app recorded (under a lock when
-    parallel, in completion order).  With [metrics], [pift_sweep_*]
-    counters track recorded apps and grid replays, and a log2 histogram
-    collects per-app trace lengths.  [jobs] (default 1) sizes the
-    [Pift_par] domain pool the recordings and grid cells run on; the
-    result — cells and merged metrics both — is identical for every
-    [jobs] value. *)
+    [progress done total] is called per app recorded, [on_cell done
+    total] per grid cell finished (both under a lock when parallel, in
+    completion order — the hook behind the live progress line).  With
+    [metrics], [pift_sweep_*] counters track recorded apps and grid
+    replays, and a log2 histogram collects per-app trace lengths.
+    [rings] (one flight-recorder ring per worker slot, also handed to
+    the pool for chunk spans) adds a ["record:<app>"] span per
+    recording and, per grid cell, a ["cell(ni,nt)"] span plus
+    ["max_tainted_bytes"]/["max_ranges"] counter samples — one sample
+    per cell, not per event, so rings never flood mid-sweep.  [jobs]
+    (default 1) sizes the [Pift_par] domain pool the recordings and
+    grid cells run on; the result — cells and merged metrics both — is
+    identical for every [jobs] value and with tracing on or off. *)
 
 val cell : sweep -> ni:int -> nt:int -> confusion
 

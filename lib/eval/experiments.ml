@@ -51,8 +51,8 @@ let fig10 ppf =
 
 (* --- Accuracy ----------------------------------------------------------- *)
 
-let fig11 ?(jobs = 1) ppf =
-  let sweep = Accuracy.sweep ~jobs Droidbench.subset48 in
+let fig11 ?rings ?on_cell ?(jobs = 1) ppf =
+  let sweep = Accuracy.sweep ?rings ?on_cell ~jobs Droidbench.subset48 in
   Accuracy.render sweep ppf ();
   let report (ni, nt) =
     let c = Accuracy.cell sweep ~ni ~nt in
@@ -100,29 +100,29 @@ let malware ppf =
 (* --- Overhead ----------------------------------------------------------- *)
 
 (* The 200-replay grid backs both Fig. 14 and Fig. 17; compute it once
-   (the first caller's job count drives the pool — the points are
-   jobs-independent, so the memo stays coherent). *)
+   (the first caller's job count — and rings, if tracing — drives the
+   pool; the points are jobs-independent, so the memo stays coherent). *)
 let lgroot_grid =
   let memo = ref None in
-  fun ~jobs () ->
+  fun ?rings ~jobs () ->
     match !memo with
     | Some grid -> grid
     | None ->
-        let grid = Overhead.grid ~jobs (lgroot_recording ()) in
+        let grid = Overhead.grid ?rings ~jobs (lgroot_recording ()) in
         memo := Some grid;
         grid
 
-let fig14 ?(jobs = 1) ppf =
+let fig14 ?rings ?(jobs = 1) ppf =
   Overhead.render_grid
     ~title:"Fig. 14 — maximum size of tainted addresses (bytes) vs (NI, NT)"
     ~metric:(fun p -> p.Overhead.max_tainted_bytes)
-    (lgroot_grid ~jobs ()) ppf ()
+    (lgroot_grid ?rings ~jobs ()) ppf ()
 
-let fig17 ?(jobs = 1) ppf =
+let fig17 ?rings ?(jobs = 1) ppf =
   Overhead.render_grid
     ~title:"Fig. 17 — maximum number of distinct ranges vs (NI, NT)"
     ~metric:(fun p -> p.Overhead.max_ranges)
-    (lgroot_grid ~jobs ()) ppf ()
+    (lgroot_grid ?rings ~jobs ()) ppf ()
 
 let series_params = [ (5, 3); (10, 3); (15, 3); (20, 3); (10, 2); (20, 1) ]
 
@@ -150,9 +150,9 @@ let fig16 ppf =
     ~title:"Fig. 16 — cumulative tainting+untainting operations over time"
     ~log_scale:true curves ppf ()
 
-let untaint_figs ?(jobs = 1) ~metric ~title ppf =
+let untaint_figs ?rings ?(jobs = 1) ~metric ~title ppf =
   let effects =
-    Overhead.untaint_effect ~jobs (lgroot_recording ())
+    Overhead.untaint_effect ?rings ~jobs (lgroot_recording ())
       ~nis:[ 5; 10; 15; 20 ] ~nt:3
   in
   Format.fprintf ppf "@[<v>== %s ==@," title;
@@ -166,16 +166,16 @@ let untaint_figs ?(jobs = 1) ~metric ~title ppf =
     effects;
   Format.fprintf ppf "@]@."
 
-let fig18 ?jobs ppf =
-  untaint_figs ?jobs
+let fig18 ?rings ?jobs ppf =
+  untaint_figs ?rings ?jobs
     ~metric:(fun p -> p.Overhead.max_tainted_bytes)
     ~title:
       "Fig. 18 — effect of untainting on the maximum size of tainted \
        addresses (bytes), NT=3"
     ppf
 
-let fig19 ?jobs ppf =
-  untaint_figs ?jobs
+let fig19 ?rings ?jobs ppf =
+  untaint_figs ?rings ?jobs
     ~metric:(fun p -> p.Overhead.max_ranges)
     ~title:
       "Fig. 19 — effect of untainting on the maximum number of distinct \
@@ -665,22 +665,22 @@ let all =
     ("summary", "headline accuracy and detection numbers");
   ]
 
-let run ?jobs id ppf =
+let run ?rings ?on_cell ?jobs id ppf =
   header ppf id;
   match id with
   | "fig2" -> fig2 ppf
   | "table1" -> table1 ppf
   | "fig10" -> fig10 ppf
-  | "fig11" -> fig11 ?jobs ppf
+  | "fig11" -> fig11 ?rings ?on_cell ?jobs ppf
   | "malware" -> malware ppf
   | "fig12" -> fig12 ppf
   | "fig13" -> fig13 ppf
-  | "fig14" -> fig14 ?jobs ppf
+  | "fig14" -> fig14 ?rings ?jobs ppf
   | "fig15" -> fig15 ppf
   | "fig16" -> fig16 ppf
-  | "fig17" -> fig17 ?jobs ppf
-  | "fig18" -> fig18 ?jobs ppf
-  | "fig19" -> fig19 ?jobs ppf
+  | "fig17" -> fig17 ?rings ?jobs ppf
+  | "fig18" -> fig18 ?rings ?jobs ppf
+  | "fig19" -> fig19 ?rings ?jobs ppf
   | "hw" -> hw ppf
   | "ablation-storage" -> ablation_storage ppf
   | "ablation-granularity" -> ablation_granularity ppf
@@ -697,4 +697,5 @@ let run ?jobs id ppf =
   | "summary" -> summary ppf
   | other -> failwith ("Experiments.run: unknown experiment " ^ other)
 
-let run_all ?jobs ppf = List.iter (fun (id, _) -> run ?jobs id ppf) all
+let run_all ?rings ?jobs ppf =
+  List.iter (fun (id, _) -> run ?rings ?jobs id ppf) all

@@ -33,15 +33,34 @@ let default_nts = List.init 10 (fun i -> i + 1)
    measure builds its own tracker, so cells are independent.  Results
    come back in input order — the parallel grid is list-equal to the
    serial one. *)
-let grid ?(nis = default_nis) ?(nts = default_nts) ?(jobs = 1) recorded =
+(* Wrap one measurement in a named span and sample its peak footprint on
+   the worker's ring, when tracing is on.  Names are built per point —
+   off the hot path. *)
+let traced_measure rings ~worker ~name ?untaint recorded ~ni ~nt =
+  if worker >= Array.length rings then measure ?untaint recorded ~ni ~nt
+  else begin
+    let r = rings.(worker) in
+    Pift_obs.Flight.begin_ r name;
+    let p = measure ?untaint recorded ~ni ~nt in
+    Pift_obs.Flight.sample r "max_tainted_bytes"
+      (float_of_int p.max_tainted_bytes);
+    Pift_obs.Flight.sample r "max_ranges" (float_of_int p.max_ranges);
+    Pift_obs.Flight.end_ r name;
+    p
+  end
+
+let grid ?(nis = default_nis) ?(nts = default_nts) ?(rings = [||]) ?(jobs = 1)
+    recorded =
   let points =
     Array.of_list
       (List.concat_map (fun ni -> List.map (fun nt -> (ni, nt)) nts) nis)
   in
-  Pift_par.Pool.with_pool ~jobs (fun pool ->
+  Pift_par.Pool.with_pool ~jobs ~rings (fun pool ->
       Array.to_list
-        (Pift_par.Pool.map pool
-           ~f:(fun (ni, nt) -> measure recorded ~ni ~nt)
+        (Pift_par.Pool.map_slots pool
+           ~f:(fun ~worker _ (ni, nt) ->
+             let name = Printf.sprintf "cell(%d,%d)" ni nt in
+             traced_measure rings ~worker ~name recorded ~ni ~nt)
            points))
 
 let series recorded ~ni ~nt =
@@ -50,14 +69,18 @@ let series recorded ~ni ~nt =
   ( Series.downsample replay.Recorded.bytes_series 72,
     Series.downsample replay.Recorded.ops_series 72 )
 
-let untaint_effect ?(jobs = 1) recorded ~nis ~nt =
-  Pift_par.Pool.with_pool ~jobs (fun pool ->
+let untaint_effect ?(rings = [||]) ?(jobs = 1) recorded ~nis ~nt =
+  Pift_par.Pool.with_pool ~jobs ~rings (fun pool ->
       Array.to_list
-        (Pift_par.Pool.map pool
-           ~f:(fun ni ->
+        (Pift_par.Pool.map_slots pool
+           ~f:(fun ~worker _ ni ->
              ( ni,
-               measure ~untaint:true recorded ~ni ~nt,
-               measure ~untaint:false recorded ~ni ~nt ))
+               traced_measure rings ~worker
+                 ~name:(Printf.sprintf "untaint-on(%d,%d)" ni nt)
+                 ~untaint:true recorded ~ni ~nt,
+               traced_measure rings ~worker
+                 ~name:(Printf.sprintf "untaint-off(%d,%d)" ni nt)
+                 ~untaint:false recorded ~ni ~nt ))
            (Array.of_list nis)))
 
 let render_grid ~title ~metric points ppf () =

@@ -19,12 +19,15 @@ val measure :
 val grid :
   ?nis:int list ->
   ?nts:int list ->
+  ?rings:Pift_obs.Flight.t array ->
   ?jobs:int ->
   Recorded.t ->
   point list
 (** Fig. 14 and Fig. 17 sweeps (defaults NI=1..20 × NT=1..10).  [jobs]
     (default 1) replays grid points on a [Pift_par] domain pool; the
-    point list is identical for every [jobs] value. *)
+    point list is identical for every [jobs] value.  [rings] (one per
+    worker slot) stamps a ["cell(ni,nt)"] span plus
+    ["max_tainted_bytes"]/["max_ranges"] samples per point. *)
 
 val series :
   Recorded.t ->
@@ -35,13 +38,15 @@ val series :
     cumulative-operations-over-time) samples for one parameter pair. *)
 
 val untaint_effect :
+  ?rings:Pift_obs.Flight.t array ->
   ?jobs:int ->
   Recorded.t ->
   nis:int list ->
   nt:int ->
   (int * point * point) list
 (** Fig. 18/19: per NI, the (untainting-on, untainting-off) pair.
-    [jobs] as in {!grid}. *)
+    [jobs] and [rings] as in {!grid} (span names
+    ["untaint-on(ni,nt)"]/["untaint-off(ni,nt)"]). *)
 
 val render_grid :
   title:string ->

@@ -21,17 +21,26 @@ type t = {
   bytecodes : int;
 }
 
-let record ?mode ?metrics (app : App.t) =
+let record ?mode ?metrics ?flight (app : App.t) =
   let trace = Trace.create () in
   let env = Env.create ?metrics ~sink:(Trace.sink trace) () in
   let markers = ref [] in
   let seq () = Cpu.global_seq env.Env.cpu in
+  let stamp name =
+    match flight with
+    | None -> ()
+    | Some f -> Pift_obs.Flight.instant f name
+  in
   Manager.subscribe_sources env.Env.manager (fun ~pid:_ ~kind r ->
+      stamp "source";
       markers := (seq (), Source { kind; range = r }) :: !markers);
   Manager.subscribe_checks env.Env.manager (fun ~pid:_ ~kind ranges ->
+      stamp "sink-check";
       markers := (seq (), Sink { kind; ranges }) :: !markers);
   let natives = Pift_runtime.Api.registry @ app.App.natives in
-  let vm = Vm.create ?mode ~natives ?metrics env (app.App.program ()) in
+  let vm =
+    Vm.create ?mode ~natives ?metrics ?flight env (app.App.program ())
+  in
   (match Vm.run vm with `Ok | `Uncaught _ -> ());
   {
     name = app.App.name;
@@ -70,7 +79,7 @@ let interleave t ~observe ~on_marker =
     t.trace;
   apply_until max_int
 
-let replay ?store ?metrics ~policy t =
+let replay ?store ?metrics ?flight ~policy t =
   let store =
     match (store, metrics) with
     | Some store, Some registry -> Some (Store.with_metrics registry store)
@@ -81,8 +90,8 @@ let replay ?store ?metrics ~policy t =
   in
   let tracker =
     match store with
-    | Some store -> Tracker.create ~policy ~store ?metrics ()
-    | None -> Tracker.create ~policy ?metrics ()
+    | Some store -> Tracker.create ~policy ~store ?metrics ?flight ()
+    | None -> Tracker.create ~policy ?metrics ?flight ()
   in
   let verdicts = ref [] in
   let on_marker = function

@@ -23,11 +23,13 @@ type t = {
 
 val record :
   ?mode:Pift_dalvik.Vm.mode -> ?metrics:Pift_obs.Registry.t ->
-  Pift_workloads.App.t -> t
+  ?flight:Pift_obs.Flight.t -> Pift_workloads.App.t -> t
 (** Execute the app and capture everything.  An uncaught application
     exception terminates the run but still yields the recording.
     [mode] selects interpreter or JIT execution (default interpreter);
-    [metrics] instruments the CPU and VM of the recording run. *)
+    [metrics] instruments the CPU and VM of the recording run; [flight]
+    additionally stamps ["source"]/["sink-check"] instants as the
+    Manager fires and passes through to the VM's ["vm-run"] span. *)
 
 type verdict = { kind : string; flagged : bool }
 
@@ -41,10 +43,11 @@ type replay = {
 
 val replay :
   ?store:Pift_core.Store.t -> ?metrics:Pift_obs.Registry.t ->
-  policy:Pift_core.Policy.t -> t -> replay
+  ?flight:Pift_obs.Flight.t -> policy:Pift_core.Policy.t -> t -> replay
 (** Run Algorithm 1 over the recording.  With [metrics], the tracker and
     the taint store are instrumented ([pift_tracker_*], [pift_store_*]);
-    verdicts and {!Pift_core.Tracker.stats} are unaffected. *)
+    [flight] is handed to the tracker for fine-grained event/counter
+    stamps; verdicts and {!Pift_core.Tracker.stats} are unaffected. *)
 
 type dift_replay = {
   dift_verdicts : verdict list;

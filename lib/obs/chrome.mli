@@ -1,0 +1,49 @@
+(** Chrome trace-event / Perfetto JSON export and inspection.
+
+    [json] renders a merged {!Timeline} as the JSON object format
+    consumed by ui.perfetto.dev and chrome://tracing: a ["traceEvents"]
+    array of [B]/[E] (span), [i] (instant) and [C] (counter) records
+    with timestamps in microseconds, [pid] 1 and one [tid] per pool
+    worker slot, plus [M]etadata records naming the process and each
+    worker thread.
+
+    Ring wrap-around can strand span halves; the exporter repairs them
+    ([End] without an open span is dropped, still-open spans are closed
+    at the track's final timestamp), so emitted traces always pass
+    {!validate}. *)
+
+exception Invalid of string
+
+val json : ?run:string -> Timeline.t -> Json.t
+(** [?run] names the process in the trace UI (default ["pift"]). *)
+
+val write : out_channel -> ?run:string -> Timeline.t -> unit
+(** [json] followed by a newline, serialized to [oc]. *)
+
+(** {1 Decoding} *)
+
+type check = {
+  c_tracks : int;  (** worker tracks ([thread_name] metadata records) *)
+  c_events : int;  (** non-metadata events *)
+  c_spans : int;  (** balanced [B]/[E] pairs *)
+  c_instants : int;
+  c_samples : int;  (** counter samples *)
+  c_counter_names : string list;  (** distinct counter tracks, sorted *)
+}
+
+val validate : Json.t -> (check, string) result
+(** Structural check used by tests and CI: [traceEvents] is present,
+    every event carries [ph]/[pid]/[tid] (plus [name]/[ts] where the
+    phase requires them), timestamps are non-negative and non-decreasing
+    per [tid], and [B]/[E] nest and balance on every track. *)
+
+val is_trace : Json.t -> bool
+(** True when the object has a [traceEvents] key — how [pift report]
+    sniffs trace files apart from metrics snapshots. *)
+
+val summarize : Json.t -> Format.formatter -> unit -> unit
+(** Human summary for [pift report]: track/event counts, per-phase time
+    (span names grouped up to the first ['('] or [':']), per-worker
+    busy-time utilization, and the slowest spans.
+
+    @raise Invalid on a malformed trace (same checks as {!validate}). *)

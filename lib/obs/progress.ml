@@ -1,0 +1,64 @@
+(* Live progress for long sweeps: a single stderr status line rewritten
+   in place (carriage return, no newline until [finish]).  Writes only
+   to stderr so traced and untraced runs keep byte-identical stdout; off
+   by default when stderr is not a tty.  Steps may arrive from any
+   worker domain, so the counter and the throttled repaint are guarded
+   by a mutex — this is per-cell, not per-event, so the lock is cold. *)
+
+type t = {
+  label : string;
+  total : int;
+  enabled : bool;
+  started : float;
+  mu : Mutex.t;
+  mutable done_ : int;
+  mutable last_paint : float;
+  mutable painted : bool;
+}
+
+let create ?enabled ~label ~total () =
+  let enabled =
+    match enabled with Some b -> b | None -> Unix.isatty Unix.stderr
+  in
+  {
+    label;
+    total = max 0 total;
+    enabled;
+    started = Unix.gettimeofday ();
+    mu = Mutex.create ();
+    done_ = 0;
+    last_paint = 0.;
+    painted = false;
+  }
+
+let paint t ~now =
+  let elapsed = now -. t.started in
+  let rate = if elapsed > 0. then float_of_int t.done_ /. elapsed else 0. in
+  let eta =
+    if rate > 0. && t.done_ < t.total then
+      Printf.sprintf " ETA %.0fs" (float_of_int (t.total - t.done_) /. rate)
+    else ""
+  in
+  Printf.eprintf "\r%s: %d/%d (%.1f/s)%s    " t.label t.done_ t.total rate eta;
+  flush stderr;
+  t.painted <- true;
+  t.last_paint <- now
+
+let step t =
+  if t.enabled then begin
+    Mutex.lock t.mu;
+    t.done_ <- t.done_ + 1;
+    let now = Unix.gettimeofday () in
+    if now -. t.last_paint >= 0.1 || t.done_ >= t.total then paint t ~now;
+    Mutex.unlock t.mu
+  end
+
+let finish t =
+  if t.enabled then begin
+    Mutex.lock t.mu;
+    paint t ~now:(Unix.gettimeofday ());
+    prerr_newline ();
+    flush stderr;
+    t.painted <- false;
+    Mutex.unlock t.mu
+  end

@@ -1,0 +1,17 @@
+(** Live progress line on stderr for long sweeps.
+
+    Rewrites one status line in place ([label]: done/total, rate, ETA).
+    Everything goes to stderr — stdout stays byte-identical whether
+    progress is on or off — and reporting defaults to enabled only when
+    stderr is a tty.  [step] is safe to call from any worker domain. *)
+
+type t
+
+val create : ?enabled:bool -> label:string -> total:int -> unit -> t
+(** [?enabled] defaults to [Unix.isatty Unix.stderr]. *)
+
+val step : t -> unit
+(** Count one unit done; repaints at most every 0.1 s. *)
+
+val finish : t -> unit
+(** Final repaint plus a newline, leaving the line in scrollback. *)

@@ -60,6 +60,19 @@ let write_jsonl oc json =
 
 exception Malformed of string
 
+(* Format sniffing for [pift report]: decide by the keys that are
+   present, never by the ones that aren't, so files from newer builds
+   with extra top-level fields still classify — and genuinely foreign
+   objects are reported as skippable rather than as hard errors. *)
+type file_kind = Metrics_snapshot | Trace | Unknown of string list
+
+let classify = function
+  | Json.Obj fields ->
+      if List.mem_assoc "metrics" fields then Metrics_snapshot
+      else if List.mem_assoc "traceEvents" fields then Trace
+      else Unknown (List.map fst fields)
+  | _ -> Unknown []
+
 let get ~ctx what = function
   | Some v -> v
   | None -> raise (Malformed (Printf.sprintf "%s: missing %s" ctx what))

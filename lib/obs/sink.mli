@@ -13,6 +13,18 @@ val write_jsonl : out_channel -> Json.t -> unit
 exception Malformed of string
 (** Raised by the readers on structurally invalid snapshot JSON. *)
 
+type file_kind =
+  | Metrics_snapshot  (** has a ["metrics"] key — a [--metrics-out] line *)
+  | Trace  (** has a ["traceEvents"] key — a [--trace-out] file *)
+  | Unknown of string list
+      (** neither; carries the top-level keys seen, for the warning *)
+
+val classify : Json.t -> file_kind
+(** Sniff what a top-level object is, by the keys that are present —
+    extra unknown keys never change the answer, so snapshots from newer
+    builds stay readable and foreign objects come back [Unknown] (to be
+    skipped with a warning) instead of failing the whole report. *)
+
 val samples_of_json : Json.t -> Registry.sample list
 val spans_of_json : Json.t -> Span.t list
 val run_of_json : Json.t -> string

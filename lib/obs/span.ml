@@ -8,32 +8,40 @@ let name s = s.sp_name
 let seconds s = s.sp_seconds
 let children s = List.rev s.sp_children_rev
 
-(* One implicit collector per process: the CLI and bench are
-   single-threaded drivers, and a global keeps [with_] callable from deep
-   inside phases without threading a handle everywhere. *)
-let roots_rev : t list ref = ref []
-let stack : t list ref = ref []
+type collector = { mutable roots_rev : t list; mutable stack : t list }
+
+(* One collector per domain.  The old single process-global collector
+   corrupted both the span tree and the stack when worker domains called
+   [with_] concurrently (interleaved pushes re-parented spans under the
+   wrong node and the [top == span] pop check made stacks leak).  A
+   domain-local collector keeps [with_] lock-free and allocation-light on
+   the hot path, and each domain's tree stays internally consistent;
+   [roots]/[reset] act on the calling domain's collector. *)
+let collector : collector Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { roots_rev = []; stack = [] })
 
 let reset () =
-  roots_rev := [];
-  stack := []
+  let c = Domain.DLS.get collector in
+  c.roots_rev <- [];
+  c.stack <- []
 
 let with_ ~name f =
+  let c = Domain.DLS.get collector in
   let span = { sp_name = name; sp_seconds = 0.; sp_children_rev = [] } in
-  (match !stack with
+  (match c.stack with
   | parent :: _ -> parent.sp_children_rev <- span :: parent.sp_children_rev
-  | [] -> roots_rev := span :: !roots_rev);
-  stack := span :: !stack;
+  | [] -> c.roots_rev <- span :: c.roots_rev);
+  c.stack <- span :: c.stack;
   let t0 = Unix.gettimeofday () in
   Fun.protect
     ~finally:(fun () ->
       span.sp_seconds <- Unix.gettimeofday () -. t0;
-      match !stack with
-      | top :: rest when top == span -> stack := rest
+      match c.stack with
+      | top :: rest when top == span -> c.stack <- rest
       | _ -> ())
     f
 
-let roots () = List.rev !roots_rev
+let roots () = List.rev (Domain.DLS.get collector).roots_rev
 
 let make ~name ~seconds children =
   { sp_name = name; sp_seconds = seconds; sp_children_rev = List.rev children }

@@ -1,9 +1,13 @@
 (** Wall-clock span tracing for run phases (record / replay / eval).
 
     [with_ ~name f] times [f] and files the span under the innermost
-    enclosing [with_], producing a tree per top-level call.  The collector
-    is process-global (the CLI and bench drivers are single-threaded);
-    call {!reset} at the start of a run and {!roots} at the end. *)
+    enclosing [with_], producing a tree per top-level call.  The
+    collector is domain-local: spans recorded on a pool worker never
+    interleave into another domain's tree or corrupt its stack, and
+    {!reset}/{!roots} act on the calling domain's collector.  Drivers
+    call {!reset} at the start of a run and {!roots} at the end (on the
+    same domain); worker-side trees are reachable only from the worker,
+    so cross-domain timelines belong to {!Flight}, not here. *)
 
 type t
 

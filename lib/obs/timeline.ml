@@ -1,0 +1,31 @@
+type track = { tid : int; events : Flight.event list; dropped : int }
+
+type t = { tracks : track list }
+
+let of_rings rings =
+  {
+    tracks =
+      List.mapi
+        (fun tid ring ->
+          { tid; events = Flight.events ring; dropped = Flight.dropped ring })
+        (Array.to_list rings);
+  }
+
+let tracks t = t.tracks
+
+let event_count t =
+  List.fold_left (fun acc tr -> acc + List.length tr.events) 0 t.tracks
+
+let dropped t = List.fold_left (fun acc tr -> acc + tr.dropped) 0 t.tracks
+
+let span_bounds t =
+  List.fold_left
+    (fun bounds tr ->
+      List.fold_left
+        (fun bounds (e : Flight.event) ->
+          match bounds with
+          | None -> Some (e.Flight.ts, e.Flight.ts)
+          | Some (lo, hi) ->
+              Some (min lo e.Flight.ts, max hi e.Flight.ts))
+        bounds tr.events)
+    None t.tracks

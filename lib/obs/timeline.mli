@@ -1,0 +1,29 @@
+(** Merge per-worker flight-recorder rings into per-slot tracks.
+
+    The merge rule is the trace-side sibling of [Registry.merge]: each
+    worker slot's ring becomes one track ([tid] = slot index, so track 0
+    is the calling domain), and events keep their within-ring order —
+    rings are single-writer and stamp monotonic timestamps, so a track
+    is already a valid per-thread timeline and no cross-ring reordering
+    is needed or wanted. *)
+
+type track = {
+  tid : int;  (** worker slot index *)
+  events : Flight.event list;  (** oldest first, timestamps monotonic *)
+  dropped : int;  (** events this ring lost to wrap-around *)
+}
+
+type t
+
+val of_rings : Flight.t array -> t
+(** One track per ring, [tid] = array index. *)
+
+val tracks : t -> track list
+
+val event_count : t -> int
+
+val dropped : t -> int
+(** Total events lost across all rings. *)
+
+val span_bounds : t -> (float * float) option
+(** (earliest, latest) timestamp across every track; [None] if empty. *)

@@ -18,6 +18,8 @@ type t = {
   mutable failed : exn option;  (* first exception, re-raised by caller *)
   mutable stop : bool;
   mutable domains : unit Domain.t list;
+  rings : Pift_obs.Flight.t array;
+      (* flight-recorder ring per worker slot; [||] = tracing off *)
 }
 
 let default_jobs () = Domain.recommended_domain_count ()
@@ -51,12 +53,13 @@ let worker_loop t ~worker =
     end
   done
 
-let create ?jobs () =
+let create ?jobs ?(rings = [||]) () =
   let jobs =
     match jobs with None -> default_jobs () | Some j -> max 1 j
   in
   let t =
     {
+      rings;
       jobs;
       mu = Mutex.create ();
       work_ready = Condition.create ();
@@ -84,8 +87,8 @@ let shutdown t =
   List.iter Domain.join t.domains;
   t.domains <- []
 
-let with_pool ?jobs f =
-  let t = create ?jobs () in
+let with_pool ?jobs ?rings f =
+  let t = create ?jobs ?rings () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 (* Publish [job], run our share as worker 0, join the pool, re-raise the
@@ -126,14 +129,24 @@ let map_slots t ?(chunk = 1) ~f xs =
     let out = Array.make n None in
     let cursor = Atomic.make 0 in
     let job ~worker =
+      let ring =
+        if worker < Array.length t.rings then Some t.rings.(worker) else None
+      in
       let continue_ = ref true in
       while !continue_ do
         let start = Atomic.fetch_and_add cursor chunk in
         if start >= n then continue_ := false
-        else
+        else begin
+          (match ring with
+          | Some r -> Pift_obs.Flight.begin_ r "chunk"
+          | None -> ());
           for i = start to min n (start + chunk) - 1 do
             out.(i) <- Some (f ~worker i xs.(i))
-          done
+          done;
+          match ring with
+          | Some r -> Pift_obs.Flight.end_ r "chunk"
+          | None -> ()
+        end
       done
     in
     run_job t job;

@@ -20,10 +20,16 @@ type t
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — what [--jobs] defaults to. *)
 
-val create : ?jobs:int -> unit -> t
+val create : ?jobs:int -> ?rings:Pift_obs.Flight.t array -> unit -> t
 (** Spawn a pool of [jobs] workers (default {!default_jobs}, clamped to
     at least 1).  The pool holds [jobs - 1] blocked domains until
-    {!shutdown}. *)
+    {!shutdown}.
+
+    [?rings] attaches one flight-recorder ring per worker slot (index =
+    slot); when present, [map_slots] stamps a ["chunk"] span around each
+    claimed chunk on the claiming worker's ring, so a merged timeline
+    shows the actual schedule.  Slots beyond the array's length (and the
+    default [[||]]) record nothing. *)
 
 val jobs : t -> int
 (** Worker count, including the calling domain (slot 0). *)
@@ -31,7 +37,8 @@ val jobs : t -> int
 val shutdown : t -> unit
 (** Join the worker domains.  Idempotent; the pool is unusable after. *)
 
-val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+val with_pool :
+  ?jobs:int -> ?rings:Pift_obs.Flight.t array -> (t -> 'a) -> 'a
 (** [create], run, and [shutdown] (also on exception). *)
 
 val map_slots :

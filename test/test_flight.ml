@@ -1,0 +1,291 @@
+(* Tests for the flight-recorder layer: ring wrap-around semantics,
+   timeline merging, Chrome trace export/validation round-trips, report
+   format sniffing, and the domain-safety of the Span collector. *)
+
+module Flight = Pift_obs.Flight
+module Timeline = Pift_obs.Timeline
+module Chrome = Pift_obs.Chrome
+module Json = Pift_obs.Json
+module Sink = Pift_obs.Sink
+module Span = Pift_obs.Span
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* --- ring buffer -------------------------------------------------------- *)
+
+let test_ring_basic () =
+  let r = Flight.create ~capacity:8 () in
+  checki "empty length" 0 (Flight.length r);
+  Flight.begin_ r "a";
+  Flight.sample r "c" 3.;
+  Flight.end_ r "a";
+  checki "length" 3 (Flight.length r);
+  checki "written" 3 (Flight.written r);
+  checki "dropped" 0 (Flight.dropped r);
+  (match Flight.events r with
+  | [ e1; e2; e3 ] ->
+      checkb "kinds" true
+        (e1.Flight.kind = Flight.Begin
+        && e2.Flight.kind = Flight.Sample
+        && e3.Flight.kind = Flight.End);
+      checks "name" "c" e2.Flight.name;
+      Alcotest.(check (float 1e-9)) "value" 3. e2.Flight.value;
+      checkb "ts monotonic" true
+        (e1.Flight.ts <= e2.Flight.ts && e2.Flight.ts <= e3.Flight.ts);
+      checkb "ts non-negative" true (e1.Flight.ts >= 0.)
+  | l -> Alcotest.failf "expected 3 events, got %d" (List.length l));
+  Flight.clear r;
+  checki "cleared" 0 (Flight.length r)
+
+let test_ring_wrap_keeps_newest () =
+  let r = Flight.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Flight.sample r "n" (float_of_int i)
+  done;
+  checki "length capped" 4 (Flight.length r);
+  checki "written counts all" 10 (Flight.written r);
+  checki "dropped = written - capacity" 6 (Flight.dropped r);
+  let values = List.map (fun e -> e.Flight.value) (Flight.events r) in
+  checkb "newest 4 survive, oldest first" true (values = [ 7.; 8.; 9.; 10. ])
+
+let test_ring_capacity_zero_noop () =
+  let r = Flight.create ~capacity:0 () in
+  Flight.begin_ r "a";
+  Flight.end_ r "a";
+  Flight.instant r "i";
+  Flight.sample r "c" 1.;
+  checki "capacity" 0 (Flight.capacity r);
+  checki "length" 0 (Flight.length r);
+  checki "written" 0 (Flight.written r);
+  checkb "no events" true (Flight.events r = [])
+
+(* --- timeline merge ----------------------------------------------------- *)
+
+let test_timeline_merge_preserves_order () =
+  let a = Flight.create ~capacity:8 () in
+  let b = Flight.create ~capacity:8 () in
+  (* interleave writes across rings; each track must keep its own order *)
+  Flight.instant a "a1";
+  Flight.instant b "b1";
+  Flight.instant a "a2";
+  Flight.instant b "b2";
+  Flight.instant a "a3";
+  let tl = Timeline.of_rings [| a; b |] in
+  checki "event count" 5 (Timeline.event_count tl);
+  (match Timeline.tracks tl with
+  | [ ta; tb ] ->
+      checki "tid 0" 0 ta.Timeline.tid;
+      checki "tid 1" 1 tb.Timeline.tid;
+      checkb "track a order" true
+        (List.map (fun e -> e.Flight.name) ta.Timeline.events
+        = [ "a1"; "a2"; "a3" ]);
+      checkb "track b order" true
+        (List.map (fun e -> e.Flight.name) tb.Timeline.events
+        = [ "b1"; "b2" ])
+  | l -> Alcotest.failf "expected 2 tracks, got %d" (List.length l));
+  checkb "bounds ordered" true
+    (match Timeline.span_bounds tl with
+    | Some (lo, hi) -> lo <= hi
+    | None -> false)
+
+(* --- Chrome export round-trip ------------------------------------------- *)
+
+let sample_timeline () =
+  let a = Flight.create ~capacity:64 () in
+  let b = Flight.create ~capacity:64 () in
+  Flight.begin_ a "cell(1,1)";
+  Flight.sample a "bytes" 10.;
+  Flight.instant a "source";
+  Flight.end_ a "cell(1,1)";
+  Flight.begin_ b "cell(1,2)";
+  Flight.begin_ b "inner";
+  Flight.end_ b "inner";
+  Flight.end_ b "cell(1,2)";
+  Timeline.of_rings [| a; b |]
+
+let test_chrome_round_trip () =
+  let j = Chrome.json ~run:"test" (sample_timeline ()) in
+  (* serialized text parses back to the same structure *)
+  let reparsed = Json.of_string (Json.to_string j) in
+  match Chrome.validate reparsed with
+  | Error msg -> Alcotest.failf "round trip invalid: %s" msg
+  | Ok c ->
+      checki "tracks" 2 c.Chrome.c_tracks;
+      checki "spans" 3 c.Chrome.c_spans;
+      checki "instants" 1 c.Chrome.c_instants;
+      checki "samples" 1 c.Chrome.c_samples;
+      checkb "counter names" true (c.Chrome.c_counter_names = [ "bytes" ])
+
+let test_chrome_repairs_wrap_imbalance () =
+  (* A wrapped ring can surface an End whose Begin was overwritten and a
+     Begin whose End never arrived; the exporter must balance both. *)
+  let r = Flight.create ~capacity:64 () in
+  Flight.end_ r "lost-begin";
+  Flight.begin_ r "never-closed";
+  Flight.instant r "i";
+  let j = Chrome.json (Timeline.of_rings [| r |]) in
+  match Chrome.validate j with
+  | Error msg -> Alcotest.failf "repaired trace invalid: %s" msg
+  | Ok c ->
+      checki "one span (orphan E dropped, open B closed)" 1 c.Chrome.c_spans;
+      checki "instant kept" 1 c.Chrome.c_instants
+
+let test_chrome_validate_rejects () =
+  let reject what text =
+    match Chrome.validate (Json.of_string text) with
+    | Ok _ -> Alcotest.failf "%s: expected rejection" what
+    | Error _ -> ()
+  in
+  reject "missing traceEvents" {|{"foo": 1}|};
+  reject "unbalanced E"
+    {|{"traceEvents":[{"name":"x","ph":"E","pid":1,"tid":0,"ts":1.0}]}|};
+  reject "unclosed B"
+    {|{"traceEvents":[{"name":"x","ph":"B","pid":1,"tid":0,"ts":1.0}]}|};
+  reject "negative ts"
+    {|{"traceEvents":[{"name":"x","ph":"i","pid":1,"tid":0,"ts":-1.0}]}|};
+  reject "backwards ts"
+    {|{"traceEvents":[
+        {"name":"x","ph":"i","pid":1,"tid":0,"ts":5.0},
+        {"name":"y","ph":"i","pid":1,"tid":0,"ts":4.0}]}|};
+  reject "unknown phase"
+    {|{"traceEvents":[{"name":"x","ph":"Z","pid":1,"tid":0,"ts":1.0}]}|}
+
+let test_chrome_summarize_smoke () =
+  let j = Chrome.json ~run:"test" (sample_timeline ()) in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Chrome.summarize j ppf ();
+  let out = Buffer.contents buf in
+  let contains needle =
+    let n = String.length needle and h = String.length out in
+    let rec go i = i + n <= h && (String.sub out i n = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "has track count" true (contains "worker tracks: 2");
+  checkb "has phase table" true (contains "cell");
+  checkb "has utilization" true (contains "utilization")
+
+(* --- report format sniffing --------------------------------------------- *)
+
+let test_classify_forward_compat () =
+  let classify text = Sink.classify (Json.of_string text) in
+  checkb "metrics snapshot" true
+    (classify {|{"run":"x","metrics":[],"spans":[]}|} = Sink.Metrics_snapshot);
+  (* unknown top-level keys must not change the classification *)
+  checkb "metrics with extra keys" true
+    (classify {|{"metrics":[],"future_field":{"a":1},"v":2}|}
+    = Sink.Metrics_snapshot);
+  checkb "trace" true (classify {|{"traceEvents":[]}|} = Sink.Trace);
+  checkb "trace with extra keys" true
+    (classify {|{"traceEvents":[],"displayTimeUnit":"ms","newer":true}|}
+    = Sink.Trace);
+  (match classify {|{"wholly":1,"foreign":2}|} with
+  | Sink.Unknown keys -> checkb "keys reported" true (keys = [ "wholly"; "foreign" ])
+  | _ -> Alcotest.fail "expected Unknown");
+  checkb "non-object" true (classify {|[1,2]|} = Sink.Unknown []);
+  (* extra top-level keys also must not break the metrics reader itself *)
+  let samples =
+    Sink.samples_of_json
+      (Json.of_string {|{"metrics":[],"future_field":true}|})
+  in
+  checkb "reader tolerates extras" true (samples = [])
+
+(* --- tracing must not perturb results ------------------------------------ *)
+
+let test_sweep_identical_with_tracing () =
+  let module Accuracy = Pift_eval.Accuracy in
+  let apps =
+    List.filteri (fun i _ -> i < 6) Pift_workloads.Droidbench.subset48
+  in
+  let nis = [ 1; 13 ] and nts = [ 1; 3 ] in
+  let plain = Accuracy.sweep ~nis ~nts ~jobs:2 apps in
+  let rings = Array.init 2 (fun _ -> Flight.create ()) in
+  let traced = Accuracy.sweep ~nis ~nts ~rings ~jobs:2 apps in
+  checkb "cells identical with tracing on" true
+    (plain.Accuracy.cells = traced.Accuracy.cells);
+  checkb "rings actually recorded" true
+    (Array.exists (fun r -> Flight.written r > 0) rings);
+  (* and the recorded rings export to a valid trace *)
+  match Chrome.validate (Chrome.json (Timeline.of_rings rings)) with
+  | Ok c -> checkb "has cell spans" true (c.Chrome.c_spans > 0)
+  | Error msg -> Alcotest.failf "sweep trace invalid: %s" msg
+
+(* --- span collector domain-safety ---------------------------------------- *)
+
+(* Hammer Span.with_ from several domains at once: each domain must end
+   up with its own consistent tree (the old process-global collector
+   interleaved spans across domains and corrupted the shared stack). *)
+let test_span_domain_safety () =
+  let domains = 4 and rounds = 200 in
+  let worker d () =
+    Span.reset ();
+    for i = 0 to rounds - 1 do
+      Span.with_ ~name:(Printf.sprintf "outer%d" d) (fun () ->
+          Span.with_ ~name:"inner" (fun () -> Sys.opaque_identity (ignore i)))
+    done;
+    let roots = Span.roots () in
+    let ok = ref (List.length roots = rounds) in
+    List.iter
+      (fun root ->
+        if Span.name root <> Printf.sprintf "outer%d" d then ok := false;
+        match Span.children root with
+        | [ child ] -> if Span.name child <> "inner" then ok := false
+        | _ -> ok := false)
+      roots;
+    !ok
+  in
+  let spawned =
+    List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
+  in
+  let mine = worker 0 () in
+  let others = List.map Domain.join spawned in
+  checkb "caller's tree consistent" true mine;
+  List.iteri
+    (fun d ok -> checkb (Printf.sprintf "domain %d tree consistent" (d + 1)) true ok)
+    others
+
+let () =
+  Alcotest.run "pift_flight"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "basic recording" `Quick test_ring_basic;
+          Alcotest.test_case "wrap-around keeps newest" `Quick
+            test_ring_wrap_keeps_newest;
+          Alcotest.test_case "capacity 0 is a no-op" `Quick
+            test_ring_capacity_zero_noop;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "merge preserves per-track order" `Quick
+            test_timeline_merge_preserves_order;
+        ] );
+      ( "chrome",
+        [
+          Alcotest.test_case "export/validate round trip" `Quick
+            test_chrome_round_trip;
+          Alcotest.test_case "wrap imbalance repaired" `Quick
+            test_chrome_repairs_wrap_imbalance;
+          Alcotest.test_case "validator rejects bad traces" `Quick
+            test_chrome_validate_rejects;
+          Alcotest.test_case "summarize smoke" `Quick
+            test_chrome_summarize_smoke;
+        ] );
+      ( "report sniffing",
+        [
+          Alcotest.test_case "forward compatible" `Quick
+            test_classify_forward_compat;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "results identical with tracing on" `Quick
+            test_sweep_identical_with_tracing;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "domain safety under hammering" `Quick
+            test_span_domain_safety;
+        ] );
+    ]
