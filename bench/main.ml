@@ -61,6 +61,26 @@ let test_range_set_query =
            queries;
          ignore !hits))
 
+let test_store_flat_add =
+  let ranges = random_ranges 512 in
+  Test.make ~name:"store_flat/add-512"
+    (Staged.stage (fun () ->
+         let s = Pift_core.Store_flat.create () in
+         Array.iter (Pift_core.Store_flat.add s) ranges))
+
+let test_store_flat_query =
+  let ranges = random_ranges 512 in
+  let set = Pift_core.Store_flat.create () in
+  Array.iter (Pift_core.Store_flat.add set) ranges;
+  let queries = random_ranges 512 in
+  Test.make ~name:"store_flat/query-512"
+    (Staged.stage (fun () ->
+         let hits = ref 0 in
+         Array.iter
+           (fun q -> if Pift_core.Store_flat.mem_overlap set q then incr hits)
+           queries;
+         ignore !hits))
+
 let tracker_events = lazy (event_slice 20_000)
 
 let test_tracker_observe =
@@ -146,6 +166,8 @@ let tests =
   [
     test_range_set_add;
     test_range_set_query;
+    test_store_flat_add;
+    test_store_flat_query;
     test_tracker_observe;
     test_tracker_observe_metrics;
     test_dift_observe;
@@ -331,12 +353,110 @@ let write_trace_bench () =
      overhead)\n"
     (rate off_s) (rate on_s) overhead_pct
 
+(* Functional vs flat taint-store backend on two representative loads:
+   the tracker replay over the reference event stream (best-of-5, the
+   hot single-replay path) and a 4-domain Fig. 11 subset sweep (the
+   bulk path).  The sweeps' cell lists are compared — a backend that is
+   fast but wrong must fail the bench, not ship a number
+   (BENCH_store.json). *)
+let write_store_bench () =
+  let module Json = Pift_obs.Json in
+  let module Store = Pift_core.Store in
+  let module Accuracy = Pift_eval.Accuracy in
+  let recorded = Lazy.force bench_trace in
+  let events =
+    Array.init (Trace.length recorded.Recorded.trace) (fun i ->
+        Trace.get recorded.Recorded.trace i)
+  in
+  let replay backend () =
+    let t =
+      Tracker.create ~policy:Policy.default ~store:(Store.create ~backend ())
+        ()
+    in
+    Tracker.taint_source t ~pid:1 (Range.of_len 0x4000_0000 32);
+    Array.iter (Tracker.observe t) events
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let rounds = 5 in
+  let best f =
+    ignore (time f);
+    (* warm-up *)
+    let b = ref infinity in
+    for _ = 1 to rounds do
+      let s = time f in
+      if s < !b then b := s
+    done;
+    !b
+  in
+  let functional_replay_s = best (replay Store.Functional) in
+  let flat_replay_s = best (replay Store.Flat) in
+  let apps = Pift_workloads.Droidbench.subset48 in
+  let sweep backend =
+    let t0 = Unix.gettimeofday () in
+    let s = Accuracy.sweep ~backend ~jobs:4 apps in
+    (s, Unix.gettimeofday () -. t0)
+  in
+  let functional_sweep, functional_sweep_s = sweep Store.Functional in
+  let flat_sweep, flat_sweep_s = sweep Store.Flat in
+  let identical =
+    functional_sweep.Accuracy.cells = flat_sweep.Accuracy.cells
+  in
+  let n = Array.length events in
+  let rate s = if s > 0. then float_of_int n /. s else 0. in
+  let ratio a b = if b > 0. then a /. b else 0. in
+  let json =
+    Json.Obj
+      [
+        ("bench", Json.String "taint-store-backends");
+        ("events", Json.Int n);
+        ("rounds", Json.Int rounds);
+        ("functional_replay_seconds", Json.Float functional_replay_s);
+        ("flat_replay_seconds", Json.Float flat_replay_s);
+        ( "functional_replay_events_per_sec",
+          Json.Float (rate functional_replay_s) );
+        ("flat_replay_events_per_sec", Json.Float (rate flat_replay_s));
+        ( "replay_speedup_flat_over_functional",
+          Json.Float (ratio functional_replay_s flat_replay_s) );
+        ("sweep_apps", Json.Int (List.length apps));
+        ("sweep_jobs", Json.Int 4);
+        ("functional_sweep_seconds", Json.Float functional_sweep_s);
+        ("flat_sweep_seconds", Json.Float flat_sweep_s);
+        ( "sweep_speedup_flat_over_functional",
+          Json.Float (ratio functional_sweep_s flat_sweep_s) );
+        ("identical_cells", Json.Bool identical);
+      ]
+  in
+  let oc = open_out "BENCH_store.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "wrote BENCH_store.json (replay: functional %.0f ev/s, flat %.0f ev/s, \
+     %.2fx; sweep: functional %.2fs, flat %.2fs, %s)\n"
+    (rate functional_replay_s) (rate flat_replay_s)
+    (ratio functional_replay_s flat_replay_s)
+    functional_sweep_s flat_sweep_s
+    (if identical then "cells identical" else "CELLS DIVERGED");
+  if not identical then exit 1
+
 let () =
-  run_microbenchmarks ();
-  write_obs_snapshot ();
-  write_par_bench ();
-  write_trace_bench ();
-  print_endline "######## paper reproduction (every table & figure) ########";
-  Pift_eval.Experiments.run_all ~jobs:(Pift_par.Pool.default_jobs ())
-    Format.std_formatter;
-  Format.print_flush ()
+  (* `bench store` runs only the backend-comparison stage — the cheap CI
+     artifact — while a bare `bench` runs the whole harness. *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "store" then
+    write_store_bench ()
+  else begin
+    run_microbenchmarks ();
+    write_obs_snapshot ();
+    write_par_bench ();
+    write_trace_bench ();
+    write_store_bench ();
+    print_endline
+      "######## paper reproduction (every table & figure) ########";
+    Pift_eval.Experiments.run_all ~jobs:(Pift_par.Pool.default_jobs ())
+      Format.std_formatter;
+    Format.print_flush ()
+  end

@@ -56,6 +56,25 @@ let jobs =
 
 let mode_of jit = if jit then Pift_dalvik.Vm.Jit else Pift_dalvik.Vm.Interpreter
 
+let store_backend =
+  let backend =
+    Arg.enum
+      [
+        ("functional", Pift_core.Store.Functional);
+        ("flat", Pift_core.Store.Flat);
+      ]
+  in
+  let doc =
+    "Taint-store backend: $(b,functional) (persistent range set) or \
+     $(b,flat) (imperative sorted interval array).  The backends are \
+     semantically identical — output is byte-identical either way — so \
+     this is purely a performance knob."
+  in
+  Arg.(
+    value
+    & opt backend Pift_core.Store.Functional
+    & info [ "store" ] ~docv:"BACKEND" ~doc)
+
 (* --- metrics options --- *)
 
 module Obs = Pift_obs
@@ -189,8 +208,8 @@ let list_apps_cmd =
 
 (* --- run-app --- *)
 
-let run_app name ni nt untaint verbose jit explain metrics_out metrics_format
-    trace_out =
+let run_app name ni nt untaint verbose jit explain backend metrics_out
+    metrics_format trace_out =
   let app = find_app name in
   let policy = policy_of ni nt untaint in
   let metrics = registry_of metrics_out in
@@ -214,11 +233,11 @@ let run_app name ni nt untaint verbose jit explain metrics_out metrics_format
   let replay =
     Obs.Span.with_ ~name:"replay" (fun () ->
         fspan "replay" (fun () ->
-            Recorded.replay ~policy ?metrics ?flight recorded))
+            Recorded.replay ~backend ~policy ?metrics ?flight recorded))
   in
   let dift =
     Obs.Span.with_ ~name:"full-dift" (fun () ->
-        fspan "full-dift" (fun () -> Recorded.replay_dift recorded))
+        fspan "full-dift" (fun () -> Recorded.replay_dift ~backend recorded))
   in
   (* Replay once more against the hardware range cache so the snapshot
      carries pift_storage_* hits and the modelled stall cycles.  The
@@ -228,7 +247,9 @@ let run_app name ni nt untaint verbose jit explain metrics_out metrics_format
   | None -> ()
   | Some registry ->
       Obs.Span.with_ ~name:"hw-model" (fun () ->
-          let storage = Pift_core.Storage.create ~metrics:registry () in
+          let storage =
+            Pift_core.Storage.create ~backend ~metrics:registry ()
+          in
           let hw_store = Pift_core.Store.of_storage storage in
           ignore (Recorded.replay ~store:hw_store ~policy recorded);
           let st = Pift_core.Storage.stats storage in
@@ -316,11 +337,11 @@ let run_app_cmd =
        ~doc:"Execute one app and report PIFT and full-DIFT verdicts.")
     Term.(
       const run_app $ app_arg $ ni $ nt $ untaint $ verbose $ jit $ explain
-      $ metrics_out $ metrics_format $ trace_out)
+      $ store_backend $ metrics_out $ metrics_format $ trace_out)
 
 (* --- sweep --- *)
 
-let sweep subset_only jobs metrics_out metrics_format trace_out =
+let sweep subset_only backend jobs metrics_out metrics_format trace_out =
   let apps =
     if subset_only then Pift_workloads.Droidbench.subset48
     else Pift_workloads.Droidbench.all
@@ -330,7 +351,7 @@ let sweep subset_only jobs metrics_out metrics_format trace_out =
   let on_cell, finish_cells = cell_progress "cells" in
   let sweep =
     Obs.Span.with_ ~name:"sweep" (fun () ->
-        Pift_eval.Accuracy.sweep ?metrics ~rings ~on_cell ~jobs apps)
+        Pift_eval.Accuracy.sweep ~backend ?metrics ~rings ~on_cell ~jobs apps)
   in
   finish_cells ();
   Pift_eval.Accuracy.render sweep Format.std_formatter ();
@@ -351,11 +372,12 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"Accuracy sweep over the NI x NT grid (Fig. 11).")
     Term.(
-      const sweep $ subset $ jobs $ metrics_out $ metrics_format $ trace_out)
+      const sweep $ subset $ store_backend $ jobs $ metrics_out
+      $ metrics_format $ trace_out)
 
 (* --- experiment --- *)
 
-let experiment jobs trace_out ids =
+let experiment backend jobs trace_out ids =
   match ids with
   | [] ->
       Printf.printf "available experiments:\n";
@@ -368,9 +390,10 @@ let experiment jobs trace_out ids =
       List.iter
         (fun id ->
           if String.equal id "all" then
-            Pift_eval.Experiments.run_all ~rings ~jobs Format.std_formatter
+            Pift_eval.Experiments.run_all ~backend ~rings ~jobs
+              Format.std_formatter
           else
-            Pift_eval.Experiments.run ~rings ~on_cell ~jobs id
+            Pift_eval.Experiments.run ~backend ~rings ~on_cell ~jobs id
               Format.std_formatter)
         ids;
       finish_cells ();
@@ -389,7 +412,7 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate one of the paper's tables/figures.")
-    Term.(const experiment $ jobs $ trace_out $ ids)
+    Term.(const experiment $ store_backend $ jobs $ trace_out $ ids)
 
 (* --- record-trace / analyze-trace --- *)
 

@@ -2,33 +2,40 @@ module Range = Pift_util.Range
 module Insn = Pift_arm.Insn
 module Reg = Pift_arm.Reg
 module Event = Pift_trace.Event
-module Range_set = Pift_core.Range_set
+module Store_backend = Pift_core.Store_backend
 
-type proc = { regs : bool array; mutable mem : Range_set.t }
+type proc = { regs : bool array; mem : Store_backend.set }
 
-type t = { procs : (int, proc) Hashtbl.t; mutable propagations : int }
+type t = {
+  procs : (int, proc) Hashtbl.t;
+  backend : Store_backend.backend;
+  mutable propagations : int;
+}
 
-let create () = { procs = Hashtbl.create 4; propagations = 0 }
+let create ?(backend = Store_backend.Functional) () =
+  { procs = Hashtbl.create 4; backend; propagations = 0 }
 
 let proc t pid =
   match Hashtbl.find_opt t.procs pid with
   | Some p -> p
   | None ->
-      let p = { regs = Array.make 16 false; mem = Range_set.empty } in
+      let p =
+        { regs = Array.make 16 false; mem = Store_backend.make t.backend }
+      in
       Hashtbl.add t.procs pid p;
       p
 
 let taint_source t ~pid r =
   let p = proc t pid in
-  p.mem <- Range_set.add p.mem r
+  p.mem.Store_backend.s_add r
 
-let is_tainted t ~pid r = Range_set.mem_overlap (proc t pid).mem r
+let is_tainted t ~pid r = (proc t pid).mem.Store_backend.s_overlaps r
 let reg_tainted t ~pid reg = (proc t pid).regs.(Reg.index reg)
 
 let tainted_bytes t =
-  Hashtbl.fold (fun _ p acc -> acc + Range_set.total_bytes p.mem) t.procs 0
+  Hashtbl.fold (fun _ p acc -> acc + p.mem.Store_backend.s_bytes ()) t.procs 0
 
-let tainted_ranges t ~pid = Range_set.ranges (proc t pid).mem
+let tainted_ranges t ~pid = (proc t pid).mem.Store_backend.s_ranges ()
 let propagations t = t.propagations
 
 let set_reg t p i v =
@@ -37,8 +44,8 @@ let set_reg t p i v =
 
 let set_mem t p range v =
   t.propagations <- t.propagations + 1;
-  p.mem <-
-    (if v then Range_set.add p.mem range else Range_set.remove p.mem range)
+  if v then p.mem.Store_backend.s_add range
+  else p.mem.Store_backend.s_remove range
 
 let operand_taint p = function
   | Insn.Imm _ -> false
@@ -55,12 +62,12 @@ let observe t e =
       | Insn.Dword ->
           let lo_half = Range.of_len (Range.lo range) 4 in
           let hi_half = Range.of_len (Range.lo range + 4) 4 in
-          set_reg t p (Reg.index r) (Range_set.mem_overlap p.mem lo_half);
+          set_reg t p (Reg.index r) (p.mem.Store_backend.s_overlaps lo_half);
           set_reg t p
             (Reg.index (Reg.succ r))
-            (Range_set.mem_overlap p.mem hi_half)
+            (p.mem.Store_backend.s_overlaps hi_half)
       | Insn.Byte | Insn.Half | Insn.Word ->
-          set_reg t p (Reg.index r) (Range_set.mem_overlap p.mem range))
+          set_reg t p (Reg.index r) (p.mem.Store_backend.s_overlaps range))
   | Insn.Str (w, r, _), Event.Store range -> (
       match w with
       | Insn.Dword ->
@@ -76,7 +83,7 @@ let observe t e =
       List.iteri
         (fun i r ->
           set_reg t p (Reg.index r)
-            (Range_set.mem_overlap p.mem (word_slot range i)))
+            (p.mem.Store_backend.s_overlaps (word_slot range i)))
         regs
   | Insn.Stm (_, regs), Event.Store range ->
       List.iteri

@@ -11,7 +11,10 @@
 
 type t
 
-val create : unit -> t
+val create : ?backend:Pift_core.Store_backend.backend -> unit -> t
+(** [backend] (default [Functional]) selects the shadow-memory
+    representation; all backends are semantically identical, so the
+    ground-truth verdicts never depend on the choice. *)
 
 val taint_source : t -> pid:int -> Pift_util.Range.t -> unit
 val observe : t -> Pift_trace.Event.t -> unit

@@ -57,8 +57,9 @@ type t = {
   slots : slot array;
   eviction : eviction;
   granularity : int option;
+  backend : Store_backend.backend;
   (* Secondary storage in main memory, per process. *)
-  secondary : (int, Range_set.t ref) Hashtbl.t;
+  secondary : (int, Store_backend.set) Hashtbl.t;
   mutable clock : int;
   mutable occupancy : int;
   mutable lookups : int;
@@ -79,7 +80,7 @@ let set_occupancy t v =
   meter t (fun m -> Gauge.set m.m_occupancy v)
 
 let create ?(entries = 2730) ?(eviction = Lru_writeback)
-    ?(granularity = None) ?metrics () =
+    ?(granularity = None) ?(backend = Store_backend.Functional) ?metrics () =
   if entries <= 0 then invalid_arg "Storage.create: entries must be positive";
   (match granularity with
   | Some r when r < 0 || r > 20 ->
@@ -91,6 +92,7 @@ let create ?(entries = 2730) ?(eviction = Lru_writeback)
           { pid = 0; lo = 0; hi = 0; valid = false; stamp = 0 });
     eviction;
     granularity;
+    backend;
     secondary = Hashtbl.create 4;
     clock = 0;
     occupancy = 0;
@@ -118,7 +120,7 @@ let secondary_set t pid =
   match Hashtbl.find_opt t.secondary pid with
   | Some s -> s
   | None ->
-      let s = ref Range_set.empty in
+      let s = Store_backend.make t.backend in
       Hashtbl.add t.secondary pid s;
       s
 
@@ -152,7 +154,7 @@ let free_slot t =
           in
           let s = Option.get victim in
           let set = secondary_set t s.pid in
-          set := Range_set.add !set (Range.make s.lo s.hi);
+          set.Store_backend.s_add (Range.make s.lo s.hi);
           t.evictions <- t.evictions + 1;
           t.writebacks <- t.writebacks + 1;
           meter t (fun m ->
@@ -224,7 +226,7 @@ let remove t ~pid r =
   List.iter (fun p -> insert t ~pid p) !pending;
   (* Secondary storage is exact. *)
   match Hashtbl.find_opt t.secondary pid with
-  | Some set -> set := Range_set.remove !set r
+  | Some set -> set.Store_backend.s_remove r
   | None -> ()
 
 let primary_lookup t ~pid r =
@@ -253,18 +255,18 @@ let lookup t ~pid r =
     | Drop -> false
     | Lru_writeback -> (
         match Hashtbl.find_opt t.secondary pid with
-        | Some set when Range_set.mem_overlap !set r ->
+        | Some set when set.Store_backend.s_overlaps r ->
             t.secondary_hits <- t.secondary_hits + 1;
             meter t (fun m -> Counter.incr m.m_secondary_hits);
             (* Promote: hardware refetches the matching range. *)
             let promoted =
               List.find_opt
                 (fun p -> Range.overlaps p r)
-                (Range_set.ranges !set)
+                (set.Store_backend.s_ranges ())
             in
             (match promoted with
             | Some p ->
-                set := Range_set.remove !set p;
+                set.Store_backend.s_remove p;
                 insert t ~pid p
             | None -> ());
             true
@@ -275,7 +277,7 @@ let context_switch t =
     (fun s ->
       if s.valid then begin
         let set = secondary_set t s.pid in
-        set := Range_set.add !set (Range.make s.lo s.hi);
+        set.Store_backend.s_add (Range.make s.lo s.hi);
         t.writebacks <- t.writebacks + 1;
         meter t (fun m -> Counter.incr m.m_writebacks);
         s.valid <- false
@@ -297,7 +299,7 @@ let union_set t =
     (fun _ sec ->
       List.iter
         (fun r -> set := Range_set.add !set r)
-        (Range_set.ranges !sec))
+        (sec.Store_backend.s_ranges ()))
     t.secondary;
   !set
 
@@ -313,7 +315,9 @@ let ranges t ~pid =
     t.slots;
   (match Hashtbl.find_opt t.secondary pid with
   | Some sec ->
-      List.iter (fun r -> set := Range_set.add !set r) (Range_set.ranges !sec)
+      List.iter
+        (fun r -> set := Range_set.add !set r)
+        (sec.Store_backend.s_ranges ())
   | None -> ());
   Range_set.ranges !set
 

@@ -1,5 +1,11 @@
 module Range = Pift_util.Range
 
+type backend = Store_backend.backend = Functional | Flat | Bytemap
+
+let backend_to_string = Store_backend.backend_to_string
+let backend_of_string = Store_backend.backend_of_string
+let all_backends = Store_backend.all_backends
+
 type t = {
   add : pid:int -> Range.t -> unit;
   remove : pid:int -> Range.t -> unit;
@@ -9,24 +15,25 @@ type t = {
   ranges : pid:int -> Range.t list;
 }
 
-let range_sets () =
-  let sets : (int, Range_set.t ref) Hashtbl.t = Hashtbl.create 4 in
+let create ?(backend = Functional) () =
+  let sets : (int, Store_backend.set) Hashtbl.t = Hashtbl.create 4 in
   let set pid =
     match Hashtbl.find_opt sets pid with
     | Some s -> s
     | None ->
-        let s = ref Range_set.empty in
+        let s = Store_backend.make backend in
         Hashtbl.add sets pid s;
         s
   in
-  let sum f = Hashtbl.fold (fun _ s acc -> acc + f !s) sets 0 in
+  let sum f = Hashtbl.fold (fun _ s acc -> acc + f s) sets 0 in
   {
-    add = (fun ~pid r -> let s = set pid in s := Range_set.add !s r);
-    remove = (fun ~pid r -> let s = set pid in s := Range_set.remove !s r);
-    overlaps = (fun ~pid r -> Range_set.mem_overlap !(set pid) r);
-    tainted_bytes = (fun () -> sum Range_set.total_bytes);
-    range_count = (fun () -> sum Range_set.cardinal);
-    ranges = (fun ~pid -> Range_set.ranges !(set pid));
+    add = (fun ~pid r -> (set pid).Store_backend.s_add r);
+    remove = (fun ~pid r -> (set pid).Store_backend.s_remove r);
+    overlaps = (fun ~pid r -> (set pid).Store_backend.s_overlaps r);
+    tainted_bytes =
+      (fun () -> sum (fun s -> s.Store_backend.s_bytes ()));
+    range_count = (fun () -> sum (fun s -> s.Store_backend.s_count ()));
+    ranges = (fun ~pid -> (set pid).Store_backend.s_ranges ());
   }
 
 let with_metrics registry inner =
@@ -52,7 +59,7 @@ let with_metrics registry inner =
         inner.add ~pid r;
         Counter.incr adds;
         (* A merge (or full overlap) is an insertion that did not grow the
-           range count — the coalescing path of Range_set.add / the
+           range count — the coalescing path of a backend's add / the
            range-cache update of Storage.insert. *)
         if inner.range_count () <= before then Counter.incr merges;
         sync ());

@@ -1,10 +1,31 @@
 (** Pluggable taint-state backends for the tracker.
 
     Algorithm 1 is defined over an abstract tainted-range state R; the
-    software model backs it with {!Range_set} (exact, unbounded), while the
-    hardware model backs it with the {!Storage} range cache (bounded,
-    lossy under the drop policy).  The tracker is written once against
-    this record of operations. *)
+    software model backs it with a per-process {!Store_backend.set}
+    (exact, unbounded — pick the representation with [backend]), while
+    the hardware model backs it with the {!Storage} range cache
+    (bounded, lossy under the drop policy).  The tracker is written once
+    against this record of operations.
+
+    All exact backends are semantically identical — proven equal to the
+    {!Store_bytemap} oracle by the differential property suite — so the
+    choice is purely a performance knob: verdicts, stats, and CLI output
+    are byte-for-byte the same whichever one runs. *)
+
+type backend = Store_backend.backend =
+  | Functional
+      (** persistent {!Range_set} map — O(log n), allocating; the
+          original reference implementation *)
+  | Flat
+      (** imperative sorted interval array ({!Store_flat}) — binary
+          search lookups, in-place coalescing, no per-op allocation *)
+  | Bytemap
+      (** one bit per byte ({!Store_bytemap}); trivially correct oracle,
+          for tests only — never exposed on the CLI *)
+
+val backend_to_string : backend -> string
+val backend_of_string : string -> backend option
+val all_backends : backend list
 
 type t = {
   add : pid:int -> Pift_util.Range.t -> unit;
@@ -15,9 +36,9 @@ type t = {
   ranges : pid:int -> Pift_util.Range.t list;
 }
 
-val range_sets : unit -> t
-(** Exact per-process {!Range_set} state — the software reference the
-    paper's trace-driven evaluation uses. *)
+val create : ?backend:backend -> unit -> t
+(** Exact per-process taint state — the software reference the paper's
+    trace-driven evaluation uses.  [backend] defaults to [Functional]. *)
 
 val of_storage : Storage.t -> t
 (** State held in a hardware range cache; behaviour (and possible false

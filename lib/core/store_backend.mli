@@ -1,0 +1,30 @@
+(** Single-set taint-store backends, beneath both {!Store} (per-process
+    software state) and {!Storage} (the range cache's secondary store).
+
+    One [set] is one process's tainted-range state in the canonical
+    closed-range form: maximal, pairwise disjoint, non-adjacent ranges.
+    All backends are semantically identical — the differential property
+    suite ([test/test_store.ml]) proves the fast ones equal to the
+    [Bytemap] oracle — so swapping backends can never change a verdict,
+    a stat, or a byte of CLI output. *)
+
+type backend =
+  | Functional  (** persistent {!Range_set} — the original reference *)
+  | Flat  (** sorted interval array, imperative ({!Store_flat}) *)
+  | Bytemap  (** one bit per byte; testing oracle ({!Store_bytemap}) *)
+
+val backend_to_string : backend -> string
+val backend_of_string : string -> backend option
+val all_backends : backend list
+
+type set = {
+  s_add : Pift_util.Range.t -> unit;
+  s_remove : Pift_util.Range.t -> unit;
+  s_overlaps : Pift_util.Range.t -> bool;
+  s_bytes : unit -> int;
+  s_count : unit -> int;
+  s_ranges : unit -> Pift_util.Range.t list;  (** ascending, canonical *)
+}
+
+val make : backend -> set
+(** A fresh empty set of the given backend. *)

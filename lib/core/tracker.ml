@@ -76,7 +76,7 @@ type t = {
 (* LTLT <- -inf (Algorithm 1 line 8); any value with ltlt + ni < 1 works. *)
 let minus_infinity = min_int / 2
 
-let create ?(policy = Policy.default) ?(store = Store.range_sets ()) ?metrics
+let create ?(policy = Policy.default) ?(store = Store.create ()) ?metrics
     ?flight () =
   {
     flight;

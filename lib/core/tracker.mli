@@ -18,7 +18,10 @@ val create :
   ?policy:Policy.t -> ?store:Store.t -> ?metrics:Pift_obs.Registry.t ->
   ?flight:Pift_obs.Flight.t -> unit -> t
 (** [policy] defaults to {!Policy.default}; [store] to
-    {!Store.range_sets}.  When [metrics] is given, the tracker registers
+    [Store.create ()] (the [Functional] backend — pass
+    [Store.create ~backend ()] to pick another; all exact backends give
+    identical verdicts and stats).  When [metrics] is given, the tracker
+    registers
     [pift_tracker_*] counters and gauges (events, lookups, tainted loads,
     taint/untaint ops, tainted-bytes and range-count gauges, and a
     per-pid [pift_tracker_window_opens_total] family) and keeps them in

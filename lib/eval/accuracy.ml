@@ -31,11 +31,11 @@ let classify ~leaky ~flagged c =
 
 let empty = { tp = 0; fp = 0; tn = 0; fn = 0 }
 
-let evaluate ~policy apps =
+let evaluate ?backend ~policy apps =
   List.fold_left
     (fun acc (app : App.t) ->
       let recorded = Recorded.record app in
-      let replay = Recorded.replay ~policy recorded in
+      let replay = Recorded.replay ?backend ~policy recorded in
       classify ~leaky:app.App.leaky ~flagged:replay.Recorded.flagged acc)
     empty apps
 
@@ -73,8 +73,8 @@ let meters_of registry =
    (ni, nt): the Hashtbl.fold order of the old implementation leaked
    hashing order into the result, which both broke run-to-run
    reproducibility and made parallel merges order-dependent. *)
-let sweep ?(nis = default_nis) ?(nts = default_nts) ?progress ?on_cell
-    ?metrics ?(rings = [||]) ?(jobs = 1) apps =
+let sweep ?backend ?(nis = default_nis) ?(nts = default_nts) ?progress
+    ?on_cell ?metrics ?(rings = [||]) ?(jobs = 1) apps =
   Pift_par.Pool.with_pool ~jobs ~rings (fun pool ->
       let slots = Pift_par.Pool.jobs pool in
       let ring worker =
@@ -150,7 +150,7 @@ let sweep ?(nis = default_nis) ?(nts = default_nts) ?progress ?on_cell
             let peak_bytes = ref 0 and peak_ranges = ref 0 in
             Array.iteri
               (fun i recorded ->
-                let replay = Recorded.replay ~policy recorded in
+                let replay = Recorded.replay ?backend ~policy recorded in
                 if worker_meters <> [||] then
                   Pift_obs.Metric.Counter.incr
                     worker_meters.(worker).m_replays;
@@ -203,11 +203,11 @@ let cell sweep ~ni ~nt =
   | Some c -> c
   | None -> invalid_arg "Accuracy.cell: (ni, nt) outside the sweep"
 
-let misclassified ~policy apps =
+let misclassified ?backend ~policy apps =
   List.filter_map
     (fun (app : App.t) ->
       let recorded = Recorded.record app in
-      let replay = Recorded.replay ~policy recorded in
+      let replay = Recorded.replay ?backend ~policy recorded in
       match (app.App.leaky, replay.Recorded.flagged) with
       | true, false -> Some (app.App.name, `False_negative)
       | false, true -> Some (app.App.name, `False_positive)

@@ -21,8 +21,11 @@ type sweep = {
 }
 
 val evaluate :
+  ?backend:Pift_core.Store.backend ->
   policy:Pift_core.Policy.t -> Pift_workloads.App.t list -> confusion
-(** Record and replay each app once at the given policy. *)
+(** Record and replay each app once at the given policy.  [backend]
+    picks the taint-store representation for the replays; confusions
+    are identical whichever exact backend runs. *)
 
 val default_nis : int list
 (** NI = 1..20, the paper's Fig. 11 columns. *)
@@ -31,6 +34,7 @@ val default_nts : int list
 (** NT = 1..10, the paper's Fig. 11 rows. *)
 
 val sweep :
+  ?backend:Pift_core.Store.backend ->
   ?nis:int list ->
   ?nts:int list ->
   ?progress:(int -> int -> unit) ->
@@ -54,11 +58,13 @@ val sweep :
     per cell, not per event, so rings never flood mid-sweep.  [jobs]
     (default 1) sizes the [Pift_par] domain pool the recordings and
     grid cells run on; the result — cells and merged metrics both — is
-    identical for every [jobs] value and with tracing on or off. *)
+    identical for every [jobs] value, for every taint-store [backend],
+    and with tracing on or off. *)
 
 val cell : sweep -> ni:int -> nt:int -> confusion
 
 val misclassified :
+  ?backend:Pift_core.Store.backend ->
   policy:Pift_core.Policy.t ->
   Pift_workloads.App.t list ->
   (string * [ `False_positive | `False_negative ]) list

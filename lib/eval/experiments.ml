@@ -51,8 +51,10 @@ let fig10 ppf =
 
 (* --- Accuracy ----------------------------------------------------------- *)
 
-let fig11 ?rings ?on_cell ?(jobs = 1) ppf =
-  let sweep = Accuracy.sweep ?rings ?on_cell ~jobs Droidbench.subset48 in
+let fig11 ?backend ?rings ?on_cell ?(jobs = 1) ppf =
+  let sweep =
+    Accuracy.sweep ?backend ?rings ?on_cell ~jobs Droidbench.subset48
+  in
   Accuracy.render sweep ppf ();
   let report (ni, nt) =
     let c = Accuracy.cell sweep ~ni ~nt in
@@ -66,7 +68,9 @@ let fig11 ?rings ?on_cell ?(jobs = 1) ppf =
       c.Accuracy.tp c.Accuracy.fp c.Accuracy.tn c.Accuracy.fn
   in
   List.iter report [ (13, 3); (18, 3); (3, 2) ];
-  let missed = Accuracy.misclassified ~policy:Policy.default Droidbench.all in
+  let missed =
+    Accuracy.misclassified ?backend ~policy:Policy.default Droidbench.all
+  in
   Format.fprintf ppf "misclassified at %s over all 57 apps: %s@."
     (Policy.to_string Policy.default)
     (if missed = [] then "none"
@@ -80,7 +84,7 @@ let fig11 ?rings ?on_cell ?(jobs = 1) ppf =
                 | `False_positive -> " (FP)")
             missed))
 
-let malware ppf =
+let malware ?backend ppf =
   Format.fprintf ppf
     "malware detection at the paper's operating point %s:@."
     (Policy.to_string Policy.malware_catching);
@@ -88,7 +92,7 @@ let malware ppf =
     List.filter
       (fun (app : App.t) ->
         let r = Recorded.record app in
-        let rep = Recorded.replay ~policy:Policy.malware_catching r in
+        let rep = Recorded.replay ?backend ~policy:Policy.malware_catching r in
         Format.fprintf ppf "  %-14s %s@." app.App.name
           (if rep.Recorded.flagged then "DETECTED" else "missed");
         rep.Recorded.flagged)
@@ -100,59 +104,67 @@ let malware ppf =
 (* --- Overhead ----------------------------------------------------------- *)
 
 (* The 200-replay grid backs both Fig. 14 and Fig. 17; compute it once
-   (the first caller's job count — and rings, if tracing — drives the
-   pool; the points are jobs-independent, so the memo stays coherent). *)
+   per store backend (the first caller's job count — and rings, if
+   tracing — drives the pool; the points are jobs- and
+   backend-independent, so the memo stays coherent, but keying by
+   backend keeps an explicit [--store] request honest). *)
 let lgroot_grid =
-  let memo = ref None in
-  fun ?rings ~jobs () ->
-    match !memo with
+  let memo : (Store.backend option, Overhead.point list) Hashtbl.t =
+    Hashtbl.create 2
+  in
+  fun ?backend ?rings ~jobs () ->
+    match Hashtbl.find_opt memo backend with
     | Some grid -> grid
     | None ->
-        let grid = Overhead.grid ?rings ~jobs (lgroot_recording ()) in
-        memo := Some grid;
+        let grid =
+          Overhead.grid ?backend ?rings ~jobs (lgroot_recording ())
+        in
+        Hashtbl.add memo backend grid;
         grid
 
-let fig14 ?rings ?(jobs = 1) ppf =
+let fig14 ?backend ?rings ?(jobs = 1) ppf =
   Overhead.render_grid
     ~title:"Fig. 14 — maximum size of tainted addresses (bytes) vs (NI, NT)"
     ~metric:(fun p -> p.Overhead.max_tainted_bytes)
-    (lgroot_grid ?rings ~jobs ()) ppf ()
+    (lgroot_grid ?backend ?rings ~jobs ()) ppf ()
 
-let fig17 ?rings ?(jobs = 1) ppf =
+let fig17 ?backend ?rings ?(jobs = 1) ppf =
   Overhead.render_grid
     ~title:"Fig. 17 — maximum number of distinct ranges vs (NI, NT)"
     ~metric:(fun p -> p.Overhead.max_ranges)
-    (lgroot_grid ?rings ~jobs ()) ppf ()
+    (lgroot_grid ?backend ?rings ~jobs ()) ppf ()
 
 let series_params = [ (5, 3); (10, 3); (15, 3); (20, 3); (10, 2); (20, 1) ]
 
-let fig15 ppf =
+let fig15 ?backend ppf =
   let recorded = lgroot_recording () in
   let curves =
     List.map
       (fun (ni, nt) ->
-        (Printf.sprintf "(%d,%d)" ni nt, fst (Overhead.series recorded ~ni ~nt)))
+        ( Printf.sprintf "(%d,%d)" ni nt,
+          fst (Overhead.series ?backend recorded ~ni ~nt) ))
       series_params
   in
   Overhead.render_series
     ~title:"Fig. 15 — size of tainted addresses (bytes) over time"
     ~log_scale:true curves ppf ()
 
-let fig16 ppf =
+let fig16 ?backend ppf =
   let recorded = lgroot_recording () in
   let curves =
     List.map
       (fun (ni, nt) ->
-        (Printf.sprintf "(%d,%d)" ni nt, snd (Overhead.series recorded ~ni ~nt)))
+        ( Printf.sprintf "(%d,%d)" ni nt,
+          snd (Overhead.series ?backend recorded ~ni ~nt) ))
       series_params
   in
   Overhead.render_series
     ~title:"Fig. 16 — cumulative tainting+untainting operations over time"
     ~log_scale:true curves ppf ()
 
-let untaint_figs ?rings ?(jobs = 1) ~metric ~title ppf =
+let untaint_figs ?backend ?rings ?(jobs = 1) ~metric ~title ppf =
   let effects =
-    Overhead.untaint_effect ?rings ~jobs (lgroot_recording ())
+    Overhead.untaint_effect ?backend ?rings ~jobs (lgroot_recording ())
       ~nis:[ 5; 10; 15; 20 ] ~nt:3
   in
   Format.fprintf ppf "@[<v>== %s ==@," title;
@@ -166,16 +178,16 @@ let untaint_figs ?rings ?(jobs = 1) ~metric ~title ppf =
     effects;
   Format.fprintf ppf "@]@."
 
-let fig18 ?rings ?jobs ppf =
-  untaint_figs ?rings ?jobs
+let fig18 ?backend ?rings ?jobs ppf =
+  untaint_figs ?backend ?rings ?jobs
     ~metric:(fun p -> p.Overhead.max_tainted_bytes)
     ~title:
       "Fig. 18 — effect of untainting on the maximum size of tainted \
        addresses (bytes), NT=3"
     ppf
 
-let fig19 ?rings ?jobs ppf =
-  untaint_figs ?rings ?jobs
+let fig19 ?backend ?rings ?jobs ppf =
+  untaint_figs ?backend ?rings ?jobs
     ~metric:(fun p -> p.Overhead.max_ranges)
     ~title:
       "Fig. 19 — effect of untainting on the maximum number of distinct \
@@ -184,9 +196,11 @@ let fig19 ?rings ?jobs ppf =
 
 (* --- Hardware model ----------------------------------------------------- *)
 
-let hw ppf =
+let hw ?backend ppf =
   let recorded = lgroot_recording () in
-  let storage = Storage.create ~entries:2730 ~eviction:Storage.Lru_writeback () in
+  let storage =
+    Storage.create ~entries:2730 ~eviction:Storage.Lru_writeback ?backend ()
+  in
   let store = Store.of_storage storage in
   let replay = Recorded.replay ~store ~policy:Policy.default recorded in
   let s = Storage.stats storage in
@@ -209,7 +223,7 @@ let hw ppf =
   in
   Format.fprintf ppf "%a@,@]@." Hw_model.pp_report report
 
-let ablation_storage ppf =
+let ablation_storage ?backend ppf =
   let recorded = lgroot_recording () in
   Format.fprintf ppf
     "@[<v>== Ablation — taint-storage capacity and eviction policy \
@@ -218,7 +232,7 @@ let ablation_storage ppf =
   Format.fprintf ppf "%10s %16s %10s %10s %10s %10s %10s@," "entries"
     "eviction" "flagged" "evict" "drop" "2nd-hits" "overhead";
   let run entries eviction name =
-    let storage = Storage.create ~entries ~eviction () in
+    let storage = Storage.create ~entries ~eviction ?backend () in
     let replay =
       Recorded.replay ~store:(Store.of_storage storage) ~policy:Policy.default
         recorded
@@ -242,7 +256,7 @@ let ablation_storage ppf =
     [ 16; 64; 256; 2730 ];
   Format.fprintf ppf "@]@."
 
-let ablation_granularity ppf =
+let ablation_granularity ?backend ppf =
   Format.fprintf ppf
     "@[<v>== Ablation — arbitrary ranges vs fixed-granularity block \
      tagging (DroidBench subset, %s) ==@,"
@@ -255,7 +269,7 @@ let ablation_granularity ppf =
     List.iter
       (fun (app : App.t) ->
         let recorded = Recorded.record app in
-        let storage = Storage.create ~entries:8192 ~granularity () in
+        let storage = Storage.create ~entries:8192 ~granularity ?backend () in
         let replay =
           Recorded.replay ~store:(Store.of_storage storage)
             ~policy:Policy.default recorded
@@ -283,7 +297,7 @@ let ablation_granularity ppf =
 
 (* --- Extensions ---------------------------------------------------------- *)
 
-let evasion ppf =
+let evasion ?backend ppf =
   Format.fprintf ppf
     "@[<v>== Evasion (§4.2) and the compiler countermeasure (§7) ==@,\
      The attack stretches each load→store pair with %d dummy instructions;@,\
@@ -296,9 +310,11 @@ let evasion ppf =
   List.iter
     (fun (app : App.t) ->
       let r = Recorded.record app in
-      let p13 = Recorded.replay ~policy:Policy.default r in
-      let p20 = Recorded.replay ~policy:(Policy.make ~ni:20 ~nt:10 ()) r in
-      let d = Recorded.replay_dift r in
+      let p13 = Recorded.replay ?backend ~policy:Policy.default r in
+      let p20 =
+        Recorded.replay ?backend ~policy:(Policy.make ~ni:20 ~nt:10 ()) r
+      in
+      let d = Recorded.replay_dift ?backend r in
       let v b = if b then "DETECTED" else "missed" in
       Format.fprintf ppf "%-18s %14s %14s %12s@," app.App.name
         (v p13.Recorded.flagged) (v p20.Recorded.flagged)
@@ -306,7 +322,7 @@ let evasion ppf =
     Pift_workloads.Evasion.all;
   Format.fprintf ppf "@]@."
 
-let ablation_jit ppf =
+let ablation_jit ?backend ppf =
   Format.fprintf ppf
     "@[<v>== Ablation — interpreter vs JIT/AOT compilation (§4.1) ==@,\
      JIT mode removes per-bytecode fetch/dispatch and dead decode work; \
@@ -315,7 +331,9 @@ let ablation_jit ppf =
     List.fold_left
       (fun c (app : App.t) ->
         let r = Recorded.record ~mode app in
-        let f = (Recorded.replay ~policy:Policy.default r).Recorded.flagged in
+        let f =
+          (Recorded.replay ?backend ~policy:Policy.default r).Recorded.flagged
+        in
         match (app.App.leaky, f) with
         | true, true -> { c with Accuracy.tp = c.Accuracy.tp + 1 }
         | true, false -> { c with Accuracy.fn = c.Accuracy.fn + 1 }
@@ -352,15 +370,17 @@ let ablation_jit ppf =
      benign register-cleansing pattern turns into a false positive).@]@."
     li lj
 
-let multiproc ppf =
+let multiproc ?backend ppf =
   Format.fprintf ppf
     "@[<v>== Multi-process tracking: PID tags and context switches ==@,";
   (* one machine, two processes sharing frame addresses *)
   let module Tracker = Pift_core.Tracker in
   let module Manager = Pift_runtime.Manager in
   let module Cpu = Pift_machine.Cpu in
-  let tracker = Tracker.create ~policy:Policy.default () in
-  let storage = Storage.create ~entries:64 () in
+  let tracker =
+    Tracker.create ~policy:Policy.default ~store:(Store.create ?backend ()) ()
+  in
+  let storage = Storage.create ~entries:64 ?backend () in
   let hw = Tracker.create ~policy:Policy.default ~store:(Store.of_storage storage) () in
   let env = Pift_runtime.Env.create ~sink:(fun e ->
       Tracker.observe tracker e;
@@ -493,7 +513,7 @@ let fig2_multi ppf =
     "@,every workload shows the same structure: the overwhelming mass of@,\
      store-to-last-load distances sits within 10 instructions.@]@."
 
-let extended ppf =
+let extended ?backend ppf =
   Format.fprintf ppf
     "@[<v>== Extended suite — patterns beyond DroidBench 1.1 ==@,";
   Format.fprintf ppf "%-20s %-26s %7s %12s %12s@," "app" "category" "label"
@@ -502,8 +522,8 @@ let extended ppf =
   List.iter
     (fun (a : App.t) ->
       let r = Recorded.record a in
-      let p = Recorded.replay ~policy:Policy.default r in
-      let d = Recorded.replay_dift r in
+      let p = Recorded.replay ?backend ~policy:Policy.default r in
+      let d = Recorded.replay_dift ?backend r in
       if p.Recorded.flagged = a.App.leaky then incr correct;
       Format.fprintf ppf "%-20s %-26s %7s %12s %12s@," a.App.name
         a.App.category
@@ -538,7 +558,7 @@ let provenance ppf =
     Malware.all;
   Format.fprintf ppf "@]@."
 
-let min_windows ppf =
+let min_windows ?backend ppf =
   Format.fprintf ppf
     "@[<v>== Minimal windows per app (the per-leakage-type upper bound \
      the paper leaves to future work) ==@,";
@@ -550,7 +570,8 @@ let min_windows ppf =
     (fun (app : App.t) ->
       let r = Recorded.record app in
       let flagged ni nt =
-        (Recorded.replay ~policy:(Policy.make ~ni ~nt ()) r).Recorded.flagged
+        (Recorded.replay ?backend ~policy:(Policy.make ~ni ~nt ()) r)
+          .Recorded.flagged
       in
       let min_ni =
         List.find_opt (fun ni -> flagged ni 3) (List.init 20 (fun i -> i + 1))
@@ -564,7 +585,7 @@ let min_windows ppf =
     leaky_subset;
   Format.fprintf ppf "@]@."
 
-let categories ppf =
+let categories ?backend ppf =
   Format.fprintf ppf
     "@[<v>== Per-category results at %s (FlowDroid-style breakdown) ==@,"
     (Policy.to_string Policy.default);
@@ -574,7 +595,9 @@ let categories ppf =
   List.iter
     (fun (a : App.t) ->
       let r = Recorded.record a in
-      let flagged = (Recorded.replay ~policy:Policy.default r).Recorded.flagged in
+      let flagged =
+        (Recorded.replay ?backend ~policy:Policy.default r).Recorded.flagged
+      in
       let ok, fp, fn =
         match (a.App.leaky, flagged) with
         | true, true | false, false -> (1, 0, 0)
@@ -607,10 +630,12 @@ let advise ppf =
     (Advisor.evaluate corpus ~policy:Policy.default);
   Format.fprintf ppf "@]@."
 
-let summary ppf =
+let summary ?backend ppf =
   Format.fprintf ppf
     "@[<v>== Headline numbers (paper section 5.1) ==@,";
-  let c = Accuracy.evaluate ~policy:Policy.default Droidbench.subset48 in
+  let c =
+    Accuracy.evaluate ?backend ~policy:Policy.default Droidbench.subset48
+  in
   Format.fprintf ppf
     "DroidBench subset at %s: accuracy %.1f%% (paper: 97.9%%), FP %.0f%% \
      (paper: 0%%), FN %.1f%% (paper: 2%%)@,"
@@ -618,14 +643,18 @@ let summary ppf =
     (100. *. Accuracy.accuracy c)
     (100. *. Accuracy.fp_rate c)
     (100. *. Accuracy.fn_rate c);
-  let c100 = Accuracy.evaluate ~policy:Policy.perfect_droidbench Droidbench.subset48 in
+  let c100 =
+    Accuracy.evaluate ?backend ~policy:Policy.perfect_droidbench
+      Droidbench.subset48
+  in
   Format.fprintf ppf "at %s: accuracy %.1f%% (paper: 100%%)@,"
     (Policy.to_string Policy.perfect_droidbench)
     (100. *. Accuracy.accuracy c100);
   let detected =
     List.filter
       (fun app ->
-        (Recorded.replay ~policy:Policy.malware_catching (Recorded.record app))
+        (Recorded.replay ?backend ~policy:Policy.malware_catching
+           (Recorded.record app))
           .Recorded.flagged)
       Malware.all
   in
@@ -665,37 +694,37 @@ let all =
     ("summary", "headline accuracy and detection numbers");
   ]
 
-let run ?rings ?on_cell ?jobs id ppf =
+let run ?backend ?rings ?on_cell ?jobs id ppf =
   header ppf id;
   match id with
   | "fig2" -> fig2 ppf
   | "table1" -> table1 ppf
   | "fig10" -> fig10 ppf
-  | "fig11" -> fig11 ?rings ?on_cell ?jobs ppf
-  | "malware" -> malware ppf
+  | "fig11" -> fig11 ?backend ?rings ?on_cell ?jobs ppf
+  | "malware" -> malware ?backend ppf
   | "fig12" -> fig12 ppf
   | "fig13" -> fig13 ppf
-  | "fig14" -> fig14 ?rings ?jobs ppf
-  | "fig15" -> fig15 ppf
-  | "fig16" -> fig16 ppf
-  | "fig17" -> fig17 ?rings ?jobs ppf
-  | "fig18" -> fig18 ?rings ?jobs ppf
-  | "fig19" -> fig19 ?rings ?jobs ppf
-  | "hw" -> hw ppf
-  | "ablation-storage" -> ablation_storage ppf
-  | "ablation-granularity" -> ablation_granularity ppf
-  | "ablation-jit" -> ablation_jit ppf
-  | "evasion" -> evasion ppf
-  | "multiproc" -> multiproc ppf
+  | "fig14" -> fig14 ?backend ?rings ?jobs ppf
+  | "fig15" -> fig15 ?backend ppf
+  | "fig16" -> fig16 ?backend ppf
+  | "fig17" -> fig17 ?backend ?rings ?jobs ppf
+  | "fig18" -> fig18 ?backend ?rings ?jobs ppf
+  | "fig19" -> fig19 ?backend ?rings ?jobs ppf
+  | "hw" -> hw ?backend ppf
+  | "ablation-storage" -> ablation_storage ?backend ppf
+  | "ablation-granularity" -> ablation_granularity ?backend ppf
+  | "ablation-jit" -> ablation_jit ?backend ppf
+  | "evasion" -> evasion ?backend ppf
+  | "multiproc" -> multiproc ?backend ppf
   | "provenance" -> provenance ppf
-  | "extended" -> extended ppf
+  | "extended" -> extended ?backend ppf
   | "deferred" -> deferred ppf
   | "fig2-multi" -> fig2_multi ppf
-  | "categories" -> categories ppf
+  | "categories" -> categories ?backend ppf
   | "advise" -> advise ppf
-  | "min-windows" -> min_windows ppf
-  | "summary" -> summary ppf
+  | "min-windows" -> min_windows ?backend ppf
+  | "summary" -> summary ?backend ppf
   | other -> failwith ("Experiments.run: unknown experiment " ^ other)
 
-let run_all ?rings ?jobs ppf =
-  List.iter (fun (id, _) -> run ?rings ?jobs id ppf) all
+let run_all ?backend ?rings ?jobs ppf =
+  List.iter (fun (id, _) -> run ?backend ?rings ?jobs id ppf) all

@@ -14,9 +14,13 @@ type point = {
 }
 
 val measure :
+  ?backend:Pift_core.Store.backend ->
   ?untaint:bool -> Recorded.t -> ni:int -> nt:int -> point
+(** [backend] selects the taint-store representation of the replay;
+    points are identical whichever exact backend runs. *)
 
 val grid :
+  ?backend:Pift_core.Store.backend ->
   ?nis:int list ->
   ?nts:int list ->
   ?rings:Pift_obs.Flight.t array ->
@@ -30,6 +34,7 @@ val grid :
     ["max_tainted_bytes"]/["max_ranges"] samples per point. *)
 
 val series :
+  ?backend:Pift_core.Store.backend ->
   Recorded.t ->
   ni:int ->
   nt:int ->
@@ -38,6 +43,7 @@ val series :
     cumulative-operations-over-time) samples for one parameter pair. *)
 
 val untaint_effect :
+  ?backend:Pift_core.Store.backend ->
   ?rings:Pift_obs.Flight.t array ->
   ?jobs:int ->
   Recorded.t ->

@@ -79,20 +79,18 @@ let interleave t ~observe ~on_marker =
     t.trace;
   apply_until max_int
 
-let replay ?store ?metrics ?flight ~policy t =
+let replay ?(backend = Store.Functional) ?store ?metrics ?flight ~policy t =
   let store =
-    match (store, metrics) with
-    | Some store, Some registry -> Some (Store.with_metrics registry store)
-    | Some store, None -> Some store
-    | None, Some registry ->
-        Some (Store.with_metrics registry (Store.range_sets ()))
-    | None, None -> None
-  in
-  let tracker =
     match store with
-    | Some store -> Tracker.create ~policy ~store ?metrics ?flight ()
-    | None -> Tracker.create ~policy ?metrics ?flight ()
+    | Some store -> store
+    | None -> Store.create ~backend ()
   in
+  let store =
+    match metrics with
+    | Some registry -> Store.with_metrics registry store
+    | None -> store
+  in
+  let tracker = Tracker.create ~policy ~store ?metrics ?flight () in
   let verdicts = ref [] in
   let on_marker = function
     | Source { range; _ } -> Tracker.taint_source tracker ~pid:t.pid range
@@ -118,8 +116,8 @@ type dift_replay = {
   propagations : int;
 }
 
-let replay_dift t =
-  let dift = Full_dift.create () in
+let replay_dift ?(backend = Store.Functional) t =
+  let dift = Full_dift.create ~backend () in
   let verdicts = ref [] in
   let on_marker = function
     | Source { range; _ } -> Full_dift.taint_source dift ~pid:t.pid range

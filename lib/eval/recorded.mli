@@ -42,12 +42,17 @@ type replay = {
 }
 
 val replay :
-  ?store:Pift_core.Store.t -> ?metrics:Pift_obs.Registry.t ->
-  ?flight:Pift_obs.Flight.t -> policy:Pift_core.Policy.t -> t -> replay
-(** Run Algorithm 1 over the recording.  With [metrics], the tracker and
-    the taint store are instrumented ([pift_tracker_*], [pift_store_*]);
-    [flight] is handed to the tracker for fine-grained event/counter
-    stamps; verdicts and {!Pift_core.Tracker.stats} are unaffected. *)
+  ?backend:Pift_core.Store.backend -> ?store:Pift_core.Store.t ->
+  ?metrics:Pift_obs.Registry.t -> ?flight:Pift_obs.Flight.t ->
+  policy:Pift_core.Policy.t -> t -> replay
+(** Run Algorithm 1 over the recording.  [backend] (default
+    [Functional]) picks the taint-store representation when no explicit
+    [store] is given; exact backends are interchangeable, so verdicts
+    and stats are identical whichever one runs.  With [metrics], the
+    tracker and the taint store are instrumented ([pift_tracker_*],
+    [pift_store_*]); [flight] is handed to the tracker for fine-grained
+    event/counter stamps; verdicts and {!Pift_core.Tracker.stats} are
+    unaffected. *)
 
 type dift_replay = {
   dift_verdicts : verdict list;
@@ -55,8 +60,9 @@ type dift_replay = {
   propagations : int;
 }
 
-val replay_dift : t -> dift_replay
-(** Full register-level DIFT over the same recording (ground truth). *)
+val replay_dift : ?backend:Pift_core.Store.backend -> t -> dift_replay
+(** Full register-level DIFT over the same recording (ground truth);
+    [backend] selects the shadow-memory representation only. *)
 
 type provenance_verdict = { pv_kind : string; leaked : string list }
 (** One sink check: which source labels reached it. *)

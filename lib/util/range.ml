@@ -13,6 +13,14 @@ let byte a = make a a
 let length r = r.hi - r.lo + 1
 let lo r = r.lo
 let hi r = r.hi
+(* Ranges are CLOSED intervals: [hi] is the last tainted byte, not one
+   past it.  Everything downstream builds on this — [length] is
+   [hi - lo + 1], two ranges are adjacent (coalescable into one
+   canonical range, never overlapping) exactly when [a.hi + 1 = b.lo],
+   and a store backend's canonical form is maximal disjoint
+   non-adjacent closed ranges.  A half-open reading of [hi] silently
+   shifts every one of those by one byte, so changes here must keep the
+   [test_store.ml] hi+1-adjacency regression green. *)
 let overlaps a b = max a.lo b.lo <= min a.hi b.hi
 let adjacent a b = a.hi + 1 = b.lo || b.hi + 1 = a.lo
 let contains r a = r.lo <= a && a <= r.hi

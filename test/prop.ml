@@ -1,0 +1,153 @@
+(* Minimal seeded property-testing harness for the taint-store
+   differential suite.
+
+   Deliberately tiny instead of qcheck: cases are driven by the
+   repo's own deterministic [Pift_util.Rng] (so a CI failure replays
+   bit-exactly from the printed seed), the generator is specialised to
+   adversarial taint-store op sequences, and shrinking is greedy chunk
+   removal over those sequences.  Set PIFT_PROP_SEED to replay a
+   failure; the default seed is fixed so CI is deterministic. *)
+
+module Rng = Pift_util.Rng
+module Range = Pift_util.Range
+
+(* --- operations over one taint set ------------------------------------ *)
+
+type op = Add of Range.t | Remove of Range.t | Overlaps of Range.t
+
+let op_to_string = function
+  | Add r -> "add " ^ Range.to_string r
+  | Remove r -> "remove " ^ Range.to_string r
+  | Overlaps r -> "overlaps? " ^ Range.to_string r
+
+let ops_to_string ops =
+  String.concat "; " (List.map op_to_string ops)
+
+(* --- adversarial range generator --------------------------------------- *)
+
+(* Addresses stay below [addr_space] so the bytemap oracle stays small,
+   and ranges cluster around 16-byte block boundaries: exact blocks,
+   block pairs, boundary-straddlers, exact-adjacency at hi+1 (the
+   closed-interval coalescing case), nested sub-ranges, and single
+   bytes.  Uniform random ranges almost never exercise the coalesce /
+   split / adjacency paths; these shapes hit them constantly. *)
+
+let block = 16
+let addr_space = 512
+let blocks = addr_space / block
+
+let gen_range rng =
+  match Rng.int rng 7 with
+  | 0 ->
+      (* one exact block *)
+      let b = Rng.int rng blocks in
+      Range.make (b * block) (((b + 1) * block) - 1)
+  | 1 ->
+      (* two adjacent blocks *)
+      let b = Rng.int rng (blocks - 1) in
+      Range.make (b * block) (((b + 2) * block) - 1)
+  | 2 ->
+      (* straddles a block boundary *)
+      let b = Rng.int rng (blocks - 1) in
+      let lo = (b * block) + Rng.int_in rng 1 (block - 1) in
+      Range.make lo (min (addr_space - 1) (lo + block - 1))
+  | 3 ->
+      (* ends exactly one byte before a block start: adjacent (hi+1)
+         to an exact-block range, so closed-interval coalescing fires *)
+      let b = Rng.int_in rng 1 (blocks - 1) in
+      let len = Rng.int_in rng 1 block in
+      Range.make ((b * block) - len) ((b * block) - 1)
+  | 4 ->
+      (* nested strictly inside a block *)
+      let b = Rng.int rng blocks in
+      let lo = (b * block) + 1 + Rng.int rng (block - 3) in
+      let hi = min (((b + 1) * block) - 2) (lo + Rng.int rng (block - 2)) in
+      Range.make lo (max lo hi)
+  | 5 ->
+      (* single byte *)
+      Range.byte (Rng.int rng addr_space)
+  | _ ->
+      (* arbitrary small range *)
+      let lo = Rng.int rng addr_space in
+      Range.make lo (min (addr_space - 1) (lo + Rng.int rng 40))
+
+let gen_op rng =
+  match Rng.int rng 5 with
+  | 0 | 1 -> Add (gen_range rng)
+  | 2 -> Remove (gen_range rng)
+  | _ -> Overlaps (gen_range rng)
+
+(* Explicit recursion, head first: List.init's evaluation order is
+   unspecified, which would make the sequence depend on the stdlib's
+   choice rather than on the seed alone. *)
+let gen_ops rng n =
+  let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (gen_op rng :: acc) in
+  go n []
+
+(* --- shrinking ---------------------------------------------------------- *)
+
+(* Candidate smaller sequences: drop a chunk of half the length, then
+   quarters, and so on down to single ops — standard list shrinking,
+   greedy (first still-failing candidate wins each round). *)
+let shrink_candidates ops =
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  let drop start len =
+    List.filteri (fun i _ -> i < start || i >= start + len) ops
+  in
+  let rec chunks size acc =
+    if size = 0 then List.rev acc
+    else begin
+      let rec starts s acc =
+        if s + size > n then acc else starts (s + size) (drop s size :: acc)
+      in
+      chunks (size / 2) (starts 0 acc)
+    end
+  in
+  if n = 0 then [] else chunks (n / 2) []
+
+let minimize prop ops =
+  let rec go ops =
+    match List.find_opt (fun c -> Result.is_error (prop c)) (shrink_candidates ops) with
+    | Some smaller -> go smaller
+    | None -> ops
+  in
+  go ops
+
+(* --- runner ------------------------------------------------------------- *)
+
+let default_seed = 0xD1F7
+
+let seed () =
+  match Sys.getenv_opt "PIFT_PROP_SEED" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some v -> v
+      | None -> Alcotest.failf "PIFT_PROP_SEED=%S is not an integer" s)
+  | None -> default_seed
+
+(* [check ~name ~count ~len prop] runs [prop] on [count] fresh op
+   sequences of [len] ops each.  On failure the sequence is shrunk and
+   the test fails with the minimal counterexample plus the seed needed
+   to replay the whole run. *)
+let check ~name ?(count = 100) ?(len = 100) prop =
+  let seed = seed () in
+  let rng = Rng.create seed in
+  for case = 1 to count do
+    (* One split per case: a failure in case k replays without
+       re-running cases 1..k-1's generators. *)
+    let case_rng = Rng.split rng in
+    let ops = gen_ops case_rng len in
+    match prop ops with
+    | Ok () -> ()
+    | Error msg ->
+        let minimal = minimize prop ops in
+        let detail =
+          match prop minimal with Error m -> m | Ok () -> msg
+        in
+        Alcotest.failf
+          "%s: case %d/%d failed — replay with PIFT_PROP_SEED=%d@.%s@.minimal \
+           counterexample (%d ops): %s"
+          name case count seed detail (List.length minimal)
+          (ops_to_string minimal)
+  done
