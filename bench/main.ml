@@ -443,17 +443,129 @@ let write_store_bench () =
     (if identical then "cells identical" else "CELLS DIVERGED");
   if not identical then exit 1
 
+(* Tracker replay with the provenance sidecar off vs on, over the same
+   event stream (best-of-5): the sidecar's budget is "option-guarded,
+   zero when off; bounded per-label cost when on".  Verdict equality is
+   asserted via a flow-graph build whose every path must reach a source
+   (the union invariant, checked here on real data, not just in tests).
+   Emitted as BENCH_prov.json for the cross-commit trajectory. *)
+let write_prov_bench () =
+  let module Json = Pift_obs.Json in
+  let module Provenance = Pift_core.Provenance in
+  let recorded = Lazy.force bench_trace in
+  let events =
+    Array.init (Trace.length recorded.Recorded.trace) (fun i ->
+        Trace.get recorded.Recorded.trace i)
+  in
+  let sources =
+    [
+      ("IMEI", Range.of_len 0x4000_0000 32);
+      ("Location", Range.of_len 0x4000_0100 8);
+      ("Phone", Range.of_len 0x4000_0200 22);
+    ]
+  in
+  let replay ~with_prov () =
+    let prov =
+      if with_prov then Some (Provenance.create ~policy:Policy.default ())
+      else None
+    in
+    let t = Tracker.create ~policy:Policy.default ?prov () in
+    List.iter
+      (fun (kind, r) -> Tracker.taint_source ~kind t ~pid:1 r)
+      sources;
+    Array.iter (Tracker.observe t) events
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let rounds = 5 in
+  let best f =
+    ignore (time f);
+    (* warm-up *)
+    let b = ref infinity in
+    for _ = 1 to rounds do
+      let s = time f in
+      if s < !b then b := s
+    done;
+    !b
+  in
+  let off_s = best (replay ~with_prov:false) in
+  let on_s = best (replay ~with_prov:true) in
+  (* Graph build on the reference recording: cost of the backward walk
+     plus the structural check that every flagged sink reaches a source. *)
+  let t0 = Unix.gettimeofday () in
+  let g, sinks =
+    Pift_eval.Explain.flow_graph ~policy:Policy.default recorded
+  in
+  let graph_s = Unix.gettimeofday () -. t0 in
+  let rooted =
+    List.for_all
+      (fun (sf : Pift_eval.Explain.sink_flow) ->
+        sf.Pift_eval.Explain.sf_paths <> []
+        && List.for_all
+             (fun (p : Pift_eval.Explain.path) ->
+               match p.Pift_eval.Explain.p_nodes with
+               | { Provenance.Graph.kind = Provenance.Graph.N_source _; _ }
+                 :: _ ->
+                   true
+               | _ -> false)
+             sf.Pift_eval.Explain.sf_paths)
+      sinks
+  in
+  let n = Array.length events in
+  let rate s = if s > 0. then float_of_int n /. s else 0. in
+  let overhead_pct =
+    if off_s > 0. then 100. *. (on_s -. off_s) /. off_s else 0.
+  in
+  let json =
+    Json.Obj
+      [
+        ("bench", Json.String "tracker-provenance-sidecar");
+        ("events", Json.Int n);
+        ("rounds", Json.Int rounds);
+        ("labels", Json.Int (List.length sources));
+        ("prov_off_seconds", Json.Float off_s);
+        ("prov_on_seconds", Json.Float on_s);
+        ("prov_off_events_per_sec", Json.Float (rate off_s));
+        ("prov_on_events_per_sec", Json.Float (rate on_s));
+        ("overhead_pct", Json.Float overhead_pct);
+        ("graph_build_seconds", Json.Float graph_s);
+        ("graph_nodes", Json.Int (Provenance.Graph.node_count g));
+        ("graph_edges", Json.Int (Provenance.Graph.edge_count g));
+        ("flagged_sinks", Json.Int (List.length sinks));
+        ("all_paths_rooted_at_sources", Json.Bool rooted);
+      ]
+  in
+  let oc = open_out "BENCH_prov.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "wrote BENCH_prov.json (sidecar off %.0f ev/s, on %.0f ev/s, %.1f%% \
+     overhead; graph %d nodes/%d edges in %.2fs, %s)\n"
+    (rate off_s) (rate on_s) overhead_pct
+    (Provenance.Graph.node_count g)
+    (Provenance.Graph.edge_count g)
+    graph_s
+    (if rooted then "all paths rooted" else "UNROOTED PATH");
+  if not rooted then exit 1
+
 let () =
-  (* `bench store` runs only the backend-comparison stage — the cheap CI
-     artifact — while a bare `bench` runs the whole harness. *)
+  (* `bench store` / `bench prov` run only that stage — the cheap CI
+     artifacts — while a bare `bench` runs the whole harness. *)
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "store" then
     write_store_bench ()
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "prov" then
+    write_prov_bench ()
   else begin
     run_microbenchmarks ();
     write_obs_snapshot ();
     write_par_bench ();
     write_trace_bench ();
     write_store_bench ();
+    write_prov_bench ();
     print_endline
       "######## paper reproduction (every table & figure) ########";
     Pift_eval.Experiments.run_all ~jobs:(Pift_par.Pool.default_jobs ())

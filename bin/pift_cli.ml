@@ -144,6 +144,51 @@ let write_trace ~out ~run rings =
        if d > 0 then Printf.sprintf ", %d dropped to wrap-around" d else "")
   end
 
+(* --- provenance options --- *)
+
+module Graph = Pift_core.Provenance.Graph
+module Explain = Pift_eval.Explain
+
+let prov_flag =
+  let doc =
+    "Print, per flagged sink, the source→…→sink provenance path of every \
+     origin label (the flow-graph view of $(b,--explain))."
+  in
+  Arg.(value & flag & info [ "prov" ] ~doc)
+
+let prov_out =
+  let doc =
+    "Export the provenance flow graph to $(docv): Graphviz DOT when the \
+     name ends in $(b,.dot), otherwise Perfetto flow-event JSON \
+     (readable by $(b,pift report) and ui.perfetto.dev).  Never touches \
+     stdout."
+  in
+  Arg.(value & opt (some string) None & info [ "prov-out" ] ~docv:"FILE" ~doc)
+
+let write_dot ~out ~run g =
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Graph.to_dot ~name:run g));
+  (* stderr, like write_trace: exports must not perturb stdout *)
+  Printf.eprintf "provenance: wrote %s (%d nodes, %d edges)\n" out
+    (Graph.node_count g) (Graph.edge_count g)
+
+let write_flow_out ~out ~run (g, sinks) =
+  if Filename.check_suffix out ".dot" then write_dot ~out ~run g
+  else begin
+    let oc = open_out out in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc
+          (Obs.Json.to_string
+             (Graph.flow_json ~run ~sinks:(Explain.summaries sinks) g));
+        output_char oc '\n');
+    Printf.eprintf "provenance: wrote %s (%d nodes, %d edges)\n" out
+      (Graph.node_count g) (Graph.edge_count g)
+  end
+
 (* Live cells-done/total line on stderr, fed by the sweep's [on_cell]
    hook; created on the first callback, when the total is known. *)
 let cell_progress label =
@@ -208,8 +253,8 @@ let list_apps_cmd =
 
 (* --- run-app --- *)
 
-let run_app name ni nt untaint verbose jit explain backend metrics_out
-    metrics_format trace_out =
+let run_app name ni nt untaint verbose jit explain prov prov_out backend
+    metrics_out metrics_format trace_out =
   let app = find_app name in
   let policy = policy_of ni nt untaint in
   let metrics = registry_of metrics_out in
@@ -294,6 +339,16 @@ let run_app name ni nt untaint verbose jit explain backend metrics_out
     List.iter
       (fun f -> Format.printf "%a@." Pift_eval.Explain.pp_flow f)
       (Pift_eval.Explain.explain ~policy recorded);
+  if prov || prov_out <> None then begin
+    let g, sinks = Explain.flow_graph ~policy recorded in
+    if prov then
+      List.iter
+        (fun sf -> Format.printf "%a@." Explain.pp_sink_flow sf)
+        sinks;
+    match prov_out with
+    | Some out -> write_flow_out ~out ~run:app.App.name (g, sinks)
+    | None -> ()
+  end;
   if verbose then begin
     Printf.printf "sources:\n";
     Array.iter
@@ -337,11 +392,13 @@ let run_app_cmd =
        ~doc:"Execute one app and report PIFT and full-DIFT verdicts.")
     Term.(
       const run_app $ app_arg $ ni $ nt $ untaint $ verbose $ jit $ explain
-      $ store_backend $ metrics_out $ metrics_format $ trace_out)
+      $ prov_flag $ prov_out $ store_backend $ metrics_out $ metrics_format
+      $ trace_out)
 
 (* --- sweep --- *)
 
-let sweep subset_only backend jobs metrics_out metrics_format trace_out =
+let sweep subset_only backend jobs metrics_out metrics_format trace_out prov
+    prov_out =
   let apps =
     if subset_only then Pift_workloads.Droidbench.subset48
     else Pift_workloads.Droidbench.all
@@ -351,10 +408,31 @@ let sweep subset_only backend jobs metrics_out metrics_format trace_out =
   let on_cell, finish_cells = cell_progress "cells" in
   let sweep =
     Obs.Span.with_ ~name:"sweep" (fun () ->
-        Pift_eval.Accuracy.sweep ~backend ?metrics ~rings ~on_cell ~jobs apps)
+        Pift_eval.Accuracy.sweep ~backend ?metrics ~rings ~on_cell ~jobs
+          ~with_origins:prov apps)
   in
   finish_cells ();
   Pift_eval.Accuracy.render sweep Format.std_formatter ();
+  (match prov_out with
+  | Some out ->
+      (* Attribution runs at the paper's operating point over the same
+         corpus; a separate pass because it needs the full-DIFT origin
+         replay the grid never performs. *)
+      let at =
+        Obs.Span.with_ ~name:"attribution" (fun () ->
+            Pift_eval.Accuracy.attribution ~backend ~policy:Policy.default
+              apps)
+      in
+      let oc = open_out out in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc
+            (Obs.Json.to_string (Pift_eval.Accuracy.attribution_json at));
+          output_char oc '\n');
+      Printf.eprintf "attribution: wrote %s (%d true-positive sinks)\n" out
+        (List.length at.Pift_eval.Accuracy.at_rows)
+  | None -> ());
   (match (metrics, metrics_out) with
   | Some registry, Some out ->
       write_metrics ~out ~format:metrics_format ~run:"sweep" registry
@@ -369,11 +447,32 @@ let sweep_cmd =
       value & flag
       & info [ "subset48" ] ~doc:"Use the 48-app Fig. 11 subset only.")
   in
+  let prov =
+    Arg.(
+      value & flag
+      & info [ "prov" ]
+          ~doc:
+            "Thread the provenance sidecar through every grid replay.  \
+             Verdicts are independent of the sidecar, so sweep output is \
+             byte-identical with or without this flag — it exists to \
+             measure the sidecar under the full grid.")
+  in
+  let prov_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prov-out" ] ~docv:"FILE"
+          ~doc:
+            "Also run the attribution-accuracy comparison (PIFT origin \
+             sets vs full-DIFT ground truth at the paper's operating \
+             point) and write it as JSON to $(docv) (readable by \
+             $(b,pift report)).")
+  in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Accuracy sweep over the NI x NT grid (Fig. 11).")
     Term.(
       const sweep $ subset $ store_backend $ jobs $ metrics_out
-      $ metrics_format $ trace_out)
+      $ metrics_format $ trace_out $ prov $ prov_out)
 
 (* --- experiment --- *)
 
@@ -474,6 +573,94 @@ let analyze_trace_cmd =
        ~doc:"Run the PIFT analysis over a previously recorded trace file.")
     Term.(const analyze_trace $ path $ ni $ nt $ untaint)
 
+(* --- why --- *)
+
+let why target ni nt untaint jit pid_opt sink_opt dot_out prov_out =
+  let recorded =
+    if Sys.file_exists target then Pift_eval.Trace_io.load target
+    else Recorded.record ~mode:(mode_of jit) (find_app target)
+  in
+  let policy = policy_of ni nt untaint in
+  let g, sinks = Explain.flow_graph ~policy recorded in
+  Printf.printf "trace:   %s (%d events, %d markers)\n"
+    recorded.Recorded.name
+    (Pift_trace.Trace.length recorded.Recorded.trace)
+    (Array.length recorded.Recorded.markers);
+  Printf.printf "policy:  %s\n" (Policy.to_string policy);
+  Printf.printf "graph:   %d nodes, %d edges, %d flagged sink check(s)\n%!"
+    (Graph.node_count g) (Graph.edge_count g) (List.length sinks);
+  let pid_ok =
+    match pid_opt with
+    | None -> true
+    | Some p ->
+        if p <> recorded.Recorded.pid then
+          Printf.eprintf "note: recording is pid %d; --pid %d selects nothing\n"
+            recorded.Recorded.pid p;
+        p = recorded.Recorded.pid
+  in
+  let selected =
+    if not pid_ok then []
+    else
+      List.filter
+        (fun (sf : Explain.sink_flow) ->
+          match sink_opt with
+          | None -> true
+          | Some k -> sf.Explain.sf_check = k)
+        sinks
+  in
+  List.iter
+    (fun sf -> Format.printf "%a@." Explain.pp_sink_flow sf)
+    selected;
+  if selected = [] then
+    print_endline
+      (if sinks = [] then "no sink check is flagged at this policy"
+       else "no flagged sink check matches the filter");
+  (match dot_out with
+  | Some out -> write_dot ~out ~run:recorded.Recorded.name g
+  | None -> ());
+  match prov_out with
+  | Some out -> write_flow_out ~out ~run:recorded.Recorded.name (g, sinks)
+  | None -> ()
+
+let why_cmd =
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE|APP"
+          ~doc:
+            "A trace file from $(b,record-trace), or an app name (the app \
+             is recorded in-memory first).")
+  in
+  let pid_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pid" ] ~docv:"N" ~doc:"Only sinks of process $(docv).")
+  in
+  let sink_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sink" ] ~docv:"K"
+          ~doc:"Only the $(docv)-th sink check (1-based, in check order).")
+  in
+  let dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:"Write the flow graph as Graphviz DOT to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "why"
+       ~doc:
+         "Explain flagged sinks: replay with per-source provenance and \
+          print, per sink, one source→…→sink path per origin label.")
+    Term.(
+      const why $ target $ ni $ nt $ untaint $ jit $ pid_arg $ sink_arg
+      $ dot_arg $ prov_out)
+
 (* --- advise --- *)
 
 let advise subset_only =
@@ -507,58 +694,112 @@ let advise_cmd =
 
 (* --- report --- *)
 
+let has_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  go 0
+
+(* A DOT export from `why --dot` / `--prov-out x.dot` is not JSON; it is
+   sniffed on raw content and summarized by counting its node and edge
+   statements. *)
+let report_dot path content =
+  let lines = String.split_on_char '\n' content in
+  let is_edge l = has_sub l "->" in
+  let is_node l =
+    let l = String.trim l in
+    String.length l >= 2
+    && l.[0] = 'n'
+    && l.[1] >= '0'
+    && l.[1] <= '9'
+    && not (is_edge l)
+  in
+  let count p = List.length (List.filter p lines) in
+  Printf.printf "== Graphviz provenance graph (%s) ==\n" path;
+  Printf.printf "%d nodes, %d edges\n" (count is_node) (count is_edge)
+
 (* Each line is sniffed independently ([Obs.Sink.classify]): metrics
    snapshots render as before, trace files get the flight-recorder
-   summary, and objects from formats this build doesn't know are skipped
-   with a warning instead of failing the whole report — only parse
-   errors and structurally broken known formats exit 2. *)
+   summary, provenance exports (flow graphs, attribution) get per-sink
+   flow summaries, and objects from formats this build doesn't know are
+   skipped with a warning instead of failing the whole report — only
+   parse errors and structurally broken known formats exit 2. *)
 let report path =
-  let ic = open_in path in
-  let rendered = ref 0 in
-  let lineno = ref 0 in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      try
-        while true do
-          let line = input_line ic in
-          incr lineno;
-          if not (String.equal (String.trim line) "") then
-            match Obs.Json.of_string line with
-            | exception Obs.Json.Parse_error msg ->
-                Printf.eprintf "%s:%d: not JSON (%s)\n" path !lineno msg;
-                exit 2
-            | json -> (
-                match Obs.Sink.classify json with
-                | Obs.Sink.Metrics_snapshot -> (
-                    match
-                      Obs.Sink.render_json json Format.std_formatter ()
-                    with
-                    | () -> incr rendered
-                    | exception Obs.Sink.Malformed msg ->
-                        Printf.eprintf "%s:%d: %s\n" path !lineno msg;
-                        exit 2)
-                | Obs.Sink.Trace -> (
-                    match
-                      Obs.Chrome.summarize json Format.std_formatter ()
-                    with
-                    | () -> incr rendered
-                    | exception Obs.Chrome.Invalid msg ->
-                        Printf.eprintf "%s:%d: invalid trace (%s)\n" path
-                          !lineno msg;
-                        exit 2)
-                | Obs.Sink.Unknown keys ->
-                    Printf.eprintf
-                      "%s:%d: skipping unrecognized snapshot (top-level \
-                       keys: %s)\n"
-                      path !lineno
-                      (if keys = [] then "none"
-                       else String.concat ", " keys))
-        done
-      with End_of_file -> ());
-  if !rendered = 0 then begin
-    Printf.eprintf "%s: no snapshots found\n" path;
-    exit 2
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  if Obs.Sink.looks_like_dot content then report_dot path content
+  else begin
+    let rendered = ref 0 in
+    let lineno = ref 0 in
+    List.iter
+      (fun line ->
+        incr lineno;
+        if not (String.equal (String.trim line) "") then
+          match Obs.Json.of_string line with
+          | exception Obs.Json.Parse_error msg ->
+              Printf.eprintf "%s:%d: not JSON (%s)\n" path !lineno msg;
+              exit 2
+          | json -> (
+              match Obs.Sink.classify json with
+              | Obs.Sink.Metrics_snapshot -> (
+                  match
+                    Obs.Sink.render_json json Format.std_formatter ()
+                  with
+                  | () -> incr rendered
+                  | exception Obs.Sink.Malformed msg ->
+                      Printf.eprintf "%s:%d: %s\n" path !lineno msg;
+                      exit 2)
+              | Obs.Sink.Trace -> (
+                  match
+                    Obs.Chrome.summarize json Format.std_formatter ()
+                  with
+                  | () -> incr rendered
+                  | exception Obs.Chrome.Invalid msg ->
+                      Printf.eprintf "%s:%d: invalid trace (%s)\n" path
+                        !lineno msg;
+                      exit 2)
+              | Obs.Sink.Flow_graph -> (
+                  (* flow-graph files are also valid Perfetto traces;
+                     check the trace structure too so CI validates both
+                     views in one pass *)
+                  match Obs.Chrome.validate json with
+                  | Error msg ->
+                      Printf.eprintf "%s:%d: invalid flow trace (%s)\n" path
+                        !lineno msg;
+                      exit 2
+                  | Ok _ -> (
+                      match
+                        Obs.Sink.render_flow_graph_json json
+                          Format.std_formatter ()
+                      with
+                      | () -> incr rendered
+                      | exception Obs.Sink.Malformed msg ->
+                          Printf.eprintf "%s:%d: %s\n" path !lineno msg;
+                          exit 2))
+              | Obs.Sink.Attribution -> (
+                  match
+                    Obs.Sink.render_attribution_json json
+                      Format.std_formatter ()
+                  with
+                  | () -> incr rendered
+                  | exception Obs.Sink.Malformed msg ->
+                      Printf.eprintf "%s:%d: %s\n" path !lineno msg;
+                      exit 2)
+              | Obs.Sink.Unknown keys ->
+                  Printf.eprintf
+                    "%s:%d: skipping unrecognized snapshot (top-level \
+                     keys: %s)\n"
+                    path !lineno
+                    (if keys = [] then "none"
+                     else String.concat ", " keys)))
+      (String.split_on_char '\n' content);
+    if !rendered = 0 then begin
+      Printf.eprintf "%s: no snapshots found\n" path;
+      exit 2
+    end
   end
 
 let report_cmd =
@@ -568,15 +809,18 @@ let report_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE"
           ~doc:
-            "JSONL metrics file from --metrics-out, or a Chrome trace \
-             JSON from --trace-out (sniffed per line).")
+            "JSONL metrics file from --metrics-out, a Chrome trace JSON \
+             from --trace-out, a provenance export from --prov-out or \
+             $(b,why) (flow-graph JSON, attribution JSON, or Graphviz \
+             DOT) — sniffed per line (DOT by raw content).")
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:
          "Render the snapshots of a previous run: metrics (span timings, \
-          counters, gauges, histograms) or flight-recorder trace \
-          summaries (per-phase time, worker utilization, slowest spans).")
+          counters, gauges, histograms), flight-recorder trace summaries \
+          (per-phase time, worker utilization, slowest spans), or \
+          provenance exports (per-sink flow and attribution summaries).")
     Term.(const report $ path)
 
 (* --- trace-stats --- *)
@@ -606,6 +850,7 @@ let main_cmd =
     [
       list_apps_cmd;
       run_app_cmd;
+      why_cmd;
       sweep_cmd;
       experiment_cmd;
       trace_stats_cmd;

@@ -3,31 +3,66 @@ module Insn = Pift_arm.Insn
 module Reg = Pift_arm.Reg
 module Event = Pift_trace.Event
 module Store_backend = Pift_core.Store_backend
+module Sset = Set.Make (String)
 
-type proc = { regs : bool array; mem : Store_backend.set }
+(* [oregs]/[omem] shadow the boolean state with per-origin sets when
+   [track_origins] is on; they are allocated either way (16 empty sets
+   and an empty table per process) but never touched when off, so the
+   ground-truth hot path is unchanged. *)
+type proc = {
+  regs : bool array;
+  mem : Store_backend.set;
+  oregs : Sset.t array;
+  omem : (string, Store_backend.set) Hashtbl.t;
+}
 
 type t = {
   procs : (int, proc) Hashtbl.t;
   backend : Store_backend.backend;
+  track_origins : bool;
+  mutable labels : Sset.t;
   mutable propagations : int;
 }
 
-let create ?(backend = Store_backend.Functional) () =
-  { procs = Hashtbl.create 4; backend; propagations = 0 }
+let create ?(backend = Store_backend.Functional) ?(track_origins = false) () =
+  {
+    procs = Hashtbl.create 4;
+    backend;
+    track_origins;
+    labels = Sset.empty;
+    propagations = 0;
+  }
 
 let proc t pid =
   match Hashtbl.find_opt t.procs pid with
   | Some p -> p
   | None ->
       let p =
-        { regs = Array.make 16 false; mem = Store_backend.make t.backend }
+        {
+          regs = Array.make 16 false;
+          mem = Store_backend.make t.backend;
+          oregs = Array.make 16 Sset.empty;
+          omem = Hashtbl.create 4;
+        }
       in
       Hashtbl.add t.procs pid p;
       p
 
-let taint_source t ~pid r =
+let olabel t p label =
+  match Hashtbl.find_opt p.omem label with
+  | Some s -> s
+  | None ->
+      let s = Store_backend.make t.backend in
+      Hashtbl.add p.omem label s;
+      s
+
+let taint_source ?(kind = "source") t ~pid r =
   let p = proc t pid in
-  p.mem.Store_backend.s_add r
+  p.mem.Store_backend.s_add r;
+  if t.track_origins then begin
+    t.labels <- Sset.add kind t.labels;
+    (olabel t p kind).Store_backend.s_add r
+  end
 
 let is_tainted t ~pid r = (proc t pid).mem.Store_backend.s_overlaps r
 let reg_tainted t ~pid reg = (proc t pid).regs.(Reg.index reg)
@@ -38,6 +73,23 @@ let tainted_bytes t =
 let tainted_ranges t ~pid = (proc t pid).mem.Store_backend.s_ranges ()
 let propagations t = t.propagations
 
+(* Origin sets are exact: which source kinds' data overlaps the range.
+   Folding over the sorted global label set keeps the answer (and any
+   emission built on it) independent of Hashtbl order. *)
+let origins_of t ~pid r =
+  let p = proc t pid in
+  Sset.elements
+    (Sset.filter
+       (fun label ->
+         match Hashtbl.find_opt p.omem label with
+         | Some s -> s.Store_backend.s_overlaps r
+         | None -> false)
+       t.labels)
+
+let reg_origins t ~pid reg = Sset.elements (proc t pid).oregs.(Reg.index reg)
+
+(* [propagations] counts boolean shadow operations only, so the metric
+   is identical with origin tracking on or off. *)
 let set_reg t p i v =
   t.propagations <- t.propagations + 1;
   p.regs.(i) <- v
@@ -54,8 +106,81 @@ let operand_taint p = function
 (* Word-sized sub-ranges of a multi-register transfer. *)
 let word_slot range i = Range.of_len (Range.lo range + (4 * i)) 4
 
+(* --- per-origin mirror of the boolean propagation rules ----------------- *)
+
+let omem_hit t p r =
+  Sset.filter
+    (fun label ->
+      match Hashtbl.find_opt p.omem label with
+      | Some s -> s.Store_backend.s_overlaps r
+      | None -> false)
+    t.labels
+
+(* Exact strong update, the per-label analogue of [set_mem]: a store
+   writes its register's origin set and *clears* every other origin from
+   the written range (a clean store untaints all of them). *)
+let oset_mem t p range oset =
+  Sset.iter
+    (fun label ->
+      let s = olabel t p label in
+      if Sset.mem label oset then s.Store_backend.s_add range
+      else s.Store_backend.s_remove range)
+    t.labels
+
+let operand_origins p = function
+  | Insn.Imm _ -> Sset.empty
+  | Insn.Reg r | Insn.Shifted (r, _) -> p.oregs.(Reg.index r)
+
+let observe_origins t p e =
+  let set_oreg i s = p.oregs.(i) <- s in
+  match (e.Event.insn, e.Event.access) with
+  | Insn.Ldr (w, r, _), Event.Load range -> (
+      match w with
+      | Insn.Dword ->
+          let lo_half = Range.of_len (Range.lo range) 4 in
+          let hi_half = Range.of_len (Range.lo range + 4) 4 in
+          set_oreg (Reg.index r) (omem_hit t p lo_half);
+          set_oreg (Reg.index (Reg.succ r)) (omem_hit t p hi_half)
+      | Insn.Byte | Insn.Half | Insn.Word ->
+          set_oreg (Reg.index r) (omem_hit t p range))
+  | Insn.Str (w, r, _), Event.Store range -> (
+      match w with
+      | Insn.Dword ->
+          oset_mem t p
+            (Range.of_len (Range.lo range) 4)
+            p.oregs.(Reg.index r);
+          oset_mem t p
+            (Range.of_len (Range.lo range + 4) 4)
+            p.oregs.(Reg.index (Reg.succ r))
+      | Insn.Byte | Insn.Half | Insn.Word ->
+          oset_mem t p range p.oregs.(Reg.index r))
+  | Insn.Ldm (_, regs), Event.Load range ->
+      List.iteri
+        (fun i r -> set_oreg (Reg.index r) (omem_hit t p (word_slot range i)))
+        regs
+  | Insn.Stm (_, regs), Event.Store range ->
+      List.iteri
+        (fun i r -> oset_mem t p (word_slot range i) p.oregs.(Reg.index r))
+        regs
+  | Insn.Mov (r, op), _ | Insn.Mvn (r, op), _ ->
+      set_oreg (Reg.index r) (operand_origins p op)
+  | Insn.Alu (_, _, d, s, o), _ ->
+      set_oreg (Reg.index d)
+        (Sset.union p.oregs.(Reg.index s) (operand_origins p o))
+  | Insn.Ubfx (d, s, _, _), _ -> set_oreg (Reg.index d) p.oregs.(Reg.index s)
+  | Insn.Udiv (d, n, m), _ ->
+      set_oreg (Reg.index d)
+        (Sset.union p.oregs.(Reg.index n) p.oregs.(Reg.index m))
+  | Insn.Bl _, _ -> set_oreg (Reg.index Reg.LR) Sset.empty
+  | Insn.Cmp _, _ | Insn.B _, _ | Insn.Bx _, _ | Insn.Nop, _ -> ()
+  | (Insn.Ldr _ | Insn.Str _ | Insn.Ldm _ | Insn.Stm _), _ -> assert false
+
 let observe t e =
   let p = proc t e.Event.pid in
+  (* The origin mirror reads only origin state and the bool pass reads
+     only bool state, so running it first changes nothing — but keeping
+     it first means both passes see the same pre-instruction world. *)
+  if t.track_origins then observe_origins t p e;
   match (e.Event.insn, e.Event.access) with
   | Insn.Ldr (w, r, _), Event.Load range -> (
       match w with

@@ -11,17 +11,36 @@
 
 type t
 
-val create : ?backend:Pift_core.Store_backend.backend -> unit -> t
+val create :
+  ?backend:Pift_core.Store_backend.backend -> ?track_origins:bool -> unit -> t
 (** [backend] (default [Functional]) selects the shadow-memory
     representation; all backends are semantically identical, so the
-    ground-truth verdicts never depend on the choice. *)
+    ground-truth verdicts never depend on the choice.
 
-val taint_source : t -> pid:int -> Pift_util.Range.t -> unit
+    With [track_origins] (default off), every boolean shadow operation
+    is mirrored over per-source-kind origin sets — registers carry label
+    sets, shadow memory one taint set per label, stores performing exact
+    strong updates (a store clears every origin its register does not
+    carry).  These are the {e exact} origin sets PIFT's predicted sets
+    are measured against ({!Pift_eval.Accuracy}); verdicts,
+    {!propagations} and the boolean path are unchanged either way. *)
+
+val taint_source : ?kind:string -> t -> pid:int -> Pift_util.Range.t -> unit
+(** [kind] (default ["source"]) is the origin label recorded when
+    origin tracking is on; ignored otherwise. *)
+
 val observe : t -> Pift_trace.Event.t -> unit
 val is_tainted : t -> pid:int -> Pift_util.Range.t -> bool
 val reg_tainted : t -> pid:int -> Pift_arm.Reg.t -> bool
 val tainted_bytes : t -> int
 val tainted_ranges : t -> pid:int -> Pift_util.Range.t list
+
+val origins_of : t -> pid:int -> Pift_util.Range.t -> string list
+(** Source kinds whose data overlaps the range (sorted, exact); [[]]
+    when origin tracking is off. *)
+
+val reg_origins : t -> pid:int -> Pift_arm.Reg.t -> string list
+(** Origin set currently carried by a register (sorted). *)
 
 val propagations : t -> int
 (** Number of per-instruction propagation operations performed — the cost

@@ -1,32 +1,61 @@
 module Range = Pift_util.Range
 module Event = Pift_trace.Event
+module Json = Pift_obs.Json
 module Sset = Set.Make (String)
 
-type window = { mutable ltlt : int; mutable nt_used : int; mutable labels : Sset.t }
-
-type t = {
-  policy : Policy.t;
-  (* (pid, label) -> tainted ranges *)
-  state : (int * string, Range_set.t ref) Hashtbl.t;
-  windows : (int, window) Hashtbl.t;
-  mutable known_labels : Sset.t;
+type window = {
+  mutable ltlt : int;
+  mutable nt_used : int;
+  mutable labels : Sset.t;
+  mutable opener_seq : int;
+  mutable opener_range : Range.t option;
 }
 
-let create ?(policy = Policy.default) () =
+type propagation = {
+  p_pid : int;
+  p_store_seq : int;
+  p_stored : Range.t;
+  p_load_seq : int;
+  p_loaded : Range.t;
+  p_labels : string list;
+}
+
+(* Determinism audit: the (pid, label) table is only ever *iterated* for
+   (a) [hit_labels], which folds into an Sset — commutative, so hashing
+   order cannot leak into the result; (b) untainting, which removes the
+   same range from independent per-label sets — commutative; and
+   (c) [entries], which sorts before returning.  Every emission path goes
+   through [labels_of]/[all_labels]/[entries] (all sorted), so provenance
+   output is byte-identical across runs, backends and --jobs counts. *)
+type t = {
+  policy : Policy.t;
+  backend : Store_backend.backend;
+  (* (pid, label) -> tainted ranges *)
+  state : (int * string, Store_backend.set) Hashtbl.t;
+  windows : (int, window) Hashtbl.t;
+  mutable known_labels : Sset.t;
+  mutable on_propagate : (propagation -> unit) option;
+}
+
+let create ?(policy = Policy.default) ?(backend = Store_backend.Functional) ()
+    =
   {
     policy;
+    backend;
     state = Hashtbl.create 16;
     windows = Hashtbl.create 4;
     known_labels = Sset.empty;
+    on_propagate = None;
   }
 
 let policy t = t.policy
+let set_on_propagate t f = t.on_propagate <- Some f
 
 let set_for t ~pid ~label =
   match Hashtbl.find_opt t.state (pid, label) with
   | Some s -> s
   | None ->
-      let s = ref Range_set.empty in
+      let s = Store_backend.make t.backend in
       Hashtbl.add t.state (pid, label) s;
       s
 
@@ -34,19 +63,26 @@ let window t pid =
   match Hashtbl.find_opt t.windows pid with
   | Some w -> w
   | None ->
-      let w = { ltlt = min_int / 2; nt_used = 0; labels = Sset.empty } in
+      let w =
+        { ltlt = min_int / 2; nt_used = 0; labels = Sset.empty;
+          opener_seq = 0; opener_range = None }
+      in
       Hashtbl.add t.windows pid w;
       w
 
 let taint_source t ~pid ~label r =
   t.known_labels <- Sset.add label t.known_labels;
-  let s = set_for t ~pid ~label in
-  s := Range_set.add !s r
+  (set_for t ~pid ~label).Store_backend.s_add r
+
+let untaint_range t ~pid r =
+  Hashtbl.iter
+    (fun (p, _) s -> if p = pid then s.Store_backend.s_remove r)
+    t.state
 
 let hit_labels t ~pid r =
   Hashtbl.fold
     (fun (p, label) s acc ->
-      if p = pid && Range_set.mem_overlap !s r then Sset.add label acc
+      if p = pid && s.Store_backend.s_overlaps r then Sset.add label acc
       else acc)
     t.state Sset.empty
 
@@ -59,24 +95,36 @@ let observe t e =
         let w = window t e.pid in
         w.ltlt <- e.k;
         w.nt_used <- 0;
-        w.labels <- labels
+        w.labels <- labels;
+        w.opener_seq <- e.seq;
+        w.opener_range <- Some r
       end
   | Event.Store r ->
       let w = window t e.pid in
       if e.k <= w.ltlt + t.policy.Policy.ni && w.nt_used < t.policy.Policy.nt
       then begin
         Sset.iter
-          (fun label ->
-            let s = set_for t ~pid:e.pid ~label in
-            s := Range_set.add !s r)
+          (fun label -> (set_for t ~pid:e.pid ~label).Store_backend.s_add r)
           w.labels;
-        w.nt_used <- w.nt_used + 1
+        w.nt_used <- w.nt_used + 1;
+        match (t.on_propagate, w.opener_range) with
+        | Some f, Some loaded when not (Sset.is_empty w.labels) ->
+            f
+              {
+                p_pid = e.pid;
+                p_store_seq = e.seq;
+                p_stored = r;
+                p_load_seq = w.opener_seq;
+                p_loaded = loaded;
+                p_labels = Sset.elements w.labels;
+              }
+        | _ -> ()
       end
       else if t.policy.Policy.untaint then
         Hashtbl.iter
           (fun (p, _) s ->
-            if p = e.pid && Range_set.mem_overlap !s r then
-              s := Range_set.remove !s r)
+            if p = e.pid && s.Store_backend.s_overlaps r then
+              s.Store_backend.s_remove r)
           t.state
 
 let labels_of t ~pid r = Sset.elements (hit_labels t ~pid r)
@@ -86,5 +134,226 @@ let all_labels t = Sset.elements t.known_labels
 let tainted_bytes t ~label =
   Hashtbl.fold
     (fun (_, l) s acc ->
-      if String.equal l label then acc + Range_set.total_bytes !s else acc)
+      if String.equal l label then acc + s.Store_backend.s_bytes () else acc)
     t.state 0
+
+let entries t =
+  List.sort
+    (fun ((p1, l1), _) ((p2, l2), _) ->
+      match compare (p1 : int) p2 with
+      | 0 -> String.compare l1 l2
+      | c -> c)
+    (Hashtbl.fold
+       (fun key s acc -> (key, s.Store_backend.s_ranges ()) :: acc)
+       t.state [])
+
+(* --- flow graphs -------------------------------------------------------- *)
+
+module Graph = struct
+  type node_kind = N_source of string | N_load | N_store | N_sink of string
+
+  type node = {
+    id : int;
+    kind : node_kind;
+    pid : int;
+    range : Range.t;
+    seq : int;
+  }
+
+  type edge = { e_from : int; e_to : int; e_seq : int }
+
+  type t = {
+    mutable nodes_rev : node list;
+    mutable node_count : int;
+    index : (node_kind * int * int * int * int, node) Hashtbl.t;
+    mutable edges_rev : edge list;
+    mutable edge_count : int;
+    eindex : (int * int * int, unit) Hashtbl.t;
+  }
+
+  let create () =
+    {
+      nodes_rev = [];
+      node_count = 0;
+      index = Hashtbl.create 32;
+      edges_rev = [];
+      edge_count = 0;
+      eindex = Hashtbl.create 32;
+    }
+
+  let node t ~kind ~pid ~range ~seq =
+    let key = (kind, pid, Range.lo range, Range.hi range, seq) in
+    match Hashtbl.find_opt t.index key with
+    | Some n -> n
+    | None ->
+        let n = { id = t.node_count; kind; pid; range; seq } in
+        t.node_count <- t.node_count + 1;
+        t.nodes_rev <- n :: t.nodes_rev;
+        Hashtbl.add t.index key n;
+        n
+
+  let edge t ~src ~dst ~seq =
+    let key = (src.id, dst.id, seq) in
+    if not (Hashtbl.mem t.eindex key) then begin
+      Hashtbl.add t.eindex key ();
+      t.edge_count <- t.edge_count + 1;
+      t.edges_rev <- { e_from = src.id; e_to = dst.id; e_seq = seq } :: t.edges_rev
+    end
+
+  let nodes t = List.rev t.nodes_rev
+
+  let edges t =
+    List.sort
+      (fun a b ->
+        compare (a.e_from, a.e_to, a.e_seq) (b.e_from, b.e_to, b.e_seq))
+      t.edges_rev
+
+  let node_count t = t.node_count
+  let edge_count t = t.edge_count
+
+  let kind_label = function
+    | N_source l -> "source " ^ l
+    | N_load -> "load"
+    | N_store -> "store"
+    | N_sink k -> "sink " ^ k
+
+  let dot_escape s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+        Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let dot_shape = function
+    | N_source _ -> "shape=ellipse, style=filled, fillcolor=lightblue"
+    | N_load -> "shape=box"
+    | N_store -> "shape=box, style=rounded"
+    | N_sink _ -> "shape=doubleoctagon, style=filled, fillcolor=lightsalmon"
+
+  let to_dot ?(name = "pift_flow") t =
+    let buf = Buffer.create 1024 in
+    Printf.bprintf buf "digraph \"%s\" {\n" (dot_escape name);
+    Buffer.add_string buf "  rankdir=LR;\n";
+    Buffer.add_string buf "  node [fontname=\"monospace\"];\n";
+    List.iter
+      (fun n ->
+        Printf.bprintf buf "  n%d [%s, label=\"%s\\n%s @%d\"];\n" n.id
+          (dot_shape n.kind)
+          (dot_escape (kind_label n.kind))
+          (dot_escape (Range.to_string n.range))
+          n.seq)
+      (nodes t);
+    List.iter
+      (fun e ->
+        Printf.bprintf buf "  n%d -> n%d [label=\"@%d\"];\n" e.e_from e.e_to
+          e.e_seq)
+      (edges t);
+    Buffer.add_string buf "}\n";
+    Buffer.contents buf
+
+  type sink_summary = {
+    ss_kind : string;
+    ss_seq : int;
+    ss_origins : string list;
+    ss_nodes : int;
+  }
+
+  (* Perfetto wants per-tid timestamps non-decreasing, so events are
+     sorted by (ts, rank): node slices open (rank 0) before any flow
+     event at the same timestamp (rank 1) and close after (rank 2) —
+     flow starts/finishes then always fall inside the zero-width slice
+     they bind to. *)
+  let flow_json ?(run = "pift") ?(sinks = []) t =
+    let meta name value =
+      Json.Obj
+        [
+          ("name", Json.String name);
+          ("ph", Json.String "M");
+          ("pid", Json.Int 1);
+          ("tid", Json.Int 0);
+          ("args", Json.Obj [ ("name", Json.String value) ]);
+        ]
+    in
+    let items = ref [] in
+    let gen = ref 0 in
+    let push ts rank j =
+      items := (ts, rank, !gen, j) :: !items;
+      incr gen
+    in
+    let base ~name ~ph ~ts rest =
+      Json.Obj
+        ([
+           ("name", Json.String name);
+           ("ph", Json.String ph);
+           ("pid", Json.Int 1);
+           ("tid", Json.Int 0);
+           ("ts", Json.Float (float_of_int ts));
+         ]
+        @ rest)
+    in
+    List.iter
+      (fun n ->
+        let name = kind_label n.kind in
+        let args =
+          [
+            ( "args",
+              Json.Obj
+                [
+                  ("range", Json.String (Range.to_string n.range));
+                  ("seq", Json.Int n.seq);
+                  ("node", Json.Int n.id);
+                ] );
+          ]
+        in
+        push n.seq 0 (base ~name ~ph:"B" ~ts:n.seq args);
+        push n.seq 2 (base ~name ~ph:"E" ~ts:n.seq []))
+      (List.sort (fun a b -> compare (a.seq, a.id) (b.seq, b.id)) (nodes t));
+    let by_id = Hashtbl.create 32 in
+    List.iter (fun n -> Hashtbl.replace by_id n.id n) (nodes t);
+    List.iteri
+      (fun i e ->
+        let seq_of id = (Hashtbl.find by_id id).seq in
+        let flow ph ts extra =
+          base ~name:"flow" ~ph ~ts
+            ([ ("cat", Json.String "flow"); ("id", Json.Int i) ] @ extra)
+        in
+        push (seq_of e.e_from) 1 (flow "s" (seq_of e.e_from) []);
+        push (seq_of e.e_to) 1
+          (flow "f" (seq_of e.e_to) [ ("bp", Json.String "e") ]))
+      (edges t);
+    let sorted =
+      List.map
+        (fun (_, _, _, j) -> j)
+        (List.sort
+           (fun (ts1, r1, g1, _) (ts2, r2, g2, _) ->
+             compare (ts1, r1, g1) (ts2, r2, g2))
+           !items)
+    in
+    let sink_json ss =
+      Json.Obj
+        [
+          ("kind", Json.String ss.ss_kind);
+          ("seq", Json.Int ss.ss_seq);
+          ("origins", Json.List (List.map (fun l -> Json.String l) ss.ss_origins));
+          ("path_nodes", Json.Int ss.ss_nodes);
+        ]
+    in
+    Json.Obj
+      [
+        ( "traceEvents",
+          Json.List
+            (meta "process_name" run :: meta "thread_name" "provenance flow"
+            :: sorted) );
+        ("displayTimeUnit", Json.String "ms");
+        ( "pift_flow_graph",
+          Json.Obj
+            [
+              ("run", Json.String run);
+              ("nodes", Json.Int (node_count t));
+              ("edges", Json.Int (edge_count t));
+              ("sinks", Json.List (List.map sink_json sinks));
+            ] );
+      ]
+end

@@ -71,15 +71,17 @@ type t = {
   ops_series : Series.t;
   meters : meters option;
   flight : Pift_obs.Flight.t option;
+  prov : Provenance.t option;
 }
 
 (* LTLT <- -inf (Algorithm 1 line 8); any value with ltlt + ni < 1 works. *)
 let minus_infinity = min_int / 2
 
 let create ?(policy = Policy.default) ?(store = Store.create ()) ?metrics
-    ?flight () =
+    ?flight ?prov () =
   {
     flight;
+    prov;
     policy;
     store;
     windows = Hashtbl.create 4;
@@ -126,10 +128,13 @@ let update_peaks t ~time =
 let record_op t ~time =
   Series.record t.ops_series ~time ~value:(t.taint_ops + t.untaint_ops)
 
-let taint_source t ~pid r =
+let taint_source ?(kind = "source") t ~pid r =
   (match t.flight with
   | None -> ()
   | Some f -> Pift_obs.Flight.instant f "source");
+  (match t.prov with
+  | None -> ()
+  | Some p -> Provenance.taint_source p ~pid ~label:kind r);
   t.store.Store.add ~pid r;
   update_peaks t ~time:t.last_time
 
@@ -138,8 +143,18 @@ let taint_source t ~pid r =
    gauges went stale and Fig. 15's bytes-over-time curve missed the dip
    when a source range is untainted. *)
 let untaint_range t ~pid r =
+  (match t.prov with
+  | None -> ()
+  | Some p -> Provenance.untaint_range p ~pid r);
   t.store.Store.remove ~pid r;
   update_peaks t ~time:t.last_time
+
+let origins_of t ~pid r =
+  match t.prov with
+  | None -> []
+  | Some p -> Provenance.labels_of p ~pid r
+
+let provenance t = t.prov
 let is_tainted t ~pid r =
   (match t.flight with
   | None -> ()
@@ -152,6 +167,12 @@ let observe t e =
   (match t.meters with
   | None -> ()
   | Some m -> Counter.incr m.m_events);
+  (* The provenance sidecar replays the same Algorithm 1 over per-label
+     state; its union equals [t.store] at every step (see Provenance),
+     so it never changes verdicts — only answers [origins_of]. *)
+  (match t.prov with
+  | None -> ()
+  | Some p -> Provenance.observe p e);
   if e.Event.seq > t.last_time then t.last_time <- e.Event.seq;
   match e.Event.access with
   | Event.Other -> ()

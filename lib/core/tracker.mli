@@ -16,7 +16,7 @@ type t
 
 val create :
   ?policy:Policy.t -> ?store:Store.t -> ?metrics:Pift_obs.Registry.t ->
-  ?flight:Pift_obs.Flight.t -> unit -> t
+  ?flight:Pift_obs.Flight.t -> ?prov:Provenance.t -> unit -> t
 (** [policy] defaults to {!Policy.default}; [store] to
     [Store.create ()] (the [Functional] backend — pass
     [Store.create ~backend ()] to pick another; all exact backends give
@@ -32,15 +32,30 @@ val create :
     query (["sink-check"]), counter samples ["tainted_bytes"]/["ranges"]
     whenever the peaks update, and ["window_used"] per in-window store
     taint — the fine-grained counter tracks behind [--trace-out] on
-    single replays. *)
+    single replays.
+
+    When [prov] is given (create it with the same policy and backend),
+    the tracker drives it as an origin-set sidecar: sources land with
+    their kind as the label, every observed event and [untaint_range]
+    is mirrored, and {!origins_of} answers from it.  The sidecar's
+    per-label union equals the tracker's own taint state at every step,
+    so verdicts, stats and stdout are unchanged by threading it. *)
 
 val policy : t -> Policy.t
 
-val taint_source : t -> pid:int -> Pift_util.Range.t -> unit
-(** Software-level registration at a source: taint a fresh range. *)
+val taint_source : ?kind:string -> t -> pid:int -> Pift_util.Range.t -> unit
+(** Software-level registration at a source: taint a fresh range.
+    [kind] (default ["source"]) is the origin label recorded by the
+    provenance sidecar, ignored without one. *)
 
 val untaint_range : t -> pid:int -> Pift_util.Range.t -> unit
 (** Software-level removal (e.g. buffer freed and cleared). *)
+
+val origins_of : t -> pid:int -> Pift_util.Range.t -> string list
+(** Source kinds whose data overlaps the range (sorted); [[]] without a
+    provenance sidecar. *)
+
+val provenance : t -> Provenance.t option
 
 val is_tainted : t -> pid:int -> Pift_util.Range.t -> bool
 (** Software-level query at a sink. *)

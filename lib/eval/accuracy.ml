@@ -39,6 +39,167 @@ let evaluate ?backend ~policy apps =
       classify ~leaky:app.App.leaky ~flagged:replay.Recorded.flagged acc)
     empty apps
 
+(* --- attribution accuracy ----------------------------------------------- *)
+
+type attribution_class = Exact | Over | Under | Mixed
+
+type attribution_row = {
+  at_app : string;
+  at_check : int;
+  at_sink : string;
+  at_pift : string list;
+  at_dift : string list;
+  at_class : attribution_class;
+  at_jaccard : float;
+}
+
+type attribution = {
+  at_rows : attribution_row list;
+  at_exact : int;
+  at_over : int;
+  at_under : int;
+  at_mixed : int;
+  at_mean_jaccard : float;
+}
+
+let class_label = function
+  | Exact -> "exact"
+  | Over -> "over"
+  | Under -> "under"
+  | Mixed -> "mixed"
+
+(* Sorted-uniq string lists as sets. *)
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+let classify_sets ~pift ~dift =
+  if pift = dift then Exact
+  else if subset dift pift then Over
+  else if subset pift dift then Under
+  else Mixed
+
+let jaccard a b =
+  match (a, b) with
+  | [], [] -> 1.
+  | _ ->
+      let inter = List.length (List.filter (fun x -> List.mem x b) a) in
+      let union =
+        List.length (List.sort_uniq String.compare (List.rev_append a b))
+      in
+      float_of_int inter /. float_of_int union
+
+(* The attribution question: when both trackers flag a sink (a true
+   positive), does PIFT's predicted origin set name the same sources the
+   exact full-DIFT replay does?  Over-attribution (a superset) is the
+   expected failure mode of window-based prediction; under-attribution
+   would mean a real source went missing. *)
+let attribution ?backend ~policy apps =
+  let rows =
+    List.concat_map
+      (fun (app : App.t) ->
+        let recorded = Recorded.record app in
+        let replay =
+          Recorded.replay ?backend ~with_origins:true ~policy recorded
+        in
+        let dift = Recorded.replay_dift ?backend ~with_origins:true recorded in
+        List.concat
+          (List.mapi
+             (fun i
+                  ((p : Recorded.origin_verdict),
+                   (d : Recorded.origin_verdict)) ->
+               if p.Recorded.ov_flagged && d.Recorded.ov_flagged then
+                 let pift = p.Recorded.ov_origins
+                 and dift = d.Recorded.ov_origins in
+                 [
+                   {
+                     at_app = app.App.name;
+                     at_check = i + 1;
+                     at_sink = p.Recorded.ov_kind;
+                     at_pift = pift;
+                     at_dift = dift;
+                     at_class = classify_sets ~pift ~dift;
+                     at_jaccard = jaccard pift dift;
+                   };
+                 ]
+               else [])
+             (List.combine replay.Recorded.origins dift.Recorded.dift_origins)))
+      apps
+  in
+  let count cls =
+    List.length (List.filter (fun r -> r.at_class = cls) rows)
+  in
+  let mean_jaccard =
+    match rows with
+    | [] -> 0.
+    | _ ->
+        List.fold_left (fun acc r -> acc +. r.at_jaccard) 0. rows
+        /. float_of_int (List.length rows)
+  in
+  {
+    at_rows = rows;
+    at_exact = count Exact;
+    at_over = count Over;
+    at_under = count Under;
+    at_mixed = count Mixed;
+    at_mean_jaccard = mean_jaccard;
+  }
+
+let render_attribution at ppf () =
+  let set = function [] -> "-" | l -> String.concat "," l in
+  let app_w =
+    List.fold_left
+      (fun acc r -> max acc (String.length r.at_app))
+      (String.length "app") at.at_rows
+  in
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf
+    "Attribution accuracy — PIFT origin sets vs full-DIFT ground truth@,";
+  Format.fprintf ppf "%-*s  %-5s  %-6s  %-24s  %-24s  %-6s  %s@," app_w "app"
+    "check" "sink" "pift origins" "dift origins" "class" "jaccard";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-*s  %-5d  %-6s  %-24s  %-24s  %-6s  %.2f@," app_w
+        r.at_app r.at_check r.at_sink (set r.at_pift) (set r.at_dift)
+        (class_label r.at_class) r.at_jaccard)
+    at.at_rows;
+  Format.fprintf ppf
+    "%d true-positive sinks: %d exact, %d over, %d under, %d mixed; mean \
+     Jaccard %.3f@,"
+    (List.length at.at_rows)
+    at.at_exact at.at_over at.at_under at.at_mixed at.at_mean_jaccard;
+  Format.fprintf ppf "@]"
+
+let attribution_json at =
+  let module Json = Pift_obs.Json in
+  let strings l = Json.List (List.map (fun s -> Json.String s) l) in
+  Json.Obj
+    [
+      ( "pift_attribution",
+        Json.Obj
+          [
+            ("sinks", Json.Int (List.length at.at_rows));
+            ("exact", Json.Int at.at_exact);
+            ("over", Json.Int at.at_over);
+            ("under", Json.Int at.at_under);
+            ("mixed", Json.Int at.at_mixed);
+            ("mean_jaccard", Json.Float at.at_mean_jaccard);
+          ] );
+      ( "rows",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("app", Json.String r.at_app);
+                   ("check", Json.Int r.at_check);
+                   ("sink", Json.String r.at_sink);
+                   ("pift", strings r.at_pift);
+                   ("dift", strings r.at_dift);
+                   ("class", Json.String (class_label r.at_class));
+                   ("jaccard", Json.Float r.at_jaccard);
+                 ])
+             at.at_rows) );
+    ]
+
 let default_nis = List.init 20 (fun i -> i + 1)
 let default_nts = List.init 10 (fun i -> i + 1)
 
@@ -74,7 +235,8 @@ let meters_of registry =
    hashing order into the result, which both broke run-to-run
    reproducibility and made parallel merges order-dependent. *)
 let sweep ?backend ?(nis = default_nis) ?(nts = default_nts) ?progress
-    ?on_cell ?metrics ?(rings = [||]) ?(jobs = 1) apps =
+    ?on_cell ?metrics ?(rings = [||]) ?(jobs = 1) ?(with_origins = false)
+    apps =
   Pift_par.Pool.with_pool ~jobs ~rings (fun pool ->
       let slots = Pift_par.Pool.jobs pool in
       let ring worker =
@@ -150,7 +312,9 @@ let sweep ?backend ?(nis = default_nis) ?(nts = default_nts) ?progress
             let peak_bytes = ref 0 and peak_ranges = ref 0 in
             Array.iteri
               (fun i recorded ->
-                let replay = Recorded.replay ?backend ~policy recorded in
+                let replay =
+                  Recorded.replay ?backend ~with_origins ~policy recorded
+                in
                 if worker_meters <> [||] then
                   Pift_obs.Metric.Counter.incr
                     worker_meters.(worker).m_replays;

@@ -27,6 +27,59 @@ val evaluate :
     picks the taint-store representation for the replays; confusions
     are identical whichever exact backend runs. *)
 
+(** {1 Attribution accuracy}
+
+    Beyond the boolean verdict: when a sink is correctly flagged, does
+    PIFT's predicted origin set ({!Pift_core.Provenance} sidecar) name
+    the same sources as an exact full-DIFT replay
+    ({!Pift_baseline.Full_dift} with origin mirroring)? *)
+
+type attribution_class =
+  | Exact  (** predicted set equals the exact set *)
+  | Over  (** strict superset — windowed prediction over-attributed *)
+  | Under  (** strict subset — a real source went missing *)
+  | Mixed  (** incomparable sets *)
+
+type attribution_row = {
+  at_app : string;
+  at_check : int;  (** 1-based sink-check index within the app *)
+  at_sink : string;  (** sink kind *)
+  at_pift : string list;  (** predicted origin set, sorted *)
+  at_dift : string list;  (** exact origin set, sorted *)
+  at_class : attribution_class;
+  at_jaccard : float;  (** |∩| / |∪|; 1 when both sets are empty *)
+}
+
+type attribution = {
+  at_rows : attribution_row list;
+      (** one row per sink check flagged by {e both} trackers (true
+          positives), in app order then check order *)
+  at_exact : int;
+  at_over : int;
+  at_under : int;
+  at_mixed : int;
+  at_mean_jaccard : float;  (** 0 when there are no rows *)
+}
+
+val attribution :
+  ?backend:Pift_core.Store.backend ->
+  policy:Pift_core.Policy.t ->
+  Pift_workloads.App.t list ->
+  attribution
+(** Record each app once, replay it under PIFT with the provenance
+    sidecar and under full DIFT with exact origin mirroring, and compare
+    origin sets on every sink check both trackers flag. *)
+
+val class_label : attribution_class -> string
+(** ["exact"], ["over"], ["under"], ["mixed"]. *)
+
+val render_attribution : attribution -> Format.formatter -> unit -> unit
+(** Per-sink comparison table plus the class counts and mean Jaccard. *)
+
+val attribution_json : attribution -> Pift_obs.Json.t
+(** Machine-readable export; top-level key ["pift_attribution"] is the
+    sniffing handle {!Pift_obs.Sink.classify} keys on. *)
+
 val default_nis : int list
 (** NI = 1..20, the paper's Fig. 11 columns. *)
 
@@ -42,6 +95,7 @@ val sweep :
   ?metrics:Pift_obs.Registry.t ->
   ?rings:Pift_obs.Flight.t array ->
   ?jobs:int ->
+  ?with_origins:bool ->
   Pift_workloads.App.t list ->
   sweep
 (** Full NI×NT grid (defaults NI=1..20, NT=1..10, the paper's 200
@@ -59,7 +113,10 @@ val sweep :
     (default 1) sizes the [Pift_par] domain pool the recordings and
     grid cells run on; the result — cells and merged metrics both — is
     identical for every [jobs] value, for every taint-store [backend],
-    and with tracing on or off. *)
+    and with tracing on or off.  [with_origins] (default off) threads
+    the provenance sidecar through every grid replay; verdicts are
+    byte-identical with it on or off, so the sweep result is too — the
+    flag only measures the sidecar's cost under the full grid. *)
 
 val cell : sweep -> ni:int -> nt:int -> confusion
 

@@ -558,6 +558,17 @@ let provenance ppf =
     Malware.all;
   Format.fprintf ppf "@]@."
 
+let attribution ?backend ppf =
+  Format.fprintf ppf
+    "@[<v>== Attribution accuracy — predicted origin sets vs full-DIFT \
+     ground truth (true-positive sinks) ==@,";
+  let at =
+    Accuracy.attribution ?backend ~policy:Policy.default
+      (Droidbench.subset48 @ Malware.all)
+  in
+  Accuracy.render_attribution at ppf ();
+  Format.fprintf ppf "@]@."
+
 let min_windows ?backend ppf =
   Format.fprintf ppf
     "@[<v>== Minimal windows per app (the per-leakage-type upper bound \
@@ -685,6 +696,7 @@ let all =
     ("evasion", "§4.2 native obfuscation attack + §7 compiler countermeasure");
     ("multiproc", "PID-tagged tracking across context switches");
     ("provenance", "per-source taint labels at each sink");
+    ("attribution", "origin-set accuracy vs full-DIFT ground truth");
     ("extended", "post-DroidBench-1.1 flow patterns");
     ("deferred", "buffered off-critical-path tracking (section 1)");
     ("fig2-multi", "load/store structure across several apps");
@@ -717,6 +729,7 @@ let run ?backend ?rings ?on_cell ?jobs id ppf =
   | "evasion" -> evasion ?backend ppf
   | "multiproc" -> multiproc ?backend ppf
   | "provenance" -> provenance ppf
+  | "attribution" -> attribution ?backend ppf
   | "extended" -> extended ?backend ppf
   | "deferred" -> deferred ppf
   | "fig2-multi" -> fig2_multi ppf

@@ -1,7 +1,7 @@
 module Range = Pift_util.Range
-module Event = Pift_trace.Event
 module Policy = Pift_core.Policy
-module Range_set = Pift_core.Range_set
+module Provenance = Pift_core.Provenance
+module Graph = Provenance.Graph
 
 type hop = {
   store_seq : int;
@@ -17,81 +17,36 @@ type flow = {
   source : Range.t option;
 }
 
-type window = {
-  mutable ltlt : int;
-  mutable nt_used : int;
-  mutable opener_seq : int;
-  mutable opener_range : Range.t option;
-}
+type src = { src_kind : string; src_seq : int; src_range : Range.t }
 
-(* An Algorithm 1 replay that additionally records, per taint
-   propagation, the load that opened the window. *)
-let instrumented_replay ~policy (t : Recorded.t) =
-  let state : (int, Range_set.t ref) Hashtbl.t = Hashtbl.create 4 in
-  let windows : (int, window) Hashtbl.t = Hashtbl.create 4 in
-  let taints = ref [] (* newest first *) in
-  let sources = ref [] in
-  let flagged_sinks = ref [] in
-  let set pid =
-    match Hashtbl.find_opt state pid with
-    | Some s -> s
-    | None ->
-        let s = ref Range_set.empty in
-        Hashtbl.add state pid s;
-        s
-  in
-  let window pid =
-    match Hashtbl.find_opt windows pid with
-    | Some w -> w
-    | None ->
-        let w =
-          { ltlt = min_int / 2; nt_used = 0; opener_seq = 0;
-            opener_range = None }
-        in
-        Hashtbl.add windows pid w;
-        w
-  in
-  let observe e =
-    match e.Event.access with
-    | Event.Other -> ()
-    | Event.Load r ->
-        if Range_set.mem_overlap !(set e.pid) r then begin
-          let w = window e.pid in
-          w.ltlt <- e.k;
-          w.nt_used <- 0;
-          w.opener_seq <- e.seq;
-          w.opener_range <- Some r
-        end
-    | Event.Store r -> (
-        let w = window e.pid in
-        if e.k <= w.ltlt + policy.Policy.ni && w.nt_used < policy.Policy.nt
-        then begin
-          let s = set e.pid in
-          s := Range_set.add !s r;
-          w.nt_used <- w.nt_used + 1;
-          match w.opener_range with
-          | Some loaded ->
-              taints :=
-                { store_seq = e.seq; stored = r; load_seq = w.opener_seq;
-                  loaded }
-                :: !taints
-          | None -> ()
-        end
-        else if policy.Policy.untaint then begin
-          let s = set e.pid in
-          if Range_set.mem_overlap !s r then s := Range_set.remove !s r
-        end)
-  in
+(* The shared label-carrying replay: one Provenance engine (Algorithm 1
+   per label, union equal to the plain tracker state) whose propagation
+   hook records, per in-window store, the opening load and the window's
+   label set.  Both the single-chain [explain] walk and the [flow_graph]
+   builder are derived from its output. *)
+let provenance_replay ~policy (t : Recorded.t) =
+  let prov = Provenance.create ~policy () in
+  let props = ref [] (* newest first *) in
+  Provenance.set_on_propagate prov (fun p -> props := p :: !props);
+  let pid = t.Recorded.pid in
+  let sources = ref [] (* newest first *) in
+  let flagged = ref [] in
+  let checks = ref 0 in
   let on_marker seq = function
-    | Recorded.Source { range; _ } ->
-        sources := range :: !sources;
-        let s = set t.Recorded.pid in
-        s := Range_set.add !s range
+    | Recorded.Source { kind; range } ->
+        sources := { src_kind = kind; src_seq = seq; src_range = range }
+          :: !sources;
+        Provenance.taint_source prov ~pid ~label:kind range
     | Recorded.Sink { kind; ranges } ->
+        incr checks;
+        let check = !checks in
         List.iter
           (fun r ->
-            if Range_set.mem_overlap !(set t.Recorded.pid) r then
-              flagged_sinks := (kind, r, seq) :: !flagged_sinks)
+            (* non-empty labels iff the plain tracker flags the range
+               (the Provenance union invariant) *)
+            let labels = Provenance.labels_of prov ~pid r in
+            if labels <> [] then
+              flagged := (check, kind, r, seq, labels) :: !flagged)
           ranges
   in
   let markers = t.Recorded.markers in
@@ -105,16 +60,24 @@ let instrumented_replay ~policy (t : Recorded.t) =
   apply_until 0;
   Pift_trace.Trace.iter
     (fun e ->
-      observe e;
-      apply_until e.Event.seq)
+      Provenance.observe prov e;
+      apply_until e.Pift_trace.Event.seq)
     t.Recorded.trace;
   apply_until max_int;
-  (!taints, !sources, List.rev !flagged_sinks)
+  (!props, !sources, List.rev !flagged)
 
 let max_hops = 64
 
 let explain ?(policy = Policy.default) t =
-  let taints, sources, flagged = instrumented_replay ~policy t in
+  let props, srcs, flagged = provenance_replay ~policy t in
+  let taints =
+    List.map
+      (fun (p : Provenance.propagation) ->
+        { store_seq = p.Provenance.p_store_seq; stored = p.Provenance.p_stored;
+          load_seq = p.Provenance.p_load_seq; loaded = p.Provenance.p_loaded })
+      props
+  in
+  let sources = List.map (fun s -> s.src_range) srcs in
   let source_for r = List.find_opt (fun s -> Range.overlaps s r) sources in
   let chain_for sink_range sink_seq =
     let rec walk target time acc n =
@@ -137,7 +100,7 @@ let explain ?(policy = Policy.default) t =
     walk sink_range sink_seq [] 0
   in
   List.map
-    (fun (sink_kind, sink_range, seq) ->
+    (fun (_, sink_kind, sink_range, seq, _) ->
       let hops, source = chain_for sink_range seq in
       { sink_kind; sink_range; hops; source })
     flagged
@@ -154,4 +117,140 @@ let pp_flow ppf f =
   (match f.source with
   | Some s -> Format.fprintf ppf "  <- source registration %a@," Range.pp s
   | None -> Format.fprintf ppf "  <- (chain does not reach a source)@,");
+  Format.fprintf ppf "@]"
+
+(* --- flow graphs -------------------------------------------------------- *)
+
+type path = { p_origin : string; p_nodes : Graph.node list }
+
+type sink_flow = {
+  sf_check : int;
+  sf_kind : string;
+  sf_range : Range.t;
+  sf_seq : int;
+  sf_origins : string list;
+  sf_paths : path list;
+}
+
+(* Per-origin backward walk.  At [target]/[time], the origin's taint
+   came either from a source registration of that kind overlapping the
+   target, or from the most recent recorded propagation whose stored
+   range overlaps it and whose window carried the origin — recursing on
+   that hop's loaded range at its load time.  The hop's store strictly
+   follows its opening load, so the anchor sequence number decreases on
+   every step and the walk terminates without a hop cap.  By the
+   Provenance union invariant one of the two cases always applies, so
+   every flagged sink reaches a source. *)
+let flow_graph ?(policy = Policy.default) (t : Recorded.t) =
+  let props, sources, flagged = provenance_replay ~policy t in
+  let g = Graph.create () in
+  let pid = t.Recorded.pid in
+  let source_for ~origin ~time target =
+    List.find_opt
+      (fun s ->
+        s.src_seq <= time
+        && String.equal s.src_kind origin
+        && Range.overlaps s.src_range target)
+      sources
+  in
+  let hop_for ~origin ~time target =
+    List.find_opt
+      (fun (p : Provenance.propagation) ->
+        p.Provenance.p_store_seq <= time
+        && Range.overlaps p.Provenance.p_stored target
+        && List.mem origin p.Provenance.p_labels)
+      props
+  in
+  (* Returns the chain of nodes (source-first) whose last node produced
+     the taint overlapping [target] at [time]. *)
+  let rec walk ~origin target time =
+    match source_for ~origin ~time target with
+    | Some s ->
+        Some
+          [
+            Graph.node g ~kind:(Graph.N_source origin) ~pid ~range:s.src_range
+              ~seq:s.src_seq;
+          ]
+    | None -> (
+        match hop_for ~origin ~time target with
+        | None -> None
+        | Some h ->
+            let store_n =
+              Graph.node g ~kind:Graph.N_store ~pid
+                ~range:h.Provenance.p_stored ~seq:h.Provenance.p_store_seq
+            in
+            let load_n =
+              Graph.node g ~kind:Graph.N_load ~pid
+                ~range:h.Provenance.p_loaded ~seq:h.Provenance.p_load_seq
+            in
+            Graph.edge g ~src:load_n ~dst:store_n
+              ~seq:h.Provenance.p_store_seq;
+            (match
+               walk ~origin h.Provenance.p_loaded h.Provenance.p_load_seq
+             with
+            | Some chain ->
+                (match List.rev chain with
+                | last :: _ ->
+                    Graph.edge g ~src:last ~dst:load_n
+                      ~seq:h.Provenance.p_load_seq
+                | [] -> ());
+                Some (chain @ [ load_n; store_n ])
+            | None -> Some [ load_n; store_n ]))
+  in
+  let sinks =
+    List.map
+      (fun (check, kind, r, seq, labels) ->
+        let sink_n = Graph.node g ~kind:(Graph.N_sink kind) ~pid ~range:r ~seq in
+        let paths =
+          List.map
+            (fun origin ->
+              match walk ~origin r seq with
+              | Some chain ->
+                  (match List.rev chain with
+                  | last :: _ -> Graph.edge g ~src:last ~dst:sink_n ~seq
+                  | [] -> ());
+                  { p_origin = origin; p_nodes = chain @ [ sink_n ] }
+              | None -> { p_origin = origin; p_nodes = [ sink_n ] })
+            labels
+        in
+        {
+          sf_check = check;
+          sf_kind = kind;
+          sf_range = r;
+          sf_seq = seq;
+          sf_origins = labels;
+          sf_paths = paths;
+        })
+      flagged
+  in
+  (g, sinks)
+
+let summaries sinks =
+  List.map
+    (fun sf ->
+      {
+        Graph.ss_kind = sf.sf_kind;
+        ss_seq = sf.sf_seq;
+        ss_origins = sf.sf_origins;
+        ss_nodes =
+          List.fold_left
+            (fun acc p -> max acc (List.length p.p_nodes))
+            0 sf.sf_paths;
+      })
+    sinks
+
+let node_to_string (n : Graph.node) =
+  Printf.sprintf "%s %s @%d"
+    (Graph.kind_label n.Graph.kind)
+    (Range.to_string n.Graph.range)
+    n.Graph.seq
+
+let pp_sink_flow ppf sf =
+  Format.fprintf ppf "@[<v>sink %s (check #%d) flagged at %a @%d@,"
+    sf.sf_kind sf.sf_check Range.pp sf.sf_range sf.sf_seq;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  %s: %s@," p.p_origin
+        (String.concat " -> " (List.map node_to_string p.p_nodes)))
+    sf.sf_paths;
   Format.fprintf ppf "@]"

@@ -7,7 +7,14 @@
     load→store hops — the paper's §2 picture ("repeating this prediction
     process creates a chain of load–store operations …, eventually
     establishing whether an information flow from a source to a sink
-    exists"), made inspectable per run. *)
+    exists"), made inspectable per run.
+
+    Two views share one label-carrying replay
+    ({!Pift_core.Provenance} with its propagation hook): {!explain}
+    reproduces the single most-recent chain per flagged sink, and
+    {!flow_graph} materializes the full per-origin provenance graph
+    ({!Pift_core.Provenance.Graph}) with one source→…→sink path per
+    origin label. *)
 
 type hop = {
   store_seq : int;  (** global sequence of the tainted store *)
@@ -31,3 +38,39 @@ val explain :
     Chains are capped at 64 hops. *)
 
 val pp_flow : Format.formatter -> flow -> unit
+
+(** {1 Provenance flow graphs} *)
+
+type path = {
+  p_origin : string;  (** the source kind this path attributes *)
+  p_nodes : Pift_core.Provenance.Graph.node list;
+      (** source-first: [N_source] … [N_sink]; a bare [[sink]] only if
+          the walk could not reach a source (should not happen for
+          tracker-flagged sinks — see the union invariant) *)
+}
+
+type sink_flow = {
+  sf_check : int;  (** 1-based sink-check index in marker order *)
+  sf_kind : string;
+  sf_range : Pift_util.Range.t;
+  sf_seq : int;  (** global sequence of the sink check *)
+  sf_origins : string list;  (** sorted origin set at the sink *)
+  sf_paths : path list;  (** one per origin, in [sf_origins] order *)
+}
+
+val flow_graph :
+  ?policy:Pift_core.Policy.t ->
+  Recorded.t ->
+  Pift_core.Provenance.Graph.t * sink_flow list
+(** Replay the recording with per-label provenance and build the flow
+    graph: nodes are source registrations, window-opening loads,
+    in-window stores and flagged sink checks (cached — re-visited
+    program points are shared); edges are propagations stamped with the
+    global sequence at which they happened.  One {!sink_flow} per
+    flagged sink check, in check order. *)
+
+val summaries : sink_flow list -> Pift_core.Provenance.Graph.sink_summary list
+(** Condense sink flows for {!Pift_core.Provenance.Graph.flow_json}. *)
+
+val pp_sink_flow : Format.formatter -> sink_flow -> unit
+(** Human-readable per-sink paths, one line per origin. *)

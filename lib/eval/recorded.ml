@@ -52,12 +52,19 @@ let record ?mode ?metrics ?flight (app : App.t) =
 
 type verdict = { kind : string; flagged : bool }
 
+type origin_verdict = {
+  ov_kind : string;
+  ov_flagged : bool;
+  ov_origins : string list;
+}
+
 type replay = {
   verdicts : verdict list;
   flagged : bool;
   stats : Tracker.stats;
   bytes_series : Pift_util.Series.t;
   ops_series : Pift_util.Series.t;
+  origins : origin_verdict list;
 }
 
 (* Walk events and markers in global-sequence order, calling [on_marker]
@@ -79,7 +86,8 @@ let interleave t ~observe ~on_marker =
     t.trace;
   apply_until max_int
 
-let replay ?(backend = Store.Functional) ?store ?metrics ?flight ~policy t =
+let replay ?(backend = Store.Functional) ?store ?metrics ?flight
+    ?(with_origins = false) ~policy t =
   let store =
     match store with
     | Some store -> store
@@ -90,15 +98,36 @@ let replay ?(backend = Store.Functional) ?store ?metrics ?flight ~policy t =
     | Some registry -> Store.with_metrics registry store
     | None -> store
   in
-  let tracker = Tracker.create ~policy ~store ?metrics ?flight () in
+  (* The sidecar shares the replay's policy and backend; sink-time origin
+     sets must be captured at the sink check (later untainting can erase
+     them), hence the [origin_verdict] list rather than a final query. *)
+  let prov =
+    if with_origins then
+      Some (Pift_core.Provenance.create ~policy ~backend ())
+    else None
+  in
+  let tracker = Tracker.create ~policy ~store ?metrics ?flight ?prov () in
   let verdicts = ref [] in
+  let origin_verdicts = ref [] in
   let on_marker = function
-    | Source { range; _ } -> Tracker.taint_source tracker ~pid:t.pid range
+    | Source { kind; range } ->
+        Tracker.taint_source ~kind tracker ~pid:t.pid range
     | Sink { kind; ranges } ->
         let flagged =
           List.exists (fun r -> Tracker.is_tainted tracker ~pid:t.pid r) ranges
         in
-        verdicts := { kind; flagged } :: !verdicts
+        verdicts := { kind; flagged } :: !verdicts;
+        if with_origins then begin
+          let origins =
+            List.sort_uniq String.compare
+              (List.concat_map
+                 (fun r -> Tracker.origins_of tracker ~pid:t.pid r)
+                 ranges)
+          in
+          origin_verdicts :=
+            { ov_kind = kind; ov_flagged = flagged; ov_origins = origins }
+            :: !origin_verdicts
+        end
   in
   interleave t ~observe:(Tracker.observe tracker) ~on_marker;
   let verdicts = List.rev !verdicts in
@@ -108,26 +137,41 @@ let replay ?(backend = Store.Functional) ?store ?metrics ?flight ~policy t =
     stats = Tracker.stats tracker;
     bytes_series = Tracker.tainted_bytes_series tracker;
     ops_series = Tracker.ops_series tracker;
+    origins = List.rev !origin_verdicts;
   }
 
 type dift_replay = {
   dift_verdicts : verdict list;
   dift_flagged : bool;
   propagations : int;
+  dift_origins : origin_verdict list;
 }
 
-let replay_dift ?(backend = Store.Functional) t =
-  let dift = Full_dift.create ~backend () in
+let replay_dift ?(backend = Store.Functional) ?(with_origins = false) t =
+  let dift = Full_dift.create ~backend ~track_origins:with_origins () in
   let verdicts = ref [] in
+  let origin_verdicts = ref [] in
   let on_marker = function
-    | Source { range; _ } -> Full_dift.taint_source dift ~pid:t.pid range
+    | Source { kind; range } ->
+        Full_dift.taint_source ~kind dift ~pid:t.pid range
     | Sink { kind; ranges } ->
         let flagged =
           List.exists
             (fun r -> Full_dift.is_tainted dift ~pid:t.pid r)
             ranges
         in
-        verdicts := { kind; flagged } :: !verdicts
+        verdicts := { kind; flagged } :: !verdicts;
+        if with_origins then begin
+          let origins =
+            List.sort_uniq String.compare
+              (List.concat_map
+                 (fun r -> Full_dift.origins_of dift ~pid:t.pid r)
+                 ranges)
+          in
+          origin_verdicts :=
+            { ov_kind = kind; ov_flagged = flagged; ov_origins = origins }
+            :: !origin_verdicts
+        end
   in
   interleave t ~observe:(Full_dift.observe dift) ~on_marker;
   let dift_verdicts = List.rev !verdicts in
@@ -135,6 +179,7 @@ let replay_dift ?(backend = Store.Functional) t =
     dift_verdicts;
     dift_flagged = List.exists (fun (v : verdict) -> v.flagged) dift_verdicts;
     propagations = Full_dift.propagations dift;
+    dift_origins = List.rev !origin_verdicts;
   }
 
 type provenance_verdict = { pv_kind : string; leaked : string list }

@@ -33,17 +33,30 @@ val record :
 
 type verdict = { kind : string; flagged : bool }
 
+type origin_verdict = {
+  ov_kind : string;
+  ov_flagged : bool;  (** the same flag as the plain verdict *)
+  ov_origins : string list;
+      (** source kinds overlapping the checked ranges at check time,
+          sorted *)
+}
+(** One sink check with its origin set, captured at the moment of the
+    check (later untainting cannot erase it). *)
+
 type replay = {
   verdicts : verdict list;  (** in sink-check order *)
   flagged : bool;  (** any sink check came back tainted *)
   stats : Pift_core.Tracker.stats;
   bytes_series : Pift_util.Series.t;
   ops_series : Pift_util.Series.t;
+  origins : origin_verdict list;
+      (** in sink-check order; [[]] unless replayed [~with_origins] *)
 }
 
 val replay :
   ?backend:Pift_core.Store.backend -> ?store:Pift_core.Store.t ->
   ?metrics:Pift_obs.Registry.t -> ?flight:Pift_obs.Flight.t ->
+  ?with_origins:bool ->
   policy:Pift_core.Policy.t -> t -> replay
 (** Run Algorithm 1 over the recording.  [backend] (default
     [Functional]) picks the taint-store representation when no explicit
@@ -52,17 +65,25 @@ val replay :
     tracker and the taint store are instrumented ([pift_tracker_*],
     [pift_store_*]); [flight] is handed to the tracker for fine-grained
     event/counter stamps; verdicts and {!Pift_core.Tracker.stats} are
-    unaffected. *)
+    unaffected.  [with_origins] (default off) threads a
+    {!Pift_core.Provenance} sidecar (same policy and backend) through
+    the tracker and fills [origins]; verdicts, stats and series are
+    byte-identical with it on or off. *)
 
 type dift_replay = {
   dift_verdicts : verdict list;
   dift_flagged : bool;
   propagations : int;
+  dift_origins : origin_verdict list;
+      (** exact ground-truth origin sets; [[]] unless [~with_origins] *)
 }
 
-val replay_dift : ?backend:Pift_core.Store.backend -> t -> dift_replay
+val replay_dift :
+  ?backend:Pift_core.Store.backend -> ?with_origins:bool -> t -> dift_replay
 (** Full register-level DIFT over the same recording (ground truth);
-    [backend] selects the shadow-memory representation only. *)
+    [backend] selects the shadow-memory representation only.
+    [with_origins] mirrors every propagation over exact per-source
+    origin sets ({!Pift_baseline.Full_dift}) and fills [dift_origins]. *)
 
 type provenance_verdict = { pv_kind : string; leaked : string list }
 (** One sink check: which source labels reached it. *)

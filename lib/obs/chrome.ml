@@ -106,6 +106,7 @@ type check = {
   c_spans : int;
   c_instants : int;
   c_samples : int;
+  c_flows : int;
   c_counter_names : string list;
 }
 
@@ -145,6 +146,7 @@ let validate_exn j =
   let named_tracks = ref 0 in
   let n_events = ref 0 and n_spans = ref 0 in
   let n_instants = ref 0 and n_samples = ref 0 in
+  let n_flows = ref 0 in
   let counters = Hashtbl.create 8 in
   List.iteri
     (fun i ev ->
@@ -177,6 +179,11 @@ let validate_exn j =
         | "C" ->
             Hashtbl.replace counters (get_str what ev "name") ();
             incr n_samples
+        | "s" | "t" | "f" ->
+            (* flow events (provenance edges) bind by name + id *)
+            ignore (get_str what ev "name");
+            ignore (get_int what ev "id");
+            incr n_flows
         | other -> fail "%s: unknown phase %S" what other
       end)
     events;
@@ -190,6 +197,7 @@ let validate_exn j =
     c_spans = !n_spans;
     c_instants = !n_instants;
     c_samples = !n_samples;
+    c_flows = !n_flows;
     c_counter_names =
       List.sort String.compare
         (Hashtbl.fold (fun k () acc -> k :: acc) counters []);
@@ -306,8 +314,12 @@ let summarize j ppf () =
      samples%s)@,wall clock: %.1f ms@,"
     check.c_tracks check.c_events check.c_spans check.c_instants
     check.c_samples
-    (if dropped > 0 then Printf.sprintf ", %d dropped to wrap-around" dropped
-     else "")
+    ((if check.c_flows > 0 then
+        Printf.sprintf ", %d flow events" check.c_flows
+      else "")
+    ^
+    if dropped > 0 then Printf.sprintf ", %d dropped to wrap-around" dropped
+    else "")
     wall_ms;
   if check.c_counter_names <> [] then
     Format.fprintf ppf "counter tracks: %s@,"

@@ -28,14 +28,16 @@ type check = {
   c_spans : int;  (** balanced [B]/[E] pairs *)
   c_instants : int;
   c_samples : int;  (** counter samples *)
+  c_flows : int;  (** flow events ([s]/[t]/[f] — provenance edges) *)
   c_counter_names : string list;  (** distinct counter tracks, sorted *)
 }
 
 val validate : Json.t -> (check, string) result
 (** Structural check used by tests and CI: [traceEvents] is present,
     every event carries [ph]/[pid]/[tid] (plus [name]/[ts] where the
-    phase requires them), timestamps are non-negative and non-decreasing
-    per [tid], and [B]/[E] nest and balance on every track. *)
+    phase requires them, and [id] for flow phases), timestamps are
+    non-negative and non-decreasing per [tid], and [B]/[E] nest and
+    balance on every track. *)
 
 val is_trace : Json.t -> bool
 (** True when the object has a [traceEvents] key — how [pift report]

@@ -64,14 +64,39 @@ exception Malformed of string
    present, never by the ones that aren't, so files from newer builds
    with extra top-level fields still classify — and genuinely foreign
    objects are reported as skippable rather than as hard errors. *)
-type file_kind = Metrics_snapshot | Trace | Unknown of string list
+type file_kind =
+  | Metrics_snapshot
+  | Trace
+  | Flow_graph
+  | Attribution
+  | Unknown of string list
 
+(* Provenance exports carry both their own handle and ["traceEvents"]
+   (flow-graph files are valid Perfetto traces), so the specific keys
+   must win over the generic ones. *)
 let classify = function
   | Json.Obj fields ->
-      if List.mem_assoc "metrics" fields then Metrics_snapshot
+      if List.mem_assoc "pift_flow_graph" fields then Flow_graph
+      else if List.mem_assoc "pift_attribution" fields then Attribution
+      else if List.mem_assoc "metrics" fields then Metrics_snapshot
       else if List.mem_assoc "traceEvents" fields then Trace
       else Unknown (List.map fst fields)
   | _ -> Unknown []
+
+(* DOT exports are not JSON at all; [pift report] sniffs them on raw
+   file content before attempting a parse. *)
+let looks_like_dot content =
+  let rec first_line i =
+    if i >= String.length content then ""
+    else
+      match String.index_from_opt content i '\n' with
+      | Some j ->
+          let line = String.trim (String.sub content i (j - i)) in
+          if String.equal line "" then first_line (j + 1) else line
+      | None -> String.trim (String.sub content i (String.length content - i))
+  in
+  let line = first_line 0 in
+  String.length line >= 7 && String.equal (String.sub line 0 7) "digraph"
 
 let get ~ctx what = function
   | Some v -> v
@@ -351,3 +376,84 @@ let render_json j ppf () =
   let samples = samples_of_json j in
   let spans = spans_of_json j in
   render ~run:(run_of_json j) ~spans samples ppf ()
+
+(* --- provenance exports (pift report) ----------------------------------- *)
+
+let render_flow_graph_json j ppf () =
+  let g =
+    get ~ctx:"flow graph" "pift_flow_graph" (Json.member "pift_flow_graph" j)
+  in
+  let int name =
+    get ~ctx:"flow graph" name (Option.bind (Json.member name g) Json.to_int)
+  in
+  let run =
+    Option.value ~default:""
+      (Option.bind (Json.member "run" g) Json.to_str)
+  in
+  Format.fprintf ppf "== provenance flow graph%s ==@."
+    (if String.equal run "" then "" else Printf.sprintf " (%s)" run);
+  Format.fprintf ppf "@[<v>%d nodes, %d edges@," (int "nodes") (int "edges");
+  let sinks =
+    Option.value ~default:[]
+      (Option.bind (Json.member "sinks" g) Json.to_list)
+  in
+  List.iter
+    (fun s ->
+      let str name =
+        get ~ctx:"flow sink" name
+          (Option.bind (Json.member name s) Json.to_str)
+      in
+      let int name =
+        get ~ctx:"flow sink" name
+          (Option.bind (Json.member name s) Json.to_int)
+      in
+      let origins =
+        List.filter_map Json.to_str
+          (Option.value ~default:[]
+             (Option.bind (Json.member "origins" s) Json.to_list))
+      in
+      Format.fprintf ppf "  sink %-6s @%-8d %d-node path <- %s@," (str "kind")
+        (int "seq") (int "path_nodes")
+        (if origins = [] then "(clean)" else String.concat ", " origins))
+    sinks;
+  if sinks = [] then Format.fprintf ppf "  (no flagged sinks)@,";
+  Format.fprintf ppf "@]@."
+
+let render_attribution_json j ppf () =
+  let a =
+    get ~ctx:"attribution" "pift_attribution"
+      (Json.member "pift_attribution" j)
+  in
+  let int name =
+    get ~ctx:"attribution" name
+      (Option.bind (Json.member name a) Json.to_int)
+  in
+  let mean =
+    Option.value ~default:0.
+      (Option.bind (Json.member "mean_jaccard" a) Json.to_float)
+  in
+  Format.fprintf ppf "== attribution accuracy ==@.";
+  Format.fprintf ppf
+    "@[<v>%d true-positive sinks: %d exact, %d over, %d under, %d mixed; \
+     mean Jaccard %.3f@,"
+    (int "sinks") (int "exact") (int "over") (int "under") (int "mixed") mean;
+  List.iter
+    (fun r ->
+      let str name =
+        Option.value ~default:""
+          (Option.bind (Json.member name r) Json.to_str)
+      in
+      let set name =
+        match
+          List.filter_map Json.to_str
+            (Option.value ~default:[]
+               (Option.bind (Json.member name r) Json.to_list))
+        with
+        | [] -> "-"
+        | l -> String.concat "," l
+      in
+      Format.fprintf ppf "  %-22s sink %-6s %-6s pift=%s dift=%s@,"
+        (str "app") (str "sink") (str "class") (set "pift") (set "dift"))
+    (Option.value ~default:[]
+       (Option.bind (Json.member "rows" j) Json.to_list));
+  Format.fprintf ppf "@]@."

@@ -16,14 +16,27 @@ exception Malformed of string
 type file_kind =
   | Metrics_snapshot  (** has a ["metrics"] key — a [--metrics-out] line *)
   | Trace  (** has a ["traceEvents"] key — a [--trace-out] file *)
+  | Flow_graph
+      (** has a ["pift_flow_graph"] key — a provenance flow-graph export
+          ([pift why --prov-out], [run-app --prov-out]); also carries
+          ["traceEvents"], so this sniff must precede {!Trace} *)
+  | Attribution
+      (** has a ["pift_attribution"] key — a [sweep --prov-out] export *)
   | Unknown of string list
-      (** neither; carries the top-level keys seen, for the warning *)
+      (** none of the above; carries the top-level keys seen, for the
+          warning *)
 
 val classify : Json.t -> file_kind
 (** Sniff what a top-level object is, by the keys that are present —
     extra unknown keys never change the answer, so snapshots from newer
     builds stay readable and foreign objects come back [Unknown] (to be
-    skipped with a warning) instead of failing the whole report. *)
+    skipped with a warning) instead of failing the whole report.
+    Specific provenance handles win over the generic ["traceEvents"]. *)
+
+val looks_like_dot : string -> bool
+(** Raw-content sniff for Graphviz exports (first non-blank line starts
+    with ["digraph"]); DOT files are not JSON, so [pift report] must
+    catch them before parsing. *)
 
 val samples_of_json : Json.t -> Registry.sample list
 val spans_of_json : Json.t -> Span.t list
@@ -46,3 +59,11 @@ val render :
 
 val render_json : Json.t -> Format.formatter -> unit -> unit
 (** {!render} over a parsed snapshot line (the [pift report] path). *)
+
+val render_flow_graph_json : Json.t -> Format.formatter -> unit -> unit
+(** Per-sink flow summary (origin set and longest path length) of a
+    {!Flow_graph} export. *)
+
+val render_attribution_json : Json.t -> Format.formatter -> unit -> unit
+(** Class counts, mean Jaccard and per-sink rows of an {!Attribution}
+    export. *)

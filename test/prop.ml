@@ -126,28 +126,49 @@ let seed () =
       | None -> Alcotest.failf "PIFT_PROP_SEED=%S is not an integer" s)
   | None -> default_seed
 
-(* [check ~name ~count ~len prop] runs [prop] on [count] fresh op
-   sequences of [len] ops each.  On failure the sequence is shrunk and
-   the test fails with the minimal counterexample plus the seed needed
-   to replay the whole run. *)
-let check ~name ?(count = 100) ?(len = 100) prop =
+(* [check_gen ~name ~count ~gen ~shrink ~to_string prop] is the generic
+   core: [count] cases drawn by [gen] from a per-case split of the
+   seeded rng, failures minimized through [shrink] (a function from a
+   counterexample to smaller candidates; return [[]] to skip
+   shrinking).  [check] below specialises it to taint-store op
+   sequences; the provenance graph-builder properties reuse it over
+   synthetic recordings. *)
+let check_gen ~name ?(count = 100) ~gen ~shrink ~to_string prop =
   let seed = seed () in
   let rng = Rng.create seed in
+  let rec minimize x =
+    match
+      List.find_opt (fun c -> Result.is_error (prop c)) (shrink x)
+    with
+    | Some smaller -> minimize smaller
+    | None -> x
+  in
   for case = 1 to count do
     (* One split per case: a failure in case k replays without
        re-running cases 1..k-1's generators. *)
     let case_rng = Rng.split rng in
-    let ops = gen_ops case_rng len in
-    match prop ops with
+    let x = gen case_rng in
+    match prop x with
     | Ok () -> ()
     | Error msg ->
-        let minimal = minimize prop ops in
+        let minimal = minimize x in
         let detail =
           match prop minimal with Error m -> m | Ok () -> msg
         in
         Alcotest.failf
           "%s: case %d/%d failed — replay with PIFT_PROP_SEED=%d@.%s@.minimal \
-           counterexample (%d ops): %s"
-          name case count seed detail (List.length minimal)
-          (ops_to_string minimal)
+           counterexample: %s"
+          name case count seed detail (to_string minimal)
   done
+
+(* [check ~name ~count ~len prop] runs [prop] on [count] fresh op
+   sequences of [len] ops each.  On failure the sequence is shrunk and
+   the test fails with the minimal counterexample plus the seed needed
+   to replay the whole run. *)
+let check ~name ?(count = 100) ?(len = 100) prop =
+  check_gen ~name ~count
+    ~gen:(fun rng -> gen_ops rng len)
+    ~shrink:shrink_candidates
+    ~to_string:(fun ops ->
+      Printf.sprintf "(%d ops): %s" (List.length ops) (ops_to_string ops))
+    prop

@@ -385,6 +385,92 @@ let test_provenance_union_and_untaint () =
     (Tracker.is_tainted t ~pid:1 (r 100 103)
     = Provenance.is_tainted p ~pid:1 (r 100 103))
 
+let test_provenance_nt_cap_merged_labels () =
+  (* The NT store cap is a property of the window, not of any one
+     label: a load spanning two label ranges opens one window carrying
+     both, and each tainting store counts once against NT — not once
+     per label.  Otherwise the per-label union would drift from the
+     plain tracker's single-window state. *)
+  let policy = Policy.make ~ni:20 ~nt:2 () in
+  let p = Provenance.create ~policy () in
+  Provenance.taint_source p ~pid:1 ~label:"A" (r 0 10);
+  Provenance.taint_source p ~pid:1 ~label:"B" (r 8 20);
+  let obs e = Provenance.observe p e in
+  obs (load (r 9 10) 1);
+  obs (store (r 100 103) 2);
+  obs (store (r 200 203) 3);
+  obs (store (r 300 303) 4);
+  (* first two stores carry both labels, the third hits a closed window *)
+  checkb "store 1 carries both" true
+    (Provenance.labels_of p ~pid:1 (r 100 103) = [ "A"; "B" ]);
+  checkb "store 2 carries both" true
+    (Provenance.labels_of p ~pid:1 (r 200 203) = [ "A"; "B" ]);
+  checkb "store 3 beyond NT is clean" false
+    (Provenance.is_tainted p ~pid:1 (r 300 303));
+  (* same cap as the plain tracker over the same events *)
+  let t = Tracker.create ~policy () in
+  Tracker.taint_source t ~pid:1 (r 0 20);
+  feed t [ load (r 9 10) 1; store (r 100 103) 2; store (r 200 203) 3;
+           store (r 300 303) 4 ];
+  List.iter
+    (fun range ->
+      checkb "union matches tracker" true
+        (Tracker.is_tainted t ~pid:1 range
+        = Provenance.is_tainted p ~pid:1 range))
+    [ r 100 103; r 200 203; r 300 303 ];
+  (* a fresh load reopens the window with a fresh NT budget *)
+  obs (load (r 0 1) 30);
+  obs (store (r 300 303) 31);
+  checkb "reopened window taints again" true
+    (Provenance.labels_of p ~pid:1 (r 300 303) = [ "A" ])
+
+let test_provenance_entries_sorted () =
+  let p = Provenance.create ~policy:(Policy.make ~ni:5 ~nt:3 ()) () in
+  Provenance.taint_source p ~pid:2 ~label:"Z" (r 50 60);
+  Provenance.taint_source p ~pid:1 ~label:"B" (r 30 40);
+  Provenance.taint_source p ~pid:1 ~label:"A" (r 300 310);
+  Provenance.taint_source p ~pid:1 ~label:"A" (r 0 10);
+  let keys = List.map fst (Provenance.entries p) in
+  checkb "entries sorted by (pid, label)" true
+    (keys = [ (1, "A"); (1, "B"); (2, "Z") ]);
+  List.iter
+    (fun (_, ranges) ->
+      let los = List.map Range.lo ranges in
+      checkb "ranges ascending" true (List.sort compare los = los))
+    (Provenance.entries p);
+  (* untaint_range splits per-label sets without touching other pids *)
+  Provenance.untaint_range p ~pid:1 (r 4 6);
+  checkb "untaint splits the A set" true
+    (match List.assoc_opt (1, "A") (Provenance.entries p) with
+    | Some ranges -> List.length ranges = 3
+    | None -> false);
+  checkb "other pid untouched" true
+    (List.assoc_opt (2, "Z") (Provenance.entries p) = Some [ r 50 60 ])
+
+let test_provenance_backends_agree () =
+  (* identical event feed under every exact backend -> identical
+     per-label entries *)
+  let run backend =
+    let p =
+      Provenance.create ~policy:(Policy.make ~ni:6 ~nt:2 ()) ~backend ()
+    in
+    Provenance.taint_source p ~pid:1 ~label:"IMEI" (r 100 120);
+    Provenance.taint_source p ~pid:1 ~label:"GPS" (r 115 130);
+    List.iter (Provenance.observe p)
+      [ load (r 116 118) 1; store (r 200 203) 2; store (r 210 213) 3;
+        load (r 100 101) 10; store (r 220 223) 11 ];
+    Provenance.untaint_range p ~pid:1 (r 211 212);
+    Provenance.entries p
+  in
+  match List.map run Pift_core.Store.all_backends with
+  | [] -> Alcotest.fail "no backends"
+  | reference :: rest ->
+      checkb "reference is non-trivial" true (List.length reference >= 2);
+      List.iter
+        (fun other -> checkb "backend-independent entries" true
+            (other = reference))
+        rest
+
 (* --- Deferred (buffered) tracking ------------------------------------------ *)
 
 module Deferred = Pift_core.Deferred
@@ -672,6 +758,12 @@ let () =
           Alcotest.test_case "labels" `Quick test_provenance_labels;
           Alcotest.test_case "union & untaint" `Quick
             test_provenance_union_and_untaint;
+          Alcotest.test_case "NT cap with merged labels" `Quick
+            test_provenance_nt_cap_merged_labels;
+          Alcotest.test_case "entries sorted" `Quick
+            test_provenance_entries_sorted;
+          Alcotest.test_case "backends agree" `Quick
+            test_provenance_backends_agree;
         ] );
       ( "deferred",
         [

@@ -421,6 +421,279 @@ let test_provenance_clean_app () =
        (fun (v : Recorded.provenance_verdict) -> v.Recorded.leaked = [])
        verdicts)
 
+(* --- Provenance graphs -------------------------------------------------------- *)
+
+module Explain = Pift_eval.Explain
+module Graph = Pift_core.Provenance.Graph
+
+(* Differential against full DIFT: on every true-positive DroidBench
+   sink the predicted origin set must contain every ground-truth source
+   (the sidecar unions per-label windows, so it can over- but never
+   under-attribute a sink the tracker flags). *)
+let test_origin_differential () =
+  let at = Accuracy.attribution ~policy:Policy.default Droidbench.subset48 in
+  checkb "has true-positive rows" true (at.Accuracy.at_rows <> []);
+  checki "no under-attribution" 0 at.Accuracy.at_under;
+  checki "no mixed rows" 0 at.Accuracy.at_mixed;
+  checkb "every predicted set non-empty" true
+    (List.for_all
+       (fun (row : Accuracy.attribution_row) -> row.Accuracy.at_pift <> [])
+       at.Accuracy.at_rows);
+  checkb "mean Jaccard near exact" true (at.Accuracy.at_mean_jaccard > 0.9);
+  List.iter
+    (fun (row : Accuracy.attribution_row) ->
+      checkb
+        (Printf.sprintf "%s check #%d: dift ⊆ pift" row.Accuracy.at_app
+           row.Accuracy.at_check)
+        true
+        (List.for_all
+           (fun o -> List.mem o row.Accuracy.at_pift)
+           row.Accuracy.at_dift))
+    at.Accuracy.at_rows
+
+(* Acceptance property: every flagged sink across the DroidBench subset
+   yields a non-empty origin set and one source-rooted path per origin,
+   each ending at the sink node. *)
+let test_flow_graph_paths () =
+  List.iter
+    (fun a ->
+      let r = Recorded.record a in
+      let _, sinks = Explain.flow_graph ~policy:Policy.default r in
+      List.iter
+        (fun (sf : Explain.sink_flow) ->
+          let name =
+            Printf.sprintf "%s check #%d" a.App.name sf.Explain.sf_check
+          in
+          checkb (name ^ " has origins") true (sf.Explain.sf_origins <> []);
+          checki
+            (name ^ " one path per origin")
+            (List.length sf.Explain.sf_origins)
+            (List.length sf.Explain.sf_paths);
+          List.iter
+            (fun (p : Explain.path) ->
+              match p.Explain.p_nodes with
+              | [] -> Alcotest.failf "%s: empty path" name
+              | first :: _ -> (
+                  (match first.Graph.kind with
+                  | Graph.N_source _ -> ()
+                  | _ ->
+                      Alcotest.failf "%s: path does not start at a source"
+                        name);
+                  match List.rev p.Explain.p_nodes with
+                  | last :: _ -> (
+                      match last.Graph.kind with
+                      | Graph.N_sink _ -> ()
+                      | _ ->
+                          Alcotest.failf "%s: path does not end at the sink"
+                            name)
+                  | [] -> assert false))
+            sf.Explain.sf_paths)
+        sinks)
+    Droidbench.subset48
+
+let test_flow_graph_deterministic () =
+  let r = Recorded.record (app "StringConcat1") in
+  let g1, s1 = Explain.flow_graph ~policy:Policy.default r in
+  let g2, s2 = Explain.flow_graph ~policy:Policy.default r in
+  checkb "graph is non-trivial" true (Graph.node_count g1 > 2);
+  Alcotest.(check string) "same DOT" (Graph.to_dot g1) (Graph.to_dot g2);
+  let render g sinks =
+    Pift_obs.Json.to_string
+      (Graph.flow_json ~run:"det" ~sinks:(Explain.summaries sinks) g)
+  in
+  Alcotest.(check string) "same flow JSON" (render g1 s1) (render g2 s2)
+
+let test_flow_json_validates () =
+  let r = Recorded.record (app "StringConcat1") in
+  let g, sinks = Explain.flow_graph ~policy:Policy.default r in
+  let json = Graph.flow_json ~run:"test" ~sinks:(Explain.summaries sinks) g in
+  (match Pift_obs.Chrome.validate json with
+  | Error msg -> Alcotest.failf "flow JSON rejected: %s" msg
+  | Ok c -> checkb "has flow events" true (c.Pift_obs.Chrome.c_flows > 0));
+  checkb "classified as flow graph" true
+    (Pift_obs.Sink.classify json = Pift_obs.Sink.Flow_graph)
+
+(* --- Graph builder over random synthetic recordings ---------------------- *)
+
+module Event = Pift_trace.Event
+module Insn = Pift_arm.Insn
+module Trace = Pift_trace.Trace
+module Rng = Pift_util.Rng
+
+(* A synthetic single-pid recording: fixed sources, a random event
+   stream, sink checks after the last event.  Kept as plain data so
+   shrinking can drop event chunks. *)
+type prov_case = {
+  pc_policy : Pift_core.Policy.t;
+  pc_srcs : (string * Range.t) list;
+  pc_events : Event.t list;
+  pc_sinks : Range.t list;
+}
+
+let prov_case_to_string c =
+  let ev e =
+    match e.Event.access with
+    | Event.Load r -> Printf.sprintf "ld %s" (Range.to_string r)
+    | Event.Store r -> Printf.sprintf "st %s" (Range.to_string r)
+    | Event.Other -> "nop"
+  in
+  Printf.sprintf "(ni=%d nt=%d) srcs=[%s] events=[%s] sinks=[%s]"
+    c.pc_policy.Policy.ni c.pc_policy.Policy.nt
+    (String.concat "; "
+       (List.map
+          (fun (k, r) -> Printf.sprintf "%s@%s" k (Range.to_string r))
+          c.pc_srcs))
+    (String.concat "; " (List.map ev c.pc_events))
+    (String.concat "; " (List.map Range.to_string c.pc_sinks))
+
+(* Loads draw from the source ranges and from previously stored ranges
+   (so multi-hop chains actually form); stores land in a disjoint high
+   region; sinks check stored or arbitrary ranges. *)
+let gen_prov_case rng =
+  let policy =
+    Policy.make ~ni:(Rng.int_in rng 2 10) ~nt:(Rng.int_in rng 1 3)
+      ~untaint:(Rng.int rng 2 = 0) ()
+  in
+  let srcs =
+    let imei = ("IMEI", Range.make 0 15) in
+    if Rng.int rng 2 = 0 then [ imei ]
+    else [ imei; ("GPS", Range.make 32 47) ]
+  in
+  let interesting = ref (List.map snd srcs) in
+  let sub r =
+    let lo = Range.lo r + Rng.int rng (max 1 (Range.length r - 1)) in
+    Range.make lo (min (Range.hi r) (lo + Rng.int rng 8))
+  in
+  let n = 4 + Rng.int rng 28 in
+  let events =
+    List.init n (fun i ->
+        let k = i + 1 in
+        let access =
+          match Rng.int rng 8 with
+          | 0 | 1 | 2 ->
+              let pool = !interesting in
+              let r = List.nth pool (Rng.int rng (List.length pool)) in
+              Event.Load (if Rng.int rng 2 = 0 then r else sub r)
+          | 3 | 4 | 5 ->
+              let lo = 128 + Rng.int rng 112 in
+              let r = Range.make lo (lo + Rng.int rng 15) in
+              interesting := r :: !interesting;
+              Event.Store r
+          | _ -> Event.Other
+        in
+        { Event.seq = k; k; pid = 1; insn = Insn.Nop; access })
+  in
+  let sinks =
+    List.init (1 + Rng.int rng 2) (fun _ ->
+        let pool = !interesting in
+        if Rng.int rng 4 = 0 then Range.make 400 415
+        else List.nth pool (Rng.int rng (List.length pool)))
+  in
+  { pc_policy = policy; pc_srcs = srcs; pc_events = events; pc_sinks = sinks }
+
+let recorded_of_prov_case c =
+  let trace = Trace.create () in
+  List.iter (Trace.add trace) c.pc_events;
+  let last_seq =
+    List.fold_left (fun acc e -> max acc e.Event.seq) 0 c.pc_events
+  in
+  let markers =
+    List.map
+      (fun (kind, range) -> (0, Recorded.Source { kind; range }))
+      c.pc_srcs
+    @ List.map
+        (fun r ->
+          (last_seq + 1, Recorded.Sink { kind = "net"; ranges = [ r ] }))
+        c.pc_sinks
+  in
+  {
+    Recorded.name = "prop";
+    trace;
+    markers = Array.of_list markers;
+    pid = 1;
+    bytecodes = 0;
+  }
+
+let prov_graph_prop c =
+  let r = recorded_of_prov_case c in
+  let policy = c.pc_policy in
+  let plain = Recorded.replay ~policy r in
+  let witho = Recorded.replay ~with_origins:true ~policy r in
+  if plain.Recorded.verdicts <> witho.Recorded.verdicts then
+    Error "origin sidecar changed a verdict"
+  else if
+    not
+      (List.for_all
+         (fun (o : Recorded.origin_verdict) ->
+           o.Recorded.ov_flagged = (o.Recorded.ov_origins <> []))
+         witho.Recorded.origins)
+  then Error "flagged sink without origins (or origins on a clean sink)"
+  else
+    let g1, sinks1 = Explain.flow_graph ~policy r in
+    let g2, _ = Explain.flow_graph ~policy r in
+    if Graph.to_dot g1 <> Graph.to_dot g2 then
+      Error "flow-graph DOT not deterministic"
+    else
+      let bad_path (sf : Explain.sink_flow) =
+        sf.Explain.sf_origins = []
+        || List.length sf.Explain.sf_paths
+           <> List.length sf.Explain.sf_origins
+        || List.exists
+             (fun (p : Explain.path) ->
+               match (p.Explain.p_nodes, List.rev p.Explain.p_nodes) with
+               | first :: _, last :: _ -> (
+                   (match first.Graph.kind with
+                   | Graph.N_source _ -> false
+                   | _ -> true)
+                   ||
+                   match last.Graph.kind with
+                   | Graph.N_sink _ -> false
+                   | _ -> true)
+               | [], _ | _, [] -> true)
+             sf.Explain.sf_paths
+      in
+      match List.find_opt bad_path sinks1 with
+      | Some sf ->
+          Error
+            (Printf.sprintf "sink check #%d: broken source->sink path"
+               sf.Explain.sf_check)
+      | None -> Ok ()
+
+let test_prov_graph_property () =
+  Prop.check_gen ~name:"provenance graph builder" ~count:200
+    ~gen:gen_prov_case
+    ~shrink:(fun c ->
+      List.map
+        (fun evs -> { c with pc_events = evs })
+        (Prop.shrink_candidates c.pc_events))
+    ~to_string:prov_case_to_string prov_graph_prop
+
+(* The sidecar must be verdict-neutral: replaying with origins on
+   changes nothing the plain replay reports, and a sink is flagged
+   exactly when its origin set is non-empty (the union-over-labels
+   invariant). *)
+let test_with_origins_neutral () =
+  let r = Lazy.force small_lgroot in
+  let plain = Recorded.replay ~policy:Policy.default r in
+  let witho = Recorded.replay ~with_origins:true ~policy:Policy.default r in
+  checkb "verdicts unchanged" true
+    (plain.Recorded.verdicts = witho.Recorded.verdicts);
+  checkb "stats unchanged" true (plain.Recorded.stats = witho.Recorded.stats);
+  checkb "plain replay has no origins" true (plain.Recorded.origins = []);
+  checki "one origin verdict per sink check"
+    (List.length witho.Recorded.verdicts)
+    (List.length witho.Recorded.origins);
+  checkb "flag mirrors verdict" true
+    (List.for_all2
+       (fun (v : Recorded.verdict) (o : Recorded.origin_verdict) ->
+         v.Recorded.flagged = o.Recorded.ov_flagged)
+       witho.Recorded.verdicts witho.Recorded.origins);
+  checkb "flagged iff origins non-empty" true
+    (List.for_all
+       (fun (o : Recorded.origin_verdict) ->
+         o.Recorded.ov_flagged = (o.Recorded.ov_origins <> []))
+       witho.Recorded.origins)
+
 (* --- Hardware-backed tracking ----------------------------------------------- *)
 
 let test_hw_backed_detection () =
@@ -472,6 +745,21 @@ let () =
         [
           Alcotest.test_case "lgroot labels" `Quick test_provenance_replay;
           Alcotest.test_case "clean app" `Quick test_provenance_clean_app;
+        ] );
+      ( "provenance graphs",
+        [
+          Alcotest.test_case "origin differential vs DIFT" `Slow
+            test_origin_differential;
+          Alcotest.test_case "paths rooted at sources" `Slow
+            test_flow_graph_paths;
+          Alcotest.test_case "deterministic exports" `Quick
+            test_flow_graph_deterministic;
+          Alcotest.test_case "flow JSON validates" `Quick
+            test_flow_json_validates;
+          Alcotest.test_case "sidecar verdict-neutral" `Quick
+            test_with_origins_neutral;
+          Alcotest.test_case "graph builder property (seeded)" `Quick
+            test_prov_graph_property;
         ] );
       ( "misc",
         [
