@@ -353,12 +353,12 @@ let write_trace_bench () =
      overhead)\n"
     (rate off_s) (rate on_s) overhead_pct
 
-(* Functional vs flat taint-store backend on two representative loads:
-   the tracker replay over the reference event stream (best-of-5, the
-   hot single-replay path) and a 4-domain Fig. 11 subset sweep (the
-   bulk path).  The sweeps' cell lists are compared — a backend that is
-   fast but wrong must fail the bench, not ship a number
-   (BENCH_store.json). *)
+(* Functional vs flat vs hybrid taint-store backend on two
+   representative loads: the tracker replay over the reference event
+   stream (best-of-5, the hot single-replay path) and a 4-domain
+   Fig. 11 subset sweep (the bulk path).  The sweeps' cell lists are
+   compared — a backend that is fast but wrong must fail the bench, not
+   ship a number (BENCH_store.json). *)
 let write_store_bench () =
   let module Json = Pift_obs.Json in
   let module Store = Pift_core.Store in
@@ -394,6 +394,35 @@ let write_store_bench () =
   in
   let functional_replay_s = best (replay Store.Functional) in
   let flat_replay_s = best (replay Store.Flat) in
+  let hybrid_replay_s = best (replay Store.Hybrid) in
+  (* Fragmented-dense single-set workload — the hybrid backend's home
+     turf: stride-2 taint leaves one interval per other byte, so flat
+     pays an O(#intervals) memmove per op while promoted bit-pages flip
+     bits.  The replay above is its worst case (sparse, never
+     promotes); report both so the trade is visible. *)
+  let fragmented_window = 32768 in
+  let fragmented_mixed_ops = 50_000 in
+  let fragmented backend () =
+    let module SB = Pift_core.Store_backend in
+    let s = SB.make backend in
+    let i = ref 0 in
+    while !i < fragmented_window do
+      s.SB.s_add (Range.of_len (0x4000_0000 + !i) 1);
+      i := !i + 2
+    done;
+    let rng = Rng.create 99 in
+    for _ = 1 to fragmented_mixed_ops do
+      let r = Range.of_len (0x4000_0000 + Rng.int rng fragmented_window) 1 in
+      match Rng.int rng 3 with
+      | 0 -> s.SB.s_add r
+      | 1 -> s.SB.s_remove r
+      | _ -> ignore (s.SB.s_overlaps r)
+    done;
+    ignore (s.SB.s_count ())
+  in
+  let functional_frag_s = best (fragmented Store.Functional) in
+  let flat_frag_s = best (fragmented Store.Flat) in
+  let hybrid_frag_s = best (fragmented Store.Hybrid) in
   let apps = Pift_workloads.Droidbench.subset48 in
   let sweep backend =
     let t0 = Unix.gettimeofday () in
@@ -402,8 +431,10 @@ let write_store_bench () =
   in
   let functional_sweep, functional_sweep_s = sweep Store.Functional in
   let flat_sweep, flat_sweep_s = sweep Store.Flat in
+  let hybrid_sweep, hybrid_sweep_s = sweep Store.Hybrid in
   let identical =
     functional_sweep.Accuracy.cells = flat_sweep.Accuracy.cells
+    && functional_sweep.Accuracy.cells = hybrid_sweep.Accuracy.cells
   in
   let n = Array.length events in
   let rate s = if s > 0. then float_of_int n /. s else 0. in
@@ -419,14 +450,30 @@ let write_store_bench () =
         ( "functional_replay_events_per_sec",
           Json.Float (rate functional_replay_s) );
         ("flat_replay_events_per_sec", Json.Float (rate flat_replay_s));
+        ("hybrid_replay_seconds", Json.Float hybrid_replay_s);
+        ("hybrid_replay_events_per_sec", Json.Float (rate hybrid_replay_s));
         ( "replay_speedup_flat_over_functional",
           Json.Float (ratio functional_replay_s flat_replay_s) );
+        ( "replay_speedup_hybrid_over_functional",
+          Json.Float (ratio functional_replay_s hybrid_replay_s) );
+        ( "fragmented_ops",
+          Json.Int ((fragmented_window / 2) + fragmented_mixed_ops) );
+        ("functional_fragmented_seconds", Json.Float functional_frag_s);
+        ("flat_fragmented_seconds", Json.Float flat_frag_s);
+        ("hybrid_fragmented_seconds", Json.Float hybrid_frag_s);
+        ( "fragmented_speedup_hybrid_over_flat",
+          Json.Float (ratio flat_frag_s hybrid_frag_s) );
+        ( "fragmented_speedup_hybrid_over_functional",
+          Json.Float (ratio functional_frag_s hybrid_frag_s) );
         ("sweep_apps", Json.Int (List.length apps));
         ("sweep_jobs", Json.Int 4);
         ("functional_sweep_seconds", Json.Float functional_sweep_s);
         ("flat_sweep_seconds", Json.Float flat_sweep_s);
+        ("hybrid_sweep_seconds", Json.Float hybrid_sweep_s);
         ( "sweep_speedup_flat_over_functional",
           Json.Float (ratio functional_sweep_s flat_sweep_s) );
+        ( "sweep_speedup_hybrid_over_functional",
+          Json.Float (ratio functional_sweep_s hybrid_sweep_s) );
         ("identical_cells", Json.Bool identical);
       ]
   in
@@ -436,11 +483,110 @@ let write_store_bench () =
   close_out oc;
   Printf.printf
     "wrote BENCH_store.json (replay: functional %.0f ev/s, flat %.0f ev/s, \
-     %.2fx; sweep: functional %.2fs, flat %.2fs, %s)\n"
-    (rate functional_replay_s) (rate flat_replay_s)
-    (ratio functional_replay_s flat_replay_s)
-    functional_sweep_s flat_sweep_s
+     hybrid %.0f ev/s; fragmented: hybrid %.1fx over flat; sweep: \
+     functional %.2fs, flat %.2fs, hybrid %.2fs, %s)\n"
+    (rate functional_replay_s) (rate flat_replay_s) (rate hybrid_replay_s)
+    (ratio flat_frag_s hybrid_frag_s) functional_sweep_s flat_sweep_s
+    hybrid_sweep_s
     (if identical then "cells identical" else "CELLS DIVERGED");
+  if not identical then exit 1
+
+(* Text vs binary trace format on the reference recording: file size,
+   load alone, and load+replay throughput, best-of-5 each.  The binary
+   replay's verdicts and stats are compared against the text replay's —
+   a format that decodes fast but decodes wrong must fail the bench,
+   not ship a number (BENCH_traceio.json). *)
+let write_traceio_bench () =
+  let module Json = Pift_obs.Json in
+  let module Trace_io = Pift_eval.Trace_io in
+  let recorded = Lazy.force bench_trace in
+  let text_path = Filename.temp_file "pift_bench_text" ".trace" in
+  let binary_path = Filename.temp_file "pift_bench_bin" ".trace" in
+  Trace_io.save ~format:Trace_io.Text recorded text_path;
+  Trace_io.save ~format:Trace_io.Binary recorded binary_path;
+  let text_bytes = (Unix.stat text_path).Unix.st_size in
+  let binary_bytes = (Unix.stat binary_path).Unix.st_size in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let rounds = 9 in
+  let best f =
+    Gc.full_major ();
+    ignore (time f);
+    (* warm-up *)
+    let b = ref infinity and last = ref None in
+    for _ = 1 to rounds do
+      let v, s = time f in
+      last := Some v;
+      if s < !b then b := s
+    done;
+    (Option.get !last, !b)
+  in
+  let load path () = Trace_io.load path in
+  (* Replay on the flat backend: the replay leg is a shared constant in
+     both columns, so the fastest store keeps the comparison about the
+     formats. *)
+  let load_replay path () =
+    Recorded.replay ~policy:Policy.default
+      ~store:(Pift_core.Store.create ~backend:Pift_core.Store.Flat ())
+      (Trace_io.load path)
+  in
+  let _, text_load_s = best (load text_path) in
+  let _, binary_load_s = best (load binary_path) in
+  let text_replay, text_lr_s = best (load_replay text_path) in
+  let binary_replay, binary_lr_s = best (load_replay binary_path) in
+  Sys.remove text_path;
+  Sys.remove binary_path;
+  let identical =
+    text_replay.Recorded.verdicts = binary_replay.Recorded.verdicts
+    && text_replay.Recorded.flagged = binary_replay.Recorded.flagged
+    && text_replay.Recorded.stats = binary_replay.Recorded.stats
+  in
+  let n = Trace.length recorded.Recorded.trace in
+  let rate s = if s > 0. then float_of_int n /. s else 0. in
+  let ratio a b = if b > 0. then a /. b else 0. in
+  let json =
+    Json.Obj
+      [
+        ("bench", Json.String "trace-io-formats");
+        ("events", Json.Int n);
+        ("markers", Json.Int (Array.length recorded.Recorded.markers));
+        ("rounds", Json.Int rounds);
+        ("text_bytes", Json.Int text_bytes);
+        ("binary_bytes", Json.Int binary_bytes);
+        ( "size_ratio_text_over_binary",
+          Json.Float (ratio (float_of_int text_bytes) (float_of_int binary_bytes))
+        );
+        ("text_load_seconds", Json.Float text_load_s);
+        ("binary_load_seconds", Json.Float binary_load_s);
+        ("text_load_events_per_sec", Json.Float (rate text_load_s));
+        ("binary_load_events_per_sec", Json.Float (rate binary_load_s));
+        ( "load_speedup_binary_over_text",
+          Json.Float (ratio text_load_s binary_load_s) );
+        ("text_load_replay_seconds", Json.Float text_lr_s);
+        ("binary_load_replay_seconds", Json.Float binary_lr_s);
+        ("text_load_replay_events_per_sec", Json.Float (rate text_lr_s));
+        ("binary_load_replay_events_per_sec", Json.Float (rate binary_lr_s));
+        ( "load_replay_speedup_binary_over_text",
+          Json.Float (ratio text_lr_s binary_lr_s) );
+        ("identical_verdicts", Json.Bool identical);
+      ]
+  in
+  let oc = open_out "BENCH_traceio.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "wrote BENCH_traceio.json (%d events; size %.1fx smaller; load: text \
+     %.0f ev/s, binary %.0f ev/s, %.2fx; load+replay %.2fx, %s)\n"
+    n
+    (ratio (float_of_int text_bytes) (float_of_int binary_bytes))
+    (rate text_load_s) (rate binary_load_s)
+    (ratio text_load_s binary_load_s)
+    (ratio text_lr_s binary_lr_s)
+    (if identical then "verdicts identical" else "VERDICTS DIVERGED");
   if not identical then exit 1
 
 (* Tracker replay with the provenance sidecar off vs on, over the same
@@ -559,12 +705,15 @@ let () =
     write_store_bench ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "prov" then
     write_prov_bench ()
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "traceio" then
+    write_traceio_bench ()
   else begin
     run_microbenchmarks ();
     write_obs_snapshot ();
     write_par_bench ();
     write_trace_bench ();
     write_store_bench ();
+    write_traceio_bench ();
     write_prov_bench ();
     print_endline
       "######## paper reproduction (every table & figure) ########";

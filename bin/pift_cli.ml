@@ -62,13 +62,15 @@ let store_backend =
       [
         ("functional", Pift_core.Store.Functional);
         ("flat", Pift_core.Store.Flat);
+        ("hybrid", Pift_core.Store.Hybrid);
       ]
   in
   let doc =
-    "Taint-store backend: $(b,functional) (persistent range set) or \
-     $(b,flat) (imperative sorted interval array).  The backends are \
-     semantically identical — output is byte-identical either way — so \
-     this is purely a performance knob."
+    "Taint-store backend: $(b,functional) (persistent range set), \
+     $(b,flat) (imperative sorted interval array), or $(b,hybrid) \
+     (flat intervals with dense regions promoted to bit-pages).  The \
+     backends are semantically identical — output is byte-identical \
+     whichever one runs — so this is purely a performance knob."
   in
   Arg.(
     value
@@ -513,13 +515,31 @@ let experiment_cmd =
        ~doc:"Regenerate one of the paper's tables/figures.")
     Term.(const experiment $ store_backend $ jobs $ trace_out $ ids)
 
-(* --- record-trace / analyze-trace --- *)
+(* --- record-trace / analyze-trace / convert --- *)
 
-let record_trace name output jit =
+let trace_format_enum =
+  Arg.enum
+    [
+      ("text", Pift_eval.Trace_io.Text); ("binary", Pift_eval.Trace_io.Binary);
+    ]
+
+let trace_format =
+  let doc =
+    "Trace file format: $(b,text) (line-oriented, diffable) or $(b,binary) \
+     (compact delta-coded records — smaller and faster to load).  Readers \
+     autodetect either, so this only affects what gets written."
+  in
+  Arg.(
+    value
+    & opt trace_format_enum Pift_eval.Trace_io.Text
+    & info [ "trace-format" ] ~docv:"FORMAT" ~doc)
+
+let record_trace name output jit format =
   let app = find_app name in
   let recorded = Recorded.record ~mode:(mode_of jit) app in
-  Pift_eval.Trace_io.save recorded output;
-  Printf.printf "wrote %s: %d events, %d markers\n" output
+  Pift_eval.Trace_io.save ~format recorded output;
+  Printf.printf "wrote %s (%s): %d events, %d markers\n" output
+    (Pift_eval.Trace_io.format_to_string format)
     (Pift_trace.Trace.length recorded.Recorded.trace)
     (Array.length recorded.Recorded.markers)
 
@@ -541,7 +561,55 @@ let record_trace_cmd =
        ~doc:
          "Execute an app and dump its instruction trace plus source/sink \
           markers (the paper's offline pipeline).")
-    Term.(const record_trace $ app_arg $ output $ jit)
+    Term.(const record_trace $ app_arg $ output $ jit $ trace_format)
+
+let convert input output format =
+  let format =
+    (* Default to the format the input is not in — the common use is
+       shrinking an archived text trace (or inspecting a binary one). *)
+    match format with
+    | Some f -> f
+    | None -> (
+        match Pift_eval.Trace_io.detect_format input with
+        | Pift_eval.Trace_io.Text -> Pift_eval.Trace_io.Binary
+        | Pift_eval.Trace_io.Binary -> Pift_eval.Trace_io.Text)
+  in
+  let recorded = Pift_eval.Trace_io.load input in
+  Pift_eval.Trace_io.save ~format recorded output;
+  Printf.printf "wrote %s (%s): %d events, %d markers\n" output
+    (Pift_eval.Trace_io.format_to_string format)
+    (Pift_trace.Trace.length recorded.Recorded.trace)
+    (Array.length recorded.Recorded.markers)
+
+let convert_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"INPUT" ~doc:"Trace file to convert (either format).")
+  in
+  let output =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OUTPUT" ~doc:"Output file, overwritten.")
+  in
+  let format =
+    let doc =
+      "Output format.  Defaults to the opposite of the input's format."
+    in
+    Arg.(
+      value
+      & opt (some trace_format_enum) None
+      & info [ "trace-format" ] ~docv:"FORMAT" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Re-encode a recorded trace between the text and binary formats.  \
+          Conversion is lossless: analysing either file yields \
+          byte-identical output.")
+    Term.(const convert $ input $ output $ format)
 
 let analyze_trace path ni nt untaint =
   let recorded = Pift_eval.Trace_io.load path in
@@ -857,6 +925,7 @@ let main_cmd =
       advise_cmd;
       record_trace_cmd;
       analyze_trace_cmd;
+      convert_cmd;
       report_cmd;
     ]
 

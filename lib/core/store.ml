@@ -1,6 +1,6 @@
 module Range = Pift_util.Range
 
-type backend = Store_backend.backend = Functional | Flat | Bytemap
+type backend = Store_backend.backend = Functional | Flat | Hybrid | Bytemap
 
 let backend_to_string = Store_backend.backend_to_string
 let backend_of_string = Store_backend.backend_of_string
@@ -17,6 +17,9 @@ type t = {
 
 let create ?(backend = Functional) () =
   let sets : (int, Store_backend.set) Hashtbl.t = Hashtbl.create 4 in
+  (* Mutating paths may materialise a backend set for a new PID; read
+     paths must not — a sink check on a never-seen PID would otherwise
+     grow the table and inflate range_count/memory on pure queries. *)
   let set pid =
     match Hashtbl.find_opt sets pid with
     | Some s -> s
@@ -25,15 +28,36 @@ let create ?(backend = Functional) () =
         Hashtbl.add sets pid s;
         s
   in
-  let sum f = Hashtbl.fold (fun _ s acc -> acc + f s) sets 0 in
+  let peek pid = Hashtbl.find_opt sets pid in
+  (* Store-wide totals are maintained per-op from the single touched
+     set's O(1) counters instead of re-folding the whole table: the
+     tracker reads both on every taint/untaint op (update_peaks), which
+     made the old Hashtbl.fold quadratic-ish on multi-PID replays. *)
+  let total_bytes = ref 0 in
+  let total_count = ref 0 in
+  let mutate pid op r =
+    let s = set pid in
+    let bytes = s.Store_backend.s_bytes ()
+    and count = s.Store_backend.s_count () in
+    op s r;
+    total_bytes := !total_bytes + s.Store_backend.s_bytes () - bytes;
+    total_count := !total_count + s.Store_backend.s_count () - count
+  in
   {
-    add = (fun ~pid r -> (set pid).Store_backend.s_add r);
-    remove = (fun ~pid r -> (set pid).Store_backend.s_remove r);
-    overlaps = (fun ~pid r -> (set pid).Store_backend.s_overlaps r);
-    tainted_bytes =
-      (fun () -> sum (fun s -> s.Store_backend.s_bytes ()));
-    range_count = (fun () -> sum (fun s -> s.Store_backend.s_count ()));
-    ranges = (fun ~pid -> (set pid).Store_backend.s_ranges ());
+    add = (fun ~pid r -> mutate pid (fun s -> s.Store_backend.s_add) r);
+    remove = (fun ~pid r -> mutate pid (fun s -> s.Store_backend.s_remove) r);
+    overlaps =
+      (fun ~pid r ->
+        match peek pid with
+        | Some s -> s.Store_backend.s_overlaps r
+        | None -> false);
+    tainted_bytes = (fun () -> !total_bytes);
+    range_count = (fun () -> !total_count);
+    ranges =
+      (fun ~pid ->
+        match peek pid with
+        | Some s -> s.Store_backend.s_ranges ()
+        | None -> []);
   }
 
 let with_metrics registry inner =

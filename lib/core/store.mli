@@ -19,6 +19,11 @@ type backend = Store_backend.backend =
   | Flat
       (** imperative sorted interval array ({!Store_flat}) — binary
           search lookups, in-place coalescing, no per-op allocation *)
+  | Hybrid
+      (** adaptive sparse/dense split ({!Store_hybrid}) — flat
+          intervals for sparse regions, bit-per-byte pages promoted
+          where taint runs dense, demoted again on decay; the paper's
+          range-cache model as a software backend *)
   | Bytemap
       (** one bit per byte ({!Store_bytemap}); trivially correct oracle,
           for tests only — never exposed on the CLI *)
@@ -38,7 +43,13 @@ type t = {
 
 val create : ?backend:backend -> unit -> t
 (** Exact per-process taint state — the software reference the paper's
-    trace-driven evaluation uses.  [backend] defaults to [Functional]. *)
+    trace-driven evaluation uses.  [backend] defaults to [Functional].
+
+    Read paths ([overlaps], [ranges]) are pure: querying a PID the
+    store has never seen allocates nothing and leaves [range_count] /
+    memory untouched.  [tainted_bytes] and [range_count] are O(1) —
+    maintained per-op from the touched set's own counters, never by
+    folding over every process. *)
 
 val of_storage : Storage.t -> t
 (** State held in a hardware range cache; behaviour (and possible false
@@ -47,4 +58,5 @@ val of_storage : Storage.t -> t
 val with_metrics : Pift_obs.Registry.t -> t -> t
 (** Same backend, with [pift_store_*] add/remove/merge counters and a
     range-count gauge updated on every mutation.  Merge detection reads
-    the range count around each insertion, so wrap only when observing. *)
+    the (O(1), incrementally tracked) range count around each
+    insertion, so wrap only when observing. *)

@@ -11,6 +11,9 @@
 type backend =
   | Functional  (** persistent {!Range_set} — the original reference *)
   | Flat  (** sorted interval array, imperative ({!Store_flat}) *)
+  | Hybrid
+      (** sparse flat intervals + promoted dense bit-pages
+          ({!Store_hybrid}) *)
   | Bytemap  (** one bit per byte; testing oracle ({!Store_bytemap}) *)
 
 val backend_to_string : backend -> string

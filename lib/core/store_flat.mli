@@ -26,6 +26,15 @@ val mem_overlap : t -> Pift_util.Range.t -> bool
 
 val covers : t -> Pift_util.Range.t -> bool
 
+val bytes_in : t -> Pift_util.Range.t -> int
+(** Tainted bytes inside the query window: the summed overlap of every
+    entry with the range.  O(log n + entries in window); the {!Store}
+    hybrid backend reads page occupancy through this. *)
+
+val overlapping : t -> Pift_util.Range.t -> Pift_util.Range.t list
+(** Entries overlapping the query, clipped to it, in increasing address
+    order. *)
+
 val cardinal : t -> int
 (** O(1). *)
 

@@ -1,0 +1,306 @@
+module Range = Pift_util.Range
+
+(* Adaptive hybrid taint set — the paper's range-cache intuition in
+   software: taint is sparse ranges almost everywhere, with a few hot
+   dense regions (decoded buffers, string pools) where interval
+   representations degrade into per-byte fragments.  Sparse regions
+   live in a {!Store_flat} sorted-interval array; any page whose flat
+   occupancy reaches [promote_bytes] is promoted to a bit-per-byte
+   dense page (O(1) updates, no splice traffic), and a dense page that
+   decays below [demote_bytes] is demoted back to intervals.  The two
+   thresholds are separated (hysteresis) so a page oscillating around
+   one boundary does not thrash.
+
+   Invariant: the flat array never holds a byte inside a dense page's
+   span — each structure owns its addresses exclusively — so observable
+   state is the disjoint union of the two.  Canonical counts and range
+   lists stitch the seam back together: a flat entry or a neighbouring
+   page run that ends exactly at a dense page's first byte (hi + 1 = lo,
+   the closed-interval adjacency rule) is one canonical range, not
+   two. *)
+
+type page = {
+  p_base : int;  (* first address of the page *)
+  bits : Bytes.t;
+  mutable pop : int;  (* set bits *)
+  mutable runs : int;  (* maximal set-bit runs within the page *)
+}
+
+type t = {
+  page_bits : int;
+  page_size : int;
+  promote_bytes : int;
+  demote_bytes : int;
+  sparse : Store_flat.t;
+  pages : (int, page) Hashtbl.t;  (* page index -> dense page *)
+  mutable dense_bytes : int;  (* sum of [pop] over pages *)
+  mutable dense_runs : int;  (* sum of [runs] over pages *)
+  mutable promotions : int;
+  mutable demotions : int;
+}
+
+let default_page_bits = 8
+
+let create ?(page_bits = default_page_bits) () =
+  if page_bits < 4 || page_bits > 20 then
+    invalid_arg "Store_hybrid.create: page_bits out of [4,20]";
+  let page_size = 1 lsl page_bits in
+  {
+    page_bits;
+    page_size;
+    (* Promote at >= 1/2 occupancy, demote below 1/8: mirrors the
+       range cache's dense-region escape hatch while the gap keeps
+       promotion sticky under churn. *)
+    promote_bytes = page_size / 2;
+    demote_bytes = page_size / 8;
+    sparse = Store_flat.create ();
+    pages = Hashtbl.create 8;
+    dense_bytes = 0;
+    dense_runs = 0;
+    promotions = 0;
+    demotions = 0;
+  }
+
+let page_size t = t.page_size
+let dense_pages t = Hashtbl.length t.pages
+let promotions t = t.promotions
+let demotions t = t.demotions
+let page_of t a = a lsr t.page_bits
+let page_lo t p = p lsl t.page_bits
+let page_hi t p = page_lo t p + t.page_size - 1
+
+(* --- per-page bit plumbing --------------------------------------------- *)
+
+let bit_get pg i =
+  Char.code (Bytes.unsafe_get pg.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+(* Set/clear maintain [pop] and [runs] locally: a set bit joins, extends
+   or starts a run depending on its two neighbours, symmetrically for
+   clear.  Page-size loops only ever run over small pages (<= 1 MiB by
+   the [create] guard, 256 B by default). *)
+let bit_set t pg i =
+  if not (bit_get pg i) then begin
+    let b = Char.code (Bytes.get pg.bits (i lsr 3)) in
+    Bytes.set pg.bits (i lsr 3) (Char.chr (b lor (1 lsl (i land 7))));
+    pg.pop <- pg.pop + 1;
+    t.dense_bytes <- t.dense_bytes + 1;
+    let left = i > 0 && bit_get pg (i - 1) in
+    let right = i < t.page_size - 1 && bit_get pg (i + 1) in
+    let delta = 1 - (if left then 1 else 0) - (if right then 1 else 0) in
+    pg.runs <- pg.runs + delta;
+    t.dense_runs <- t.dense_runs + delta
+  end
+
+let bit_clear t pg i =
+  if bit_get pg i then begin
+    let b = Char.code (Bytes.get pg.bits (i lsr 3)) in
+    Bytes.set pg.bits (i lsr 3)
+      (Char.chr (b land lnot (1 lsl (i land 7)) land 0xff));
+    pg.pop <- pg.pop - 1;
+    t.dense_bytes <- t.dense_bytes - 1;
+    let left = i > 0 && bit_get pg (i - 1) in
+    let right = i < t.page_size - 1 && bit_get pg (i + 1) in
+    let delta = (if left then 1 else 0) + (if right then 1 else 0) - 1 in
+    pg.runs <- pg.runs + delta;
+    t.dense_runs <- t.dense_runs + delta
+  end
+
+let page_mem pg ~lo ~hi =
+  let rec scan i = i <= hi && (bit_get pg i || scan (i + 1)) in
+  scan lo
+
+(* Maximal set-bit runs of a page as absolute closed ranges. *)
+let page_runs pg ~size =
+  let out = ref [] in
+  let start = ref (-1) in
+  for i = 0 to size - 1 do
+    if bit_get pg i then begin
+      if !start < 0 then start := i
+    end
+    else if !start >= 0 then begin
+      out := Range.make (pg.p_base + !start) (pg.p_base + i - 1) :: !out;
+      start := -1
+    end
+  done;
+  if !start >= 0 then
+    out := Range.make (pg.p_base + !start) (pg.p_base + size - 1) :: !out;
+  List.rev !out
+
+(* --- promotion / demotion ---------------------------------------------- *)
+
+let promote t p =
+  let span = Range.make (page_lo t p) (page_hi t p) in
+  let entries = Store_flat.overlapping t.sparse span in
+  Store_flat.remove t.sparse span;
+  let pg =
+    {
+      p_base = page_lo t p;
+      bits = Bytes.make (t.page_size / 8) '\000';
+      pop = 0;
+      runs = 0;
+    }
+  in
+  Hashtbl.add t.pages p pg;
+  List.iter
+    (fun r ->
+      for a = Range.lo r to Range.hi r do
+        bit_set t pg (a - pg.p_base)
+      done)
+    entries;
+  t.promotions <- t.promotions + 1
+
+let demote t p pg =
+  Hashtbl.remove t.pages p;
+  t.dense_bytes <- t.dense_bytes - pg.pop;
+  t.dense_runs <- t.dense_runs - pg.runs;
+  List.iter (Store_flat.add t.sparse) (page_runs pg ~size:t.page_size);
+  t.demotions <- t.demotions + 1
+
+(* --- mutation ----------------------------------------------------------- *)
+
+(* Walk [r]'s page span once: dense segments go straight to page bits,
+   runs of non-dense pages coalesce into single flat spans (so the flat
+   array sees one splice, not one per page). *)
+let iter_segments t r ~dense ~sparse =
+  let lo = Range.lo r and hi = Range.hi r in
+  let pending_lo = ref (-1) in
+  let flush upto =
+    if !pending_lo >= 0 then begin
+      sparse (Range.make !pending_lo upto);
+      pending_lo := -1
+    end
+  in
+  for p = page_of t lo to page_of t hi do
+    let seg_lo = max lo (page_lo t p) and seg_hi = min hi (page_hi t p) in
+    match Hashtbl.find_opt t.pages p with
+    | Some pg ->
+        flush (seg_lo - 1);
+        dense pg ~lo:(seg_lo - pg.p_base) ~hi:(seg_hi - pg.p_base)
+    | None -> if !pending_lo < 0 then pending_lo := seg_lo
+  done;
+  flush hi
+
+let add t r =
+  iter_segments t r
+    ~dense:(fun pg ~lo ~hi ->
+      for i = lo to hi do
+        bit_set t pg i
+      done)
+    ~sparse:(fun span ->
+      Store_flat.add t.sparse span;
+      (* Occupancy can only have grown under the added span: re-read it
+         per page and promote the ones that crossed the threshold. *)
+      for p = page_of t (Range.lo span) to page_of t (Range.hi span) do
+        if
+          (not (Hashtbl.mem t.pages p))
+          && Store_flat.bytes_in t.sparse
+               (Range.make (page_lo t p) (page_hi t p))
+             >= t.promote_bytes
+        then promote t p
+      done)
+
+let remove t r =
+  let touched = ref [] in
+  iter_segments t r
+    ~dense:(fun pg ~lo ~hi ->
+      for i = lo to hi do
+        bit_clear t pg i
+      done;
+      touched := pg :: !touched)
+    ~sparse:(fun span -> Store_flat.remove t.sparse span);
+  (* Decay: fully drained pages vanish, nearly drained ones fall back
+     to intervals. *)
+  List.iter
+    (fun pg ->
+      let p = page_of t pg.p_base in
+      if Hashtbl.mem t.pages p && pg.pop < t.demote_bytes then demote t p pg)
+    !touched
+
+(* --- queries ------------------------------------------------------------ *)
+
+let mem_overlap t r =
+  Store_flat.mem_overlap t.sparse r
+  ||
+  let lo = Range.lo r and hi = Range.hi r in
+  let rec pages p =
+    p <= page_of t hi
+    && ((match Hashtbl.find_opt t.pages p with
+        | Some pg ->
+            page_mem pg
+              ~lo:(max lo (page_lo t p) - pg.p_base)
+              ~hi:(min hi (page_hi t p) - pg.p_base)
+        | None -> false)
+       || pages (p + 1))
+  in
+  pages (page_of t lo)
+
+let total_bytes t = Store_flat.total_bytes t.sparse + t.dense_bytes
+let is_empty t = total_bytes t = 0
+
+(* A byte is tainted iff its owning structure holds it; used only at
+   page seams, where [a] is never inside a dense page other than [p']. *)
+let byte_tainted t a =
+  a >= 0
+  &&
+  match Hashtbl.find_opt t.pages (page_of t a) with
+  | Some pg -> bit_get pg (a - pg.p_base)
+  | None -> Store_flat.mem_overlap t.sparse (Range.byte a)
+
+(* Canonical range count: per-structure counts, minus one for every page
+   seam where two runs from different structures are adjacent and thus
+   one canonical range.  Each dense page accounts for the seam at its
+   own left edge (against flat or the previous page) and at its right
+   edge only against flat — page-to-page seams belong to the right
+   page's left edge, so nothing is counted twice.  O(pages * log n). *)
+let seam_joins t =
+  Hashtbl.fold
+    (fun p pg acc ->
+      let acc =
+        if
+          pg.pop > 0 && bit_get pg 0
+          && page_lo t p > 0
+          && byte_tainted t (page_lo t p - 1)
+        then acc + 1
+        else acc
+      in
+      if
+        pg.pop > 0
+        && bit_get pg (t.page_size - 1)
+        && (not (Hashtbl.mem t.pages (p + 1)))
+        && Store_flat.mem_overlap t.sparse (Range.byte (page_hi t p + 1))
+      then acc + 1
+      else acc)
+    t.pages 0
+
+let cardinal t = Store_flat.cardinal t.sparse + t.dense_runs - seam_joins t
+
+(* Merge the two sorted disjoint sources into the canonical maximal
+   range list, coalescing across seams. *)
+let ranges t =
+  let dense =
+    Hashtbl.fold (fun _ pg acc -> page_runs pg ~size:t.page_size :: acc)
+      t.pages []
+    |> List.concat
+    |> List.sort Range.compare
+  in
+  let rec merge xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] -> rest
+    | x :: xs', y :: ys' ->
+        if Range.lo x <= Range.lo y then x :: merge xs' ys
+        else y :: merge xs ys'
+  in
+  let rec coalesce = function
+    | a :: b :: rest when Range.hi a + 1 >= Range.lo b ->
+        coalesce (Range.make (Range.lo a) (max (Range.hi a) (Range.hi b)) :: rest)
+    | a :: rest -> a :: coalesce rest
+    | [] -> []
+  in
+  coalesce (merge (Store_flat.ranges t.sparse) dense)
+
+let pp ppf t =
+  Format.fprintf ppf "{%a | %d dense page(s)}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Range.pp)
+    (ranges t) (dense_pages t)

@@ -1,0 +1,51 @@
+(** Adaptive hybrid taint set — the [Hybrid] backend of {!Store}.
+
+    Mirrors the paper's range-cache hardware model: taint stays a
+    {!Store_flat} sorted-interval array where it is sparse, while any
+    page whose occupancy reaches half the page size is {e promoted} to
+    a bit-per-byte dense page (O(1) taint/untaint inside it, no
+    interval splice traffic under fragmentation), and a dense page
+    decaying below one eighth occupancy is {e demoted} back to
+    intervals.  The promote/demote thresholds are deliberately apart
+    (hysteresis) so churn at one boundary cannot thrash.
+
+    Observable state is canonical — maximal disjoint non-adjacent
+    closed ranges, byte-for-byte equal to {!Range_set} / {!Store_flat}
+    / the {!Store_bytemap} oracle (proven by the differential property
+    suite in [test/test_store.ml]), including ranges that straddle the
+    sparse/dense seam. *)
+
+type t
+
+val create : ?page_bits:int -> unit -> t
+(** [page_bits] is log2 of the page size, default [8] (256-byte pages);
+    promotion fires at occupancy >= page/2, demotion below page/8.
+    Raises [Invalid_argument] outside [4..20]. *)
+
+val is_empty : t -> bool
+val add : t -> Pift_util.Range.t -> unit
+val remove : t -> Pift_util.Range.t -> unit
+val mem_overlap : t -> Pift_util.Range.t -> bool
+
+val cardinal : t -> int
+(** Canonical maximal-range count across both representations.
+    O(dense pages * log sparse entries). *)
+
+val total_bytes : t -> int
+(** O(1). *)
+
+val ranges : t -> Pift_util.Range.t list
+(** Canonical maximal ranges in increasing address order. *)
+
+val page_size : t -> int
+
+val dense_pages : t -> int
+(** Currently promoted pages. *)
+
+val promotions : t -> int
+(** Lifetime sparse->dense promotions. *)
+
+val demotions : t -> int
+(** Lifetime dense->sparse demotions (a fully drained page counts). *)
+
+val pp : Format.formatter -> t -> unit

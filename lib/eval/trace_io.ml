@@ -5,6 +5,16 @@ module Insn = Pift_arm.Insn
 module Reg = Pift_arm.Reg
 
 let magic = "PIFT-TRACE 1"
+let binary_magic = "PIFTBIN1"
+
+type format = Text | Binary
+
+let format_to_string = function Text -> "text" | Binary -> "binary"
+
+let format_of_string = function
+  | "text" -> Some Text
+  | "binary" -> Some Binary
+  | _ -> None
 
 (* Marker kinds are user-controlled strings embedded in a
    space-separated record format.  A kind containing a space used to
@@ -71,9 +81,144 @@ let to_channel (t : Recorded.t) oc =
     t.Recorded.trace;
   emit_markers_until max_int
 
-let save t path =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel t oc)
+(* --- binary format ------------------------------------------------------ *)
+
+(* Record stream after an 8-byte magic and a varint-coded header
+   (name length + bytes, pid, bytecodes):
+
+   {v
+   <varint payload-length> <payload>
+   payload := tag byte, then varint fields
+     0 load    dseq dk pid dlo len
+     1 store   dseq dk pid dlo len
+     2 other   dseq dk pid
+     3 source  dseq kind-len kind-bytes dlo len
+     4 sink    dseq kind-len kind-bytes nranges (dlo len)*
+   v}
+
+   [dseq]/[dk]/[dlo] are zigzag-coded deltas against the previous
+   record's seq / k / range start (in stream order — the same
+   event/marker interleaving the text writer emits), so consecutive
+   events cost 1-byte fields almost everywhere.  Kinds are raw bytes
+   behind a length — no escaping.  The length prefix bounds every
+   record, so a truncated or corrupt file fails with the record number
+   instead of a decode exception from half-way inside the stream. *)
+
+let tag_load = 0
+let tag_store = 1
+let tag_other = 2
+let tag_source = 3
+let tag_sink = 4
+
+(* Corrupt binary traces must not be able to make the reader allocate
+   or loop without bound: payloads are capped, varints are capped at 9
+   bytes (63 value bits). *)
+let max_record_payload = 1 lsl 24
+
+let add_varint buf v =
+  let v = ref v in
+  while !v lsr 7 <> 0 do
+    Buffer.add_char buf (Char.chr (0x80 lor (!v land 0x7f)));
+    v := !v lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !v)
+
+let zigzag v = (v lsl 1) lxor (v asr (Sys.int_size - 1))
+let unzigzag z = (z lsr 1) lxor (-(z land 1))
+let add_svarint buf v = add_varint buf (zigzag v)
+
+let to_channel_binary (t : Recorded.t) oc =
+  output_string oc binary_magic;
+  let header = Buffer.create 64 in
+  add_varint header (String.length t.Recorded.name);
+  Buffer.add_string header t.Recorded.name;
+  add_varint header t.Recorded.pid;
+  add_varint header t.Recorded.bytecodes;
+  Buffer.output_buffer oc header;
+  let payload = Buffer.create 64 in
+  let length_prefix = Buffer.create 8 in
+  let prev_seq = ref 0 and prev_k = ref 0 and prev_lo = ref 0 in
+  let emit () =
+    Buffer.clear length_prefix;
+    add_varint length_prefix (Buffer.length payload);
+    Buffer.output_buffer oc length_prefix;
+    Buffer.output_buffer oc payload;
+    Buffer.clear payload
+  in
+  let add_seq seq =
+    add_svarint payload (seq - !prev_seq);
+    prev_seq := seq
+  in
+  let add_range r =
+    add_svarint payload (Range.lo r - !prev_lo);
+    prev_lo := Range.lo r;
+    add_varint payload (Range.length r)
+  in
+  let add_kind kind =
+    add_varint payload (String.length kind);
+    Buffer.add_string payload kind
+  in
+  let put_marker mseq = function
+    | Recorded.Source { kind; range } ->
+        Buffer.add_char payload (Char.chr tag_source);
+        add_seq mseq;
+        add_kind kind;
+        add_range range;
+        emit ()
+    | Recorded.Sink { kind; ranges } ->
+        Buffer.add_char payload (Char.chr tag_sink);
+        add_seq mseq;
+        add_kind kind;
+        add_varint payload (List.length ranges);
+        List.iter add_range ranges;
+        emit ()
+  in
+  let markers = t.Recorded.markers in
+  let mi = ref 0 in
+  let emit_markers_until seq =
+    while !mi < Array.length markers && fst markers.(!mi) <= seq do
+      let mseq, marker = markers.(!mi) in
+      put_marker mseq marker;
+      incr mi
+    done
+  in
+  let put_event (e : Event.t) =
+    let put_mem tag r =
+      Buffer.add_char payload (Char.chr tag);
+      add_seq e.Event.seq;
+      add_svarint payload (e.Event.k - !prev_k);
+      prev_k := e.Event.k;
+      add_varint payload e.Event.pid;
+      add_range r;
+      emit ()
+    in
+    match e.Event.access with
+    | Event.Load r -> put_mem tag_load r
+    | Event.Store r -> put_mem tag_store r
+    | Event.Other ->
+        Buffer.add_char payload (Char.chr tag_other);
+        add_seq e.Event.seq;
+        add_svarint payload (e.Event.k - !prev_k);
+        prev_k := e.Event.k;
+        add_varint payload e.Event.pid;
+        emit ()
+  in
+  emit_markers_until 0;
+  Trace.iter
+    (fun e ->
+      put_event e;
+      emit_markers_until e.Event.seq)
+    t.Recorded.trace;
+  emit_markers_until max_int
+
+let save ?(format = Text) t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      match format with
+      | Text -> to_channel t oc
+      | Binary -> to_channel_binary t oc)
 
 (* --- parsing ------------------------------------------------------------- *)
 
@@ -84,10 +229,20 @@ let parse_int n s =
   | Some v -> v
   | None -> fail_line n ("not an integer: " ^ s)
 
+(* A corrupt length or address must surface as a positioned Trace_io
+   error, not escape as a bare [Invalid_argument "Range.of_len"] from
+   deep inside the parser. *)
+let range_of_len fail lo len =
+  try Range.of_len lo len with Invalid_argument msg -> fail msg
+
 (* A synthetic instruction for deserialised memory events: serialisation
    keeps only the access, which is all the PIFT analysis consumes. *)
 let synth_load = Insn.Ldr (Insn.Word, Reg.R0, Insn.Offset (Reg.R0, Insn.Imm 0))
 let synth_store = Insn.Str (Insn.Word, Reg.R0, Insn.Offset (Reg.R0, Insn.Imm 0))
+
+let is_hex_digit = function
+  | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+  | _ -> false
 
 let unescape_kind n s =
   if not (String.contains s '%') then s
@@ -102,9 +257,14 @@ let unescape_kind n s =
       end
       else begin
         if !i + 2 >= len then fail_line n ("truncated kind escape in: " ^ s);
-        (match int_of_string_opt ("0x" ^ String.sub s (!i + 1) 2) with
-        | Some code -> Buffer.add_char buf (Char.chr code)
-        | None -> fail_line n ("bad kind escape in: " ^ s));
+        (* Both chars must be hex digits — [int_of_string_opt "0x.."]
+           alone accepted junk like "%1_" because underscores (and a
+           second "0x") are legal inside OCaml int literals. *)
+        let c1 = s.[!i + 1] and c2 = s.[!i + 2] in
+        if not (is_hex_digit c1 && is_hex_digit c2) then
+          fail_line n ("bad kind escape in: " ^ s);
+        Buffer.add_char buf
+          (Char.chr (int_of_string (Printf.sprintf "0x%c%c" c1 c2)));
         i := !i + 3
       end
     done;
@@ -115,7 +275,8 @@ let rec parse_ranges n = function
   | [] -> []
   | [ _ ] -> fail_line n "dangling range component"
   | lo :: len :: rest ->
-      Range.of_len (parse_int n lo) (parse_int n len) :: parse_ranges n rest
+      range_of_len (fail_line n) (parse_int n lo) (parse_int n len)
+      :: parse_ranges n rest
 
 let of_channel ic =
   let line_no = ref 0 in
@@ -151,7 +312,9 @@ let of_channel ic =
                  pid = parse_int n epid;
                  insn = synth_load;
                  access =
-                   Event.Load (Range.of_len (parse_int n lo) (parse_int n len));
+                   Event.Load
+                     (range_of_len (fail_line n) (parse_int n lo)
+                        (parse_int n len));
                }
          | [ "S"; seq; k; epid; lo; len ] ->
              Trace.add trace
@@ -162,7 +325,8 @@ let of_channel ic =
                  insn = synth_store;
                  access =
                    Event.Store
-                     (Range.of_len (parse_int n lo) (parse_int n len));
+                     (range_of_len (fail_line n) (parse_int n lo)
+                        (parse_int n len));
                }
          | [ "O"; seq; k; epid ] ->
              Trace.add trace
@@ -179,7 +343,9 @@ let of_channel ic =
                  Recorded.Source
                    {
                      kind = unescape_kind n kind;
-                     range = Range.of_len (parse_int n lo) (parse_int n len);
+                     range =
+                       range_of_len (fail_line n) (parse_int n lo)
+                         (parse_int n len);
                    } )
                :: !markers
          | "M" :: seq :: "SNK" :: kind :: rest ->
@@ -203,6 +369,235 @@ let of_channel ic =
     bytecodes;
   }
 
+(* --- binary parsing ------------------------------------------------------ *)
+
+type header = { h_name : string; h_pid : int; h_bytecodes : int }
+
+let fail_record n msg = failwith (Printf.sprintf "Trace_io: record %d: %s" n msg)
+
+(* Chunked channel reader: records average under ten bytes, so decoding
+   straight from a large refill buffer (grown in place for oversized
+   records) beats two channel calls per record by a wide margin. *)
+type rd = {
+  rd_ic : in_channel;
+  mutable rd_buf : Bytes.t;
+  mutable rd_lo : int;  (* next unread byte *)
+  mutable rd_hi : int;  (* end of valid bytes *)
+  mutable rd_eof : bool;
+}
+
+let rd_create ic =
+  {
+    rd_ic = ic;
+    rd_buf = Bytes.create 65536;
+    rd_lo = 0;
+    rd_hi = 0;
+    rd_eof = false;
+  }
+
+let rd_refill r =
+  if not r.rd_eof then begin
+    let live = r.rd_hi - r.rd_lo in
+    if live > 0 && r.rd_lo > 0 then Bytes.blit r.rd_buf r.rd_lo r.rd_buf 0 live;
+    r.rd_lo <- 0;
+    r.rd_hi <- live;
+    let n = input r.rd_ic r.rd_buf r.rd_hi (Bytes.length r.rd_buf - r.rd_hi) in
+    if n = 0 then r.rd_eof <- true else r.rd_hi <- r.rd_hi + n
+  end
+
+(* Whether [n] contiguous bytes can be buffered (growing the buffer when
+   a record is larger than a chunk). *)
+let rd_has r n =
+  if Bytes.length r.rd_buf < n then begin
+    let grown = Bytes.create (max n (2 * Bytes.length r.rd_buf)) in
+    Bytes.blit r.rd_buf r.rd_lo grown 0 (r.rd_hi - r.rd_lo);
+    r.rd_buf <- grown;
+    r.rd_hi <- r.rd_hi - r.rd_lo;
+    r.rd_lo <- 0
+  end;
+  while r.rd_hi - r.rd_lo < n && not r.rd_eof do
+    rd_refill r
+  done;
+  r.rd_hi - r.rd_lo >= n
+
+let rd_byte r =
+  if r.rd_lo >= r.rd_hi then rd_refill r;
+  if r.rd_lo >= r.rd_hi then -1
+  else begin
+    let b = Char.code (Bytes.unsafe_get r.rd_buf r.rd_lo) in
+    r.rd_lo <- r.rd_lo + 1;
+    b
+  end
+
+(* Header fields and record length prefixes.  [first_eof_ok]
+   distinguishes the clean end of the stream (EOF where a record would
+   start) from truncation inside a varint. *)
+let rd_varint ?(first_eof_ok = false) fail r =
+  let rec go shift acc first =
+    match rd_byte r with
+    | -1 ->
+        if first && first_eof_ok then raise End_of_file
+        else fail "truncated varint"
+    | b ->
+        if shift > 56 && b > 0x7f then fail "varint overflow"
+        else begin
+          let acc = acc lor ((b land 0x7f) lsl shift) in
+          if b < 0x80 then acc else go (shift + 7) acc false
+        end
+  in
+  go 0 0 true
+
+(* Payload-side decoding, in place within the refill buffer. *)
+let buf_varint fail scratch pos limit =
+  let rec go shift acc =
+    if !pos >= limit then fail "truncated record payload"
+    else begin
+      let b = Char.code (Bytes.unsafe_get scratch !pos) in
+      incr pos;
+      if shift > 56 && b > 0x7f then fail "varint overflow"
+      else begin
+        let acc = acc lor ((b land 0x7f) lsl shift) in
+        if b < 0x80 then acc else go (shift + 7) acc
+      end
+    end
+  in
+  go 0 0
+
+let iter_channel_binary ic ~on_event ~on_marker =
+  let mlen = String.length binary_magic in
+  (match really_input_string ic mlen with
+  | s when String.equal s binary_magic -> ()
+  | _ -> fail_record 0 "bad magic"
+  | exception End_of_file -> fail_record 0 "bad magic (truncated)");
+  let rd = rd_create ic in
+  let fail0 = fail_record 0 in
+  let name_len = rd_varint fail0 rd in
+  if name_len < 0 || name_len > max_record_payload then
+    fail0 "implausible name length";
+  if not (rd_has rd name_len) then fail0 "truncated header";
+  let h_name = Bytes.sub_string rd.rd_buf rd.rd_lo name_len in
+  rd.rd_lo <- rd.rd_lo + name_len;
+  let h_pid = rd_varint fail0 rd in
+  let h_bytecodes = rd_varint fail0 rd in
+  let record = ref 0 in
+  let prev_seq = ref 0 and prev_k = ref 0 and prev_lo = ref 0 in
+  (* All decode helpers are hoisted out of the record loop — closure
+     allocation per record would dominate the decode itself. *)
+  let pos = ref 0 in
+  let limit = ref 0 in
+  let fail msg = fail_record !record msg in
+  let fail_next msg = fail_record (!record + 1) msg in
+  let varint () = buf_varint fail rd.rd_buf pos !limit in
+  let svarint () = unzigzag (varint ()) in
+  let seq () =
+    prev_seq := !prev_seq + svarint ();
+    !prev_seq
+  in
+  let range () =
+    prev_lo := !prev_lo + svarint ();
+    range_of_len fail !prev_lo (varint ())
+  in
+  let kind () =
+    let klen = varint () in
+    if klen < 0 || !pos + klen > !limit then fail "truncated kind";
+    let s = Bytes.sub_string rd.rd_buf !pos klen in
+    pos := !pos + klen;
+    s
+  in
+  (try
+     while true do
+       (* EOF exactly at a record boundary ends the stream. *)
+       let len = rd_varint ~first_eof_ok:true fail_next rd in
+       incr record;
+       if len <= 0 then fail "empty record";
+       if len > max_record_payload then fail "implausible record length";
+       if not (rd_has rd len) then
+         fail (Printf.sprintf "truncated record (%d payload bytes)" len);
+       pos := rd.rd_lo + 1;
+       limit := rd.rd_lo + len;
+       let tag = Char.code (Bytes.unsafe_get rd.rd_buf rd.rd_lo) in
+       rd.rd_lo <- rd.rd_lo + len;
+       (if tag = tag_load || tag = tag_store then begin
+          let seq = seq () in
+          prev_k := !prev_k + svarint ();
+          let pid = varint () in
+          let r = range () in
+          on_event
+            {
+              Event.seq;
+              k = !prev_k;
+              pid;
+              insn = (if tag = tag_load then synth_load else synth_store);
+              access =
+                (if tag = tag_load then Event.Load r else Event.Store r);
+            }
+        end
+        else if tag = tag_other then begin
+          let seq = seq () in
+          prev_k := !prev_k + svarint ();
+          let pid = varint () in
+          on_event
+            { Event.seq; k = !prev_k; pid; insn = Insn.Nop; access = Event.Other }
+        end
+        else if tag = tag_source then begin
+          let seq = seq () in
+          let kind = kind () in
+          let range = range () in
+          on_marker seq (Recorded.Source { kind; range })
+        end
+        else if tag = tag_sink then begin
+          let seq = seq () in
+          let kind = kind () in
+          let nranges = varint () in
+          if nranges < 0 || nranges > len then fail "implausible range count";
+          let ranges = List.init nranges (fun _ -> range ()) in
+          on_marker seq (Recorded.Sink { kind; ranges })
+        end
+        else fail (Printf.sprintf "unknown record tag %d" tag));
+       if !pos <> !limit then fail "trailing bytes in record"
+     done
+   with End_of_file -> ());
+  { h_name; h_pid; h_bytecodes }
+
+let of_channel_binary ic =
+  let trace = Trace.create () in
+  let markers = ref [] in
+  let h =
+    iter_channel_binary ic ~on_event:(Trace.add trace)
+      ~on_marker:(fun seq m -> markers := (seq, m) :: !markers)
+  in
+  {
+    Recorded.name = h.h_name;
+    trace;
+    markers = Array.of_list (List.rev !markers);
+    pid = h.h_pid;
+    bytecodes = h.h_bytecodes;
+  }
+
+(* --- loading with format autodetection ----------------------------------- *)
+
+let detect_channel ic =
+  let mlen = String.length binary_magic in
+  let fmt =
+    if in_channel_length ic < mlen then Text
+    else begin
+      seek_in ic 0;
+      if String.equal (really_input_string ic mlen) binary_magic then Binary
+      else Text
+    end
+  in
+  seek_in ic 0;
+  fmt
+
+let detect_format path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> detect_channel ic)
+
 let load path =
-  let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ic)
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      match detect_channel ic with
+      | Binary -> of_channel_binary ic
+      | Text -> of_channel ic)

@@ -2,9 +2,13 @@
 
     The paper's evaluation dumps gem5 instruction traces together with the
     source/sink address ranges printed by PIFT Native, and feeds both into
-    the analysis code.  This module persists a {!Recorded.t} in a simple
-    line-oriented text format so recordings can be archived, diffed, and
-    re-analysed (including by external tools):
+    the analysis code.  This module persists a {!Recorded.t} in two
+    formats, autodetected on load:
+
+    {2 Text ([PIFT-TRACE 1])}
+
+    A simple line-oriented format so recordings can be archived, diffed,
+    and re-analysed (including by external tools):
 
     {v
     PIFT-TRACE 1
@@ -18,17 +22,55 @@
     M <seq> SNK <kind> (<lo> <len>)* # sink check marker
     v}
 
-    Loads and stores round-trip exactly.  Non-memory instructions are
-    serialised as opaque [O] lines: a loaded recording supports the PIFT
-    analysis and all trace statistics, but not the register-level
-    full-DIFT baseline (which needs instruction operands — run it live
-    instead). *)
+    {2 Binary ([PIFTBIN1])}
 
-val save : Recorded.t -> string -> unit
-(** [save recording path] — writes the file, overwriting. *)
+    A compact length-prefixed record stream for large recordings: after
+    the 8-byte magic and a varint header (name, pid, bytecodes), each
+    record is a varint payload length followed by a tag byte and
+    LEB128-varint fields.  Sequence numbers, instruction counters, and
+    range starts are zigzag-coded deltas against the previous record, so
+    the common consecutive-event case costs one byte per field.  The
+    length prefix bounds every record: truncated or corrupt files are
+    rejected with the failing record's number.
+
+    Either format round-trips loads, stores, and markers exactly —
+    replaying a loaded recording produces byte-identical verdicts.
+    Non-memory instructions are serialised as opaque [O] records: a
+    loaded recording supports the PIFT analysis and all trace
+    statistics, but not the register-level full-DIFT baseline (which
+    needs instruction operands — run it live instead). *)
+
+type format = Text | Binary
+
+val format_to_string : format -> string
+val format_of_string : string -> format option
+
+val save : ?format:format -> Recorded.t -> string -> unit
+(** [save recording path] — writes the file, overwriting.  [format]
+    defaults to [Text]. *)
 
 val load : string -> Recorded.t
-(** Raises [Failure] with a line number on malformed input. *)
+(** Autodetects the format from the magic bytes.  Raises [Failure] with
+    a line number (text) or record number (binary) on malformed input. *)
+
+val detect_format : string -> format
+(** Peeks at the magic bytes; files too short to be binary (or with any
+    other leading bytes) report [Text], whose parser owns the error. *)
 
 val to_channel : Recorded.t -> out_channel -> unit
 val of_channel : in_channel -> Recorded.t
+
+val to_channel_binary : Recorded.t -> out_channel -> unit
+val of_channel_binary : in_channel -> Recorded.t
+
+type header = { h_name : string; h_pid : int; h_bytecodes : int }
+
+val iter_channel_binary :
+  in_channel ->
+  on_event:(Pift_trace.Event.t -> unit) ->
+  on_marker:(int -> Recorded.marker -> unit) ->
+  header
+(** Streaming binary reader: decodes records into the callbacks in file
+    order without materialising any per-event list, reusing one scratch
+    buffer across records.  Returns the header once the stream ends.
+    Raises [Failure] with the record number on malformed input. *)

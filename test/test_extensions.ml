@@ -433,6 +433,257 @@ let test_trace_io_rejects_garbage () =
         Alcotest.fail "garbage accepted"
       with Failure _ -> ())
 
+(* The binary writer produces the same recording back, and analysing
+   either serialisation gives identical answers. *)
+let test_trace_io_binary_roundtrip () =
+  let app = Option.get (Pift_workloads.Droidbench.find "BatchLeak1") in
+  let original = Recorded.record app in
+  let text_path = Filename.temp_file "pift" ".trace" in
+  let bin_path = Filename.temp_file "pift" ".btrace" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove text_path;
+      Sys.remove bin_path)
+    (fun () ->
+      Trace_io.save ~format:Trace_io.Text original text_path;
+      Trace_io.save ~format:Trace_io.Binary original bin_path;
+      checkb "binary detected" true
+        (Trace_io.detect_format bin_path = Trace_io.Binary);
+      checkb "text detected" true
+        (Trace_io.detect_format text_path = Trace_io.Text);
+      let from_text = Trace_io.load text_path in
+      let from_bin = Trace_io.load bin_path in
+      Alcotest.(check string) "name" from_text.Recorded.name
+        from_bin.Recorded.name;
+      checki "pid" from_text.Recorded.pid from_bin.Recorded.pid;
+      checki "bytecodes" from_text.Recorded.bytecodes
+        from_bin.Recorded.bytecodes;
+      checki "events"
+        (Trace.length from_text.Recorded.trace)
+        (Trace.length from_bin.Recorded.trace);
+      checkb "markers equal" true
+        (from_text.Recorded.markers = from_bin.Recorded.markers);
+      let replay r =
+        let rep = Recorded.replay ~policy:Policy.default r in
+        (rep.Recorded.flagged, rep.Recorded.verdicts, rep.Recorded.stats)
+      in
+      checkb "identical analysis" true (replay from_text = replay from_bin))
+
+(* --- round-trip property over both formats ------------------------------ *)
+
+module Rng = Pift_util.Rng
+
+(* Synthetic recordings stressing the serialisation edge cases: empty
+   marker kinds, kinds full of delimiters and escape look-alikes,
+   markers sharing one sequence number, markers between event sequence
+   numbers (negative seq deltas in the binary stream), and addresses
+   jumping backwards. *)
+let gen_recorded rng =
+  let module Event = Pift_trace.Event in
+  let gen_kind rng =
+    match Rng.int rng 6 with
+    | 0 -> ""
+    | 1 -> "IMEI number"
+    | 2 -> "100%"
+    | 3 -> "a\nb\rc d"
+    | 4 -> "%1_"
+    | _ -> "plain"
+  in
+  let gen_range rng = Range.of_len (Rng.int rng 0x10000) (1 + Rng.int rng 64) in
+  let trace = Trace.create () in
+  let markers = ref [] in
+  let seq = ref 0 in
+  let n = Rng.int rng 40 in
+  for _ = 1 to n do
+    seq := !seq + 2 + Rng.int rng 4;
+    let k = !seq + Rng.int rng 5 in
+    let pid = 1 + Rng.int rng 3 in
+    (match Rng.int rng 4 with
+    | 0 ->
+        Trace.add trace
+          { Event.seq = !seq; k; pid; insn = Insn.Nop; access = Event.Other }
+    | 1 | 2 ->
+        Trace.add trace
+          {
+            Event.seq = !seq;
+            k;
+            pid;
+            insn = Insn.Nop;
+            access = Event.Load (gen_range rng);
+          }
+    | _ ->
+        Trace.add trace
+          {
+            Event.seq = !seq;
+            k;
+            pid;
+            insn = Insn.Nop;
+            access = Event.Store (gen_range rng);
+          });
+    if Rng.int rng 3 = 0 then begin
+      (* mseq may sit one below the event's seq — the writer then emits
+         it after a larger event seq, so the binary delta goes negative *)
+      let mseq = !seq - Rng.int rng 2 in
+      let marker rng =
+        if Rng.int rng 2 = 0 then
+          Recorded.Source { kind = gen_kind rng; range = gen_range rng }
+        else
+          Recorded.Sink
+            {
+              kind = gen_kind rng;
+              ranges =
+                (let nr = Rng.int rng 3 in
+                 let rec go k acc =
+                   if k = 0 then List.rev acc
+                   else go (k - 1) (gen_range rng :: acc)
+                 in
+                 go nr []);
+            }
+      in
+      markers := (mseq, marker rng) :: !markers;
+      (* sometimes two markers on the same sequence number *)
+      if Rng.int rng 4 = 0 then markers := (mseq, marker rng) :: !markers
+    end
+  done;
+  {
+    Recorded.name = "prop-recording";
+    trace;
+    markers = Array.of_list (List.rev !markers);
+    pid = 1 + Rng.int rng 5;
+    bytecodes = Rng.int rng 1000;
+  }
+
+(* Loads and stores come back with synthetic instructions, so compare
+   the serialised projection: header, (seq, k, pid, access) per event,
+   and the marker array. *)
+let project (r : Recorded.t) =
+  let module Event = Pift_trace.Event in
+  let evs = ref [] in
+  Trace.iter
+    (fun e -> evs := (e.Event.seq, e.Event.k, e.Event.pid, e.Event.access) :: !evs)
+    r.Recorded.trace;
+  ( r.Recorded.name,
+    r.Recorded.pid,
+    r.Recorded.bytecodes,
+    List.rev !evs,
+    Array.to_list r.Recorded.markers )
+
+let describe_recorded (r : Recorded.t) =
+  Printf.sprintf "%d events, %d markers"
+    (Trace.length r.Recorded.trace)
+    (Array.length r.Recorded.markers)
+
+let roundtrip_prop format r =
+  let path = Filename.temp_file "pift_prop" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_io.save ~format r path;
+      match Trace_io.load path with
+      | loaded ->
+          if project loaded = project r then Ok ()
+          else
+            Error
+              (Printf.sprintf "%s round-trip changed the recording"
+                 (Trace_io.format_to_string format))
+      | exception Failure msg ->
+          Error
+            (Printf.sprintf "%s round-trip rejected its own output: %s"
+               (Trace_io.format_to_string format)
+               msg))
+
+let test_trace_io_roundtrip_property () =
+  List.iter
+    (fun format ->
+      Prop.check_gen
+        ~name:("round-trip " ^ Trace_io.format_to_string format)
+        ~count:50 ~gen:gen_recorded
+        ~shrink:(fun _ -> [])
+        ~to_string:describe_recorded (roundtrip_prop format))
+    [ Trace_io.Text; Trace_io.Binary ]
+
+(* --- corrupt inputs are rejected with a position ------------------------ *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  m = 0 || go 0
+
+let expect_rejection ~mentions path =
+  match Trace_io.load path with
+  | _ -> Alcotest.failf "corrupt trace accepted (wanted error with %S)" mentions
+  | exception Failure msg ->
+      checkb
+        (Printf.sprintf "error %S mentions %S" msg mentions)
+        true (contains msg mentions)
+  | exception e ->
+      Alcotest.failf "corrupt trace escaped as %s (wanted Failure with %S)"
+        (Printexc.to_string e) mentions
+
+let with_text_fixture lines f =
+  let path = Filename.temp_file "pift" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        ("PIFT-TRACE 1" :: "name x" :: "pid 1" :: "bytecodes 0" :: lines);
+      close_out oc;
+      f path)
+
+(* "%1_" is not a hex escape: int_of_string tolerates underscores, so
+   the old check decoded it as 0x1.  It must be rejected, with the line
+   number. *)
+let test_trace_io_bad_escape () =
+  with_text_fixture [ "M 1 SRC %1_ 100 4" ] (expect_rejection ~mentions:"line 5");
+  with_text_fixture [ "M 1 SRC ok%zz 100 4" ]
+    (expect_rejection ~mentions:"escape")
+
+(* Non-positive lengths used to escape as a bare
+   [Invalid_argument "Range.of_len"]; they must surface as positioned
+   Trace_io errors. *)
+let test_trace_io_zero_length_record () =
+  with_text_fixture [ "L 1 1 7 100 0" ] (expect_rejection ~mentions:"line 5");
+  with_text_fixture [ "S 1 1 7 100 -3" ] (expect_rejection ~mentions:"line 5");
+  with_text_fixture [ "M 1 SNK net 100 0" ]
+    (expect_rejection ~mentions:"line 5")
+
+let test_trace_io_corrupt_binary () =
+  let app = Option.get (Pift_workloads.Droidbench.find "StringConcat1") in
+  let recorded = Recorded.record app in
+  let path = Filename.temp_file "pift" ".btrace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_io.save ~format:Trace_io.Binary recorded path;
+      let whole =
+        let ic = open_in_bin path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      (* truncated mid-record (3 bytes is less than the smallest record,
+         so the cut cannot land on a record boundary): the reader names
+         the failing record *)
+      let rewrite s =
+        let oc = open_out_bin path in
+        output_string oc s;
+        close_out oc
+      in
+      rewrite (String.sub whole 0 (String.length whole - 3));
+      expect_rejection ~mentions:"record" path;
+      (* a zero-length record appended to a valid stream *)
+      rewrite (whole ^ "\x00");
+      expect_rejection ~mentions:"empty record" path;
+      (* restoring the original bytes loads cleanly again *)
+      rewrite whole;
+      checki "restored file loads"
+        (Trace.length recorded.Recorded.trace)
+        (Trace.length (Trace_io.load path).Recorded.trace))
+
 let () =
   Alcotest.run "pift_extensions"
     [
@@ -474,5 +725,15 @@ let () =
             test_trace_io_adversarial_kinds;
           Alcotest.test_case "rejects garbage" `Quick
             test_trace_io_rejects_garbage;
+          Alcotest.test_case "binary roundtrip" `Quick
+            test_trace_io_binary_roundtrip;
+          Alcotest.test_case "round-trip property (both formats)" `Quick
+            test_trace_io_roundtrip_property;
+          Alcotest.test_case "bad kind escapes rejected" `Quick
+            test_trace_io_bad_escape;
+          Alcotest.test_case "non-positive lengths rejected with line" `Quick
+            test_trace_io_zero_length_record;
+          Alcotest.test_case "corrupt binary rejected with record" `Quick
+            test_trace_io_corrupt_binary;
         ] );
     ]

@@ -1,15 +1,17 @@
 (* Differential property suite for the pluggable taint-store backends.
 
-   The three backends — Functional (persistent Range_set), Flat
-   (imperative sorted interval array) and Bytemap (bit-per-byte oracle)
-   — must be observationally identical.  Every case drives one random
-   adversarial op sequence (see prop.ml) through all three and compares
+   The four backends — Functional (persistent Range_set), Flat
+   (imperative sorted interval array), Hybrid (flat intervals with
+   promoted dense bit-pages) and Bytemap (bit-per-byte oracle) — must
+   be observationally identical.  Every case drives one random
+   adversarial op sequence (see prop.ml) through all four and compares
    the full observable state after every single op; a divergence is
    shrunk to a minimal op sequence and printed with the replay seed.
 
-   50 cases x 250 ops = 12,500 ops per run, well past the 10k floor,
-   and the end-to-end test re-renders a DroidBench accuracy sweep under
-   functional and flat and byte-compares the output. *)
+   50 cases x 250 ops plus 10 x 1000 = 22,500 ops per run, well past
+   the 10k floor, and the end-to-end test re-renders a DroidBench
+   accuracy sweep under every production backend and byte-compares the
+   output against functional's. *)
 
 module Range = Pift_util.Range
 module Store_backend = Pift_core.Store_backend
@@ -154,6 +156,134 @@ let test_store_per_pid_isolation () =
         (store.Store.overlaps ~pid:2 (Range.byte 8)))
     Store.all_backends
 
+(* Read paths must be pure: querying a PID the store has never seen
+   must not materialise a backend set for it (the old create allocated
+   one on every overlaps/ranges call, growing the table and — with
+   fold-based totals — the cost of every later metrics read). *)
+let test_store_read_purity () =
+  List.iter
+    (fun backend ->
+      let name s = Store.backend_to_string backend ^ ": " ^ s in
+      let store = Store.create ~backend () in
+      store.Store.add ~pid:1 (Range.make 0 7);
+      checkb (name "fresh pid sees nothing") false
+        (store.Store.overlaps ~pid:99 (Range.make 0 1000));
+      checkb (name "fresh pid has no ranges") true
+        (store.Store.ranges ~pid:99 = []);
+      checki (name "range_count unchanged by reads") 1
+        (store.Store.range_count ());
+      checki (name "tainted_bytes unchanged by reads") 8
+        (store.Store.tainted_bytes ());
+      let fresh = Store.create ~backend () in
+      ignore (fresh.Store.overlaps ~pid:7 (Range.byte 0));
+      ignore (fresh.Store.ranges ~pid:7);
+      ignore (fresh.Store.overlaps ~pid:8 (Range.byte 0));
+      checki (name "fresh store still empty after queries") 0
+        (fresh.Store.range_count ()))
+    Store.all_backends
+
+(* The store-wide totals are tracked incrementally (per-op deltas), not
+   re-summed over every PID; they must stay equal to the from-scratch
+   sums through coalescing adds, splitting removes, and no-op removes
+   on untouched PIDs. *)
+let test_store_incremental_totals () =
+  let pids = [ 1; 2; 3 ] in
+  List.iter
+    (fun backend ->
+      let name s = Store.backend_to_string backend ^ ": " ^ s in
+      let store = Store.create ~backend () in
+      let recount () =
+        List.fold_left
+          (fun acc pid -> acc + List.length (store.Store.ranges ~pid))
+          0 pids
+      in
+      let rebytes () =
+        List.fold_left
+          (fun acc pid ->
+            List.fold_left
+              (fun a r -> a + Range.length r)
+              acc
+              (store.Store.ranges ~pid))
+          0 pids
+      in
+      let steps =
+        [
+          ("add", 1, Range.make 0 15, `Add);
+          ("overlapping add coalesces", 1, Range.make 8 23, `Add);
+          ("second pid", 2, Range.make 100 131, `Add);
+          ("adjacent add coalesces", 1, Range.make 24 31, `Add);
+          ("splitting remove", 1, Range.make 10 20, `Remove);
+          ("no-op remove on fresh pid", 3, Range.make 0 7, `Remove);
+          ("single byte", 3, Range.byte 5, `Add);
+          ("overshooting remove clears", 2, Range.make 90 200, `Remove);
+          ("full clear", 1, Range.make 0 31, `Remove);
+        ]
+      in
+      List.iter
+        (fun (label, pid, r, op) ->
+          (match op with
+          | `Add -> store.Store.add ~pid r
+          | `Remove -> store.Store.remove ~pid r);
+          checki
+            (name (label ^ ": count matches recount"))
+            (recount ())
+            (store.Store.range_count ());
+          checki
+            (name (label ^ ": bytes match recount"))
+            (rebytes ())
+            (store.Store.tainted_bytes ()))
+        steps)
+    Store.all_backends
+
+(* --- hybrid promotion / demotion ---------------------------------------- *)
+
+module Store_hybrid = Pift_core.Store_hybrid
+
+(* Crossing half-page occupancy turns a page dense (bit-per-byte);
+   draining below an eighth turns it sparse again.  The canonical
+   observable state must be unchanged by either transition. *)
+let test_hybrid_promotion_demotion () =
+  let h = Store_hybrid.create () in
+  let page = Store_hybrid.page_size h in
+  checki "no dense pages on create" 0 (Store_hybrid.dense_pages h);
+  Store_hybrid.add h (Range.of_len 0 (page / 2));
+  checki "dense after crossing half-page" 1 (Store_hybrid.dense_pages h);
+  checkb "promotion counted" true (Store_hybrid.promotions h >= 1);
+  checki "bytes preserved across promotion" (page / 2)
+    (Store_hybrid.total_bytes h);
+  checki "one canonical range" 1 (Store_hybrid.cardinal h);
+  checkb "ranges canonical" true
+    (Store_hybrid.ranges h = [ Range.of_len 0 (page / 2) ]);
+  checkb "overlap inside dense page" true
+    (Store_hybrid.mem_overlap h (Range.byte 10));
+  checkb "no overlap past the taint" false
+    (Store_hybrid.mem_overlap h (Range.byte (page / 2)));
+  Store_hybrid.remove h (Range.of_len 8 ((page / 2) - 8));
+  checki "demoted on decay" 0 (Store_hybrid.dense_pages h);
+  checkb "demotion counted" true (Store_hybrid.demotions h >= 1);
+  checkb "leftover bytes survive demotion" true
+    (Store_hybrid.ranges h = [ Range.of_len 0 8 ])
+
+(* A dense page and a sparse run meeting exactly at a page boundary are
+   one canonical range — the seam must not show up in cardinal or
+   ranges. *)
+let test_hybrid_page_seam () =
+  let h = Store_hybrid.create () in
+  let page = Store_hybrid.page_size h in
+  Store_hybrid.add h (Range.of_len page page);
+  checkb "full page went dense" true (Store_hybrid.dense_pages h >= 1);
+  Store_hybrid.add h (Range.of_len (page - 4) 4);
+  checki "seam-adjacent runs are one range" 1 (Store_hybrid.cardinal h);
+  checkb "one canonical range across the seam" true
+    (Store_hybrid.ranges h = [ Range.make (page - 4) ((2 * page) - 1) ]);
+  checki "bytes across the seam" (page + 4) (Store_hybrid.total_bytes h);
+  (* removing exactly the seam byte pair splits it back *)
+  Store_hybrid.remove h (Range.make (page - 1) page);
+  checki "cutting the seam splits the range" 2 (Store_hybrid.cardinal h);
+  checkb "split stubs are closed" true
+    (Store_hybrid.ranges h
+    = [ Range.make (page - 4) (page - 2); Range.make (page + 1) ((2 * page) - 1) ])
+
 (* --- end-to-end: DroidBench sweep, byte-identical across backends ------- *)
 
 let sweep_output backend =
@@ -165,18 +295,23 @@ let sweep_output backend =
 
 let test_sweep_byte_identical () =
   let functional, functional_out = sweep_output Store.Functional in
-  let flat, flat_out = sweep_output Store.Flat in
-  checkb "confusion cells identical" true
-    (functional.Pift_eval.Accuracy.cells = flat.Pift_eval.Accuracy.cells);
-  Alcotest.(check string) "rendered sweep byte-identical" functional_out
-    flat_out
+  List.iter
+    (fun backend ->
+      let name s = Store.backend_to_string backend ^ ": " ^ s in
+      let other, other_out = sweep_output backend in
+      checkb (name "confusion cells identical") true
+        (functional.Pift_eval.Accuracy.cells = other.Pift_eval.Accuracy.cells);
+      Alcotest.(check string)
+        (name "rendered sweep byte-identical")
+        functional_out other_out)
+    [ Store.Flat; Store.Hybrid ]
 
 let () =
   Alcotest.run "pift_store"
     [
       ( "differential",
         [
-          Alcotest.test_case "functional/flat/bytemap agree (12.5k ops)"
+          Alcotest.test_case "functional/flat/hybrid/bytemap agree (12.5k ops)"
             `Quick test_differential;
           Alcotest.test_case "long sequences (10k ops)" `Quick
             test_differential_long;
@@ -187,6 +322,17 @@ let () =
             test_closed_interval_adjacency;
           Alcotest.test_case "per-pid isolation" `Quick
             test_store_per_pid_isolation;
+          Alcotest.test_case "read paths are pure" `Quick
+            test_store_read_purity;
+          Alcotest.test_case "incremental totals match recounts" `Quick
+            test_store_incremental_totals;
+        ] );
+      ( "hybrid",
+        [
+          Alcotest.test_case "promotion and demotion" `Quick
+            test_hybrid_promotion_demotion;
+          Alcotest.test_case "page-seam canonical form" `Quick
+            test_hybrid_page_seam;
         ] );
       ( "end-to-end",
         [
