@@ -589,6 +589,85 @@ let write_traceio_bench () =
     (if identical then "verdicts identical" else "VERDICTS DIVERGED");
   if not identical then exit 1
 
+(* Tracker replay with continuous telemetry and with the
+   overhead-attribution profiler, each off vs on, over the same event
+   stream (best-of-5).  Telemetry's per-event budget is an increment
+   and a compare (snapshots amortised over --telemetry-every events);
+   the profiler's is two clock reads per region.  Emitted as
+   BENCH_telemetry.json for the cross-commit trajectory and the
+   `report --diff` CI gate. *)
+let write_telemetry_bench () =
+  let module Json = Pift_obs.Json in
+  let recorded = Lazy.force bench_trace in
+  let events =
+    Array.init (Trace.length recorded.Recorded.trace) (fun i ->
+        Trace.get recorded.Recorded.trace i)
+  in
+  let replay ?telemetry ?profile () =
+    let t = Tracker.create ~policy:Policy.default ?telemetry ?profile () in
+    Tracker.taint_source t ~pid:1 (Range.of_len 0x4000_0000 32);
+    Array.iter (Tracker.observe t) events
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let rounds = 5 in
+  let best f =
+    ignore (time f);
+    (* warm-up *)
+    let b = ref infinity in
+    for _ = 1 to rounds do
+      let s = time f in
+      if s < !b then b := s
+    done;
+    !b
+  in
+  let off_s = best (fun () -> replay ()) in
+  let telem = Pift_obs.Telemetry.create () in
+  let telem_s =
+    best (fun () ->
+        Pift_obs.Telemetry.clear telem;
+        replay ~telemetry:telem ())
+  in
+  let profile = Pift_obs.Profile.create () in
+  let prof_s =
+    best (fun () ->
+        Pift_obs.Profile.reset profile;
+        replay ~profile ())
+  in
+  let n = Array.length events in
+  let rate s = if s > 0. then float_of_int n /. s else 0. in
+  let pct on = if off_s > 0. then 100. *. (on -. off_s) /. off_s else 0. in
+  let json =
+    Json.Obj
+      [
+        ("bench", Json.String "tracker-telemetry-profiler");
+        ("events", Json.Int n);
+        ("rounds", Json.Int rounds);
+        ("off_seconds", Json.Float off_s);
+        ("off_events_per_sec", Json.Float (rate off_s));
+        ("telemetry_on_seconds", Json.Float telem_s);
+        ("telemetry_on_events_per_sec", Json.Float (rate telem_s));
+        ("telemetry_overhead_pct", Json.Float (pct telem_s));
+        ("telemetry_snapshots", Json.Int (Pift_obs.Telemetry.taken telem));
+        ("profiler_on_seconds", Json.Float prof_s);
+        ("profiler_on_events_per_sec", Json.Float (rate prof_s));
+        ("profiler_overhead_pct", Json.Float (pct prof_s));
+        ( "profiler_regions",
+          Json.Int (List.length (Pift_obs.Profile.folded profile)) );
+      ]
+  in
+  let oc = open_out "BENCH_telemetry.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "wrote BENCH_telemetry.json (off %.0f ev/s; telemetry %.0f ev/s, %.1f%%; \
+     profiler %.0f ev/s, %.1f%%)\n"
+    (rate off_s) (rate telem_s) (pct telem_s) (rate prof_s) (pct prof_s)
+
 (* Tracker replay with the provenance sidecar off vs on, over the same
    event stream (best-of-5): the sidecar's budget is "option-guarded,
    zero when off; bounded per-label cost when on".  Verdict equality is
@@ -707,6 +786,8 @@ let () =
     write_prov_bench ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "traceio" then
     write_traceio_bench ()
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "telemetry" then
+    write_telemetry_bench ()
   else begin
     run_microbenchmarks ();
     write_obs_snapshot ();
@@ -714,6 +795,7 @@ let () =
     write_trace_bench ();
     write_store_bench ();
     write_traceio_bench ();
+    write_telemetry_bench ();
     write_prov_bench ();
     print_endline
       "######## paper reproduction (every table & figure) ########";

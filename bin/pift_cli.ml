@@ -146,6 +146,109 @@ let write_trace ~out ~run rings =
        if d > 0 then Printf.sprintf ", %d dropped to wrap-around" d else "")
   end
 
+(* --- telemetry / profiler / live-view options --- *)
+
+let telemetry_out =
+  let doc =
+    "Append continuous-telemetry snapshots to $(docv) (JSONL, readable by \
+     $(b,pift report)): a bounded ring of periodic readings — tainted \
+     bytes, range count, window occupancy, store state — taken every \
+     $(b,--telemetry-every) events.  Telemetry never touches stdout: \
+     output is byte-identical with or without it."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry-out" ] ~docv:"FILE" ~doc)
+
+let telemetry_every =
+  let doc =
+    "Events between telemetry snapshots ($(b,0) disables the event \
+     trigger)."
+  in
+  Arg.(
+    value
+    & opt int Obs.Telemetry.default_every
+    & info [ "telemetry-every" ] ~docv:"N" ~doc)
+
+let telemetry_interval =
+  let doc =
+    "Seconds between wall-clock telemetry snapshots ($(b,0) = event \
+     cadence only)."
+  in
+  Arg.(
+    value & opt float 0. & info [ "telemetry-interval" ] ~docv:"SEC" ~doc)
+
+let profile_out =
+  let doc =
+    "Write an overhead-attribution profile to $(docv): folded stacks \
+     (self time per $(b,pool;replay;tracker;store)-style region path, \
+     flamegraph.pl/speedscope-compatible), summarized per subsystem by \
+     $(b,pift report).  Never touches stdout."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE" ~doc)
+
+let top_flag =
+  let doc =
+    "Live per-worker dashboard on stderr while the run is in flight: \
+     throughput, tainted bytes, snapshot-ring health per slot.  Needs a \
+     terminal (silently off otherwise) and implies telemetry recording; \
+     stdout is untouched."
+  in
+  Arg.(value & flag & info [ "top" ] ~doc)
+
+let progress_flag =
+  let doc =
+    "Report progress even when stderr is not a terminal: degrades the \
+     live meter to a log line every 25 cells."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+(* One telemetry instance per worker slot when --telemetry-out or --top
+   was given; [||] keeps Tracker.observe's bump on its no-op branch. *)
+let telems_of ~out ~top ~every ~interval ~slots =
+  if out = None && not top then [||]
+  else
+    Array.init (max 1 slots) (fun _ ->
+        Obs.Telemetry.create ~every ~interval ())
+
+let profiles_of profile_out ~slots =
+  match profile_out with
+  | None -> [||]
+  | Some _ -> Array.init (max 1 slots) (fun _ -> Obs.Profile.create ())
+
+let write_telemetry ~out ~run telems =
+  if Array.length telems > 0 then begin
+    (* One final reading per slot: short runs that never hit the cadence
+       still export a point, and the series always ends at run end. *)
+    Array.iter Obs.Telemetry.sample_now telems;
+    let oc = open_out out in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Obs.Telemetry.write_jsonl oc ~run telems);
+    let sum f = Array.fold_left (fun acc t -> acc + f t) 0 telems in
+    let dropped = sum Obs.Telemetry.dropped in
+    (* stderr, like write_trace: stdout stays byte-identical *)
+    Printf.eprintf "telemetry:  wrote %s (%d snapshots across %d slots%s)\n"
+      out
+      (sum Obs.Telemetry.taken)
+      (Array.length telems)
+      (if dropped > 0 then
+         Printf.sprintf ", %d dropped to wrap-around" dropped
+       else "")
+  end
+
+let write_profile ~out profiles =
+  if Array.length profiles > 0 then begin
+    let rows = Obs.Profile.merged profiles in
+    let oc = open_out out in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Obs.Profile.to_folded_string rows));
+    Printf.eprintf "profile:    wrote %s (%d stacks)\n" out (List.length rows)
+  end
+
 (* --- provenance options --- *)
 
 module Graph = Pift_core.Provenance.Graph
@@ -192,23 +295,39 @@ let write_flow_out ~out ~run (g, sinks) =
   end
 
 (* Live cells-done/total line on stderr, fed by the sweep's [on_cell]
-   hook; created on the first callback, when the total is known. *)
-let cell_progress label =
-  let state = ref None in
-  let on_cell done_ total =
-    let p =
-      match !state with
-      | Some p -> p
-      | None ->
-          let p = Obs.Progress.create ~label ~total () in
-          state := Some p;
-          p
-    in
-    ignore done_;
-    Obs.Progress.step p
-  in
-  let finish () = Option.iter Obs.Progress.finish !state in
-  (on_cell, finish)
+   hook; created on the first callback, when the total is known.
+   [force] keeps reporting off a tty (as periodic log lines); [top]
+   routes the hook into the multi-line dashboard instead, which learns
+   its total the same lazy way via [Top.set_total]. *)
+let cell_progress ?(force = false) ?top label =
+  match top with
+  | Some t ->
+      let on_cell done_ total =
+        ignore done_;
+        Obs.Top.set_total t total;
+        Obs.Top.step t
+      in
+      (on_cell, fun () -> Obs.Top.finish t)
+  | None ->
+      let state = ref None in
+      let on_cell done_ total =
+        let p =
+          match !state with
+          | Some p -> p
+          | None ->
+              let p =
+                Obs.Progress.create
+                  ?enabled:(if force then Some true else None)
+                  ~label ~total ()
+              in
+              state := Some p;
+              p
+        in
+        ignore done_;
+        Obs.Progress.step p
+      in
+      let finish () = Option.iter Obs.Progress.finish !state in
+      (on_cell, finish)
 
 let write_metrics ~out ~format ~run registry =
   let samples = Obs.Registry.snapshot registry in
@@ -256,12 +375,26 @@ let list_apps_cmd =
 (* --- run-app --- *)
 
 let run_app name ni nt untaint verbose jit explain prov prov_out backend
-    metrics_out metrics_format trace_out =
+    metrics_out metrics_format trace_out telemetry_out telemetry_every
+    telemetry_interval profile_out top =
   let app = find_app name in
   let policy = policy_of ni nt untaint in
   let metrics = registry_of metrics_out in
   let rings = rings_of trace_out ~slots:1 in
   let flight = if Array.length rings > 0 then Some rings.(0) else None in
+  let telems =
+    telems_of ~out:telemetry_out ~top ~every:telemetry_every
+      ~interval:telemetry_interval ~slots:1
+  in
+  let telemetry = if Array.length telems > 0 then Some telems.(0) else None in
+  let profiles = profiles_of profile_out ~slots:1 in
+  let profile =
+    if Array.length profiles > 0 then Some profiles.(0) else None
+  in
+  let top_view =
+    if top then Some (Obs.Top.create ~label:app.App.name ~telems ~rings ())
+    else None
+  in
   (* A single replay is cheap enough to flight the tracker itself:
      per-event counter tracks (tainted bytes, ranges, window occupancy)
      plus source/sink instants, bracketed by per-phase spans. *)
@@ -275,12 +408,13 @@ let run_app name ni nt untaint verbose jit explain prov prov_out backend
   let recorded =
     Obs.Span.with_ ~name:"record" (fun () ->
         fspan "record" (fun () ->
-            Recorded.record ~mode:(mode_of jit) ?metrics ?flight app))
+            Recorded.record ~mode:(mode_of jit) ?metrics ?flight ?profile app))
   in
   let replay =
     Obs.Span.with_ ~name:"replay" (fun () ->
         fspan "replay" (fun () ->
-            Recorded.replay ~backend ~policy ?metrics ?flight recorded))
+            Recorded.replay ~backend ~policy ?metrics ?flight ?telemetry
+              ?profile recorded))
   in
   let dift =
     Obs.Span.with_ ~name:"full-dift" (fun () ->
@@ -298,7 +432,15 @@ let run_app name ni nt untaint verbose jit explain prov prov_out backend
             Pift_core.Storage.create ~backend ~metrics:registry ()
           in
           let hw_store = Pift_core.Store.of_storage storage in
-          ignore (Recorded.replay ~store:hw_store ~policy recorded);
+          (* The hardware pass owns a storage model worth watching: bind
+             its occupancy as an extra telemetry source (the tracker
+             rebinds its own sources to the hw store for this replay). *)
+          (match telemetry with
+          | None -> ()
+          | Some te ->
+              Obs.Telemetry.set_source te ~name:"storage_occupancy"
+                (fun () -> float_of_int (Pift_core.Storage.occupancy storage)));
+          ignore (Recorded.replay ~store:hw_store ~policy ?telemetry recorded);
           let st = Pift_core.Storage.stats storage in
           let trace = recorded.Recorded.trace in
           Pift_core.Hw_model.observe ~metrics:registry
@@ -368,6 +510,13 @@ let run_app name ni nt untaint verbose jit explain prov prov_out backend
   | Some registry, Some out ->
       write_metrics ~out ~format:metrics_format ~run:app.App.name registry
   | _ -> ());
+  (match top_view with Some t -> Obs.Top.finish t | None -> ());
+  (match telemetry_out with
+  | Some out -> write_telemetry ~out ~run:app.App.name telems
+  | None -> ());
+  (match profile_out with
+  | Some out -> write_profile ~out profiles
+  | None -> ());
   match trace_out with
   | Some out -> write_trace ~out ~run:app.App.name rings
   | None -> ()
@@ -395,23 +544,36 @@ let run_app_cmd =
     Term.(
       const run_app $ app_arg $ ni $ nt $ untaint $ verbose $ jit $ explain
       $ prov_flag $ prov_out $ store_backend $ metrics_out $ metrics_format
-      $ trace_out)
+      $ trace_out $ telemetry_out $ telemetry_every $ telemetry_interval
+      $ profile_out $ top_flag)
 
 (* --- sweep --- *)
 
 let sweep subset_only backend jobs metrics_out metrics_format trace_out prov
-    prov_out =
+    prov_out telemetry_out telemetry_every telemetry_interval profile_out top
+    progress =
   let apps =
     if subset_only then Pift_workloads.Droidbench.subset48
     else Pift_workloads.Droidbench.all
   in
   let metrics = registry_of metrics_out in
   let rings = rings_of trace_out ~slots:jobs in
-  let on_cell, finish_cells = cell_progress "cells" in
+  let telems =
+    telems_of ~out:telemetry_out ~top ~every:telemetry_every
+      ~interval:telemetry_interval ~slots:jobs
+  in
+  let profiles = profiles_of profile_out ~slots:jobs in
+  let top_view =
+    if top then Some (Obs.Top.create ~label:"sweep" ~telems ~rings ())
+    else None
+  in
+  let on_cell, finish_cells =
+    cell_progress ~force:progress ?top:top_view "cells"
+  in
   let sweep =
     Obs.Span.with_ ~name:"sweep" (fun () ->
-        Pift_eval.Accuracy.sweep ~backend ?metrics ~rings ~on_cell ~jobs
-          ~with_origins:prov apps)
+        Pift_eval.Accuracy.sweep ~backend ?metrics ~rings ~telems ~profiles
+          ~on_cell ~jobs ~with_origins:prov apps)
   in
   finish_cells ();
   Pift_eval.Accuracy.render sweep Format.std_formatter ();
@@ -439,6 +601,12 @@ let sweep subset_only backend jobs metrics_out metrics_format trace_out prov
   | Some registry, Some out ->
       write_metrics ~out ~format:metrics_format ~run:"sweep" registry
   | _ -> ());
+  (match telemetry_out with
+  | Some out -> write_telemetry ~out ~run:"sweep" telems
+  | None -> ());
+  (match profile_out with
+  | Some out -> write_profile ~out profiles
+  | None -> ());
   match trace_out with
   | Some out -> write_trace ~out ~run:"sweep" rings
   | None -> ()
@@ -474,7 +642,9 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Accuracy sweep over the NI x NT grid (Fig. 11).")
     Term.(
       const sweep $ subset $ store_backend $ jobs $ metrics_out
-      $ metrics_format $ trace_out $ prov $ prov_out)
+      $ metrics_format $ trace_out $ prov $ prov_out $ telemetry_out
+      $ telemetry_every $ telemetry_interval $ profile_out $ top_flag
+      $ progress_flag)
 
 (* --- experiment --- *)
 
@@ -611,10 +781,16 @@ let convert_cmd =
           byte-identical output.")
     Term.(const convert $ input $ output $ format)
 
-let analyze_trace path ni nt untaint =
-  let recorded = Pift_eval.Trace_io.load path in
+let analyze_trace path ni nt untaint profile_out =
+  let profiles = profiles_of profile_out ~slots:1 in
+  let profile =
+    if Array.length profiles > 0 then Some profiles.(0) else None
+  in
+  (* The one command where decode dominates: with --profile-out the
+     breakdown shows trace_io (parse) next to replay/tracker/store. *)
+  let recorded = Pift_eval.Trace_io.load ?profile path in
   let policy = policy_of ni nt untaint in
-  let replay = Recorded.replay ~policy recorded in
+  let replay = Recorded.replay ~policy ?profile recorded in
   Printf.printf "trace:   %s (%d events)\n" recorded.Recorded.name
     (Pift_trace.Trace.length recorded.Recorded.trace);
   Printf.printf "policy:  %s\n" (Policy.to_string policy);
@@ -627,7 +803,10 @@ let analyze_trace path ni nt untaint =
   Printf.printf
     "verdict: %s (%d taint ops, %d untaint ops, max %d tainted bytes)\n"
     (if replay.Recorded.flagged then "LEAK DETECTED" else "no leak")
-    s.Tracker.taint_ops s.Tracker.untaint_ops s.Tracker.max_tainted_bytes
+    s.Tracker.taint_ops s.Tracker.untaint_ops s.Tracker.max_tainted_bytes;
+  match profile_out with
+  | Some out -> write_profile ~out profiles
+  | None -> ()
 
 let analyze_trace_cmd =
   let path =
@@ -639,7 +818,7 @@ let analyze_trace_cmd =
   Cmd.v
     (Cmd.info "analyze-trace"
        ~doc:"Run the PIFT analysis over a previously recorded trace file.")
-    Term.(const analyze_trace $ path $ ni $ nt $ untaint)
+    Term.(const analyze_trace $ path $ ni $ nt $ untaint $ profile_out)
 
 (* --- why --- *)
 
@@ -785,21 +964,72 @@ let report_dot path content =
   Printf.printf "== Graphviz provenance graph (%s) ==\n" path;
   Printf.printf "%d nodes, %d edges\n" (count is_node) (count is_edge)
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A --profile-out export is folded-stack text, not JSON; sniffed on raw
+   content like DOT and rendered as the subsystem breakdown. *)
+let report_folded path content =
+  match Obs.Profile.parse_folded content with
+  | rows -> Obs.Profile.render ~source:path rows Format.std_formatter ()
+  | exception Obs.Profile.Malformed msg ->
+      Printf.eprintf "%s: %s\n" path msg;
+      exit 2
+
+(* Parse every non-empty line of a metrics/bench/telemetry file; a
+   single-object file diffs as that object, a multi-line file as a list
+   (paired per line by the diff walk). *)
+let json_of_report_file path =
+  let lineno = ref 0 in
+  let parsed =
+    List.filter_map
+      (fun line ->
+        incr lineno;
+        if String.equal (String.trim line) "" then None
+        else
+          match Obs.Json.of_string line with
+          | json -> Some json
+          | exception Obs.Json.Parse_error msg ->
+              Printf.eprintf "%s:%d: not JSON (%s)\n" path !lineno msg;
+              exit 2)
+      (String.split_on_char '\n' (read_file path))
+  in
+  match parsed with
+  | [] ->
+      Printf.eprintf "%s: no JSON objects found\n" path;
+      exit 2
+  | [ j ] -> j
+  | many -> Obs.Json.List many
+
+(* The regression gate: exit 1 when the comparison regresses, so CI can
+   diff a fresh bench/metrics file against the committed baseline. *)
+let report_diff ~baseline ~current ~max_ratio ~min_abs =
+  let a = json_of_report_file baseline in
+  let b = json_of_report_file current in
+  let r =
+    Obs.Diff.compare_json ~max_ratio ~min_abs ~baseline:a ~current:b ()
+  in
+  Obs.Diff.render ~label_a:baseline ~label_b:current r Format.std_formatter ();
+  if r.Obs.Diff.r_regressions > 0 then exit 1
+
 (* Each line is sniffed independently ([Obs.Sink.classify]): metrics
    snapshots render as before, trace files get the flight-recorder
    summary, provenance exports (flow graphs, attribution) get per-sink
-   flow summaries, and objects from formats this build doesn't know are
-   skipped with a warning instead of failing the whole report — only
-   parse errors and structurally broken known formats exit 2. *)
-let report path =
-  let ic = open_in_bin path in
-  let content =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
+   flow summaries, telemetry lines are collected and rendered as one
+   time-series table at the end, and objects from formats this build
+   doesn't know are skipped with a warning instead of failing the whole
+   report — only parse errors and structurally broken known formats
+   exit 2. *)
+let report_one path =
+  let content = read_file path in
   if Obs.Sink.looks_like_dot content then report_dot path content
+  else if Obs.Profile.looks_like_folded content then
+    report_folded path content
   else begin
+    let telemetry_lines = ref [] in
     let rendered = ref 0 in
     let lineno = ref 0 in
     List.iter
@@ -856,6 +1086,11 @@ let report path =
                   | exception Obs.Sink.Malformed msg ->
                       Printf.eprintf "%s:%d: %s\n" path !lineno msg;
                       exit 2)
+              | Obs.Sink.Telemetry ->
+                  (* collected, not rendered per line: the series view
+                     needs every snapshot of the file at once *)
+                  telemetry_lines := json :: !telemetry_lines;
+                  incr rendered
               | Obs.Sink.Unknown keys ->
                   Printf.eprintf
                     "%s:%d: skipping unrecognized snapshot (top-level \
@@ -864,11 +1099,33 @@ let report path =
                     (if keys = [] then "none"
                      else String.concat ", " keys)))
       (String.split_on_char '\n' content);
+    (match List.rev !telemetry_lines with
+    | [] -> ()
+    | lines -> (
+        match Obs.Telemetry.render_json_lines lines Format.std_formatter () with
+        | () -> ()
+        | exception Obs.Telemetry.Malformed msg ->
+            Printf.eprintf "%s: %s\n" path msg;
+            exit 2));
     if !rendered = 0 then begin
       Printf.eprintf "%s: no snapshots found\n" path;
       exit 2
     end
   end
+
+let report path second diff max_ratio min_abs =
+  match (diff, second) with
+  | true, Some current ->
+      report_diff ~baseline:path ~current ~max_ratio ~min_abs
+  | true, None ->
+      Printf.eprintf
+        "report: --diff compares two files (pift report --diff BASELINE \
+         CURRENT)\n";
+      exit 2
+  | false, Some _ ->
+      Printf.eprintf "report: a second file only makes sense with --diff\n";
+      exit 2
+  | false, None -> report_one path
 
 let report_cmd =
   let path =
@@ -878,18 +1135,64 @@ let report_cmd =
       & info [] ~docv:"FILE"
           ~doc:
             "JSONL metrics file from --metrics-out, a Chrome trace JSON \
-             from --trace-out, a provenance export from --prov-out or \
-             $(b,why) (flow-graph JSON, attribution JSON, or Graphviz \
-             DOT) — sniffed per line (DOT by raw content).")
+             from --trace-out, a telemetry series from --telemetry-out, \
+             a folded-stack profile from --profile-out, a provenance \
+             export from --prov-out or $(b,why) (flow-graph JSON, \
+             attribution JSON, or Graphviz DOT) — sniffed per line (DOT \
+             and folded stacks by raw content).  With $(b,--diff), the \
+             baseline file.")
+  in
+  let second =
+    Arg.(
+      value
+      & pos 1 (some file) None
+      & info [] ~docv:"CURRENT"
+          ~doc:
+            "Second file for $(b,--diff): the current run, compared \
+             against the baseline in the first position.")
+  in
+  let diff =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:
+            "Structurally compare two metrics/bench JSON files instead of \
+             rendering one.  Numeric fields pair by path (named lists by \
+             their $(b,name) member), each with a worse-direction \
+             inferred from its name; exits 1 when any field regresses \
+             past the thresholds, 0 otherwise — the CI regression gate.")
+  in
+  let max_ratio =
+    Arg.(
+      value
+      & opt float Obs.Diff.default_max_ratio
+      & info [ "max-ratio" ] ~docv:"R"
+          ~doc:
+            "Regression threshold for $(b,--diff): a numeric field fails \
+             the gate when it is more than $(docv) times worse than the \
+             baseline (default 1.25; CI uses 2.0).")
+  in
+  let min_abs =
+    Arg.(
+      value & opt float 0.
+      & info [ "min-abs" ] ~docv:"X"
+          ~doc:
+            "Absolute-change floor for $(b,--diff): changes smaller than \
+             $(docv) in absolute terms never regress, whatever the \
+             ratio — keeps sub-millisecond microbenchmark noise from \
+             failing the gate.")
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:
          "Render the snapshots of a previous run: metrics (span timings, \
           counters, gauges, histograms), flight-recorder trace summaries \
-          (per-phase time, worker utilization, slowest spans), or \
-          provenance exports (per-sink flow and attribution summaries).")
-    Term.(const report $ path)
+          (per-phase time, worker utilization, slowest spans), telemetry \
+          time series (sparkline per metric), overhead-attribution \
+          profiles (per-subsystem share), or provenance exports (per-sink \
+          flow and attribution summaries).  With $(b,--diff), compare two \
+          metrics/bench files and gate on regressions.")
+    Term.(const report $ path $ second $ diff $ max_ratio $ min_abs)
 
 (* --- trace-stats --- *)
 

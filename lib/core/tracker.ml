@@ -72,31 +72,53 @@ type t = {
   meters : meters option;
   flight : Pift_obs.Flight.t option;
   prov : Provenance.t option;
+  telemetry : Pift_obs.Telemetry.t option;
+  profile : Pift_obs.Profile.t option;
+  mutable last_window_used : int;  (* telemetry's window_used source *)
 }
 
 (* LTLT <- -inf (Algorithm 1 line 8); any value with ltlt + ni < 1 works. *)
 let minus_infinity = min_int / 2
 
 let create ?(policy = Policy.default) ?(store = Store.create ()) ?metrics
-    ?flight ?prov () =
-  {
-    flight;
-    prov;
-    policy;
-    store;
-    windows = Hashtbl.create 4;
-    taint_ops = 0;
-    untaint_ops = 0;
-    lookups = 0;
-    tainted_loads = 0;
-    max_tainted_bytes = 0;
-    max_ranges = 0;
-    events = 0;
-    last_time = 0;
-    bytes_series = Series.create ~name:"tainted bytes" ();
-    ops_series = Series.create ~name:"taint+untaint ops" ();
-    meters = Option.map meters_of metrics;
-  }
+    ?flight ?prov ?telemetry ?profile () =
+  let t =
+    {
+      flight;
+      prov;
+      telemetry;
+      profile;
+      policy;
+      store;
+      windows = Hashtbl.create 4;
+      taint_ops = 0;
+      untaint_ops = 0;
+      lookups = 0;
+      tainted_loads = 0;
+      max_tainted_bytes = 0;
+      max_ranges = 0;
+      events = 0;
+      last_time = 0;
+      last_window_used = 0;
+      bytes_series = Series.create ~name:"tainted bytes" ();
+      ops_series = Series.create ~name:"taint+untaint ops" ();
+      meters = Option.map meters_of metrics;
+    }
+  in
+  (* Telemetry sources are closures over this tracker's live state; they
+     replace any previous tracker's bindings on the shared per-slot
+     instance (a sweep builds one tracker per grid cell). *)
+  (match telemetry with
+  | None -> ()
+  | Some te ->
+      let module Telemetry = Pift_obs.Telemetry in
+      Telemetry.set_source te ~name:"tainted_bytes" (fun () ->
+          float_of_int (t.store.Store.tainted_bytes ()));
+      Telemetry.set_source te ~name:"ranges" (fun () ->
+          float_of_int (t.store.Store.range_count ()));
+      Telemetry.set_source te ~name:"window_used" (fun () ->
+          float_of_int t.last_window_used));
+  t
 
 let policy t = t.policy
 
@@ -107,6 +129,34 @@ let window t pid =
       let w = { ltlt = minus_infinity; nt_used = 0 } in
       Hashtbl.add t.windows pid w;
       w
+
+(* Store operations bracketed as "store" profiler regions, so folded
+   stacks separate interval-set cost from the tracker's own window
+   logic; the [None] branch costs one match, the usual gating. *)
+let st_overlaps t ~pid r =
+  match t.profile with
+  | None -> t.store.Store.overlaps ~pid r
+  | Some p ->
+      Pift_obs.Profile.enter p "store";
+      let v = t.store.Store.overlaps ~pid r in
+      Pift_obs.Profile.leave p;
+      v
+
+let st_add t ~pid r =
+  match t.profile with
+  | None -> t.store.Store.add ~pid r
+  | Some p ->
+      Pift_obs.Profile.enter p "store";
+      t.store.Store.add ~pid r;
+      Pift_obs.Profile.leave p
+
+let st_remove t ~pid r =
+  match t.profile with
+  | None -> t.store.Store.remove ~pid r
+  | Some p ->
+      Pift_obs.Profile.enter p "store";
+      t.store.Store.remove ~pid r;
+      Pift_obs.Profile.leave p
 
 let update_peaks t ~time =
   let bytes = t.store.Store.tainted_bytes () in
@@ -135,7 +185,7 @@ let taint_source ?(kind = "source") t ~pid r =
   (match t.prov with
   | None -> ()
   | Some p -> Provenance.taint_source p ~pid ~label:kind r);
-  t.store.Store.add ~pid r;
+  st_add t ~pid r;
   update_peaks t ~time:t.last_time
 
 (* Like [taint_source], a Manager-driven untaint must land in the
@@ -146,7 +196,7 @@ let untaint_range t ~pid r =
   (match t.prov with
   | None -> ()
   | Some p -> Provenance.untaint_range p ~pid r);
-  t.store.Store.remove ~pid r;
+  st_remove t ~pid r;
   update_peaks t ~time:t.last_time
 
 let origins_of t ~pid r =
@@ -159,10 +209,10 @@ let is_tainted t ~pid r =
   (match t.flight with
   | None -> ()
   | Some f -> Pift_obs.Flight.instant f "sink-check");
-  t.store.Store.overlaps ~pid r
+  st_overlaps t ~pid r
 let tainted_ranges t ~pid = t.store.Store.ranges ~pid
 
-let observe t e =
+let observe_event t e =
   t.events <- t.events + 1;
   (match t.meters with
   | None -> ()
@@ -182,7 +232,7 @@ let observe t e =
       (match t.meters with
       | None -> ()
       | Some m -> Counter.incr m.m_lookups);
-      if t.store.Store.overlaps ~pid:e.pid r then begin
+      if st_overlaps t ~pid:e.pid r then begin
         t.tainted_loads <- t.tainted_loads + 1;
         (match t.meters with
         | None -> ()
@@ -199,8 +249,9 @@ let observe t e =
       let w = window t e.pid in
       if e.k <= w.ltlt + t.policy.Policy.ni && w.nt_used < t.policy.Policy.nt
       then begin
-        t.store.Store.add ~pid:e.pid r;
+        st_add t ~pid:e.pid r;
         w.nt_used <- w.nt_used + 1;
+        t.last_window_used <- w.nt_used;
         (match t.flight with
         | None -> ()
         | Some f ->
@@ -212,9 +263,9 @@ let observe t e =
         record_op t ~time:e.seq;
         update_peaks t ~time:e.seq
       end
-      else if t.policy.Policy.untaint && t.store.Store.overlaps ~pid:e.pid r
+      else if t.policy.Policy.untaint && st_overlaps t ~pid:e.pid r
       then begin
-        t.store.Store.remove ~pid:e.pid r;
+        st_remove t ~pid:e.pid r;
         t.untaint_ops <- t.untaint_ops + 1;
         (match t.meters with
         | None -> ()
@@ -222,6 +273,22 @@ let observe t e =
         record_op t ~time:e.seq;
         update_peaks t ~time:e.seq
       end
+
+(* The event entry point: one telemetry bump per event (an increment
+   and a compare when cadence is quiet), and the whole dispatch
+   attributed to the "tracker" region when profiling — store calls
+   nest "store" regions beneath it, so tracker self time is the window
+   logic proper. *)
+let observe t e =
+  (match t.telemetry with
+  | None -> ()
+  | Some te -> Pift_obs.Telemetry.bump te);
+  match t.profile with
+  | None -> observe_event t e
+  | Some p ->
+      Pift_obs.Profile.enter p "tracker";
+      observe_event t e;
+      Pift_obs.Profile.leave p
 
 let stats t =
   {

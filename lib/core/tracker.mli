@@ -16,7 +16,8 @@ type t
 
 val create :
   ?policy:Policy.t -> ?store:Store.t -> ?metrics:Pift_obs.Registry.t ->
-  ?flight:Pift_obs.Flight.t -> ?prov:Provenance.t -> unit -> t
+  ?flight:Pift_obs.Flight.t -> ?prov:Provenance.t ->
+  ?telemetry:Pift_obs.Telemetry.t -> ?profile:Pift_obs.Profile.t -> unit -> t
 (** [policy] defaults to {!Policy.default}; [store] to
     [Store.create ()] (the [Functional] backend — pass
     [Store.create ~backend ()] to pick another; all exact backends give
@@ -39,7 +40,16 @@ val create :
     their kind as the label, every observed event and [untaint_range]
     is mirrored, and {!origins_of} answers from it.  The sidecar's
     per-label union equals the tracker's own taint state at every step,
-    so verdicts, stats and stdout are unchanged by threading it. *)
+    so verdicts, stats and stdout are unchanged by threading it.
+
+    When [telemetry] is given, the tracker registers the
+    ["tainted_bytes"]/["ranges"]/["window_used"] snapshot sources
+    (replacing any previous tracker's bindings on a shared per-slot
+    instance) and bumps it once per {!observe}d event, so the snapshot
+    cadence follows real event flow.  When [profile] is given, every
+    event dispatch is attributed to the ["tracker"] region with store
+    operations nested as ["store"].  Both are no-ops when absent, and
+    neither ever changes verdicts, stats, or stdout. *)
 
 val policy : t -> Policy.t
 

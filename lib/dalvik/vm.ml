@@ -53,6 +53,7 @@ type t = {
   mutable bytecodes : int;
   meters : meters option;
   flight : Pift_obs.Flight.t option;
+  profile : Pift_obs.Profile.t option;
 }
 
 let code_base = 0x1000_0000
@@ -60,7 +61,7 @@ let entry_fp = 0x70f0_0000
 let statics_base = Layout.scratch_base + 0x10000
 
 let create ?(mode = Interpreter) ?(natives = Pift_runtime.Api.registry)
-    ?metrics ?flight env program =
+    ?metrics ?flight ?profile env program =
   let tbl = Hashtbl.create 32 in
   List.iter (fun (name, fn) -> Hashtbl.replace tbl name fn) natives;
   Cpu.set env.Env.cpu Reg.SP Layout.stack_base;
@@ -77,6 +78,7 @@ let create ?(mode = Interpreter) ?(natives = Pift_runtime.Api.registry)
     bytecodes = 0;
     meters = Option.map (meters_of ~mode) metrics;
     flight;
+    profile;
   }
 
 let env t = t.env
@@ -138,7 +140,16 @@ let cached_fragment t (m : Method.t) ~pc ~key resolved =
       Hashtbl.add t.frag_cache cache_key f;
       f
 
-let run_frag t frag = Cpu.run t.env.Env.cpu frag
+(* Fragment execution is the simulated-hardware share of a recording;
+   attributing it as "cpu" under the VM's "vm" region separates dispatch
+   and translation cost from raw instruction replay. *)
+let run_frag t frag =
+  match t.profile with
+  | None -> Cpu.run t.env.Env.cpu frag
+  | Some p ->
+      Pift_obs.Profile.enter p "cpu";
+      Cpu.run t.env.Env.cpu frag;
+      Pift_obs.Profile.leave p
 
 (* Field resolution through the receiver's runtime class (quickening). *)
 let field_offset t ~fp obj_vreg field =
@@ -343,13 +354,14 @@ let run t =
   | None -> ()
   | Some f -> Pift_obs.Flight.begin_ f "vm-run");
   let result =
-    match call t (Program.entry t.program) [] with
-    | (_ : int) -> `Ok
-    | exception Thrown obj ->
-        (match t.flight with
-        | None -> ()
-        | Some f -> Pift_obs.Flight.instant f "vm-uncaught");
-        `Uncaught obj
+    Pift_obs.Profile.span t.profile "vm" (fun () ->
+        match call t (Program.entry t.program) [] with
+        | (_ : int) -> `Ok
+        | exception Thrown obj ->
+            (match t.flight with
+            | None -> ()
+            | Some f -> Pift_obs.Flight.instant f "vm-uncaught");
+            `Uncaught obj)
   in
   (match t.flight with
   | None -> ()

@@ -28,6 +28,7 @@ val create :
   ?natives:(string * Pift_runtime.Env.native) list ->
   ?metrics:Pift_obs.Registry.t ->
   ?flight:Pift_obs.Flight.t ->
+  ?profile:Pift_obs.Profile.t ->
   Pift_runtime.Env.t ->
   Program.t ->
   t
@@ -36,7 +37,10 @@ val create :
     (labelled by execution mode) and translation-fragment cache
     hits/misses as [pift_vm_*].  With [flight], {!run} brackets the
     whole execution in a ["vm-run"] span and stamps a ["vm-uncaught"]
-    instant when an exception escapes the entry method. *)
+    instant when an exception escapes the entry method.  With [profile],
+    {!run} is attributed to a ["vm"] region with every fragment
+    execution nested beneath it as ["cpu"], so VM self time is dispatch
+    plus translation and ["cpu"] is raw instruction replay. *)
 
 val env : t -> Pift_runtime.Env.t
 

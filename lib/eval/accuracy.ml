@@ -235,12 +235,23 @@ let meters_of registry =
    hashing order into the result, which both broke run-to-run
    reproducibility and made parallel merges order-dependent. *)
 let sweep ?backend ?(nis = default_nis) ?(nts = default_nts) ?progress
-    ?on_cell ?metrics ?(rings = [||]) ?(jobs = 1) ?(with_origins = false)
-    apps =
-  Pift_par.Pool.with_pool ~jobs ~rings (fun pool ->
+    ?on_cell ?metrics ?(rings = [||]) ?(telems = [||]) ?(profiles = [||])
+    ?(jobs = 1) ?(with_origins = false) apps =
+  Pift_par.Pool.with_pool ~jobs ~rings ~profiles (fun pool ->
       let slots = Pift_par.Pool.jobs pool in
       let ring worker =
         if worker < Array.length rings then Some rings.(worker) else None
+      in
+      (* Telemetry and profiler instances follow the same per-slot
+         single-writer discipline as rings: each worker only ever touches
+         its own slot's instance, so the hot path stays lock-free and the
+         merged series/stacks are combined after the parallel region. *)
+      let telem worker =
+        if worker < Array.length telems then Some telems.(worker) else None
+      in
+      let profile worker =
+        if worker < Array.length profiles then Some profiles.(worker)
+        else None
       in
       let worker_registries =
         match metrics with
@@ -266,7 +277,7 @@ let sweep ?backend ?(nis = default_nis) ?(nts = default_nts) ?progress
                   (r, name))
                 (ring worker)
             in
-            let recorded = Recorded.record app in
+            let recorded = Recorded.record ?profile:(profile worker) app in
             (match span with
             | None -> ()
             | Some (r, name) -> Pift_obs.Flight.end_ r name);
@@ -313,7 +324,8 @@ let sweep ?backend ?(nis = default_nis) ?(nts = default_nts) ?progress
             Array.iteri
               (fun i recorded ->
                 let replay =
-                  Recorded.replay ?backend ~with_origins ~policy recorded
+                  Recorded.replay ?backend ?telemetry:(telem worker)
+                    ?profile:(profile worker) ~with_origins ~policy recorded
                 in
                 if worker_meters <> [||] then
                   Pift_obs.Metric.Counter.incr

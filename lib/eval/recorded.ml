@@ -21,7 +21,8 @@ type t = {
   bytecodes : int;
 }
 
-let record ?mode ?metrics ?flight (app : App.t) =
+let record ?mode ?metrics ?flight ?profile (app : App.t) =
+  Pift_obs.Profile.span profile "record" @@ fun () ->
   let trace = Trace.create () in
   let env = Env.create ?metrics ~sink:(Trace.sink trace) () in
   let markers = ref [] in
@@ -39,7 +40,7 @@ let record ?mode ?metrics ?flight (app : App.t) =
       markers := (seq (), Sink { kind; ranges }) :: !markers);
   let natives = Pift_runtime.Api.registry @ app.App.natives in
   let vm =
-    Vm.create ?mode ~natives ?metrics ?flight env (app.App.program ())
+    Vm.create ?mode ~natives ?metrics ?flight ?profile env (app.App.program ())
   in
   (match Vm.run vm with `Ok | `Uncaught _ -> ());
   {
@@ -86,8 +87,9 @@ let interleave t ~observe ~on_marker =
     t.trace;
   apply_until max_int
 
-let replay ?(backend = Store.Functional) ?store ?metrics ?flight
-    ?(with_origins = false) ~policy t =
+let replay ?(backend = Store.Functional) ?store ?metrics ?flight ?telemetry
+    ?profile ?(with_origins = false) ~policy t =
+  Pift_obs.Profile.span profile "replay" @@ fun () ->
   let store =
     match store with
     | Some store -> store
@@ -106,7 +108,9 @@ let replay ?(backend = Store.Functional) ?store ?metrics ?flight
       Some (Pift_core.Provenance.create ~policy ~backend ())
     else None
   in
-  let tracker = Tracker.create ~policy ~store ?metrics ?flight ?prov () in
+  let tracker =
+    Tracker.create ~policy ~store ?metrics ?flight ?prov ?telemetry ?profile ()
+  in
   let verdicts = ref [] in
   let origin_verdicts = ref [] in
   let on_marker = function

@@ -23,13 +23,16 @@ type t = {
 
 val record :
   ?mode:Pift_dalvik.Vm.mode -> ?metrics:Pift_obs.Registry.t ->
-  ?flight:Pift_obs.Flight.t -> Pift_workloads.App.t -> t
+  ?flight:Pift_obs.Flight.t -> ?profile:Pift_obs.Profile.t ->
+  Pift_workloads.App.t -> t
 (** Execute the app and capture everything.  An uncaught application
     exception terminates the run but still yields the recording.
     [mode] selects interpreter or JIT execution (default interpreter);
     [metrics] instruments the CPU and VM of the recording run; [flight]
     additionally stamps ["source"]/["sink-check"] instants as the
-    Manager fires and passes through to the VM's ["vm-run"] span. *)
+    Manager fires and passes through to the VM's ["vm-run"] span;
+    [profile] attributes the run to a ["record"] region with the VM's
+    ["vm"]/["cpu"] regions nested beneath it. *)
 
 type verdict = { kind : string; flagged : bool }
 
@@ -56,6 +59,7 @@ type replay = {
 val replay :
   ?backend:Pift_core.Store.backend -> ?store:Pift_core.Store.t ->
   ?metrics:Pift_obs.Registry.t -> ?flight:Pift_obs.Flight.t ->
+  ?telemetry:Pift_obs.Telemetry.t -> ?profile:Pift_obs.Profile.t ->
   ?with_origins:bool ->
   policy:Pift_core.Policy.t -> t -> replay
 (** Run Algorithm 1 over the recording.  [backend] (default
@@ -65,7 +69,13 @@ val replay :
     tracker and the taint store are instrumented ([pift_tracker_*],
     [pift_store_*]); [flight] is handed to the tracker for fine-grained
     event/counter stamps; verdicts and {!Pift_core.Tracker.stats} are
-    unaffected.  [with_origins] (default off) threads a
+    unaffected.  [telemetry] is handed to the tracker, which bumps the
+    snapshot cadence per event and binds the
+    ["tainted_bytes"]/["ranges"]/["window_used"] sources; [profile]
+    wraps the whole replay in a ["replay"] region with the tracker's
+    ["tracker"]/["store"] regions nested beneath it.  Neither changes
+    verdicts, stats, series, or stdout.  [with_origins] (default off)
+    threads a
     {!Pift_core.Provenance} sidecar (same policy and backend) through
     the tracker and fills [origins]; verdicts, stats and series are
     byte-identical with it on or off. *)

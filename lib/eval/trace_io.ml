@@ -593,11 +593,12 @@ let detect_format path =
   let ic = open_in_bin path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> detect_channel ic)
 
-let load path =
+let load ?profile path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      match detect_channel ic with
-      | Binary -> of_channel_binary ic
-      | Text -> of_channel ic)
+      Pift_obs.Profile.span profile "trace_io" (fun () ->
+          match detect_channel ic with
+          | Binary -> of_channel_binary ic
+          | Text -> of_channel ic))

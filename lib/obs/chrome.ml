@@ -87,12 +87,33 @@ let json ?(run = "pift") timeline =
          tracks
   in
   let events = List.concat_map events_of_track tracks in
+  let dropped = Timeline.dropped timeline in
   Json.Obj
-    [
-      ("traceEvents", Json.List (metadata @ events));
-      ("displayTimeUnit", Json.String "ms");
-      ("pift_dropped_events", Json.Int (Timeline.dropped timeline));
-    ]
+    ([
+       ("traceEvents", Json.List (metadata @ events));
+       ("displayTimeUnit", Json.String "ms");
+       ("pift_dropped_events", Json.Int dropped);
+     ]
+    @
+    (* Per-ring drop counters, only when something was actually lost so
+       drop-free traces keep their historical byte layout. *)
+    if dropped = 0 then []
+    else
+      [
+        ( "pift_dropped_by_track",
+          Json.List
+            (List.filter_map
+               (fun (tr : Timeline.track) ->
+                 if tr.Timeline.dropped = 0 then None
+                 else
+                   Some
+                     (Json.Obj
+                        [
+                          ("tid", Json.Int tr.Timeline.tid);
+                          ("dropped", Json.Int tr.Timeline.dropped);
+                        ]))
+               tracks) );
+      ])
 
 let write oc ?run timeline =
   output_string oc (Json.to_string (json ?run timeline));
@@ -324,6 +345,32 @@ let summarize j ppf () =
   if check.c_counter_names <> [] then
     Format.fprintf ppf "counter tracks: %s@,"
       (String.concat ", " check.c_counter_names);
+  if dropped > 0 then begin
+    (* Dropped events mean the rings wrapped: the summary below only
+       covers what survived, so say so loudly rather than inline. *)
+    let by_track =
+      match
+        Option.bind (Json.member "pift_dropped_by_track" j) Json.to_list
+      with
+      | None -> ""
+      | Some tracks ->
+          let one tr =
+            match
+              ( Option.bind (Json.member "tid" tr) Json.to_int,
+                Option.bind (Json.member "dropped" tr) Json.to_int )
+            with
+            | Some tid, Some d -> Some (Printf.sprintf "tid %d: %d" tid d)
+            | _ -> None
+          in
+          let parts = List.filter_map one tracks in
+          if parts = [] then ""
+          else Printf.sprintf " (%s)" (String.concat ", " parts)
+    in
+    Format.fprintf ppf
+      "warning: %d event(s) dropped to ring wrap-around%s — the oldest \
+       history is gone; raise the ring capacity@,"
+      dropped by_track
+  end;
   (* per-phase totals *)
   let phases = Hashtbl.create 8 in
   List.iter

@@ -1,0 +1,240 @@
+(* Structural comparison of two metrics/bench JSON files — the engine
+   behind `pift report --diff A B` and the CI regression gate over the
+   committed BENCH_*.json trajectory.
+
+   The walk pairs fields by key (objects), by "name" member (lists of
+   named objects, so metrics arrays survive reordering) or by index.
+   Whether a numeric change is a *regression* depends on the field's
+   direction, inferred from its path: seconds/bytes/stalls grow worse
+   upward, throughputs/speedups/accuracies grow worse downward, and
+   everything else (counts, parameters) is informational only.  A
+   change regresses when it moves in the worse direction by more than
+   [max_ratio] AND by at least [min_abs] in absolute terms — the
+   absolute floor keeps microbenchmark noise (a 0.4 ms stage doubling
+   on a busy CI runner) from failing the gate. *)
+
+type direction = Higher_worse | Lower_worse | Neutral
+
+type change = {
+  c_path : string;
+  c_base : float;
+  c_cur : float;
+  c_direction : direction;
+  c_severity : float;  (* worse-direction ratio; 1.0 when not worse *)
+  c_regressed : bool;
+}
+
+type result = {
+  r_changes : change list;  (* numeric fields that differ, walk order *)
+  r_notes : string list;  (* structural / non-numeric differences *)
+  r_compared : int;  (* numeric fields compared *)
+  r_regressions : int;
+}
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1))
+  in
+  m > 0 && go 0
+
+(* Direction by path substring.  Lower-worse wins ties ("events_per_sec"
+   contains no higher-worse token, but be explicit about precedence so
+   e.g. a hypothetical "bytes_per_sec" reads as a throughput). *)
+let direction_of_path path =
+  let p = String.lowercase_ascii path in
+  if
+    contains p "per_sec" || contains p "speedup" || contains p "accuracy"
+    || contains p "jaccard" || contains p "hit_rate"
+  then Lower_worse
+  else if
+    contains p "seconds" || contains p "_ms" || contains p "_ns"
+    || contains p "bytes" || contains p "stall" || contains p "overhead"
+    || contains p "dropped" || contains p "drops" || contains p "miss"
+    || contains p "evict"
+  then Higher_worse
+  else Neutral
+
+type ctx = {
+  max_ratio : float;
+  min_abs : float;
+  mutable changes_rev : change list;
+  mutable notes_rev : string list;
+  mutable compared : int;
+  mutable regressions : int;
+}
+
+let note ctx fmt =
+  Printf.ksprintf (fun s -> ctx.notes_rev <- s :: ctx.notes_rev) fmt
+
+let regression_note ctx fmt =
+  Printf.ksprintf
+    (fun s ->
+      ctx.notes_rev <- ("REGRESSION " ^ s) :: ctx.notes_rev;
+      ctx.regressions <- ctx.regressions + 1)
+    fmt
+
+let num ctx path a b =
+  ctx.compared <- ctx.compared + 1;
+  if a <> b then begin
+    let dir = direction_of_path path in
+    let worse =
+      match dir with
+      | Neutral -> false
+      | Higher_worse -> b > a
+      | Lower_worse -> b < a
+    in
+    let severity =
+      if not worse then 1.
+      else
+        match dir with
+        | Higher_worse -> if a = 0. then infinity else b /. a
+        | Lower_worse -> if b = 0. then infinity else a /. b
+        | Neutral -> 1.
+    in
+    let regressed =
+      worse && severity > ctx.max_ratio
+      && Float.abs (b -. a) >= ctx.min_abs
+    in
+    if regressed then ctx.regressions <- ctx.regressions + 1;
+    ctx.changes_rev <-
+      {
+        c_path = path;
+        c_base = a;
+        c_cur = b;
+        c_direction = dir;
+        c_severity = severity;
+        c_regressed = regressed;
+      }
+      :: ctx.changes_rev
+  end
+
+let join path key = if String.equal path "" then key else path ^ "." ^ key
+
+let name_of = function
+  | Json.Obj fields -> (
+      match List.assoc_opt "name" fields with
+      | Some (Json.String s) -> Some s
+      | _ -> None)
+  | _ -> None
+
+let rec walk ctx path base cur =
+  match (base, cur) with
+  | (Json.Int _ | Json.Float _), (Json.Int _ | Json.Float _) ->
+      (* mixed int/float encodings of the same field compare numerically *)
+      let f = function
+        | Json.Int i -> float_of_int i
+        | Json.Float x -> x
+        | _ -> assert false
+      in
+      num ctx path (f base) (f cur)
+  | Json.Bool a, Json.Bool b ->
+      if a <> b then
+        if a && not b then
+          (* a correctness flag going false is always a regression,
+             whatever the threshold (e.g. BENCH identical_cells) *)
+          regression_note ctx "%s: true -> false" path
+        else note ctx "%s: false -> true" path
+  | Json.String a, Json.String b ->
+      if not (String.equal a b) then note ctx "%s: %S -> %S" path a b
+  | Json.Null, Json.Null -> ()
+  | Json.Obj a, Json.Obj b ->
+      List.iter
+        (fun (key, va) ->
+          match List.assoc_opt key b with
+          | Some vb -> walk ctx (join path key) va vb
+          | None -> note ctx "%s: missing from current file" (join path key))
+        a;
+      List.iter
+        (fun (key, _) ->
+          if not (List.mem_assoc key a) then
+            note ctx "%s: only in current file" (join path key))
+        b
+  | Json.List a, Json.List b ->
+      let named l = List.for_all (fun j -> name_of j <> None) l in
+      if a <> [] && b <> [] && named a && named b then
+        (* lists of named objects (metrics arrays) pair by name, so
+           reordering is not a difference *)
+        List.iter
+          (fun va ->
+            let n = Option.get (name_of va) in
+            match
+              List.find_opt
+                (fun vb -> name_of vb = Some n)
+                b
+            with
+            | Some vb -> walk ctx (join path n) va vb
+            | None -> note ctx "%s: missing from current file" (join path n))
+          a
+      else begin
+        let la = List.length a and lb = List.length b in
+        if la <> lb then note ctx "%s: %d vs %d elements" path la lb;
+        List.iteri
+          (fun i va ->
+            match List.nth_opt b i with
+            | Some vb -> walk ctx (Printf.sprintf "%s[%d]" path i) va vb
+            | None -> ())
+          a
+      end
+  | _ ->
+      note ctx "%s: different shapes (%s vs %s)" path (shape base) (shape cur)
+
+and shape = function
+  | Json.Null -> "null"
+  | Json.Bool _ -> "bool"
+  | Json.Int _ | Json.Float _ -> "number"
+  | Json.String _ -> "string"
+  | Json.List _ -> "list"
+  | Json.Obj _ -> "object"
+
+let default_max_ratio = 1.25
+
+let compare_json ?(max_ratio = default_max_ratio) ?(min_abs = 0.) ~baseline
+    ~current () =
+  let ctx =
+    {
+      max_ratio;
+      min_abs;
+      changes_rev = [];
+      notes_rev = [];
+      compared = 0;
+      regressions = 0;
+    }
+  in
+  walk ctx "" baseline current;
+  {
+    r_changes = List.rev ctx.changes_rev;
+    r_notes = List.rev ctx.notes_rev;
+    r_compared = ctx.compared;
+    r_regressions = ctx.regressions;
+  }
+
+let num_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let render ?(label_a = "baseline") ?(label_b = "current") r ppf () =
+  Format.fprintf ppf "== report diff (%s -> %s) ==@." label_a label_b;
+  Format.fprintf ppf "@[<v>%d numeric fields compared; %d changed, %d note(s), \
+                      %d regression(s)@,"
+    r.r_compared
+    (List.length r.r_changes)
+    (List.length r.r_notes) r.r_regressions;
+  let show c =
+    let tag = if c.c_regressed then "REGRESSION" else "change" in
+    let dir =
+      match c.c_direction with
+      | Neutral -> ""
+      | Higher_worse | Lower_worse ->
+          if c.c_severity > 1. then
+            Printf.sprintf " (%.2fx worse)" c.c_severity
+          else " (better)"
+    in
+    Format.fprintf ppf "  %-10s %s: %s -> %s%s@," tag c.c_path
+      (num_str c.c_base) (num_str c.c_cur) dir
+  in
+  List.iter show (List.filter (fun c -> c.c_regressed) r.r_changes);
+  List.iter show (List.filter (fun c -> not c.c_regressed) r.r_changes);
+  List.iter (fun n -> Format.fprintf ppf "  %s@," n) r.r_notes;
+  if r.r_regressions = 0 then Format.fprintf ppf "ok: no regressions@,";
+  Format.fprintf ppf "@]@."

@@ -1,0 +1,61 @@
+(** Structural comparison of two metrics/bench JSON files with
+    configurable regression thresholds — the engine behind
+    [pift report --diff A B] and the CI gate over the committed
+    [BENCH_*.json] trajectory.
+
+    Objects pair fields by key; lists whose elements all carry a
+    ["name"] member pair by name (metrics arrays survive reordering),
+    other lists by index.  Each numeric field gets a {e direction}
+    inferred from its path — seconds/bytes/stalls are worse when
+    higher, throughputs/speedups/accuracies worse when lower, anything
+    else is informational — and a change only {e regresses} when it
+    moves in the worse direction by more than [max_ratio] {b and} by at
+    least [min_abs] absolute (the floor that keeps sub-millisecond
+    microbenchmark noise from failing a gate).  A [true -> false] bool
+    flip (e.g. a bench's [identical_cells]) is always a regression. *)
+
+type direction = Higher_worse | Lower_worse | Neutral
+
+type change = {
+  c_path : string;  (** dotted path, list indices as [\[i\]] *)
+  c_base : float;
+  c_cur : float;
+  c_direction : direction;
+  c_severity : float;
+      (** ratio in the worse direction; [1.0] when not worse,
+          [infinity] against a zero baseline *)
+  c_regressed : bool;
+}
+
+type result = {
+  r_changes : change list;  (** numeric fields that differ, walk order *)
+  r_notes : string list;
+      (** structural and non-numeric differences (missing fields, shape
+          or string changes, bool flips) *)
+  r_compared : int;  (** numeric fields compared *)
+  r_regressions : int;  (** regressed changes plus regression notes *)
+}
+
+val direction_of_path : string -> direction
+
+val default_max_ratio : float
+(** 1.25. *)
+
+val compare_json :
+  ?max_ratio:float ->
+  ?min_abs:float ->
+  baseline:Json.t ->
+  current:Json.t ->
+  unit ->
+  result
+(** [max_ratio] defaults to {!default_max_ratio}, [min_abs] to [0.]. *)
+
+val render :
+  ?label_a:string ->
+  ?label_b:string ->
+  result ->
+  Format.formatter ->
+  unit ->
+  unit
+(** Human summary: regressions first, then benign changes and notes,
+    or an explicit ["ok: no regressions"]. *)

@@ -1,39 +1,56 @@
-(* Live progress for long sweeps: a single stderr status line rewritten
-   in place (carriage return, no newline until [finish]).  Writes only
-   to stderr so traced and untraced runs keep byte-identical stdout; off
-   by default when stderr is not a tty.  Steps may arrive from any
-   worker domain, so the counter and the throttled repaint are guarded
-   by a mutex — this is per-cell, not per-event, so the lock is cold. *)
+(* Live progress for long sweeps.  On a terminal: a single stderr
+   status line rewritten in place (carriage return, no newline until
+   [finish]).  Off a terminal, an explicitly enabled meter degrades to
+   plain log lines — one every [log_every] steps — because repainting
+   with carriage returns turns CI logs into megabytes of \r spam.
+   Writes only to stderr so metered and unmetered runs keep
+   byte-identical stdout; off by default when stderr is not a tty.
+   Steps may arrive from any worker domain, so the counter and the
+   throttled repaint are guarded by a mutex — this is per-cell, not
+   per-event, so the lock is cold. *)
+
+type mode = Off | Live | Log of int
 
 type t = {
   label : string;
   total : int;
-  enabled : bool;
+  mode : mode;
   started : float;
   mu : Mutex.t;
   mutable done_ : int;
   mutable last_paint : float;
+  mutable last_logged : int;
   mutable painted : bool;
 }
 
-let create ?enabled ~label ~total () =
-  let enabled =
-    match enabled with Some b -> b | None -> Unix.isatty Unix.stderr
+let default_log_every = 25
+
+let create ?enabled ?(log_every = default_log_every) ~label ~total () =
+  let tty = Unix.isatty Unix.stderr in
+  let mode =
+    match enabled with
+    | Some false -> Off
+    | Some true -> if tty then Live else Log (max 1 log_every)
+    | None -> if tty then Live else Off
   in
   {
     label;
     total = max 0 total;
-    enabled;
+    mode;
     started = Unix.gettimeofday ();
     mu = Mutex.create ();
     done_ = 0;
     last_paint = 0.;
+    last_logged = -1;
     painted = false;
   }
 
-let paint t ~now =
+let rate t ~now =
   let elapsed = now -. t.started in
-  let rate = if elapsed > 0. then float_of_int t.done_ /. elapsed else 0. in
+  if elapsed > 0. then float_of_int t.done_ /. elapsed else 0.
+
+let paint t ~now =
+  let rate = rate t ~now in
   let eta =
     if rate > 0. && t.done_ < t.total then
       Printf.sprintf " ETA %.0fs" (float_of_int (t.total - t.done_) /. rate)
@@ -44,21 +61,38 @@ let paint t ~now =
   t.painted <- true;
   t.last_paint <- now
 
+let log_line t ~now =
+  Printf.eprintf "%s: %d/%d (%.1f/s)\n" t.label t.done_ t.total (rate t ~now);
+  flush stderr;
+  t.last_logged <- t.done_
+
 let step t =
-  if t.enabled then begin
-    Mutex.lock t.mu;
-    t.done_ <- t.done_ + 1;
-    let now = Unix.gettimeofday () in
-    if now -. t.last_paint >= 0.1 || t.done_ >= t.total then paint t ~now;
-    Mutex.unlock t.mu
-  end
+  match t.mode with
+  | Off -> ()
+  | Live ->
+      Mutex.lock t.mu;
+      t.done_ <- t.done_ + 1;
+      let now = Unix.gettimeofday () in
+      if now -. t.last_paint >= 0.1 || t.done_ >= t.total then paint t ~now;
+      Mutex.unlock t.mu
+  | Log every ->
+      Mutex.lock t.mu;
+      t.done_ <- t.done_ + 1;
+      if t.done_ mod every = 0 || t.done_ >= t.total then
+        log_line t ~now:(Unix.gettimeofday ());
+      Mutex.unlock t.mu
 
 let finish t =
-  if t.enabled then begin
-    Mutex.lock t.mu;
-    paint t ~now:(Unix.gettimeofday ());
-    prerr_newline ();
-    flush stderr;
-    t.painted <- false;
-    Mutex.unlock t.mu
-  end
+  match t.mode with
+  | Off -> ()
+  | Live ->
+      Mutex.lock t.mu;
+      paint t ~now:(Unix.gettimeofday ());
+      prerr_newline ();
+      flush stderr;
+      t.painted <- false;
+      Mutex.unlock t.mu
+  | Log _ ->
+      Mutex.lock t.mu;
+      if t.last_logged <> t.done_ then log_line t ~now:(Unix.gettimeofday ());
+      Mutex.unlock t.mu

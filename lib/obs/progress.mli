@@ -1,17 +1,30 @@
 (** Live progress line on stderr for long sweeps.
 
-    Rewrites one status line in place ([label]: done/total, rate, ETA).
-    Everything goes to stderr — stdout stays byte-identical whether
-    progress is on or off — and reporting defaults to enabled only when
-    stderr is a tty.  [step] is safe to call from any worker domain. *)
+    On a terminal: one status line rewritten in place ([label]:
+    done/total, rate, ETA).  Off a terminal, an {e explicitly} enabled
+    meter ([~enabled:true], the CLI's [--progress]) degrades to plain
+    newline-terminated log lines — one every [log_every] steps — so CI
+    logs don't accumulate carriage-return spam.  Everything goes to
+    stderr — stdout stays byte-identical whether progress is on or
+    off — and reporting defaults to enabled only when stderr is a tty.
+    [step] is safe to call from any worker domain. *)
 
 type t
 
-val create : ?enabled:bool -> label:string -> total:int -> unit -> t
-(** [?enabled] defaults to [Unix.isatty Unix.stderr]. *)
+val default_log_every : int
+(** 25 steps between non-tty log lines. *)
+
+val create :
+  ?enabled:bool -> ?log_every:int -> label:string -> total:int -> unit -> t
+(** [?enabled] defaults to [Unix.isatty Unix.stderr].  When enabled on
+    a tty the meter repaints live; when forced on without a tty it logs
+    a line every [log_every] (default {!default_log_every}) steps
+    instead. *)
 
 val step : t -> unit
-(** Count one unit done; repaints at most every 0.1 s. *)
+(** Count one unit done; repaints at most every 0.1 s (tty) or logs
+    every [log_every] steps (non-tty). *)
 
 val finish : t -> unit
-(** Final repaint plus a newline, leaving the line in scrollback. *)
+(** Final repaint plus a newline (tty) or a final log line (non-tty),
+    leaving the last state in scrollback. *)

@@ -69,6 +69,7 @@ type file_kind =
   | Trace
   | Flow_graph
   | Attribution
+  | Telemetry
   | Unknown of string list
 
 (* Provenance exports carry both their own handle and ["traceEvents"]
@@ -78,6 +79,7 @@ let classify = function
   | Json.Obj fields ->
       if List.mem_assoc "pift_flow_graph" fields then Flow_graph
       else if List.mem_assoc "pift_attribution" fields then Attribution
+      else if List.mem_assoc "pift_telemetry" fields then Telemetry
       else if List.mem_assoc "metrics" fields then Metrics_snapshot
       else if List.mem_assoc "traceEvents" fields then Trace
       else Unknown (List.map fst fields)
@@ -214,10 +216,28 @@ let prom_number f =
     Printf.sprintf "%.0f" f
   else Printf.sprintf "%g" f
 
+(* Label values per the exposition format: exactly backslash, double
+   quote, and newline are escaped.  OCaml's %S is close but wrong — it
+   also mangles tabs and non-printables into OCaml-style decimal
+   escapes Prometheus parsers reject.  Adversarial marker kinds reach
+   labels (the per-pid families key on externally influenced strings),
+   so this must be exact. *)
+let prom_escape v =
+  let buf = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
 let prom_labels = function
   | [] -> ""
   | labels ->
-      let field (k, v) = Printf.sprintf "%s=%S" k v in
+      let field (k, v) = Printf.sprintf "%s=\"%s\"" k (prom_escape v) in
       "{" ^ String.concat "," (List.map field labels) ^ "}"
 
 let prom_header ppf ~name ~help ~kind =

@@ -22,6 +22,9 @@ type file_kind =
           ["traceEvents"], so this sniff must precede {!Trace} *)
   | Attribution
       (** has a ["pift_attribution"] key — a [sweep --prov-out] export *)
+  | Telemetry
+      (** has a ["pift_telemetry"] key — a [--telemetry-out] line
+          (header or snapshot; see {!Telemetry.write_jsonl}) *)
   | Unknown of string list
       (** none of the above; carries the top-level keys seen, for the
           warning *)
@@ -45,7 +48,9 @@ val run_of_json : Json.t -> string
 val prometheus : Registry.sample list -> Format.formatter -> unit -> unit
 (** [# HELP]/[# TYPE] exposition.  Histograms expand to cumulative
     [_bucket{le=...}] lines plus [_sum]/[_count]; gauges also expose a
-    sibling [name_peak] gauge. *)
+    sibling [name_peak] gauge.  Label values escape exactly backslash,
+    double quote and newline, per the exposition format — family labels
+    can carry externally influenced strings (marker kinds, pids). *)
 
 val render :
   ?run:string ->

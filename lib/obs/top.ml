@@ -1,0 +1,152 @@
+(* `pift top`: a live multi-line stderr dashboard for sweeps and runs —
+   the multi-row sibling of [Progress].  One header line (cells done,
+   rate, ETA) plus one line per worker slot showing events seen,
+   snapshot-ring health, and the latest telemetry readings
+   (tainted bytes, ranges, store occupancy).
+
+   Repaints rewrite the previous frame in place with an ANSI cursor-up,
+   so the view only makes sense on a terminal: [enabled] defaults to
+   [Unix.isatty Unix.stderr] and everything is a no-op otherwise — CI
+   logs never accumulate escape-code spam.  Everything goes to stderr;
+   stdout stays byte-identical with the view on or off.  Steps and
+   telemetry-snapshot hooks may arrive from any worker domain, so state
+   and repaint are mutex-guarded (per cell / per snapshot, never per
+   event — the lock is cold). *)
+
+type t = {
+  label : string;
+  enabled : bool;
+  started : float;
+  mu : Mutex.t;
+  telems : Telemetry.t array;
+  rings : Flight.t array;
+  mutable total : int;
+  mutable done_ : int;
+  mutable lines : int;  (* lines painted by the previous frame *)
+  mutable last_paint : float;
+  mutable finished : bool;
+}
+
+let human v =
+  if v >= 1e9 then Printf.sprintf "%.1fG" (v /. 1e9)
+  else if v >= 1e6 then Printf.sprintf "%.1fM" (v /. 1e6)
+  else if v >= 1e4 then Printf.sprintf "%.1fk" (v /. 1e3)
+  else if Float.is_integer v then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.1f" v
+
+(* The per-slot line reads whichever of the well-known series the
+   tracker/storage registered; anything absent is simply not shown. *)
+let known_values = [ "tainted_bytes"; "ranges"; "storage_occupancy" ]
+
+let slot_line i te rings =
+  let buf = Buffer.create 80 in
+  Buffer.add_string buf (Printf.sprintf "  slot %-2d" i);
+  Buffer.add_string buf
+    (Printf.sprintf " | ev %-7s" (human (float_of_int (Telemetry.events te))));
+  Buffer.add_string buf
+    (Printf.sprintf " | snaps %d" (Telemetry.taken te));
+  let sdrop = Telemetry.dropped te in
+  if sdrop > 0 then Buffer.add_string buf (Printf.sprintf " (-%d)" sdrop);
+  let latest = Telemetry.latest te in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name latest with
+      | Some v ->
+          Buffer.add_string buf (Printf.sprintf " | %s %s" name (human v))
+      | None -> ())
+    known_values;
+  (if i < Array.length rings then
+     let rdrop = Flight.dropped rings.(i) in
+     if rdrop > 0 then
+       Buffer.add_string buf (Printf.sprintf " | ring -%d" rdrop));
+  Buffer.contents buf
+
+let paint t ~now =
+  let buf = Buffer.create 256 in
+  if t.lines > 0 then
+    Buffer.add_string buf (Printf.sprintf "\027[%dA" t.lines);
+  let add line =
+    Buffer.add_string buf "\r\027[K";
+    Buffer.add_string buf line;
+    Buffer.add_char buf '\n'
+  in
+  let elapsed = now -. t.started in
+  let rate = if elapsed > 0. then float_of_int t.done_ /. elapsed else 0. in
+  let eta =
+    if rate > 0. && t.done_ < t.total then
+      Printf.sprintf " ETA %.0fs" (float_of_int (t.total - t.done_) /. rate)
+    else ""
+  in
+  add
+    (if t.total > 0 then
+       Printf.sprintf "pift top — %s %d/%d (%.1f/s)%s" t.label t.done_
+         t.total rate eta
+     else Printf.sprintf "pift top — %s %.1fs" t.label elapsed);
+  Array.iteri (fun i te -> add (slot_line i te t.rings)) t.telems;
+  t.lines <- 1 + Array.length t.telems;
+  t.last_paint <- now;
+  output_string stderr (Buffer.contents buf);
+  flush stderr
+
+let refresh t =
+  if t.enabled then begin
+    Mutex.lock t.mu;
+    if not t.finished then begin
+      let now = Unix.gettimeofday () in
+      if now -. t.last_paint >= 0.1 then paint t ~now
+    end;
+    Mutex.unlock t.mu
+  end
+
+let create ?enabled ~label ?(total = 0) ?(telems = [||]) ?(rings = [||]) () =
+  let enabled =
+    match enabled with Some b -> b | None -> Unix.isatty Unix.stderr
+  in
+  let t =
+    {
+      label;
+      enabled;
+      started = Unix.gettimeofday ();
+      mu = Mutex.create ();
+      telems;
+      rings;
+      total = max 0 total;
+      done_ = 0;
+      lines = 0;
+      last_paint = 0.;
+      finished = false;
+    }
+  in
+  (* Snapshots drive mid-phase repaints (throttled), so the view moves
+     even while a single long cell is replaying. *)
+  if enabled then
+    Array.iter (fun te -> Telemetry.on_snapshot te (fun () -> refresh t))
+      telems;
+  t
+
+let enabled t = t.enabled
+
+let set_total t total =
+  Mutex.lock t.mu;
+  t.total <- max 0 total;
+  Mutex.unlock t.mu
+
+let step t =
+  if t.enabled then begin
+    Mutex.lock t.mu;
+    t.done_ <- t.done_ + 1;
+    let now = Unix.gettimeofday () in
+    if now -. t.last_paint >= 0.1 || t.done_ >= t.total then paint t ~now;
+    Mutex.unlock t.mu
+  end
+
+let finish t =
+  if t.enabled then begin
+    Mutex.lock t.mu;
+    if not t.finished then begin
+      paint t ~now:(Unix.gettimeofday ());
+      t.finished <- true;
+      flush stderr
+    end;
+    Mutex.unlock t.mu
+  end

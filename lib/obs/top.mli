@@ -1,0 +1,37 @@
+(** [pift top]: a live multi-line stderr dashboard — the multi-row
+    sibling of {!Progress}.
+
+    One header line (units done, rate, ETA) plus one line per worker
+    slot with events seen, snapshot-ring health, and the latest
+    telemetry readings (tainted bytes, ranges, store occupancy).
+    Frames repaint in place with ANSI cursor movement, so the view is
+    gated on [Unix.isatty Unix.stderr]: off a terminal every call is a
+    no-op and nothing is ever written.  Stdout is never touched.
+    {!step} and the telemetry-snapshot hook are safe to call from any
+    worker domain. *)
+
+type t
+
+val create :
+  ?enabled:bool ->
+  label:string ->
+  ?total:int ->
+  ?telems:Telemetry.t array ->
+  ?rings:Flight.t array ->
+  unit ->
+  t
+(** [?enabled] defaults to [Unix.isatty Unix.stderr].  [telems] gives
+    one per-slot line each and — via {!Telemetry.on_snapshot} — drives
+    mid-phase repaints; [rings] adds flight-ring drop counts.  [total]
+    may be [0] (elapsed time replaces the done/total counter) and set
+    later with {!set_total}. *)
+
+val enabled : t -> bool
+
+val set_total : t -> int -> unit
+
+val step : t -> unit
+(** Count one unit done; repaints at most every 0.1 s. *)
+
+val finish : t -> unit
+(** Final frame, left in scrollback.  Idempotent. *)

@@ -20,7 +20,9 @@ type t
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — what [--jobs] defaults to. *)
 
-val create : ?jobs:int -> ?rings:Pift_obs.Flight.t array -> unit -> t
+val create :
+  ?jobs:int -> ?rings:Pift_obs.Flight.t array ->
+  ?profiles:Pift_obs.Profile.t array -> unit -> t
 (** Spawn a pool of [jobs] workers (default {!default_jobs}, clamped to
     at least 1).  The pool holds [jobs - 1] blocked domains until
     {!shutdown}.
@@ -28,8 +30,12 @@ val create : ?jobs:int -> ?rings:Pift_obs.Flight.t array -> unit -> t
     [?rings] attaches one flight-recorder ring per worker slot (index =
     slot); when present, [map_slots] stamps a ["chunk"] span around each
     claimed chunk on the claiming worker's ring, so a merged timeline
-    shows the actual schedule.  Slots beyond the array's length (and the
-    default [[||]]) record nothing. *)
+    shows the actual schedule.  [?profiles] likewise attaches one
+    overhead profiler per slot; each claimed chunk runs inside a ["pool"]
+    region on the claiming worker's profiler, so per-item regions (the
+    replay/tracker/store stack) nest under pool scheduling in the folded
+    stacks.  Slots beyond either array's length (and the default [[||]])
+    record nothing. *)
 
 val jobs : t -> int
 (** Worker count, including the calling domain (slot 0). *)
@@ -38,7 +44,8 @@ val shutdown : t -> unit
 (** Join the worker domains.  Idempotent; the pool is unusable after. *)
 
 val with_pool :
-  ?jobs:int -> ?rings:Pift_obs.Flight.t array -> (t -> 'a) -> 'a
+  ?jobs:int -> ?rings:Pift_obs.Flight.t array ->
+  ?profiles:Pift_obs.Profile.t array -> (t -> 'a) -> 'a
 (** [create], run, and [shutdown] (also on exception). *)
 
 val map_slots :

@@ -194,6 +194,98 @@ let test_prometheus_golden () =
      app_ops_total{pid=\"2\"} 1\n"
     rendered
 
+let test_prometheus_label_escaping () =
+  (* Exactly backslash, double quote, and newline are escaped; tabs and
+     other bytes pass through raw.  %S-style OCaml escaping would mangle
+     the tab into \t, which Prometheus parsers reject. *)
+  let reg = Registry.create () in
+  let per = Registry.counter_family reg ~label:"kind" "esc_total" in
+  Metric.Counter.incr (per "back\\slash");
+  Metric.Counter.incr (per "quo\"te");
+  Metric.Counter.incr (per "new\nline");
+  Metric.Counter.incr (per "tab\there");
+  let rendered =
+    Format.asprintf "%a"
+      (fun ppf () -> Sink.prometheus (Registry.snapshot reg) ppf ())
+      ()
+  in
+  let contains needle =
+    let n = String.length needle and h = String.length rendered in
+    let rec go i =
+      i + n <= h && (String.sub rendered i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  checkb "backslash doubled" true
+    (contains "esc_total{kind=\"back\\\\slash\"} 1");
+  checkb "quote escaped" true (contains "esc_total{kind=\"quo\\\"te\"} 1");
+  checkb "newline escaped" true (contains "esc_total{kind=\"new\\nline\"} 1");
+  checkb "tab passes through raw" true
+    (contains "esc_total{kind=\"tab\there\"} 1")
+
+(* --- registry merge edge cases ------------------------------------------- *)
+
+let test_merge_empty_sides () =
+  (* empty source into a populated target: nothing moves *)
+  let into = golden_registry () in
+  let before = Registry.snapshot into in
+  Registry.merge ~into (Registry.create ());
+  checkb "empty source is identity" true (Registry.snapshot into = before);
+  (* populated source into an empty target: everything lands, in the
+     source's registration order *)
+  let into = Registry.create () in
+  Registry.merge ~into (golden_registry ());
+  checkb "empty target adopts the source" true
+    (Registry.snapshot into = Registry.snapshot (golden_registry ()))
+
+let test_merge_histogram_boundaries () =
+  (* values straddling a power-of-two bucket edge must merge bucket by
+     bucket, not by re-bucketing the sum *)
+  let mk vs =
+    let reg = Registry.create () in
+    let h = Registry.histogram reg "m_sizes" in
+    List.iter (Metric.Histogram.observe h) vs;
+    reg
+  in
+  let into = mk [ 7; 8 ] in
+  (* upper edge of bucket 3, lower edge of bucket 4 *)
+  Registry.merge ~into (mk [ 1; 7; 16 ]);
+  match Registry.snapshot into with
+  | [
+   {
+     Registry.s_points =
+       [ ([], Registry.P_histogram { count; sum; vmax; buckets }) ];
+     _;
+   };
+  ] ->
+      checki "counts add" 5 count;
+      checki "sums add" 39 sum;
+      checki "max of maxes" 16 vmax;
+      Alcotest.(check (list (pair int int)))
+        "buckets add cell-wise"
+        [ (1, 1); (7, 2); (15, 1); (31, 1) ]
+        buckets
+  | _ -> Alcotest.fail "unexpected snapshot shape"
+
+let test_merge_four_domain_gauge_max () =
+  (* the sweep merges one registry per worker slot; a high-water gauge
+     must surface the global maximum whichever slot saw it *)
+  let slot v peak =
+    let reg = Registry.create () in
+    let g = Registry.gauge reg "m_bytes" in
+    Metric.Gauge.set g peak;
+    Metric.Gauge.set g v;
+    reg
+  in
+  let into = slot 3 5 in
+  List.iter (Registry.merge ~into) [ slot 2 9; slot 4 4; slot 1 7 ];
+  match Registry.snapshot into with
+  | [ { Registry.s_points = [ ([], Registry.P_gauge { value; peak }) ]; _ } ]
+    ->
+      Alcotest.(check (float 1e-9)) "value is the slot max" 4. value;
+      Alcotest.(check (float 1e-9)) "peak is the global high-water" 9. peak
+  | _ -> Alcotest.fail "unexpected snapshot shape"
+
 (* --- instrumentation must not perturb results ---------------------------- *)
 
 let test_metrics_do_not_change_stats () =
@@ -230,6 +322,16 @@ let () =
         [
           Alcotest.test_case "jsonl golden" `Quick test_jsonl_golden;
           Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
+          Alcotest.test_case "prometheus label escaping" `Quick
+            test_prometheus_label_escaping;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "empty sides" `Quick test_merge_empty_sides;
+          Alcotest.test_case "histogram bucket boundaries" `Quick
+            test_merge_histogram_boundaries;
+          Alcotest.test_case "four-domain gauge max" `Quick
+            test_merge_four_domain_gauge_max;
         ] );
       ( "replay",
         [

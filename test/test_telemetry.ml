@@ -1,0 +1,424 @@
+(* Tests for the continuous-telemetry layer: snapshot rings and their
+   cadence, the overhead-attribution profiler's folded stacks, the
+   report --diff comparison engine, the pift top / progress fallbacks,
+   and the guarantee that none of it perturbs replay results. *)
+
+module Telemetry = Pift_obs.Telemetry
+module Profile = Pift_obs.Profile
+module Diff = Pift_obs.Diff
+module Top = Pift_obs.Top
+module Progress = Pift_obs.Progress
+module Json = Pift_obs.Json
+module Policy = Pift_core.Policy
+module Recorded = Pift_eval.Recorded
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+let checkf = Alcotest.(check (float 1e-9))
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- telemetry ring ------------------------------------------------------ *)
+
+let test_cadence () =
+  let t = Telemetry.create ~every:10 () in
+  let live = ref 0. in
+  Telemetry.set_source t ~name:"x" (fun () -> !live);
+  for i = 1 to 35 do
+    live := float_of_int i;
+    Telemetry.bump t
+  done;
+  checki "events counted" 35 (Telemetry.events t);
+  checki "snapshots on the every-N cadence" 3 (Telemetry.taken t);
+  checki "nothing dropped" 0 (Telemetry.dropped t);
+  checkf "latest reads the live source" 30. (List.assoc "x" (Telemetry.latest t));
+  Telemetry.sample_now t;
+  checki "sample_now takes one more" 4 (Telemetry.taken t);
+  checkf "final reading" 35. (List.assoc "x" (Telemetry.latest t));
+  (match Telemetry.snapshots t with
+  | first :: _ ->
+      checki "sequence starts at zero" 0 first.Telemetry.sn_seq;
+      checki "first snapshot at the tenth event" 10 first.Telemetry.sn_events
+  | [] -> Alcotest.fail "no snapshots")
+
+let test_source_replacement () =
+  (* A sweep rebinds "tainted_bytes" per grid cell on the same per-slot
+     instance; the snapshot must read the newest closure, once. *)
+  let t = Telemetry.create ~every:0 () in
+  Telemetry.set_source t ~name:"v" (fun () -> 1.);
+  Telemetry.sample_now t;
+  Telemetry.set_source t ~name:"v" (fun () -> 2.);
+  Telemetry.sample_now t;
+  (match Telemetry.snapshots t with
+  | [ a; b ] ->
+      checkf "first binding" 1. (List.assoc "v" a.Telemetry.sn_values);
+      checkf "rebound, not accumulated" 2. (List.assoc "v" b.Telemetry.sn_values);
+      checki "one entry per name" 1 (List.length b.Telemetry.sn_values)
+  | l -> Alcotest.failf "expected 2 snapshots, got %d" (List.length l))
+
+let test_ring_overflow () =
+  let t = Telemetry.create ~capacity:4 ~every:1 () in
+  Telemetry.set_source t ~name:"n" (fun () -> 0.);
+  for _ = 1 to 10 do
+    Telemetry.bump t
+  done;
+  checki "all snapshots counted" 10 (Telemetry.taken t);
+  checki "ring keeps only capacity" 4 (Telemetry.length t);
+  checki "overflow surfaced as dropped" 6 (Telemetry.dropped t);
+  (match Telemetry.snapshots t with
+  | first :: _ -> checki "survivors are the newest" 6 first.Telemetry.sn_seq
+  | [] -> Alcotest.fail "no snapshots");
+  Telemetry.clear t;
+  checki "clear resets events" 0 (Telemetry.events t);
+  checki "clear resets dropped" 0 (Telemetry.dropped t)
+
+let test_capacity_zero_off () =
+  let t = Telemetry.create ~capacity:0 ~every:1 () in
+  Telemetry.set_source t ~name:"n" (fun () -> 0.);
+  for _ = 1 to 5 do
+    Telemetry.bump t
+  done;
+  Telemetry.sample_now t;
+  checki "capacity 0 records nothing" 0 (Telemetry.taken t);
+  checki "and keeps nothing" 0 (Telemetry.length t);
+  checkb "latest empty" true (Telemetry.latest t = [])
+
+let test_merged_and_jsonl () =
+  let slots = [| Telemetry.create ~every:0 (); Telemetry.create ~every:0 () |] in
+  Array.iteri
+    (fun i t ->
+      Telemetry.set_source t ~name:"v" (fun () -> float_of_int i))
+    slots;
+  Telemetry.sample_now slots.(0);
+  Telemetry.sample_now slots.(1);
+  Telemetry.sample_now slots.(0);
+  let merged = Telemetry.merged slots in
+  checki "merged keeps every snapshot" 3 (List.length merged);
+  checkb "timestamps non-decreasing" true
+    (let ts = List.map (fun (_, s) -> s.Telemetry.sn_ts) merged in
+     List.sort compare ts = ts);
+  (* JSONL round trip through the report decoder *)
+  let path = Filename.temp_file "pift_telemetry" ".jsonl" in
+  let oc = open_out path in
+  Telemetry.write_jsonl oc ~run:"unit" slots;
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       let l = input_line ic in
+       if String.trim l <> "" then lines := Json.of_string l :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  let f = Telemetry.of_json_lines (List.rev !lines) in
+  checks "run name survives" "unit" f.Telemetry.f_run;
+  checki "slot count survives" 2 f.Telemetry.f_slots;
+  checki "taken survives" 3 f.Telemetry.f_taken;
+  checki "dropped survives" 0 f.Telemetry.f_dropped;
+  (match f.Telemetry.f_series with
+  | [ s ] ->
+      checks "series named by source" "v" s.Telemetry.se_name;
+      checki "all points folded in" 3 (List.length s.Telemetry.se_points)
+  | l -> Alcotest.failf "expected 1 series, got %d" (List.length l));
+  (* rendering is total on well-formed input... *)
+  let rendered =
+    Format.asprintf "%a"
+      (fun ppf () -> Telemetry.render_json_lines (List.rev !lines) ppf ())
+      ()
+  in
+  checkb "render mentions the source" true (contains rendered "v");
+  (* ...and loud on malformed lines *)
+  checkb "malformed line raises" true
+    (try
+       ignore
+         (Telemetry.of_json_lines [ Json.Obj [ ("pift_telemetry", Json.Int 3) ] ]);
+       false
+     with Telemetry.Malformed _ -> true)
+
+let test_sparkline () =
+  checks "empty input" "" (Telemetry.sparkline []);
+  let s = Telemetry.sparkline [ 0.; 1.; 2.; 3. ] in
+  checkb "monotone input is non-empty" true (String.length s > 0);
+  (* downsampling caps the cell count (cells are 3-byte UTF-8 blocks) *)
+  let wide = Telemetry.sparkline ~width:8 (List.init 100 float_of_int) in
+  checkb "downsampled to width" true (String.length wide <= 8 * 3)
+
+(* --- profiler ------------------------------------------------------------ *)
+
+let spin () =
+  let x = ref 0 in
+  for i = 1 to 20_000 do
+    x := !x + i
+  done;
+  ignore (Sys.opaque_identity !x)
+
+let test_profile_nesting () =
+  let p = Profile.create () in
+  Profile.enter p "replay";
+  spin ();
+  Profile.enter p "tracker";
+  spin ();
+  Profile.leave p;
+  spin ();
+  Profile.leave p;
+  let folded = Profile.folded p in
+  let weight path = List.assoc path folded in
+  checkb "self times are positive" true
+    (weight "replay" > 0. && weight "replay;tracker" > 0.);
+  checki "two regions" 2 (List.length folded);
+  (* leave with nothing open is a no-op, not an exception *)
+  Profile.leave p;
+  checki "unbalanced leave ignored" 2 (List.length (Profile.folded p));
+  Profile.reset p;
+  checki "reset empties" 0 (List.length (Profile.folded p))
+
+let test_profile_span () =
+  checki "span None is just f" 7 (Profile.span None "x" (fun () -> 7));
+  let p = Profile.create () in
+  checkb "span closes on exceptions" true
+    (try
+       Profile.span (Some p) "boom" (fun () -> failwith "boom")
+     with Failure _ -> true);
+  checkb "raising region still attributed" true
+    (List.mem_assoc "boom" (Profile.folded p));
+  (* and the stack is balanced afterwards: a sibling lands at top level *)
+  ignore (Profile.span (Some p) "after" (fun () -> ()));
+  checkb "sibling not nested under the raiser" true
+    (List.mem_assoc "after" (Profile.folded p))
+
+let test_profile_merge_and_folded_string () =
+  let a = Profile.create () and b = Profile.create () in
+  ignore (Profile.span (Some a) "pool" (fun () -> spin ()));
+  ignore (Profile.span (Some b) "pool" (fun () -> spin ()));
+  ignore (Profile.span (Some b) "io" (fun () -> spin ()));
+  let merged = Profile.merged [| a; b |] in
+  (match merged with
+  | (p0, w) :: _ ->
+      checks "slot 0 order first" "pool" p0;
+      checkb "weights summed" true
+        (w > List.assoc "pool" (Profile.folded a) -. 1e-9
+        && w > List.assoc "pool" (Profile.folded b) -. 1e-9)
+  | [] -> Alcotest.fail "empty merge");
+  checkb "later slot's new path appended" true (List.mem_assoc "io" merged);
+  (* folded text round trip at µs precision *)
+  let stacks = [ ("pool;replay;tracker", 0.000123); ("trace_io", 0.002) ] in
+  let text = Profile.to_folded_string stacks in
+  checks "flamegraph lines" "pool;replay;tracker 123\ntrace_io 2000\n" text;
+  checkb "sniffs as folded" true (Profile.looks_like_folded text);
+  checkb "json does not sniff as folded" true
+    (not (Profile.looks_like_folded "{\"run\":\"x\"}"));
+  (match Profile.parse_folded text with
+  | [ ("pool;replay;tracker", w1); ("trace_io", w2) ] ->
+      checkf "µs back to seconds" 0.000123 w1;
+      checkf "second line too" 0.002 w2
+  | _ -> Alcotest.fail "parse_folded mismatch");
+  checkb "garbage raises Malformed" true
+    (try
+       ignore (Profile.parse_folded "no trailing integer here");
+       false
+     with Profile.Malformed _ -> true)
+
+let test_profile_breakdown () =
+  let stacks =
+    [ ("pool;replay;tracker", 0.3); ("pool;replay;tracker;store", 0.1);
+      ("pool;replay", 0.4); ("trace_io", 0.2) ]
+  in
+  let rows = Profile.breakdown stacks in
+  let pct name =
+    let _, _, p = List.find (fun (n, _, _) -> n = name) rows in
+    p
+  in
+  checkf "replay share" 40. (pct "replay");
+  checkf "tracker share" 30. (pct "tracker");
+  checkf "store share" 10. (pct "store");
+  checkf "trace_io share" 20. (pct "trace_io");
+  (match rows with
+  | (first, _, _) :: _ -> checks "sorted by share" "replay" first
+  | [] -> Alcotest.fail "empty breakdown");
+  checks "leaf of a path" "store" (Profile.leaf "pool;replay;tracker;store")
+
+(* --- report --diff ------------------------------------------------------- *)
+
+let obj fields = Json.Obj fields
+
+let test_diff_identical () =
+  let j = obj [ ("flat_replay_seconds", Json.Float 0.5);
+                ("events_per_sec", Json.Float 1e6) ] in
+  let r = Diff.compare_json ~baseline:j ~current:j () in
+  checki "no regressions" 0 r.Diff.r_regressions;
+  checki "both fields compared" 2 r.Diff.r_compared;
+  checkb "no changes listed" true (r.Diff.r_changes = [])
+
+let test_diff_directions () =
+  (* seconds: higher is worse *)
+  let base = obj [ ("flat_replay_seconds", Json.Float 1.0) ] in
+  let cur = obj [ ("flat_replay_seconds", Json.Float 3.0) ] in
+  let r = Diff.compare_json ~max_ratio:2.0 ~baseline:base ~current:cur () in
+  checki "3x slower regresses at 2.0" 1 r.Diff.r_regressions;
+  (match r.Diff.r_changes with
+  | [ c ] ->
+      checkb "direction inferred from path" true
+        (c.Diff.c_direction = Diff.Higher_worse);
+      checkf "severity is the worse-direction ratio" 3.0 c.Diff.c_severity
+  | _ -> Alcotest.fail "expected one change");
+  (* getting faster never regresses *)
+  let r = Diff.compare_json ~max_ratio:2.0 ~baseline:cur ~current:base () in
+  checki "3x faster is fine" 0 r.Diff.r_regressions;
+  (* throughput: lower is worse *)
+  let base = obj [ ("replay_events_per_sec", Json.Float 100. ) ] in
+  let cur = obj [ ("replay_events_per_sec", Json.Float 40. ) ] in
+  let r = Diff.compare_json ~max_ratio:2.0 ~baseline:base ~current:cur () in
+  checki "2.5x less throughput regresses" 1 r.Diff.r_regressions;
+  (* neutral fields never gate *)
+  let base = obj [ ("rounds", Json.Int 5) ] in
+  let cur = obj [ ("rounds", Json.Int 50) ] in
+  let r = Diff.compare_json ~baseline:base ~current:cur () in
+  checki "neutral change informs, not gates" 0 r.Diff.r_regressions;
+  checki "but is still reported" 1 (List.length r.Diff.r_changes)
+
+let test_diff_min_abs_floor () =
+  let base = obj [ ("decode_seconds", Json.Float 0.001) ] in
+  let cur = obj [ ("decode_seconds", Json.Float 0.003) ] in
+  let loud = Diff.compare_json ~max_ratio:1.25 ~baseline:base ~current:cur () in
+  checki "3x on µs noise regresses without a floor" 1 loud.Diff.r_regressions;
+  let floored =
+    Diff.compare_json ~max_ratio:1.25 ~min_abs:0.05 ~baseline:base ~current:cur ()
+  in
+  checki "min_abs floors sub-threshold deltas" 0 floored.Diff.r_regressions
+
+let test_diff_bool_and_structure () =
+  let base = obj [ ("identical_cells", Json.Bool true) ] in
+  let cur = obj [ ("identical_cells", Json.Bool false) ] in
+  let r = Diff.compare_json ~baseline:base ~current:cur () in
+  checkb "true->false always regresses" true (r.Diff.r_regressions >= 1);
+  (* false -> true is recovery, not regression *)
+  let r = Diff.compare_json ~baseline:cur ~current:base () in
+  checki "false->true is fine" 0 r.Diff.r_regressions;
+  (* a field vanishing is a note, not a silent pass *)
+  let base = obj [ ("a", Json.Int 1); ("b", Json.Int 2) ] in
+  let cur = obj [ ("a", Json.Int 1) ] in
+  let r = Diff.compare_json ~baseline:base ~current:cur () in
+  checkb "missing field noted" true (r.Diff.r_notes <> [])
+
+let test_diff_named_list_pairing () =
+  let metric name v =
+    obj [ ("name", Json.String name); ("value", Json.Int v) ]
+  in
+  let base = obj [ ("metrics", Json.List [ metric "a" 1; metric "b" 2 ]) ] in
+  let cur = obj [ ("metrics", Json.List [ metric "b" 2; metric "a" 1 ]) ] in
+  let r = Diff.compare_json ~baseline:base ~current:cur () in
+  checki "reordered named lists pair by name" 0 r.Diff.r_regressions;
+  checkb "nothing even changed" true (r.Diff.r_changes = [])
+
+let test_diff_render () =
+  let base = obj [ ("flat_replay_seconds", Json.Float 1.0) ] in
+  let cur = obj [ ("flat_replay_seconds", Json.Float 3.0) ] in
+  let r = Diff.compare_json ~max_ratio:2.0 ~baseline:base ~current:cur () in
+  let text =
+    Format.asprintf "%a"
+      (fun ppf () -> Diff.render ~label_a:"old" ~label_b:"new" r ppf ())
+      ()
+  in
+  checkb "regression rendered" true (contains text "REGRESSION");
+  let ok = Diff.compare_json ~baseline:base ~current:base () in
+  let text =
+    Format.asprintf "%a" (fun ppf () -> Diff.render ok ppf ()) ()
+  in
+  checkb "clean diff says so" true (contains text "ok: no regressions")
+
+(* --- top / progress fallbacks -------------------------------------------- *)
+
+let test_top_disabled_is_silent () =
+  let telems = [| Telemetry.create ~every:1 () |] in
+  let top = Top.create ~enabled:false ~label:"unit" ~telems () in
+  checkb "disabled stays disabled" true (not (Top.enabled top));
+  Top.set_total top 10;
+  for _ = 1 to 10 do
+    Telemetry.bump telems.(0);
+    Top.step top
+  done;
+  Top.finish top;
+  Top.finish top (* idempotent *)
+
+let test_progress_off_tty () =
+  (* under the test runner stderr is not a tty: default-enabled progress
+     must resolve to off, and forced progress must not raise *)
+  let p = Progress.create ~label:"unit" ~total:5 () in
+  for _ = 1 to 5 do
+    Progress.step p
+  done;
+  Progress.finish p;
+  let q = Progress.create ~enabled:false ~label:"unit" ~total:3 () in
+  Progress.step q;
+  Progress.finish q
+
+(* --- replay results must not move ---------------------------------------- *)
+
+let test_replay_unperturbed () =
+  let app = Option.get (Pift_workloads.Droidbench.find "StringConcat1") in
+  let recorded = Recorded.record app in
+  let plain = Recorded.replay ~policy:Policy.default recorded in
+  let telemetry = Telemetry.create ~every:1 () in
+  let profile = Profile.create () in
+  let observed =
+    Recorded.replay ~telemetry ~profile ~policy:Policy.default recorded
+  in
+  checkb "stats identical" true (plain.Recorded.stats = observed.Recorded.stats);
+  checkb "verdicts identical" true
+    (plain.Recorded.verdicts = observed.Recorded.verdicts);
+  checkb "telemetry actually sampled" true (Telemetry.taken telemetry > 0);
+  checkb "tracker sources registered" true
+    (List.mem_assoc "tainted_bytes" (Telemetry.latest telemetry));
+  checkb "profiler saw the replay" true
+    (List.exists
+       (fun (path, _) -> Profile.leaf path = "tracker")
+       (Profile.folded profile))
+
+let () =
+  Alcotest.run "pift_telemetry"
+    [
+      ( "telemetry",
+        [
+          Alcotest.test_case "cadence" `Quick test_cadence;
+          Alcotest.test_case "source replacement" `Quick test_source_replacement;
+          Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
+          Alcotest.test_case "capacity zero off" `Quick test_capacity_zero_off;
+          Alcotest.test_case "merged + jsonl round trip" `Quick
+            test_merged_and_jsonl;
+          Alcotest.test_case "sparkline" `Quick test_sparkline;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "nesting self time" `Quick test_profile_nesting;
+          Alcotest.test_case "span gating" `Quick test_profile_span;
+          Alcotest.test_case "merge + folded text" `Quick
+            test_profile_merge_and_folded_string;
+          Alcotest.test_case "breakdown" `Quick test_profile_breakdown;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "identical" `Quick test_diff_identical;
+          Alcotest.test_case "directions" `Quick test_diff_directions;
+          Alcotest.test_case "min_abs floor" `Quick test_diff_min_abs_floor;
+          Alcotest.test_case "bools and structure" `Quick
+            test_diff_bool_and_structure;
+          Alcotest.test_case "named list pairing" `Quick
+            test_diff_named_list_pairing;
+          Alcotest.test_case "render" `Quick test_diff_render;
+        ] );
+      ( "live view",
+        [
+          Alcotest.test_case "top disabled" `Quick test_top_disabled_is_silent;
+          Alcotest.test_case "progress off tty" `Quick test_progress_off_tty;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "results unperturbed" `Quick
+            test_replay_unperturbed;
+        ] );
+    ]
