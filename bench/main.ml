@@ -777,6 +777,101 @@ let write_prov_bench () =
     (if rooted then "all paths rooted" else "UNROOTED PATH");
   if not rooted then exit 1
 
+(* Service-engine ingest throughput: the same recording replicated as
+   32 tenants, interleaved through the engine at shard counts 1/2/4,
+   plus a single-tenant run for the per-stream floor.  Per-tenant
+   verdicts are gated against isolated replays — the bench fails on a
+   correctness divergence, never on speed.  On a single-core container
+   multi-shard throughput is honestly ~1x; [domains_available] lets
+   readers tell that apart from a regression (BENCH_par precedent). *)
+let write_service_bench () =
+  let module Json = Pift_obs.Json in
+  let module Engine = Pift_service.Engine in
+  let module Ingest = Pift_service.Ingest in
+  let module Admin = Pift_service.Admin in
+  let recorded = Lazy.force bench_trace in
+  let policy = Policy.default in
+  let tenants = 32 in
+  let events_per_tenant = Trace.length recorded.Recorded.trace in
+  let isolated = Recorded.replay ~policy recorded in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let run_engine ~shards ~tenants =
+    Engine.with_engine ~shards ~policy (fun eng ->
+        let sources =
+          List.init tenants (fun i ->
+              Ingest.of_recorded ~pid:(Ingest.tenant_pid i) recorded)
+        in
+        let (), seconds = time (fun () -> Ingest.run eng sources) in
+        let identical =
+          List.for_all
+            (fun i ->
+              match Admin.snapshot_tenant eng ~pid:(Ingest.tenant_pid i) with
+              | None -> false
+              | Some ts ->
+                  List.map
+                    (fun (v : Admin.verdict) ->
+                      (v.Admin.v_kind, v.Admin.v_flagged))
+                    ts.Admin.ts_verdicts
+                  = List.map
+                      (fun (v : Recorded.verdict) ->
+                        (v.Recorded.kind, v.Recorded.flagged))
+                      isolated.Recorded.verdicts
+                  && ts.Admin.ts_stats = isolated.Recorded.stats)
+            (List.init tenants Fun.id)
+        in
+        (seconds, identical))
+  in
+  let total_events = tenants * events_per_tenant in
+  let rate s = if s > 0. then float_of_int total_events /. s else 0. in
+  let single_s, single_ok = run_engine ~shards:1 ~tenants:1 in
+  let shard_counts = [ 1; 2; 4 ] in
+  let multi = List.map (fun s -> (s, run_engine ~shards:s ~tenants)) shard_counts in
+  let all_identical =
+    single_ok && List.for_all (fun (_, (_, ok)) -> ok) multi
+  in
+  let json =
+    Json.Obj
+      [
+        ("bench", Json.String "service-ingest");
+        ("tenants", Json.Int tenants);
+        ("events_per_tenant", Json.Int events_per_tenant);
+        ("events_total", Json.Int total_events);
+        ("domains_available", Json.Int (Pift_par.Pool.default_jobs ()));
+        ( "single_tenant_events_per_sec",
+          Json.Float
+            (if single_s > 0. then float_of_int events_per_tenant /. single_s
+             else 0.) );
+        ( "shard_runs",
+          Json.List
+            (List.map
+               (fun (shards, (seconds, _)) ->
+                 Json.Obj
+                   [
+                     ("shards", Json.Int shards);
+                     ("seconds", Json.Float seconds);
+                     ("events_per_sec", Json.Float (rate seconds));
+                   ])
+               multi) );
+        ("verdicts_identical", Json.Bool all_identical);
+      ]
+  in
+  let oc = open_out "BENCH_service.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  List.iter
+    (fun (shards, (seconds, _)) ->
+      Printf.printf "service: %d shard(s), %d tenants, %.2fs (%.0f ev/s)\n"
+        shards tenants seconds (rate seconds))
+    multi;
+  Printf.printf "wrote BENCH_service.json (%s)\n"
+    (if all_identical then "verdicts identical" else "VERDICTS DIVERGED");
+  if not all_identical then exit 1
+
 let () =
   (* `bench store` / `bench prov` run only that stage — the cheap CI
      artifacts — while a bare `bench` runs the whole harness. *)
@@ -788,6 +883,8 @@ let () =
     write_traceio_bench ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "telemetry" then
     write_telemetry_bench ()
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "service" then
+    write_service_bench ()
   else begin
     run_microbenchmarks ();
     write_obs_snapshot ();
@@ -797,6 +894,7 @@ let () =
     write_traceio_bench ();
     write_telemetry_bench ();
     write_prov_bench ();
+    write_service_bench ();
     print_endline
       "######## paper reproduction (every table & figure) ########";
     Pift_eval.Experiments.run_all ~jobs:(Pift_par.Pool.default_jobs ())

@@ -1214,6 +1214,143 @@ let trace_stats_cmd =
        ~doc:"Load/store distance distributions of one app's trace (Fig. 2).")
     Term.(const trace_stats $ app_arg)
 
+(* --- serve --- *)
+
+module Service = Pift_service
+
+(* One block per tenant, identical bytes whether produced by the
+   sharded engine or by isolated replays — the CI determinism leg
+   [cmp]s the two, so everything else (engine stats, progress) goes to
+   stderr. *)
+let print_tenant_block ~name ~prov verdicts (s : Tracker.stats) =
+  Printf.printf "tenant %s\n" name;
+  List.iter
+    (fun (kind, flagged, origins) ->
+      Printf.printf "  sink %-6s -> %s%s\n" kind
+        (if flagged then "TAINTED" else "clean")
+        (if prov && origins <> [] then
+           " [" ^ String.concat ", " origins ^ "]"
+         else ""))
+    verdicts;
+  Printf.printf
+    "  stats: %d events, %d taint ops, %d untaint ops, %d lookups, max %d \
+     tainted bytes, %d ranges\n"
+    s.Tracker.events s.Tracker.taint_ops s.Tracker.untaint_ops
+    s.Tracker.lookups s.Tracker.max_tainted_bytes s.Tracker.max_ranges
+
+let serve files shards isolated prov ni nt untaint backend batch queue drop =
+  let policy = policy_of ni nt untaint in
+  if isolated then
+    List.iter
+      (fun path ->
+        let r = Pift_eval.Trace_io.load path in
+        let rp = Recorded.replay ~backend ~policy ~with_origins:prov r in
+        let verdicts =
+          if prov then
+            List.map
+              (fun (ov : Recorded.origin_verdict) ->
+                (ov.Recorded.ov_kind, ov.Recorded.ov_flagged,
+                 ov.Recorded.ov_origins))
+              rp.Recorded.origins
+          else
+            List.map
+              (fun (v : Recorded.verdict) -> (v.Recorded.kind, v.Recorded.flagged, []))
+              rp.Recorded.verdicts
+        in
+        print_tenant_block ~name:r.Recorded.name ~prov verdicts
+          rp.Recorded.stats)
+      files
+  else
+    Service.Engine.with_engine ~shards ~policy ~backend ~queue_capacity:queue
+      ~batch ~drop_when_full:drop ~with_origins:prov (fun eng ->
+        let sources =
+          List.mapi
+            (fun i path ->
+              Service.Ingest.of_file ~pid:(Service.Ingest.tenant_pid i) path)
+            files
+        in
+        Service.Ingest.run eng sources;
+        List.iter
+          (fun (s : Service.Ingest.source) ->
+            match
+              Service.Admin.snapshot_tenant eng ~pid:s.Service.Ingest.src_pid
+            with
+            | None -> ()
+            | Some ts ->
+                print_tenant_block ~name:ts.Service.Admin.ts_name ~prov
+                  (List.map
+                     (fun (v : Service.Admin.verdict) ->
+                       (v.Service.Admin.v_kind, v.Service.Admin.v_flagged,
+                        v.Service.Admin.v_origins))
+                     ts.Service.Admin.ts_verdicts)
+                  ts.Service.Admin.ts_stats)
+          sources;
+        let st = Service.Admin.stats eng in
+        Printf.eprintf
+          "engine: %d shard(s), %d tenant(s), %d items (%d events), %d \
+           batches, %d dropped\n"
+          shards
+          (List.length (Service.Admin.tenants eng))
+          st.Service.Admin.st_items st.Service.Admin.st_events
+          st.Service.Admin.st_batches st.Service.Admin.st_dropped)
+
+let serve_cmd =
+  let files =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:"Trace files from record-trace (text or binary), one tenant \
+                each.")
+  in
+  let shards =
+    let doc =
+      "Shard count.  Tenants are partitioned across shards by pid range; \
+       per-tenant output is byte-identical at every shard count."
+    in
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let isolated =
+    let doc =
+      "Bypass the engine: replay each trace in isolation and print the \
+       same per-tenant blocks — the reference the sharded engine is \
+       byte-compared against."
+    in
+    Arg.(value & flag & info [ "isolated" ] ~doc)
+  in
+  let prov =
+    let doc =
+      "Thread a provenance sidecar through every tenant: sink lines gain \
+       their origin sets."
+    in
+    Arg.(value & flag & info [ "prov" ] ~doc)
+  in
+  let batch =
+    let doc = "Items per queue batch." in
+    Arg.(value & opt int 128 & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let queue =
+    let doc = "Shard queue capacity, in batches." in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let drop =
+    let doc =
+      "Drop batches instead of blocking the producer when a shard queue is \
+       full (lossy; dropped items are reported on stderr)."
+    in
+    Arg.(value & flag & info [ "drop-when-full" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Ingest several recorded traces as tenants of one long-lived \
+          sharded engine and print each tenant's verdicts and stats.  \
+          Per-tenant stdout is byte-identical to $(b,--isolated) replays \
+          at any $(b,--shards) count.")
+    Term.(
+      const serve $ files $ shards $ isolated $ prov $ ni $ nt $ untaint
+      $ store_backend $ batch $ queue $ drop)
+
 let main_cmd =
   let doc = "PIFT: predictive information-flow tracking (ASPLOS'16 reproduction)" in
   Cmd.group
@@ -1229,6 +1366,7 @@ let main_cmd =
       record_trace_cmd;
       analyze_trace_cmd;
       convert_cmd;
+      serve_cmd;
       report_cmd;
     ]
 

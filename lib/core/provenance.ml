@@ -20,21 +20,29 @@ type propagation = {
   p_labels : string list;
 }
 
-(* Determinism audit: the (pid, label) table is only ever *iterated* for
-   (a) [hit_labels], which folds into an Sset — commutative, so hashing
-   order cannot leak into the result; (b) untainting, which removes the
-   same range from independent per-label sets — commutative; and
-   (c) [entries], which sorts before returning.  Every emission path goes
-   through [labels_of]/[all_labels]/[entries] (all sorted), so provenance
-   output is byte-identical across runs, backends and --jobs counts. *)
+(* Determinism audit: the per-pid label tables are only ever *iterated*
+   for (a) [hit_labels], which folds into an Sset — commutative, so
+   hashing order cannot leak into the result; (b) untainting, which
+   removes the same range from independent per-label sets — commutative;
+   and (c) [entries], which sorts before returning.  Every emission path
+   goes through [labels_of]/[all_labels]/[entries] (all sorted), so
+   provenance output is byte-identical across runs, backends and --jobs
+   counts.
+
+   The state is indexed pid-first: scan paths (hit_labels, untainting)
+   touch only the probed pid's label sets, so per-event cost tracks that
+   process's label count instead of the whole tenant population — the
+   flat (pid, label) table scanned every table entry per event, which
+   melted down once a long-lived engine held thousands of cold pids. *)
 type t = {
   policy : Policy.t;
   backend : Store_backend.backend;
-  (* (pid, label) -> tainted ranges *)
-  state : (int * string, Store_backend.set) Hashtbl.t;
+  (* pid -> label -> tainted ranges *)
+  state : (int, (string, Store_backend.set) Hashtbl.t) Hashtbl.t;
   windows : (int, window) Hashtbl.t;
   mutable known_labels : Sset.t;
   mutable on_propagate : (propagation -> unit) option;
+  mutable probes : int;
 }
 
 let create ?(policy = Policy.default) ?(backend = Store_backend.Functional) ()
@@ -46,17 +54,28 @@ let create ?(policy = Policy.default) ?(backend = Store_backend.Functional) ()
     windows = Hashtbl.create 4;
     known_labels = Sset.empty;
     on_propagate = None;
+    probes = 0;
   }
 
 let policy t = t.policy
 let set_on_propagate t f = t.on_propagate <- Some f
+let probes t = t.probes
+
+let labels_for t pid =
+  match Hashtbl.find_opt t.state pid with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 4 in
+      Hashtbl.add t.state pid tbl;
+      tbl
 
 let set_for t ~pid ~label =
-  match Hashtbl.find_opt t.state (pid, label) with
+  let tbl = labels_for t pid in
+  match Hashtbl.find_opt tbl label with
   | Some s -> s
   | None ->
       let s = Store_backend.make t.backend in
-      Hashtbl.add t.state (pid, label) s;
+      Hashtbl.add tbl label s;
       s
 
 let window t pid =
@@ -75,16 +94,24 @@ let taint_source t ~pid ~label r =
   (set_for t ~pid ~label).Store_backend.s_add r
 
 let untaint_range t ~pid r =
-  Hashtbl.iter
-    (fun (p, _) s -> if p = pid then s.Store_backend.s_remove r)
-    t.state
+  match Hashtbl.find_opt t.state pid with
+  | None -> ()
+  | Some tbl ->
+      Hashtbl.iter
+        (fun _ s ->
+          t.probes <- t.probes + 1;
+          s.Store_backend.s_remove r)
+        tbl
 
 let hit_labels t ~pid r =
-  Hashtbl.fold
-    (fun (p, label) s acc ->
-      if p = pid && s.Store_backend.s_overlaps r then Sset.add label acc
-      else acc)
-    t.state Sset.empty
+  match Hashtbl.find_opt t.state pid with
+  | None -> Sset.empty
+  | Some tbl ->
+      Hashtbl.fold
+        (fun label s acc ->
+          t.probes <- t.probes + 1;
+          if s.Store_backend.s_overlaps r then Sset.add label acc else acc)
+        tbl Sset.empty
 
 let observe t e =
   match e.Event.access with
@@ -121,11 +148,14 @@ let observe t e =
         | _ -> ()
       end
       else if t.policy.Policy.untaint then
-        Hashtbl.iter
-          (fun (p, _) s ->
-            if p = e.pid && s.Store_backend.s_overlaps r then
-              s.Store_backend.s_remove r)
-          t.state
+        match Hashtbl.find_opt t.state e.pid with
+        | None -> ()
+        | Some tbl ->
+            Hashtbl.iter
+              (fun _ s ->
+                t.probes <- t.probes + 1;
+                if s.Store_backend.s_overlaps r then s.Store_backend.s_remove r)
+              tbl
 
 let labels_of t ~pid r = Sset.elements (hit_labels t ~pid r)
 let is_tainted t ~pid r = not (Sset.is_empty (hit_labels t ~pid r))
@@ -133,9 +163,15 @@ let all_labels t = Sset.elements t.known_labels
 
 let tainted_bytes t ~label =
   Hashtbl.fold
-    (fun (_, l) s acc ->
-      if String.equal l label then acc + s.Store_backend.s_bytes () else acc)
+    (fun _ tbl acc ->
+      match Hashtbl.find_opt tbl label with
+      | Some s -> acc + s.Store_backend.s_bytes ()
+      | None -> acc)
     t.state 0
+
+let release_pid t ~pid =
+  Hashtbl.remove t.state pid;
+  Hashtbl.remove t.windows pid
 
 let entries t =
   List.sort
@@ -144,7 +180,11 @@ let entries t =
       | 0 -> String.compare l1 l2
       | c -> c)
     (Hashtbl.fold
-       (fun key s acc -> (key, s.Store_backend.s_ranges ()) :: acc)
+       (fun pid tbl acc ->
+         Hashtbl.fold
+           (fun label s acc ->
+             ((pid, label), s.Store_backend.s_ranges ()) :: acc)
+           tbl acc)
        t.state [])
 
 (* --- flow graphs -------------------------------------------------------- *)

@@ -13,6 +13,10 @@
     State is one taint set per (process, label) — backed by any
     {!Store_backend} — so per-label cost matches the plain tracker and
     the label count only multiplies the source-registration footprint.
+    The sets are indexed pid-first (pid -> label -> set), so the scan
+    paths ([hit_labels], untainting) cost one probe per label of the
+    *probed* process: cold processes held by a long-lived engine add
+    nothing to another tenant's per-event cost.
 
     {b Invariant} (the basis of every origin-set guarantee downstream):
     the union of the per-label sets equals the plain {!Tracker} state at
@@ -36,6 +40,16 @@ val taint_source : t -> pid:int -> label:string -> Pift_util.Range.t -> unit
 val untaint_range : t -> pid:int -> Pift_util.Range.t -> unit
 (** Software-level removal, mirroring {!Tracker.untaint_range}: the
     range is dropped from every label of the process. *)
+
+val release_pid : t -> pid:int -> unit
+(** Tenant eviction: drop every label set and the window of [pid].  The
+    pid can be re-registered later and starts from a clean slate. *)
+
+val probes : t -> int
+(** Cumulative count of per-label set visits on the scan paths
+    ([hit_labels] / untainting).  Regression handle for the per-pid
+    index: with N cold pids resident, probing one pid must cost that
+    pid's label count, not the table size. *)
 
 val observe : t -> Pift_trace.Event.t -> unit
 

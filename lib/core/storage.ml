@@ -272,6 +272,19 @@ let lookup t ~pid r =
             true
         | Some _ | None -> false)
 
+let release_pid t ~pid =
+  (* Tenant eviction: invalidate the pid's primary entries (keeping the
+     occupancy gauge honest) and drop its secondary set outright — no
+     writeback, the state is being discarded, not displaced. *)
+  Array.iter
+    (fun s ->
+      if s.valid && s.pid = pid then begin
+        s.valid <- false;
+        set_occupancy t (t.occupancy - 1)
+      end)
+    t.slots;
+  Hashtbl.remove t.secondary pid
+
 let context_switch t =
   Array.iter
     (fun s ->

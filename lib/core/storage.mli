@@ -45,6 +45,12 @@ val context_switch : t -> unit
 (** Write all entries back to secondary storage (the paper's alternative
     that frees the PID field; modelled for its traffic statistics). *)
 
+val release_pid : t -> pid:int -> unit
+(** Tenant eviction: invalidate every primary entry of [pid] (occupancy
+    drops accordingly) and discard its secondary set.  Unlike
+    {!context_switch} nothing is written back — the state is gone, and a
+    re-registered pid starts clean. *)
+
 val occupancy : t -> int
 val tainted_bytes : t -> int
 val range_count : t -> int

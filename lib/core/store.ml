@@ -13,6 +13,7 @@ type t = {
   tainted_bytes : unit -> int;
   range_count : unit -> int;
   ranges : pid:int -> Range.t list;
+  release_pid : pid:int -> unit;
 }
 
 let create ?(backend = Functional) () =
@@ -58,6 +59,14 @@ let create ?(backend = Functional) () =
         match peek pid with
         | Some s -> s.Store_backend.s_ranges ()
         | None -> []);
+    release_pid =
+      (fun ~pid ->
+        match peek pid with
+        | None -> ()
+        | Some s ->
+            total_bytes := !total_bytes - s.Store_backend.s_bytes ();
+            total_count := !total_count - s.Store_backend.s_count ();
+            Hashtbl.remove sets pid);
   }
 
 let with_metrics registry inner =
@@ -92,6 +101,10 @@ let with_metrics registry inner =
         inner.remove ~pid r;
         Counter.incr removes;
         sync ());
+    release_pid =
+      (fun ~pid ->
+        inner.release_pid ~pid;
+        sync ());
   }
 
 let of_storage storage =
@@ -102,4 +115,5 @@ let of_storage storage =
     tainted_bytes = (fun () -> Storage.tainted_bytes storage);
     range_count = (fun () -> Storage.range_count storage);
     ranges = (fun ~pid -> Storage.ranges storage ~pid);
+    release_pid = (fun ~pid -> Storage.release_pid storage ~pid);
   }

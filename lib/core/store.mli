@@ -39,6 +39,11 @@ type t = {
   tainted_bytes : unit -> int;  (** across all processes *)
   range_count : unit -> int;  (** across all processes *)
   ranges : pid:int -> Pift_util.Range.t list;
+  release_pid : pid:int -> unit;
+      (** Tenant eviction: drop every range held for the pid and fold
+          its contribution out of [tainted_bytes] / [range_count].  A
+          pid never seen is a no-op; a released pid behaves exactly like
+          a fresh one. *)
 }
 
 val create : ?backend:backend -> unit -> t

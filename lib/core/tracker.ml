@@ -199,6 +199,21 @@ let untaint_range t ~pid r =
   st_remove t ~pid r;
   update_peaks t ~time:t.last_time
 
+(* Tenant eviction for a long-lived tracker: the pid's window, taint
+   state and provenance sidecar state are all dropped, and the
+   observability state sees the dip (same reasoning as [untaint_range] —
+   gauges and the Fig. 15 series must not go stale). *)
+let release_pid t ~pid =
+  Hashtbl.remove t.windows pid;
+  (match t.prov with
+  | None -> ()
+  | Some p -> Provenance.release_pid p ~pid);
+  t.store.Store.release_pid ~pid;
+  update_peaks t ~time:t.last_time
+
+let current_tainted_bytes t = t.store.Store.tainted_bytes ()
+let current_ranges t = t.store.Store.range_count ()
+
 let origins_of t ~pid r =
   match t.prov with
   | None -> []

@@ -61,6 +61,20 @@ val taint_source : ?kind:string -> t -> pid:int -> Pift_util.Range.t -> unit
 val untaint_range : t -> pid:int -> Pift_util.Range.t -> unit
 (** Software-level removal (e.g. buffer freed and cleared). *)
 
+val release_pid : t -> pid:int -> unit
+(** Tenant eviction: drop the pid's window, its store state and (when
+    present) its provenance state, then refresh the observability
+    gauges/series so occupancy returns to the remaining tenants'
+    baseline.  A released pid starts clean if seen again.  Peak stats
+    ([max_tainted_bytes]/[max_ranges]) keep their high-water marks. *)
+
+val current_tainted_bytes : t -> int
+(** Live store occupancy in bytes (not the peak) — the engine's
+    per-shard occupancy gauge reads this around every op/eviction. *)
+
+val current_ranges : t -> int
+(** Live distinct-range count (not the peak). *)
+
 val origins_of : t -> pid:int -> Pift_util.Range.t -> string list
 (** Source kinds whose data overlaps the range (sorted); [[]] without a
     provenance sidecar. *)

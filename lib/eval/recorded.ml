@@ -87,6 +87,38 @@ let interleave t ~observe ~on_marker =
     t.trace;
   apply_until max_int
 
+type item = Item_event of Pift_trace.Event.t | Item_marker of int * marker
+
+(* Pull-stream twin of [interleave]: the same order, one item per call.
+   A marker is due once every event up to its timestamp has been
+   emitted, so markers between two events surface after the later one —
+   exactly where [interleave] fires [on_marker] and where the trace
+   writers serialize them.  The engine's ingest front merges several of
+   these streams without materialising any of them. *)
+let items t =
+  let mi = ref 0 and ei = ref 0 in
+  let nm = Array.length t.markers in
+  let ne = Trace.length t.trace in
+  let last_seq = ref 0 in
+  fun () ->
+    if !mi < nm && fst t.markers.(!mi) <= !last_seq then begin
+      let mseq, m = t.markers.(!mi) in
+      incr mi;
+      Some (Item_marker (mseq, m))
+    end
+    else if !ei < ne then begin
+      let e = Trace.get t.trace !ei in
+      incr ei;
+      last_seq := e.Pift_trace.Event.seq;
+      Some (Item_event e)
+    end
+    else if !mi < nm then begin
+      let mseq, m = t.markers.(!mi) in
+      incr mi;
+      Some (Item_marker (mseq, m))
+    end
+    else None
+
 let replay ?(backend = Store.Functional) ?store ?metrics ?flight ?telemetry
     ?profile ?(with_origins = false) ~policy t =
   Pift_obs.Profile.span profile "replay" @@ fun () ->

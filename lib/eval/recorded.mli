@@ -34,6 +34,20 @@ val record :
     [profile] attributes the run to a ["record"] region with the VM's
     ["vm"]/["cpu"] regions nested beneath it. *)
 
+type item =
+  | Item_event of Pift_trace.Event.t
+  | Item_marker of int * marker  (** (global seq at occurrence, marker) *)
+(** One element of a recording viewed as a flat stream — the unit the
+    service engine ingests and {!Pift_eval.Trace_io} streams off disk. *)
+
+val items : t -> unit -> item option
+(** Pull stream over the recording in replay order: markers surface
+    after the last event at-or-before their timestamp, exactly where
+    {!replay} applies them and where the trace writers serialize them.
+    [None] once exhausted.  Feeding the items of a recording to a
+    tracker one at a time is equivalent to {!replay} — the
+    interleaving-aware path multi-tenant ingestion is built on. *)
+
 type verdict = { kind : string; flagged : bool }
 
 type origin_verdict = {

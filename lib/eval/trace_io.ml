@@ -278,7 +278,63 @@ let rec parse_ranges n = function
       range_of_len (fail_line n) (parse_int n lo) (parse_int n len)
       :: parse_ranges n rest
 
-let of_channel ic =
+type header = { h_name : string; h_pid : int; h_bytecodes : int }
+
+(* One record line to one stream item — shared by the whole-trace loader
+   and the streaming reader, so both reject malformed input with the
+   same positioned error. *)
+let text_item n line =
+  match String.split_on_char ' ' line with
+  | [ "L"; seq; k; epid; lo; len ] ->
+      Recorded.Item_event
+        {
+          Event.seq = parse_int n seq;
+          k = parse_int n k;
+          pid = parse_int n epid;
+          insn = synth_load;
+          access =
+            Event.Load
+              (range_of_len (fail_line n) (parse_int n lo) (parse_int n len));
+        }
+  | [ "S"; seq; k; epid; lo; len ] ->
+      Recorded.Item_event
+        {
+          Event.seq = parse_int n seq;
+          k = parse_int n k;
+          pid = parse_int n epid;
+          insn = synth_store;
+          access =
+            Event.Store
+              (range_of_len (fail_line n) (parse_int n lo) (parse_int n len));
+        }
+  | [ "O"; seq; k; epid ] ->
+      Recorded.Item_event
+        {
+          Event.seq = parse_int n seq;
+          k = parse_int n k;
+          pid = parse_int n epid;
+          insn = Insn.Nop;
+          access = Event.Other;
+        }
+  | [ "M"; seq; "SRC"; kind; lo; len ] ->
+      Recorded.Item_marker
+        ( parse_int n seq,
+          Recorded.Source
+            {
+              kind = unescape_kind n kind;
+              range =
+                range_of_len (fail_line n) (parse_int n lo) (parse_int n len);
+            } )
+  | "M" :: seq :: "SNK" :: kind :: rest ->
+      Recorded.Item_marker
+        ( parse_int n seq,
+          Recorded.Sink
+            { kind = unescape_kind n kind; ranges = parse_ranges n rest } )
+  | _ -> fail_line n ("unrecognised record: " ^ line)
+
+(* Streaming text front: parse magic + header eagerly, then one item per
+   pull.  Nothing is accumulated — memory is one line. *)
+let text_open ic =
   let line_no = ref 0 in
   let next () =
     incr line_no;
@@ -293,85 +349,41 @@ let of_channel ic =
     | k :: rest when String.equal k key -> String.concat " " rest
     | _ -> fail_line !line_no ("expected header " ^ key)
   in
-  let name = header "name" in
-  let pid = parse_int !line_no (header "pid") in
-  let bytecodes = parse_int !line_no (header "bytecodes") in
+  let h_name = header "name" in
+  let h_pid = parse_int !line_no (header "pid") in
+  let h_bytecodes = parse_int !line_no (header "bytecodes") in
+  let rec next_item () =
+    match next () with
+    | exception End_of_file -> None
+    | "" -> next_item ()
+    | line -> Some (text_item !line_no line)
+  in
+  ({ h_name; h_pid; h_bytecodes }, next_item)
+
+let of_channel ic =
+  let h, next = text_open ic in
   let trace = Trace.create () in
   let markers = ref [] in
-  (try
-     while true do
-       let line = next () in
-       if not (String.equal line "") then begin
-         let n = !line_no in
-         match String.split_on_char ' ' line with
-         | [ "L"; seq; k; epid; lo; len ] ->
-             Trace.add trace
-               {
-                 Event.seq = parse_int n seq;
-                 k = parse_int n k;
-                 pid = parse_int n epid;
-                 insn = synth_load;
-                 access =
-                   Event.Load
-                     (range_of_len (fail_line n) (parse_int n lo)
-                        (parse_int n len));
-               }
-         | [ "S"; seq; k; epid; lo; len ] ->
-             Trace.add trace
-               {
-                 Event.seq = parse_int n seq;
-                 k = parse_int n k;
-                 pid = parse_int n epid;
-                 insn = synth_store;
-                 access =
-                   Event.Store
-                     (range_of_len (fail_line n) (parse_int n lo)
-                        (parse_int n len));
-               }
-         | [ "O"; seq; k; epid ] ->
-             Trace.add trace
-               {
-                 Event.seq = parse_int n seq;
-                 k = parse_int n k;
-                 pid = parse_int n epid;
-                 insn = Insn.Nop;
-                 access = Event.Other;
-               }
-         | [ "M"; seq; "SRC"; kind; lo; len ] ->
-             markers :=
-               ( parse_int n seq,
-                 Recorded.Source
-                   {
-                     kind = unescape_kind n kind;
-                     range =
-                       range_of_len (fail_line n) (parse_int n lo)
-                         (parse_int n len);
-                   } )
-               :: !markers
-         | "M" :: seq :: "SNK" :: kind :: rest ->
-             markers :=
-               ( parse_int n seq,
-                 Recorded.Sink
-                   {
-                     kind = unescape_kind n kind;
-                     ranges = parse_ranges n rest;
-                   } )
-               :: !markers
-         | _ -> fail_line n ("unrecognised record: " ^ line)
-       end
-     done
-   with End_of_file -> ());
+  let rec drain () =
+    match next () with
+    | None -> ()
+    | Some (Recorded.Item_event e) ->
+        Trace.add trace e;
+        drain ()
+    | Some (Recorded.Item_marker (seq, m)) ->
+        markers := (seq, m) :: !markers;
+        drain ()
+  in
+  drain ();
   {
-    Recorded.name;
+    Recorded.name = h.h_name;
     trace;
     markers = Array.of_list (List.rev !markers);
-    pid;
-    bytecodes;
+    pid = h.h_pid;
+    bytecodes = h.h_bytecodes;
   }
 
 (* --- binary parsing ------------------------------------------------------ *)
-
-type header = { h_name : string; h_pid : int; h_bytecodes : int }
 
 let fail_record n msg = failwith (Printf.sprintf "Trace_io: record %d: %s" n msg)
 
@@ -447,14 +459,29 @@ let rd_varint ?(first_eof_ok = false) fail r =
   in
   go 0 0 true
 
-(* Payload-side decoding, in place within the refill buffer. *)
-let buf_varint fail scratch pos limit =
+(* Pull-side decoder state: the chunk reader plus the record counter and
+   the delta baselines.  The decode helpers are top-level functions over
+   this record — no per-record closure allocation, same as the old
+   hoisted-closure loop, but usable one record at a time. *)
+type bin_reader = {
+  br_rd : rd;
+  mutable br_record : int;
+  mutable br_prev_seq : int;
+  mutable br_prev_k : int;
+  mutable br_prev_lo : int;
+  mutable br_pos : int;  (* next payload byte *)
+  mutable br_limit : int;  (* end of current payload *)
+}
+
+let br_fail br msg = fail_record br.br_record msg
+
+let br_varint br =
   let rec go shift acc =
-    if !pos >= limit then fail "truncated record payload"
+    if br.br_pos >= br.br_limit then br_fail br "truncated record payload"
     else begin
-      let b = Char.code (Bytes.unsafe_get scratch !pos) in
-      incr pos;
-      if shift > 56 && b > 0x7f then fail "varint overflow"
+      let b = Char.code (Bytes.unsafe_get br.br_rd.rd_buf br.br_pos) in
+      br.br_pos <- br.br_pos + 1;
+      if shift > 56 && b > 0x7f then br_fail br "varint overflow"
       else begin
         let acc = acc lor ((b land 0x7f) lsl shift) in
         if b < 0x80 then acc else go (shift + 7) acc
@@ -463,7 +490,26 @@ let buf_varint fail scratch pos limit =
   in
   go 0 0
 
-let iter_channel_binary ic ~on_event ~on_marker =
+let br_svarint br = unzigzag (br_varint br)
+
+let br_seq br =
+  br.br_prev_seq <- br.br_prev_seq + br_svarint br;
+  br.br_prev_seq
+
+let br_range br =
+  br.br_prev_lo <- br.br_prev_lo + br_svarint br;
+  range_of_len (br_fail br) br.br_prev_lo (br_varint br)
+
+let br_kind br =
+  let klen = br_varint br in
+  if klen < 0 || br.br_pos + klen > br.br_limit then br_fail br "truncated kind";
+  let s = Bytes.sub_string br.br_rd.rd_buf br.br_pos klen in
+  br.br_pos <- br.br_pos + klen;
+  s
+
+(* Magic + header, eagerly; the returned reader is positioned at the
+   first record. *)
+let bin_open ic =
   let mlen = String.length binary_magic in
   (match really_input_string ic mlen with
   | s when String.equal s binary_magic -> ()
@@ -479,85 +525,90 @@ let iter_channel_binary ic ~on_event ~on_marker =
   rd.rd_lo <- rd.rd_lo + name_len;
   let h_pid = rd_varint fail0 rd in
   let h_bytecodes = rd_varint fail0 rd in
-  let record = ref 0 in
-  let prev_seq = ref 0 and prev_k = ref 0 and prev_lo = ref 0 in
-  (* All decode helpers are hoisted out of the record loop — closure
-     allocation per record would dominate the decode itself. *)
-  let pos = ref 0 in
-  let limit = ref 0 in
-  let fail msg = fail_record !record msg in
-  let fail_next msg = fail_record (!record + 1) msg in
-  let varint () = buf_varint fail rd.rd_buf pos !limit in
-  let svarint () = unzigzag (varint ()) in
-  let seq () =
-    prev_seq := !prev_seq + svarint ();
-    !prev_seq
-  in
-  let range () =
-    prev_lo := !prev_lo + svarint ();
-    range_of_len fail !prev_lo (varint ())
-  in
-  let kind () =
-    let klen = varint () in
-    if klen < 0 || !pos + klen > !limit then fail "truncated kind";
-    let s = Bytes.sub_string rd.rd_buf !pos klen in
-    pos := !pos + klen;
-    s
-  in
-  (try
-     while true do
-       (* EOF exactly at a record boundary ends the stream. *)
-       let len = rd_varint ~first_eof_ok:true fail_next rd in
-       incr record;
-       if len <= 0 then fail "empty record";
-       if len > max_record_payload then fail "implausible record length";
-       if not (rd_has rd len) then
-         fail (Printf.sprintf "truncated record (%d payload bytes)" len);
-       pos := rd.rd_lo + 1;
-       limit := rd.rd_lo + len;
-       let tag = Char.code (Bytes.unsafe_get rd.rd_buf rd.rd_lo) in
-       rd.rd_lo <- rd.rd_lo + len;
-       (if tag = tag_load || tag = tag_store then begin
-          let seq = seq () in
-          prev_k := !prev_k + svarint ();
-          let pid = varint () in
-          let r = range () in
-          on_event
+  ( { h_name; h_pid; h_bytecodes },
+    {
+      br_rd = rd;
+      br_record = 0;
+      br_prev_seq = 0;
+      br_prev_k = 0;
+      br_prev_lo = 0;
+      br_pos = 0;
+      br_limit = 0;
+    } )
+
+(* One record per pull; [None] only on EOF exactly at a record boundary,
+   anything else fails with the record number. *)
+let bin_next br =
+  let rd = br.br_rd in
+  match rd_varint ~first_eof_ok:true (fail_record (br.br_record + 1)) rd with
+  | exception End_of_file -> None
+  | len ->
+      br.br_record <- br.br_record + 1;
+      let fail msg = br_fail br msg in
+      if len <= 0 then fail "empty record";
+      if len > max_record_payload then fail "implausible record length";
+      if not (rd_has rd len) then
+        fail (Printf.sprintf "truncated record (%d payload bytes)" len);
+      br.br_pos <- rd.rd_lo + 1;
+      br.br_limit <- rd.rd_lo + len;
+      let tag = Char.code (Bytes.unsafe_get rd.rd_buf rd.rd_lo) in
+      rd.rd_lo <- rd.rd_lo + len;
+      let item =
+        if tag = tag_load || tag = tag_store then begin
+          let seq = br_seq br in
+          br.br_prev_k <- br.br_prev_k + br_svarint br;
+          let pid = br_varint br in
+          let r = br_range br in
+          Recorded.Item_event
             {
               Event.seq;
-              k = !prev_k;
+              k = br.br_prev_k;
               pid;
               insn = (if tag = tag_load then synth_load else synth_store);
-              access =
-                (if tag = tag_load then Event.Load r else Event.Store r);
+              access = (if tag = tag_load then Event.Load r else Event.Store r);
             }
         end
         else if tag = tag_other then begin
-          let seq = seq () in
-          prev_k := !prev_k + svarint ();
-          let pid = varint () in
-          on_event
-            { Event.seq; k = !prev_k; pid; insn = Insn.Nop; access = Event.Other }
+          let seq = br_seq br in
+          br.br_prev_k <- br.br_prev_k + br_svarint br;
+          let pid = br_varint br in
+          Recorded.Item_event
+            { Event.seq; k = br.br_prev_k; pid; insn = Insn.Nop;
+              access = Event.Other }
         end
         else if tag = tag_source then begin
-          let seq = seq () in
-          let kind = kind () in
-          let range = range () in
-          on_marker seq (Recorded.Source { kind; range })
+          let seq = br_seq br in
+          let kind = br_kind br in
+          let range = br_range br in
+          Recorded.Item_marker (seq, Recorded.Source { kind; range })
         end
         else if tag = tag_sink then begin
-          let seq = seq () in
-          let kind = kind () in
-          let nranges = varint () in
+          let seq = br_seq br in
+          let kind = br_kind br in
+          let nranges = br_varint br in
           if nranges < 0 || nranges > len then fail "implausible range count";
-          let ranges = List.init nranges (fun _ -> range ()) in
-          on_marker seq (Recorded.Sink { kind; ranges })
+          let ranges = List.init nranges (fun _ -> br_range br) in
+          Recorded.Item_marker (seq, Recorded.Sink { kind; ranges })
         end
-        else fail (Printf.sprintf "unknown record tag %d" tag));
-       if !pos <> !limit then fail "trailing bytes in record"
-     done
-   with End_of_file -> ());
-  { h_name; h_pid; h_bytecodes }
+        else fail (Printf.sprintf "unknown record tag %d" tag)
+      in
+      if br.br_pos <> br.br_limit then fail "trailing bytes in record";
+      Some item
+
+let iter_channel_binary ic ~on_event ~on_marker =
+  let h, br = bin_open ic in
+  let rec drain () =
+    match bin_next br with
+    | None -> ()
+    | Some (Recorded.Item_event e) ->
+        on_event e;
+        drain ()
+    | Some (Recorded.Item_marker (seq, m)) ->
+        on_marker seq m;
+        drain ()
+  in
+  drain ();
+  h
 
 let of_channel_binary ic =
   let trace = Trace.create () in
@@ -602,3 +653,44 @@ let load ?profile path =
           match detect_channel ic with
           | Binary -> of_channel_binary ic
           | Text -> of_channel ic))
+
+(* --- streaming readers --------------------------------------------------- *)
+
+type reader = {
+  r_ic : in_channel;
+  r_format : format;
+  r_header : header;
+  r_next : unit -> Recorded.item option;
+  mutable r_closed : bool;
+}
+
+let open_reader path =
+  let ic = open_in_bin path in
+  match
+    match detect_channel ic with
+    | Binary ->
+        let h, br = bin_open ic in
+        (Binary, h, fun () -> bin_next br)
+    | Text ->
+        let h, next = text_open ic in
+        (Text, h, next)
+  with
+  | r_format, r_header, r_next ->
+      { r_ic = ic; r_format; r_header; r_next; r_closed = false }
+  | exception e ->
+      close_in_noerr ic;
+      raise e
+
+let read_item r = r.r_next ()
+let reader_header r = r.r_header
+let reader_format r = r.r_format
+
+let close_reader r =
+  if not r.r_closed then begin
+    r.r_closed <- true;
+    close_in_noerr r.r_ic
+  end
+
+let with_reader path f =
+  let r = open_reader path in
+  Fun.protect ~finally:(fun () -> close_reader r) (fun () -> f r)

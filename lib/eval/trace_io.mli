@@ -77,3 +77,36 @@ val iter_channel_binary :
     order without materialising any per-event list, reusing one scratch
     buffer across records.  Returns the header once the stream ends.
     Raises [Failure] with the record number on malformed input. *)
+
+(** {1 Streaming readers}
+
+    Event-at-a-time ingestion over either format: the service engine
+    multiplexes many open traces without ever materialising one, so
+    resident memory is one buffered chunk (binary) or one line (text)
+    per tenant, whatever the trace length. *)
+
+type reader
+(** An open trace positioned after its header.  Not an unbounded
+    resource cache: one file descriptor until {!close_reader}. *)
+
+val open_reader : string -> reader
+(** Autodetects the format and parses the header eagerly — a bad magic
+    or truncated header raises the same positioned [Failure] as {!load}
+    (and the file is closed).  Items then come one {!read_item} at a
+    time. *)
+
+val read_item : reader -> Recorded.item option
+(** Next item in file order — the replay interleaving the writers emit
+    ({!Recorded.items}).  [None] at a clean end of stream.  Malformed or
+    truncated input raises [Failure] with the line (text) or record
+    (binary) position; items before the corruption have already been
+    delivered, so an ingester can account for partial streams. *)
+
+val reader_header : reader -> header
+val reader_format : reader -> format
+
+val close_reader : reader -> unit
+(** Idempotent. *)
+
+val with_reader : string -> (reader -> 'a) -> 'a
+(** [with_reader path f] opens, applies [f], and always closes. *)

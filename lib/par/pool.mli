@@ -48,6 +48,18 @@ val with_pool :
   ?profiles:Pift_obs.Profile.t array -> (t -> 'a) -> 'a
 (** [create], run, and [shutdown] (also on exception). *)
 
+val run_job : t -> (worker:int -> unit) -> unit
+(** The raw primitive beneath [map_slots]: publish one job that every
+    worker — the caller included, as slot 0 — runs {e exactly once},
+    then join the pool and re-raise the first failure (after all
+    workers have drained, so no worker is still inside the job when it
+    propagates).  Unlike [map_slots] there is no work-stealing cursor:
+    each slot gets exactly one call, which is what cooperating
+    long-lived roles need (e.g. the service engine runs one producer on
+    slot 0 and one shard consumer per remaining slot).  At most one job
+    is ever in flight per pool; with [jobs = 1] the job runs inline on
+    the caller. *)
+
 val map_slots :
   t -> ?chunk:int -> f:(worker:int -> int -> 'a -> 'b) -> 'a array -> 'b array
 (** The primitive: [f ~worker i x] computes the result for input index

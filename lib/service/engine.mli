@@ -1,0 +1,180 @@
+(** The long-lived multi-tenant taint engine.
+
+    One engine owns [shards] shard states, each pinned to one pool
+    worker slot.  A shard holds its resident tenants — one pid, one
+    private {!Pift_core.Tracker} stack (store + optional provenance
+    sidecar) — plus a per-shard metrics registry, optional telemetry
+    ring, and the bounded queue its consumer drains during a {!run}.
+
+    {b Sharding.}  Pids are partitioned by contiguous range:
+    [shard_of pid = (pid / pid_range) mod shards].  Routing is pure
+    arithmetic, so a pid's shard never changes and no cross-shard
+    state exists.
+
+    {b Determinism.}  Because every tenant owns a private tracker and
+    items of one pid are routed to one shard through a FIFO queue in
+    stream order, the per-tenant verdicts, origin sets, and stats after
+    an interleaved run are byte-identical to replaying each tenant's
+    stream in isolation — at any shard count.  The differential harness
+    ([test_service], the CI serve leg) enforces this.
+
+    {b Concurrency contract.}  {!run} is the only concurrent region:
+    slot 0 produces, slots 1..shards consume, and the pool join fences
+    all shard state before returning.  Every other function (the admin
+    API, {!stats}, {!snapshot_tenant}) must be called while the engine
+    is idle — between runs, from the owning domain. *)
+
+type t
+
+type item =
+  | I_event of Pift_trace.Event.t  (** hardware fast path *)
+  | I_source of { pid : int; kind : string; range : Pift_util.Range.t }
+      (** in-band source registration *)
+  | I_sink of { pid : int; kind : string; ranges : Pift_util.Range.t list }
+      (** in-band sink query; the verdict lands in the tenant's log *)
+  | I_untaint of { pid : int; range : Pift_util.Range.t }
+  | I_evict of { pid : int }  (** in-band tenant eviction *)
+
+type stream = unit -> item option
+(** Pull stream of interleaved multi-tenant items ([None] = end). *)
+
+val create :
+  ?shards:int ->
+  ?policy:Pift_core.Policy.t ->
+  ?backend:Pift_core.Store.backend ->
+  ?queue_capacity:int ->
+  ?batch:int ->
+  ?pid_range:int ->
+  ?drop_when_full:bool ->
+  ?with_origins:bool ->
+  ?telemetry_capacity:int ->
+  unit ->
+  t
+(** [shards] (default 1) sets the shard count and spawns a pool of
+    [shards + 1] workers (slot 0 is the ingest producer).  [policy] and
+    [backend] configure every tenant tracker.  [queue_capacity]
+    (default 64) bounds each shard queue in {e batches} of [batch]
+    (default 128) items.  [pid_range] (default [2{^20}]) is the width
+    of the contiguous pid blocks mapped to one shard.
+    [drop_when_full:true] switches backpressure from blocking the
+    producer to dropping batches (counted per shard, surfaced in
+    {!stats} and metrics).  [with_origins] threads a provenance sidecar
+    through every tenant so sink verdicts carry origin sets.
+    [telemetry_capacity > 0] attaches one telemetry ring per shard
+    (sources: tainted bytes, tenant count, queue depth; bumped once per
+    consumed item). *)
+
+val run : t -> stream -> unit
+(** Drain [stream] to completion: route every item to its pid's shard,
+    push batches through the bounded queues, process them on the shard
+    consumers.  Fresh queues per run; on any failure (producer or
+    consumer) the queues are closed/aborted so no domain wedges, and
+    the first exception re-raises here after all workers drain.
+    Tenants are created on first touch and survive across runs until
+    evicted. *)
+
+val shutdown : t -> unit
+(** Join the pool domains.  Idempotent; {!run} refuses afterwards
+    (admin reads still work). *)
+
+val with_engine :
+  ?shards:int ->
+  ?policy:Pift_core.Policy.t ->
+  ?backend:Pift_core.Store.backend ->
+  ?queue_capacity:int ->
+  ?batch:int ->
+  ?pid_range:int ->
+  ?drop_when_full:bool ->
+  ?with_origins:bool ->
+  ?telemetry_capacity:int ->
+  (t -> 'a) ->
+  'a
+(** [create], run [f], and {!shutdown} (also on exception). *)
+
+(** {1 Admin API}
+
+    Engine-idle only (see the concurrency contract above). *)
+
+val register_tenant : t -> pid:int -> ?name:string -> unit -> unit
+(** Pre-create (or rename) the tenant for [pid].  Tenants are otherwise
+    auto-created on first touch with name ["pid-<pid>"]. *)
+
+val register_source :
+  t -> pid:int -> ?kind:string -> Pift_util.Range.t -> unit
+(** Out-of-band source registration, applied directly to the tenant's
+    tracker (not counted as a stream item). *)
+
+type verdict = {
+  v_kind : string;
+  v_flagged : bool;
+  v_origins : string list;  (** sorted; [[]] without [with_origins] *)
+}
+
+val query_sink :
+  t -> pid:int -> ?kind:string -> Pift_util.Range.t list -> verdict
+(** Pure sink query: computes the verdict without appending it to the
+    tenant's log.  An unknown pid is clean. *)
+
+val untaint_range : t -> pid:int -> Pift_util.Range.t -> unit
+(** Out-of-band untaint; no-op for an unknown pid. *)
+
+val evict_tenant : t -> pid:int -> bool
+(** Release the tenant's store, provenance, and window state, subtract
+    its bytes from the shard occupancy gauge, and forget it.  Returns
+    [false] if the pid was not resident.  A later touch of the same pid
+    starts a clean tenant. *)
+
+type tenant_snapshot = {
+  ts_pid : int;
+  ts_name : string;
+  ts_shard : int;
+  ts_verdicts : verdict list;  (** in-band sink verdicts, stream order *)
+  ts_stats : Pift_core.Tracker.stats;
+  ts_tainted_bytes : int;  (** live, not peak *)
+  ts_ranges : int;
+}
+
+val snapshot_tenant : t -> pid:int -> tenant_snapshot option
+
+val tenants : t -> int list
+(** Resident pids, sorted. *)
+
+type shard_stats = {
+  ss_shard : int;
+  ss_items : int;
+  ss_events : int;
+  ss_batches : int;
+  ss_dropped : int;  (** items lost to the dropping policy, all runs *)
+  ss_max_queue_depth : int;  (** peak queued batches, all runs *)
+  ss_tenants : int;
+  ss_evictions : int;
+  ss_tainted_bytes : int;  (** live occupancy across resident tenants *)
+}
+
+type stats = {
+  st_shards : shard_stats list;  (** by shard id *)
+  st_items : int;
+  st_events : int;
+  st_batches : int;
+  st_dropped : int;
+  st_evictions : int;
+  st_tenants : int;
+  st_tainted_bytes : int;
+}
+
+val stats : t -> stats
+
+(** {1 Introspection} *)
+
+val shards : t -> int
+val policy : t -> Pift_core.Policy.t
+val backend : t -> Pift_core.Store.backend
+
+val registries : t -> Pift_obs.Registry.t array
+(** Per-shard metrics registries, by shard id ([pift_service_*]
+    counters and gauges).  Merge into one with
+    {!Pift_obs.Registry.merge} for a combined snapshot. *)
+
+val telemetries : t -> Pift_obs.Telemetry.t array
+(** Per-shard telemetry rings (empty array unless created with
+    [telemetry_capacity > 0]). *)

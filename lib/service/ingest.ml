@@ -1,0 +1,107 @@
+module Event = Pift_trace.Event
+module Recorded = Pift_eval.Recorded
+module Trace_io = Pift_eval.Trace_io
+
+type source = {
+  src_name : string;
+  src_pid : int;  (* pid the engine sees *)
+  src_orig_pid : int;  (* pid recorded in the trace *)
+  src_next : unit -> Recorded.item option;
+  src_close : unit -> unit;
+}
+
+let tenant_pid ?(pid_range = 1 lsl 20) i =
+  if i < 0 then invalid_arg "Ingest.tenant_pid: index must be non-negative";
+  (i + 1) * pid_range
+
+let of_recorded ~pid (r : Recorded.t) =
+  {
+    src_name = r.Recorded.name;
+    src_pid = pid;
+    src_orig_pid = r.Recorded.pid;
+    src_next = Recorded.items r;
+    src_close = ignore;
+  }
+
+let of_file ~pid path =
+  let r = Trace_io.open_reader path in
+  let h = Trace_io.reader_header r in
+  {
+    src_name = h.Trace_io.h_name;
+    src_pid = pid;
+    src_orig_pid = h.Trace_io.h_pid;
+    src_next = (fun () -> Trace_io.read_item r);
+    src_close = (fun () -> Trace_io.close_reader r);
+  }
+
+let close s = s.src_close ()
+
+(* Remap a recorded item onto the source's assigned engine pid.  The
+   recording's events may carry child pids (fork); preserving the
+   offset from the recorded main pid keeps distinct processes distinct
+   inside the tenant's pid block. *)
+let to_engine_item s (item : Recorded.item) : Engine.item =
+  match item with
+  | Recorded.Item_event e ->
+      Engine.I_event
+        { e with Event.pid = e.Event.pid - s.src_orig_pid + s.src_pid }
+  | Recorded.Item_marker (_, Recorded.Source { kind; range }) ->
+      Engine.I_source { pid = s.src_pid; kind; range }
+  | Recorded.Item_marker (_, Recorded.Sink { kind; ranges }) ->
+      Engine.I_sink { pid = s.src_pid; kind; ranges }
+
+(* Deterministic interleave of the per-source streams: repeatedly emit
+   the head with the smallest (seq, source index) — strict [<] on seq,
+   so the earlier-listed source wins ties.  Only {e head} order across
+   sources is decided here; within one source the items come out in
+   stream order, which is all per-tenant determinism needs.  The seq of
+   a marker is its recorded occurrence seq, so markers compete in the
+   same time axis as events. *)
+let merge sources : Engine.stream =
+  let srcs = Array.of_list sources in
+  let n = Array.length srcs in
+  let heads = Array.make n None in
+  let live = Array.make n (n > 0) in
+  let item_seq = function
+    | Recorded.Item_event e -> e.Event.seq
+    | Recorded.Item_marker (seq, _) -> seq
+  in
+  let fill i =
+    if live.(i) && heads.(i) = None then begin
+      match srcs.(i).src_next () with
+      | Some it -> heads.(i) <- Some it
+      | None -> live.(i) <- false
+    end
+  in
+  fun () ->
+    for i = 0 to n - 1 do
+      fill i
+    done;
+    let best = ref (-1) and best_seq = ref max_int in
+    for i = 0 to n - 1 do
+      match heads.(i) with
+      | None -> ()
+      | Some it ->
+          let seq = item_seq it in
+          if !best < 0 || seq < !best_seq then begin
+            best := i;
+            best_seq := seq
+          end
+    done;
+    if !best < 0 then None
+    else begin
+      let i = !best in
+      let it = Option.get heads.(i) in
+      heads.(i) <- None;
+      Some (to_engine_item srcs.(i) it)
+    end
+
+let run engine sources =
+  Fun.protect
+    ~finally:(fun () -> List.iter close sources)
+    (fun () ->
+      List.iter
+        (fun s ->
+          Engine.register_tenant engine ~pid:s.src_pid ~name:s.src_name ())
+        sources;
+      Engine.run engine (merge sources))

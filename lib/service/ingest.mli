@@ -1,0 +1,46 @@
+(** Ingest front: turn recordings and trace files into tenant sources,
+    interleave them deterministically, and feed the engine.
+
+    A {!source} binds one trace stream to one engine pid.  Pids come
+    from {!tenant_pid}, which places tenant [i] at the start of its own
+    [pid_range] block so the engine's range partitioning spreads
+    tenants round-robin across shards.  Events are remapped into the
+    tenant's block preserving their offset from the recorded main pid,
+    so forked child processes stay distinct. *)
+
+type source = {
+  src_name : string;
+  src_pid : int;  (** pid the engine sees *)
+  src_orig_pid : int;  (** pid recorded in the trace *)
+  src_next : unit -> Pift_eval.Recorded.item option;
+  src_close : unit -> unit;
+}
+
+val tenant_pid : ?pid_range:int -> int -> int
+(** [(i + 1) * pid_range] (default [pid_range] matches
+    {!Engine.create}): the engine pid for tenant index [i >= 0]. *)
+
+val of_recorded : pid:int -> Pift_eval.Recorded.t -> source
+(** In-memory recording as a source (no close needed). *)
+
+val of_file : pid:int -> string -> source
+(** Open [path] with {!Pift_eval.Trace_io.open_reader} — text or binary,
+    streamed event-at-a-time, never materialised.  {!close} (or {!run})
+    releases the channel. *)
+
+val close : source -> unit
+
+val to_engine_item : source -> Pift_eval.Recorded.item -> Engine.item
+(** Remap one recorded item onto the source's engine pid. *)
+
+val merge : source list -> Engine.stream
+(** Deterministic interleave: always emit the head with the smallest
+    [(seq, source index)] — ties on seq go to the earlier-listed
+    source.  Per-source item order is preserved, so each tenant sees
+    exactly its own stream in order; the cross-tenant schedule is fixed
+    by the inputs alone, never by thread timing. *)
+
+val run : Engine.t -> source list -> unit
+(** Register each source's tenant (named after the trace), then
+    {!Engine.run} the merged stream.  Sources are closed on the way
+    out, also on failure. *)
