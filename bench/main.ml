@@ -872,6 +872,157 @@ let write_service_bench () =
     (if all_identical then "verdicts identical" else "VERDICTS DIVERGED");
   if not all_identical then exit 1
 
+(* Durability cost: snapshot write latency and size, restore (load +
+   rebuild) latency, and resume throughput after a mid-stream restore —
+   gated on the resumed state matching the uninterrupted run's exactly,
+   so the number can never ship with a broken recovery path
+   (BENCH_snapshot.json). *)
+let write_snapshot_bench () =
+  let module Json = Pift_obs.Json in
+  let module Engine = Pift_service.Engine in
+  let module Ingest = Pift_service.Ingest in
+  let module Admin = Pift_service.Admin in
+  let module Snapshot = Pift_service.Snapshot in
+  let recorded = Lazy.force bench_trace in
+  let policy = Policy.default in
+  let tenants = 16 and shards = 4 in
+  let events_per_tenant = Trace.length recorded.Recorded.trace in
+  let items_per_tenant =
+    events_per_tenant + Array.length recorded.Recorded.markers
+  in
+  let mk_sources () =
+    List.init tenants (fun i ->
+        Ingest.of_recorded ~pid:(Ingest.tenant_pid i) recorded)
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let best_of n f =
+    List.fold_left
+      (fun best _ -> min best (snd (time f)))
+      infinity
+      (List.init n Fun.id)
+  in
+  let tenant_matches (ts : Admin.tenant_snapshot)
+      (ref_ts : Admin.tenant_snapshot) =
+    ts.Admin.ts_verdicts = ref_ts.Admin.ts_verdicts
+    && ts.Admin.ts_stats = ref_ts.Admin.ts_stats
+    && ts.Admin.ts_tainted_bytes = ref_ts.Admin.ts_tainted_bytes
+    && ts.Admin.ts_ranges = ref_ts.Admin.ts_ranges
+  in
+  let tmp = Filename.temp_file "pift_bench" ".piftsnap" in
+  let mid = Filename.temp_file "pift_bench_mid" ".piftsnap" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ tmp; mid ])
+    (fun () ->
+      (* uninterrupted run: the reference state, and the subject of the
+         snapshot/restore latency measurements *)
+      let reference, snapshot_s, snapshot_bytes, restore_s =
+        Engine.with_engine ~shards ~policy ~with_origins:true (fun eng ->
+            Ingest.run eng (mk_sources ());
+            let reference =
+              List.init tenants (fun i ->
+                  Option.get
+                    (Admin.snapshot_tenant eng ~pid:(Ingest.tenant_pid i)))
+            in
+            let snapshot_s = best_of 5 (fun () -> Admin.save_snapshot eng tmp) in
+            let snapshot_bytes = (Unix.stat tmp).Unix.st_size in
+            let restore_s =
+              best_of 3 (fun () ->
+                  let snap = Snapshot.load tmp in
+                  Engine.with_engine ~shards ~policy ~with_origins:true
+                    (fun e2 -> Snapshot.restore_tenants e2 snap))
+            in
+            (reference, snapshot_s, snapshot_bytes, restore_s))
+      in
+      (* capture a mid-stream snapshot (first segment boundary at half
+         the items), then restore it and resume to completion *)
+      Engine.with_engine ~shards ~policy ~with_origins:true (fun eng ->
+          let sources = mk_sources () in
+          let saved = ref false in
+          let on_idle () =
+            if not !saved then begin
+              saved := true;
+              Admin.save_snapshot
+                ~sources:(Snapshot.source_entries sources)
+                eng mid
+            end
+          in
+          Ingest.run ~segment:(tenants * items_per_tenant / 2) ~on_idle eng
+            sources);
+      let snap = Snapshot.load mid in
+      let snap_items =
+        List.fold_left
+          (fun acc (se : Snapshot.source_entry) -> acc + se.Snapshot.se_cursor)
+          0 snap.Snapshot.sources
+      in
+      let resumed_items = (tenants * items_per_tenant) - snap_items in
+      let resume_ok, resume_s =
+        Engine.with_engine ~shards ~policy ~with_origins:true (fun eng ->
+            Snapshot.restore_tenants eng snap;
+            let sources = mk_sources () in
+            List.iter
+              (fun (s : Ingest.source) ->
+                let se =
+                  List.find
+                    (fun (se : Snapshot.source_entry) ->
+                      se.Snapshot.se_pid = s.Ingest.src_pid)
+                    snap.Snapshot.sources
+                in
+                Ingest.skip s se.Snapshot.se_cursor)
+              sources;
+            let (), s = time (fun () -> Ingest.run eng sources) in
+            let ok =
+              List.for_all
+                (fun i ->
+                  match
+                    Admin.snapshot_tenant eng ~pid:(Ingest.tenant_pid i)
+                  with
+                  | None -> false
+                  | Some ts -> tenant_matches ts (List.nth reference i))
+                (List.init tenants Fun.id)
+            in
+            (ok, s))
+      in
+      let resume_rate =
+        if resume_s > 0. then float_of_int resumed_items /. resume_s else 0.
+      in
+      let json =
+        Json.Obj
+          [
+            ("bench", Json.String "snapshot");
+            ("tenants", Json.Int tenants);
+            ("shards", Json.Int shards);
+            ("events_per_tenant", Json.Int events_per_tenant);
+            ("items_total", Json.Int (tenants * items_per_tenant));
+            ("snapshot_seconds", Json.Float snapshot_s);
+            ("snapshot_bytes", Json.Int snapshot_bytes);
+            ("restore_seconds", Json.Float restore_s);
+            ("resume_items", Json.Int resumed_items);
+            ("resume_seconds", Json.Float resume_s);
+            ("resume_items_per_sec", Json.Float resume_rate);
+            ("resumed_state_identical", Json.Bool resume_ok);
+          ]
+      in
+      let oc = open_out "BENCH_snapshot.json" in
+      output_string oc (Json.to_string json);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf
+        "snapshot: %d tenants, write %.1fms (%d bytes), restore %.1fms, \
+         resume %d items at %.0f items/s\n"
+        tenants (snapshot_s *. 1000.) snapshot_bytes (restore_s *. 1000.)
+        resumed_items resume_rate;
+      Printf.printf "wrote BENCH_snapshot.json (%s)\n"
+        (if resume_ok then "resumed state identical"
+         else "RESUMED STATE DIVERGED");
+      if not resume_ok then exit 1)
+
 let () =
   (* `bench store` / `bench prov` run only that stage — the cheap CI
      artifacts — while a bare `bench` runs the whole harness. *)
@@ -885,6 +1036,8 @@ let () =
     write_telemetry_bench ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "service" then
     write_service_bench ()
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "snapshot" then
+    write_snapshot_bench ()
   else begin
     run_microbenchmarks ();
     write_obs_snapshot ();
@@ -895,6 +1048,7 @@ let () =
     write_telemetry_bench ();
     write_prov_bench ();
     write_service_bench ();
+    write_snapshot_bench ();
     print_endline
       "######## paper reproduction (every table & figure) ########";
     Pift_eval.Experiments.run_all ~jobs:(Pift_par.Pool.default_jobs ())

@@ -1238,7 +1238,74 @@ let print_tenant_block ~name ~prov verdicts (s : Tracker.stats) =
     s.Tracker.events s.Tracker.taint_ops s.Tracker.untaint_ops
     s.Tracker.lookups s.Tracker.max_tainted_bytes s.Tracker.max_ranges
 
-let serve files shards isolated prov ni nt untaint backend batch queue drop =
+(* Per-tenant blocks for a list of engine pids, in the given order.
+   Shared by serve (source order) and restore (snapshot order); the
+   crash-recovery CI leg [cmp]s this output between an interrupted and
+   an uninterrupted serve, so it must depend only on tenant state. *)
+let print_tenant_blocks eng ~prov pids =
+  List.iter
+    (fun pid ->
+      match Service.Admin.snapshot_tenant eng ~pid with
+      | None -> ()
+      | Some ts ->
+          print_tenant_block ~name:ts.Service.Admin.ts_name ~prov
+            (List.map
+               (fun (v : Service.Admin.verdict) ->
+                 (v.Service.Admin.v_kind, v.Service.Admin.v_flagged,
+                  v.Service.Admin.v_origins))
+               ts.Service.Admin.ts_verdicts)
+            ts.Service.Admin.ts_stats)
+    pids
+
+let print_engine_stats eng shards =
+  let st = Service.Admin.stats eng in
+  Printf.eprintf
+    "engine: %d shard(s), %d tenant(s), %d items (%d events), %d batches, \
+     %d dropped\n"
+    shards
+    (List.length (Service.Admin.tenants eng))
+    st.Service.Admin.st_items st.Service.Admin.st_events
+    st.Service.Admin.st_batches st.Service.Admin.st_dropped
+
+let snapshot_file dir = Filename.concat dir "engine.piftsnap"
+
+(* Crash injection for the recovery CI leg: SIGKILL ourselves right
+   after writing the Nth snapshot.  A self-delivered SIGKILL is a real
+   crash — nothing is flushed, no cleanup runs — landing at the
+   adversarial point where the snapshot exists on disk but everything
+   the engine did afterwards is lost. *)
+let crash_after_snapshots =
+  match Sys.getenv_opt "PIFT_CRASH_AFTER_SNAPSHOTS" with
+  | Some s -> int_of_string_opt s
+  | None -> None
+
+(* Run the engine over [sources], snapshotting at every engine-idle
+   segment boundary when a snapshot directory is configured, then print
+   the tenant blocks in source order. *)
+let serve_engine eng ~prov ~shards ~snapshot_dir ~snapshot_every sources =
+  let segment = if snapshot_dir = None then None else snapshot_every in
+  let snapshots = ref 0 in
+  let on_idle =
+    Option.map
+      (fun dir () ->
+        Service.Admin.save_snapshot
+          ~sources:(Service.Snapshot.source_entries sources)
+          eng (snapshot_file dir);
+        incr snapshots;
+        match crash_after_snapshots with
+        | Some n when !snapshots >= n ->
+            Unix.kill (Unix.getpid ()) Sys.sigkill
+        | _ -> ())
+      snapshot_dir
+  in
+  Service.Ingest.run ?segment ?on_idle eng sources;
+  print_tenant_blocks eng ~prov
+    (List.map (fun (s : Service.Ingest.source) -> s.Service.Ingest.src_pid)
+       sources);
+  print_engine_stats eng shards
+
+let serve files shards isolated prov ni nt untaint backend batch queue drop
+    snapshot_dir snapshot_every restore =
   let policy = policy_of ni nt untaint in
   if isolated then
     List.iter
@@ -1260,7 +1327,49 @@ let serve files shards isolated prov ni nt untaint backend batch queue drop =
         print_tenant_block ~name:r.Recorded.name ~prov verdicts
           rp.Recorded.stats)
       files
-  else
+  else if restore then begin
+    (* Resume a killed serve: engine config comes from the snapshot
+       manifest (a mismatched policy/backend would diverge from the
+       uninterrupted run — only the shard count is free), tenants are
+       restored, and each source re-opens at its recorded cursor.
+       Stdout is then byte-identical to a run that was never killed. *)
+    let dir =
+      match snapshot_dir with
+      | Some d -> d
+      | None -> failwith "serve: --restore requires --snapshot-dir"
+    in
+    if files <> [] then
+      failwith "serve: --restore reads its sources from the snapshot; drop \
+                the FILE arguments";
+    let snap = Service.Snapshot.load (snapshot_file dir) in
+    let m = snap.Service.Snapshot.manifest in
+    let mprov = m.Service.Snapshot.m_with_origins in
+    Service.Engine.with_engine ~shards ~policy:m.Service.Snapshot.m_policy
+      ~backend:m.Service.Snapshot.m_backend ~queue_capacity:queue ~batch
+      ~pid_range:m.Service.Snapshot.m_pid_range ~drop_when_full:drop
+      ~with_origins:mprov (fun eng ->
+        Service.Snapshot.restore_tenants eng snap;
+        let sources =
+          List.map
+            (fun (se : Service.Snapshot.source_entry) ->
+              if se.Service.Snapshot.se_path = "" then
+                failwith
+                  (Printf.sprintf
+                     "serve: snapshot source %s has no file to resume from"
+                     se.Service.Snapshot.se_name);
+              let s =
+                Service.Ingest.of_file ~pid:se.Service.Snapshot.se_pid
+                  se.Service.Snapshot.se_path
+              in
+              Service.Ingest.skip s se.Service.Snapshot.se_cursor;
+              s)
+            snap.Service.Snapshot.sources
+        in
+        serve_engine eng ~prov:mprov ~shards ~snapshot_dir ~snapshot_every
+          sources)
+  end
+  else begin
+    if files = [] then failwith "serve: no trace files given";
     Service.Engine.with_engine ~shards ~policy ~backend ~queue_capacity:queue
       ~batch ~drop_when_full:drop ~with_origins:prov (fun eng ->
         let sources =
@@ -1269,39 +1378,18 @@ let serve files shards isolated prov ni nt untaint backend batch queue drop =
               Service.Ingest.of_file ~pid:(Service.Ingest.tenant_pid i) path)
             files
         in
-        Service.Ingest.run eng sources;
-        List.iter
-          (fun (s : Service.Ingest.source) ->
-            match
-              Service.Admin.snapshot_tenant eng ~pid:s.Service.Ingest.src_pid
-            with
-            | None -> ()
-            | Some ts ->
-                print_tenant_block ~name:ts.Service.Admin.ts_name ~prov
-                  (List.map
-                     (fun (v : Service.Admin.verdict) ->
-                       (v.Service.Admin.v_kind, v.Service.Admin.v_flagged,
-                        v.Service.Admin.v_origins))
-                     ts.Service.Admin.ts_verdicts)
-                  ts.Service.Admin.ts_stats)
-          sources;
-        let st = Service.Admin.stats eng in
-        Printf.eprintf
-          "engine: %d shard(s), %d tenant(s), %d items (%d events), %d \
-           batches, %d dropped\n"
-          shards
-          (List.length (Service.Admin.tenants eng))
-          st.Service.Admin.st_items st.Service.Admin.st_events
-          st.Service.Admin.st_batches st.Service.Admin.st_dropped)
+        serve_engine eng ~prov ~shards ~snapshot_dir ~snapshot_every sources)
+  end
 
 let serve_cmd =
   let files =
     Arg.(
-      non_empty
+      value
       & pos_all file []
       & info [] ~docv:"FILE"
           ~doc:"Trace files from record-trace (text or binary), one tenant \
-                each.")
+                each.  Omitted with $(b,--restore): sources come from the \
+                snapshot.")
   in
   let shards =
     let doc =
@@ -1340,6 +1428,35 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "drop-when-full" ] ~doc)
   in
+  let snapshot_dir =
+    let doc =
+      "Write a PIFTSNAP1 snapshot of all tenant state (and ingest \
+       cursors) to $(docv)/engine.piftsnap at every snapshot point.  \
+       Writes are atomic, so a crash always leaves a complete snapshot."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot-dir" ] ~docv:"DIR" ~doc)
+  in
+  let snapshot_every =
+    let doc =
+      "Snapshot after every $(docv) ingested items (and once at the end).  \
+       Without this, $(b,--snapshot-dir) snapshots only at the end."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "snapshot-every" ] ~docv:"N" ~doc)
+  in
+  let restore =
+    let doc =
+      "Resume from $(b,--snapshot-dir)'s snapshot: restore every tenant, \
+       re-open each source at its recorded cursor, and continue.  Engine \
+       policy/backend/origins come from the snapshot manifest (only \
+       $(b,--shards) is free); stdout is byte-identical to a run that \
+       was never interrupted."
+    in
+    Arg.(value & flag & info [ "restore" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1349,7 +1466,96 @@ let serve_cmd =
           at any $(b,--shards) count.")
     Term.(
       const serve $ files $ shards $ isolated $ prov $ ni $ nt $ untaint
-      $ store_backend $ batch $ queue $ drop)
+      $ store_backend $ batch $ queue $ drop $ snapshot_dir $ snapshot_every
+      $ restore)
+
+let snapshot_inspect path =
+  let snap = Service.Snapshot.load path in
+  let m = snap.Service.Snapshot.manifest in
+  Printf.printf
+    "snapshot: %d shard(s), pid-range %d, backend %s, policy %s, origins %s\n"
+    m.Service.Snapshot.m_shards m.Service.Snapshot.m_pid_range
+    (Pift_core.Store.backend_to_string m.Service.Snapshot.m_backend)
+    (Policy.to_string m.Service.Snapshot.m_policy)
+    (if m.Service.Snapshot.m_with_origins then "on" else "off");
+  List.iter
+    (fun (se : Service.Snapshot.source_entry) ->
+      Printf.printf "source %s pid %d cursor %d%s\n"
+        se.Service.Snapshot.se_name se.Service.Snapshot.se_pid
+        se.Service.Snapshot.se_cursor
+        (if se.Service.Snapshot.se_path = "" then ""
+         else " path " ^ se.Service.Snapshot.se_path))
+    snap.Service.Snapshot.sources;
+  List.iter
+    (fun (tp : Service.Admin.tenant_persisted) ->
+      let st = tp.Service.Admin.tp_state in
+      let ranges =
+        List.concat_map snd st.Tracker.p_store |> List.length
+      in
+      let bytes =
+        List.concat_map snd st.Tracker.p_store
+        |> List.fold_left (fun a r -> a + Pift_util.Range.length r) 0
+      in
+      Printf.printf
+        "tenant %s pid %d: %d verdicts, %d events, %d tainted bytes, %d \
+         ranges\n"
+        tp.Service.Admin.tp_name tp.Service.Admin.tp_pid
+        (List.length tp.Service.Admin.tp_verdicts)
+        st.Tracker.p_stats.Tracker.events bytes ranges)
+    snap.Service.Snapshot.tenants
+
+let snapshot_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"SNAP" ~doc:"A PIFTSNAP1 snapshot file.")
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Inspect a PIFTSNAP1 snapshot: manifest, per-source ingest \
+          cursors, and a one-line summary of each persisted tenant.")
+    Term.(const snapshot_inspect $ path)
+
+let restore_run path shards =
+  let snap = Service.Snapshot.load path in
+  let m = snap.Service.Snapshot.manifest in
+  let shards =
+    match shards with Some n -> n | None -> m.Service.Snapshot.m_shards
+  in
+  let prov = m.Service.Snapshot.m_with_origins in
+  Service.Engine.with_engine ~shards ~policy:m.Service.Snapshot.m_policy
+    ~backend:m.Service.Snapshot.m_backend
+    ~pid_range:m.Service.Snapshot.m_pid_range ~with_origins:prov (fun eng ->
+      Service.Snapshot.restore_tenants eng snap;
+      print_tenant_blocks eng ~prov
+        (List.map
+           (fun (tp : Service.Admin.tenant_persisted) ->
+             tp.Service.Admin.tp_pid)
+           snap.Service.Snapshot.tenants);
+      print_engine_stats eng shards)
+
+let restore_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"SNAP" ~doc:"A PIFTSNAP1 snapshot file.")
+  in
+  let shards =
+    let doc =
+      "Shard count for the restored engine (default: the snapshot's)."
+    in
+    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "restore"
+       ~doc:
+         "Restore a snapshot into a fresh engine and print every tenant's \
+          verdict and stats block, without resuming ingestion — the \
+          snapshotted state, rendered exactly as $(b,serve) would.")
+    Term.(const restore_run $ path $ shards)
 
 let main_cmd =
   let doc = "PIFT: predictive information-flow tracking (ASPLOS'16 reproduction)" in
@@ -1367,6 +1573,8 @@ let main_cmd =
       analyze_trace_cmd;
       convert_cmd;
       serve_cmd;
+      snapshot_cmd;
+      restore_cmd;
       report_cmd;
     ]
 

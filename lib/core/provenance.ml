@@ -187,6 +187,75 @@ let entries t =
            tbl acc)
        t.state [])
 
+(* --- persistence --------------------------------------------------------- *)
+
+type persisted_window = {
+  pw_pid : int;
+  pw_ltlt : int;
+  pw_nt_used : int;
+  pw_labels : string list;
+  pw_opener_seq : int;
+  pw_opener_range : Range.t option;
+}
+
+type persisted = {
+  ps_entries : ((int * string) * Range.t list) list;
+  ps_windows : persisted_window list;
+  ps_known_labels : string list;
+  ps_probes : int;
+}
+
+(* Everything [observe]/[labels_of] depend on, in the deterministic
+   orders the sorted accessors already guarantee: per-(pid,label) range
+   sets, open windows (with their label sets and opener provenance, so
+   an in-flight propagation window survives a snapshot), the label
+   universe (a label can be known yet currently hold no ranges), and
+   the probe counter so observability stays continuous across a
+   restore. *)
+let persist t =
+  {
+    ps_entries = entries t;
+    ps_windows =
+      List.sort
+        (fun a b -> compare (a.pw_pid : int) b.pw_pid)
+        (Hashtbl.fold
+           (fun pid w acc ->
+             {
+               pw_pid = pid;
+               pw_ltlt = w.ltlt;
+               pw_nt_used = w.nt_used;
+               pw_labels = Sset.elements w.labels;
+               pw_opener_seq = w.opener_seq;
+               pw_opener_range = w.opener_range;
+             }
+             :: acc)
+           t.windows []);
+    ps_known_labels = Sset.elements t.known_labels;
+    ps_probes = t.probes;
+  }
+
+(* Rebuild into a freshly created sidecar (same policy and backend as
+   the persisted one — the snapshot manifest carries both). *)
+let restore t p =
+  List.iter
+    (fun ((pid, label), ranges) ->
+      let s = set_for t ~pid ~label in
+      List.iter s.Store_backend.s_add ranges)
+    p.ps_entries;
+  List.iter
+    (fun pw ->
+      Hashtbl.replace t.windows pw.pw_pid
+        {
+          ltlt = pw.pw_ltlt;
+          nt_used = pw.pw_nt_used;
+          labels = Sset.of_list pw.pw_labels;
+          opener_seq = pw.pw_opener_seq;
+          opener_range = pw.pw_opener_range;
+        })
+    p.ps_windows;
+  t.known_labels <- Sset.of_list p.ps_known_labels;
+  t.probes <- p.ps_probes
+
 (* --- flow graphs -------------------------------------------------------- *)
 
 module Graph = struct

@@ -69,6 +69,39 @@ val entries : t -> ((int * string) * Pift_util.Range.t list) list
     output, so provenance emissions are byte-identical across runs,
     backends and [--jobs] counts. *)
 
+(** {1 Persistence}
+
+    Structural snapshot of the sidecar for the service durability layer
+    ({!Pift_service.Snapshot}): everything [observe]/[labels_of] depend
+    on, in deterministic (sorted) order, as plain data the snapshot
+    format can encode. *)
+
+type persisted_window = {
+  pw_pid : int;
+  pw_ltlt : int;
+  pw_nt_used : int;
+  pw_labels : string list;  (** sorted *)
+  pw_opener_seq : int;
+  pw_opener_range : Pift_util.Range.t option;
+}
+
+type persisted = {
+  ps_entries : ((int * string) * Pift_util.Range.t list) list;
+      (** as {!entries}: sorted by (pid, label) *)
+  ps_windows : persisted_window list;  (** sorted by pid *)
+  ps_known_labels : string list;  (** sorted; may exceed [ps_entries]'
+      labels — a label stays known after its ranges untaint *)
+  ps_probes : int;
+}
+
+val persist : t -> persisted
+
+val restore : t -> persisted -> unit
+(** Rebuild persisted state into a freshly created sidecar.  The target
+    must have been created with the same policy and backend as the
+    persisted instance (the snapshot manifest records both); after
+    [restore t p], [persist t] equals [p] up to empty-set elision. *)
+
 (** {1 Propagation hook}
 
     The graph builder ({!Pift_eval.Explain}) needs, per in-window store,

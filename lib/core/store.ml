@@ -14,6 +14,7 @@ type t = {
   range_count : unit -> int;
   ranges : pid:int -> Range.t list;
   release_pid : pid:int -> unit;
+  dump : unit -> (int * Range.t list) list;
 }
 
 let create ?(backend = Functional) () =
@@ -67,6 +68,21 @@ let create ?(backend = Functional) () =
             total_bytes := !total_bytes - s.Store_backend.s_bytes ();
             total_count := !total_count - s.Store_backend.s_count ();
             Hashtbl.remove sets pid);
+    (* Snapshot extraction: every pid's canonical range list, sorted by
+       pid so the dump is deterministic whatever the Hashtbl order.
+       Pids whose set emptied out are omitted — a restored store is
+       semantically identical (overlaps/ranges/counters agree), it just
+       doesn't resurrect empty per-pid sets. *)
+    dump =
+      (fun () ->
+        List.sort
+          (fun (p1, _) (p2, _) -> compare (p1 : int) p2)
+          (Hashtbl.fold
+             (fun pid s acc ->
+               match s.Store_backend.s_ranges () with
+               | [] -> acc
+               | rs -> (pid, rs) :: acc)
+             sets []));
   }
 
 let with_metrics registry inner =
@@ -116,4 +132,8 @@ let of_storage storage =
     range_count = (fun () -> Storage.range_count storage);
     ranges = (fun ~pid -> Storage.ranges storage ~pid);
     release_pid = (fun ~pid -> Storage.release_pid storage ~pid);
+    (* The range cache is lossy (drop policy) and not a durable source
+       of truth; snapshotting it would silently persist a partial
+       state, so it refuses instead. *)
+    dump = (fun () -> failwith "Store.of_storage: dump unsupported");
   }

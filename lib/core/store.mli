@@ -44,6 +44,14 @@ type t = {
           its contribution out of [tainted_bytes] / [range_count].  A
           pid never seen is a no-op; a released pid behaves exactly like
           a fresh one. *)
+  dump : unit -> (int * Pift_util.Range.t list) list;
+      (** Snapshot extraction: every pid with live taint, sorted by pid,
+          each with its canonical coalesced range list — deterministic
+          across backends and Hashtbl orders.  Replaying [add] over a
+          dump into a fresh store reproduces the original semantically
+          (same [overlaps]/[ranges]/counters).  Raises [Failure] on
+          {!of_storage} stores: the range cache is lossy, so persisting
+          it would silently drop state. *)
 }
 
 val create : ?backend:backend -> unit -> t

@@ -318,3 +318,54 @@ let stats t =
 
 let tainted_bytes_series t = t.bytes_series
 let ops_series t = t.ops_series
+
+(* --- persistence --------------------------------------------------------- *)
+
+type persisted = {
+  p_stats : stats;
+  p_last_time : int;
+  p_windows : (int * int * int) list;  (* pid, ltlt, nt_used; by pid *)
+  p_store : (int * Range.t list) list;  (* Store.dump *)
+  p_prov : Provenance.persisted option;
+}
+
+let persist t =
+  {
+    p_stats = stats t;
+    p_last_time = t.last_time;
+    p_windows =
+      List.sort compare
+        (Hashtbl.fold
+           (fun pid w acc -> (pid, w.ltlt, w.nt_used) :: acc)
+           t.windows []);
+    p_store = t.store.Store.dump ();
+    p_prov = Option.map Provenance.persist t.prov;
+  }
+
+(* Rebuild into a fresh tracker of the same policy/backend/prov mode.
+   Ranges go through the raw store [add] — not [taint_source] — so the
+   provenance sidecar (restored from its own record) and the stats
+   counters are not perturbed; one [update_peaks] at the end syncs the
+   gauges and the Fig. 15 series to the restored occupancy.  Peaks are
+   ≥ current occupancy by invariant, so restoring stats first keeps the
+   persisted maxima. *)
+let restore t p =
+  t.taint_ops <- p.p_stats.taint_ops;
+  t.untaint_ops <- p.p_stats.untaint_ops;
+  t.lookups <- p.p_stats.lookups;
+  t.tainted_loads <- p.p_stats.tainted_loads;
+  t.max_tainted_bytes <- p.p_stats.max_tainted_bytes;
+  t.max_ranges <- p.p_stats.max_ranges;
+  t.events <- p.p_stats.events;
+  t.last_time <- p.p_last_time;
+  List.iter
+    (fun (pid, ltlt, nt_used) ->
+      Hashtbl.replace t.windows pid { ltlt; nt_used })
+    p.p_windows;
+  List.iter
+    (fun (pid, ranges) -> List.iter (t.store.Store.add ~pid) ranges)
+    p.p_store;
+  (match (t.prov, p.p_prov) with
+  | Some prov, Some pp -> Provenance.restore prov pp
+  | _ -> ());
+  update_peaks t ~time:t.last_time

@@ -107,3 +107,35 @@ val tainted_bytes_series : t -> Pift_util.Series.t
 
 val ops_series : t -> Pift_util.Series.t
 (** Cumulative tainting+untainting operations over time (Fig. 16). *)
+
+(** {1 Persistence}
+
+    Structural snapshot for the service durability layer
+    ({!Pift_service.Snapshot}): the full Algorithm 1 state — stats
+    (including peaks), clock, per-pid windows, store intervals, and the
+    provenance sidecar when present — as plain data. *)
+
+type persisted = {
+  p_stats : stats;
+  p_last_time : int;
+  p_windows : (int * int * int) list;
+      (** (pid, LTLT, NT used), sorted by pid; LTLT can be the -inf
+          sentinel, so it needs signed coding *)
+  p_store : (int * Pift_util.Range.t list) list;  (** {!Store.t.dump} *)
+  p_prov : Provenance.persisted option;
+}
+
+val persist : t -> persisted
+(** Deterministic: identical tracker states persist identically,
+    whatever backend or Hashtbl order.  Raises [Failure] on an
+    {!Store.of_storage}-backed tracker (lossy range cache). *)
+
+val restore : t -> persisted -> unit
+(** Rebuild persisted state into a freshly created tracker with the
+    same policy, store backend and provenance mode (the snapshot
+    manifest records all three).  Restored ranges bypass
+    [taint_source], so stats and the sidecar keep their persisted
+    values; gauges and the Fig. 15 series are synced once at the end.
+    After [restore t p] the tracker's observable behaviour — verdicts,
+    origin sets, stats, future window decisions — is identical to the
+    persisted tracker's. *)

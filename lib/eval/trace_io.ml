@@ -1,4 +1,5 @@
 module Range = Pift_util.Range
+module Wire = Pift_util.Wire
 module Event = Pift_trace.Event
 module Trace = Pift_trace.Trace
 module Insn = Pift_arm.Insn
@@ -112,20 +113,13 @@ let tag_sink = 4
 
 (* Corrupt binary traces must not be able to make the reader allocate
    or loop without bound: payloads are capped, varints are capped at 9
-   bytes (63 value bits). *)
+   bytes (63 value bits).  The varint/zigzag primitives and the chunked
+   reader live in [Pift_util.Wire], shared with the service snapshot
+   format. *)
 let max_record_payload = 1 lsl 24
-
-let add_varint buf v =
-  let v = ref v in
-  while !v lsr 7 <> 0 do
-    Buffer.add_char buf (Char.chr (0x80 lor (!v land 0x7f)));
-    v := !v lsr 7
-  done;
-  Buffer.add_char buf (Char.chr !v)
-
-let zigzag v = (v lsl 1) lxor (v asr (Sys.int_size - 1))
-let unzigzag z = (z lsr 1) lxor (-(z land 1))
-let add_svarint buf v = add_varint buf (zigzag v)
+let add_varint = Wire.add_varint
+let unzigzag = Wire.unzigzag
+let add_svarint = Wire.add_svarint
 
 let to_channel_binary (t : Recorded.t) oc =
   output_string oc binary_magic;
@@ -387,77 +381,13 @@ let of_channel ic =
 
 let fail_record n msg = failwith (Printf.sprintf "Trace_io: record %d: %s" n msg)
 
-(* Chunked channel reader: records average under ten bytes, so decoding
-   straight from a large refill buffer (grown in place for oversized
-   records) beats two channel calls per record by a wide margin. *)
-type rd = {
-  rd_ic : in_channel;
-  mutable rd_buf : Bytes.t;
-  mutable rd_lo : int;  (* next unread byte *)
-  mutable rd_hi : int;  (* end of valid bytes *)
-  mutable rd_eof : bool;
-}
+(* The chunked channel reader is [Wire.Reader] — shared with the
+   snapshot format, which has the same length-prefixed record shape. *)
+type rd = Wire.Reader.t
 
-let rd_create ic =
-  {
-    rd_ic = ic;
-    rd_buf = Bytes.create 65536;
-    rd_lo = 0;
-    rd_hi = 0;
-    rd_eof = false;
-  }
-
-let rd_refill r =
-  if not r.rd_eof then begin
-    let live = r.rd_hi - r.rd_lo in
-    if live > 0 && r.rd_lo > 0 then Bytes.blit r.rd_buf r.rd_lo r.rd_buf 0 live;
-    r.rd_lo <- 0;
-    r.rd_hi <- live;
-    let n = input r.rd_ic r.rd_buf r.rd_hi (Bytes.length r.rd_buf - r.rd_hi) in
-    if n = 0 then r.rd_eof <- true else r.rd_hi <- r.rd_hi + n
-  end
-
-(* Whether [n] contiguous bytes can be buffered (growing the buffer when
-   a record is larger than a chunk). *)
-let rd_has r n =
-  if Bytes.length r.rd_buf < n then begin
-    let grown = Bytes.create (max n (2 * Bytes.length r.rd_buf)) in
-    Bytes.blit r.rd_buf r.rd_lo grown 0 (r.rd_hi - r.rd_lo);
-    r.rd_buf <- grown;
-    r.rd_hi <- r.rd_hi - r.rd_lo;
-    r.rd_lo <- 0
-  end;
-  while r.rd_hi - r.rd_lo < n && not r.rd_eof do
-    rd_refill r
-  done;
-  r.rd_hi - r.rd_lo >= n
-
-let rd_byte r =
-  if r.rd_lo >= r.rd_hi then rd_refill r;
-  if r.rd_lo >= r.rd_hi then -1
-  else begin
-    let b = Char.code (Bytes.unsafe_get r.rd_buf r.rd_lo) in
-    r.rd_lo <- r.rd_lo + 1;
-    b
-  end
-
-(* Header fields and record length prefixes.  [first_eof_ok]
-   distinguishes the clean end of the stream (EOF where a record would
-   start) from truncation inside a varint. *)
-let rd_varint ?(first_eof_ok = false) fail r =
-  let rec go shift acc first =
-    match rd_byte r with
-    | -1 ->
-        if first && first_eof_ok then raise End_of_file
-        else fail "truncated varint"
-    | b ->
-        if shift > 56 && b > 0x7f then fail "varint overflow"
-        else begin
-          let acc = acc lor ((b land 0x7f) lsl shift) in
-          if b < 0x80 then acc else go (shift + 7) acc false
-        end
-  in
-  go 0 0 true
+let rd_create = Wire.Reader.create
+let rd_has = Wire.Reader.has
+let rd_varint = Wire.Reader.varint
 
 (* Pull-side decoder state: the chunk reader plus the record counter and
    the delta baselines.  The decode helpers are top-level functions over
@@ -479,7 +409,7 @@ let br_varint br =
   let rec go shift acc =
     if br.br_pos >= br.br_limit then br_fail br "truncated record payload"
     else begin
-      let b = Char.code (Bytes.unsafe_get br.br_rd.rd_buf br.br_pos) in
+      let b = Char.code (Bytes.unsafe_get br.br_rd.Wire.Reader.buf br.br_pos) in
       br.br_pos <- br.br_pos + 1;
       if shift > 56 && b > 0x7f then br_fail br "varint overflow"
       else begin
@@ -503,7 +433,7 @@ let br_range br =
 let br_kind br =
   let klen = br_varint br in
   if klen < 0 || br.br_pos + klen > br.br_limit then br_fail br "truncated kind";
-  let s = Bytes.sub_string br.br_rd.rd_buf br.br_pos klen in
+  let s = Bytes.sub_string br.br_rd.Wire.Reader.buf br.br_pos klen in
   br.br_pos <- br.br_pos + klen;
   s
 
@@ -521,8 +451,8 @@ let bin_open ic =
   if name_len < 0 || name_len > max_record_payload then
     fail0 "implausible name length";
   if not (rd_has rd name_len) then fail0 "truncated header";
-  let h_name = Bytes.sub_string rd.rd_buf rd.rd_lo name_len in
-  rd.rd_lo <- rd.rd_lo + name_len;
+  let h_name = Bytes.sub_string rd.Wire.Reader.buf rd.Wire.Reader.lo name_len in
+  rd.Wire.Reader.lo <- rd.Wire.Reader.lo + name_len;
   let h_pid = rd_varint fail0 rd in
   let h_bytecodes = rd_varint fail0 rd in
   ( { h_name; h_pid; h_bytecodes },
@@ -549,10 +479,10 @@ let bin_next br =
       if len > max_record_payload then fail "implausible record length";
       if not (rd_has rd len) then
         fail (Printf.sprintf "truncated record (%d payload bytes)" len);
-      br.br_pos <- rd.rd_lo + 1;
-      br.br_limit <- rd.rd_lo + len;
-      let tag = Char.code (Bytes.unsafe_get rd.rd_buf rd.rd_lo) in
-      rd.rd_lo <- rd.rd_lo + len;
+      br.br_pos <- rd.Wire.Reader.lo + 1;
+      br.br_limit <- rd.Wire.Reader.lo + len;
+      let tag = Char.code (Bytes.unsafe_get rd.Wire.Reader.buf rd.Wire.Reader.lo) in
+      rd.Wire.Reader.lo <- rd.Wire.Reader.lo + len;
       let item =
         if tag = tag_load || tag = tag_store then begin
           let seq = br_seq br in

@@ -43,6 +43,13 @@ type stats = Engine.stats = {
   st_tainted_bytes : int;
 }
 
+type tenant_persisted = Engine.tenant_persisted = {
+  tp_pid : int;
+  tp_name : string;
+  tp_verdicts : verdict list;
+  tp_state : Pift_core.Tracker.persisted;
+}
+
 let register_tenant = Engine.register_tenant
 let register_source = Engine.register_source
 let query_sink = Engine.query_sink
@@ -53,3 +60,13 @@ let tenants = Engine.tenants
 let stats = Engine.stats
 let registries = Engine.registries
 let telemetries = Engine.telemetries
+
+(* Durability: the snapshot/restore leg of the control plane.  The
+   format and file handling live in [Snapshot]; these aliases keep the
+   operator surface in one module. *)
+let persist_tenant = Engine.persist_tenant
+let persist_tenants = Engine.persist_tenants
+let restore_tenant = Engine.restore_tenant
+let save_snapshot = Snapshot.save
+let load_snapshot = Snapshot.load
+let restore_snapshot = Snapshot.restore_tenants

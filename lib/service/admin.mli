@@ -69,3 +69,31 @@ val tenants : Engine.t -> int list
 val stats : Engine.t -> stats
 val registries : Engine.t -> Pift_obs.Registry.t array
 val telemetries : Engine.t -> Pift_obs.Telemetry.t array
+
+(** {1 Durability}
+
+    The snapshot/restore leg of the control plane — see {!Snapshot}
+    for the on-disk format and the full restore contract. *)
+
+type tenant_persisted = Engine.tenant_persisted = {
+  tp_pid : int;
+  tp_name : string;
+  tp_verdicts : verdict list;  (** stream order *)
+  tp_state : Pift_core.Tracker.persisted;
+}
+
+val persist_tenant : Engine.t -> pid:int -> tenant_persisted option
+val persist_tenants : Engine.t -> tenant_persisted list
+
+val restore_tenant : Engine.t -> tenant_persisted -> unit
+(** See {!Engine.restore_tenant}: fresh pid slots only; occupancy is
+    folded into the shard gauge. *)
+
+val save_snapshot : ?sources:Snapshot.source_entry list -> Engine.t -> string -> unit
+(** Write a [PIFTSNAP1] snapshot of every resident tenant, atomically. *)
+
+val load_snapshot : string -> Snapshot.t
+
+val restore_snapshot : Engine.t -> Snapshot.t -> unit
+(** Restore every tenant; raises [Invalid_argument] on a config
+    mismatch (policy/backend/origins/pid_range — shard count is free). *)

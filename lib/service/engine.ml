@@ -75,6 +75,13 @@ type t = {
   pool : Pool.t;
   shard_arr : shard array;
   mutable closed : bool;
+  (* Fault injection for the crash-recovery tests: the consumer of
+     [fault_shard] raises after processing [fault_after] more items,
+     exercising the Spsc abort path exactly as a real consumer death
+     would.  Armed while idle; only that shard's consumer reads and
+     disarms it during a run. *)
+  mutable fault_shard : int;
+  mutable fault_after : int;  (* negative = disarmed *)
 }
 
 let make_shard ~telemetry_capacity id =
@@ -149,11 +156,15 @@ let create ?(shards = 1) ?(policy = Policy.default)
     pool = Pool.create ~jobs:(shards + 1) ();
     shard_arr = Array.init shards (make_shard ~telemetry_capacity);
     closed = false;
+    fault_shard = 0;
+    fault_after = -1;
   }
 
 let shards t = t.cfg.shards
 let policy t = t.cfg.policy
 let backend t = t.cfg.backend
+let pid_range t = t.cfg.pid_range
+let with_origins t = t.cfg.with_origins
 let registries t = Array.map (fun sh -> sh.sh_registry) t.shard_arr
 
 let telemetries t =
@@ -307,6 +318,16 @@ let produce t stream =
    batch until closed.  A consumer failure aborts its queue first, so
    the producer can never block against it, then propagates through the
    pool join. *)
+exception Injected_fault of int
+
+let inject_fault t ~shard ~after_items =
+  if shard < 0 || shard >= t.cfg.shards then
+    invalid_arg "Engine.inject_fault: no such shard";
+  if after_items < 0 then
+    invalid_arg "Engine.inject_fault: after_items must be non-negative";
+  t.fault_shard <- shard;
+  t.fault_after <- after_items
+
 let consume t sh =
   let q = sh.sh_queue in
   try
@@ -318,6 +339,13 @@ let consume t sh =
           Counter.incr sh.sh_c_batches;
           Array.iter
             (fun item ->
+              if t.fault_after >= 0 && t.fault_shard = sh.sh_id then begin
+                if t.fault_after = 0 then begin
+                  t.fault_after <- -1;
+                  raise (Injected_fault sh.sh_id)
+                end;
+                t.fault_after <- t.fault_after - 1
+              end;
               (match sh.sh_telemetry with
               | None -> ()
               | Some te -> Telemetry.bump te);
@@ -437,6 +465,47 @@ let tenants t =
     (Array.to_list t.shard_arr
     |> List.concat_map (fun sh ->
            Hashtbl.fold (fun pid _ acc -> pid :: acc) sh.sh_tenants []))
+
+(* --- durable persistence (engine idle) --------------------------------- *)
+
+type tenant_persisted = {
+  tp_pid : int;
+  tp_name : string;
+  tp_verdicts : verdict list;  (* stream order *)
+  tp_state : Tracker.persisted;
+}
+
+let persist_tenant t ~pid =
+  match find_tenant t pid with
+  | None -> None
+  | Some tn ->
+      Some
+        {
+          tp_pid = pid;
+          tp_name = tn.tn_name;
+          tp_verdicts = List.rev tn.tn_verdicts_rev;
+          tp_state = Tracker.persist tn.tn_tracker;
+        }
+
+let persist_tenants t = List.filter_map (fun pid -> persist_tenant t ~pid) (tenants t)
+
+(* Rebuilding a tenant routes it to whatever shard the *current* config
+   maps its pid to — a snapshot taken at 4 shards restores cleanly into
+   a 1-shard engine, because shard placement never leaks into tenant
+   state.  [sync_bytes] folds the restored occupancy into the shard
+   gauge, so a restore immediately followed by an eviction returns the
+   gauge to the survivors' baseline (the restore-then-evict test). *)
+let restore_tenant t tp =
+  let sh = shard_of t tp.tp_pid in
+  if Hashtbl.mem sh.sh_tenants tp.tp_pid then
+    invalid_arg
+      (Printf.sprintf "Engine.restore_tenant: pid %d already resident"
+         tp.tp_pid);
+  let tn = tenant_of t sh tp.tp_pid in
+  tn.tn_name <- tp.tp_name;
+  tn.tn_verdicts_rev <- List.rev tp.tp_verdicts;
+  Tracker.restore tn.tn_tracker tp.tp_state;
+  sync_bytes sh tn
 
 type shard_stats = {
   ss_shard : int;

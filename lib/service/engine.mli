@@ -139,6 +139,53 @@ val snapshot_tenant : t -> pid:int -> tenant_snapshot option
 val tenants : t -> int list
 (** Resident pids, sorted. *)
 
+(** {1 Durable persistence}
+
+    Engine-idle only.  {!tenant_persisted} is the full taint stack of
+    one tenant — name, in-band verdict log, and the tracker's
+    {!Pift_core.Tracker.persisted} state (store intervals, windows,
+    stats and peaks, provenance origin sets) — as plain data;
+    {!Snapshot} encodes it to the on-disk [PIFTSNAP1] format. *)
+
+type tenant_persisted = {
+  tp_pid : int;
+  tp_name : string;
+  tp_verdicts : verdict list;  (** stream order *)
+  tp_state : Pift_core.Tracker.persisted;
+}
+
+val persist_tenant : t -> pid:int -> tenant_persisted option
+
+val persist_tenants : t -> tenant_persisted list
+(** Every resident tenant, sorted by pid — deterministic, identical
+    engine states persist identically at any shard count. *)
+
+val restore_tenant : t -> tenant_persisted -> unit
+(** Recreate a tenant from persisted state: same name, verdict log,
+    and tracker behaviour as the persisted one.  The tenant lands on
+    whatever shard the {e current} config routes its pid to, so a
+    snapshot restores cleanly into an engine with a different shard
+    count.  The restored occupancy is folded into the shard's byte
+    gauge (so a subsequent eviction returns the gauge to the
+    survivors' baseline).  Raises [Invalid_argument] if the pid is
+    already resident — restore into fresh or evicted slots only. *)
+
+(** {1 Fault injection}
+
+    Test hook for crash-recovery suites. *)
+
+exception Injected_fault of int
+(** Carries the faulting shard id. *)
+
+val inject_fault : t -> shard:int -> after_items:int -> unit
+(** Arm (engine-idle) a one-shot fault: during the next {!run}, the
+    consumer of [shard] raises {!Injected_fault} after processing
+    [after_items] more items.  This drives the production failure path
+    — the dying consumer aborts its queue so the producer cannot block
+    against it, every queue closes, and {!run} re-raises the fault
+    after the pool drains.  The engine survives: admin calls and
+    further runs still work, exactly like any consumer death. *)
+
 type shard_stats = {
   ss_shard : int;
   ss_items : int;
@@ -169,6 +216,8 @@ val stats : t -> stats
 val shards : t -> int
 val policy : t -> Pift_core.Policy.t
 val backend : t -> Pift_core.Store.backend
+val pid_range : t -> int
+val with_origins : t -> bool
 
 val registries : t -> Pift_obs.Registry.t array
 (** Per-shard metrics registries, by shard id ([pift_service_*]

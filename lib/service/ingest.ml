@@ -4,10 +4,16 @@ module Trace_io = Pift_eval.Trace_io
 
 type source = {
   src_name : string;
+  src_path : string option;  (* None for in-memory recordings *)
   src_pid : int;  (* pid the engine sees *)
   src_orig_pid : int;  (* pid recorded in the trace *)
   src_next : unit -> Recorded.item option;
   src_close : unit -> unit;
+  (* Ingest cursor: items handed to the engine (or skipped on resume).
+     Counted at merge-emission time, not at head prefetch — [merge]
+     holds one prefetched head per source, and a snapshot must record
+     only what the engine actually consumed. *)
+  mutable src_emitted : int;
 }
 
 let tenant_pid ?(pid_range = 1 lsl 20) i =
@@ -17,10 +23,12 @@ let tenant_pid ?(pid_range = 1 lsl 20) i =
 let of_recorded ~pid (r : Recorded.t) =
   {
     src_name = r.Recorded.name;
+    src_path = None;
     src_pid = pid;
     src_orig_pid = r.Recorded.pid;
     src_next = Recorded.items r;
     src_close = ignore;
+    src_emitted = 0;
   }
 
 let of_file ~pid path =
@@ -28,13 +36,33 @@ let of_file ~pid path =
   let h = Trace_io.reader_header r in
   {
     src_name = h.Trace_io.h_name;
+    src_path = Some path;
     src_pid = pid;
     src_orig_pid = h.Trace_io.h_pid;
     src_next = (fun () -> Trace_io.read_item r);
     src_close = (fun () -> Trace_io.close_reader r);
+    src_emitted = 0;
   }
 
 let close s = s.src_close ()
+let cursor s = s.src_emitted
+
+(* Resume: discard the items a previous run already consumed (per its
+   snapshot cursor), so the next emission is the first unseen item.
+   The source must still contain them — a trace shrinking between
+   snapshot and restart is corruption, not a clean resume. *)
+let skip s n =
+  if n < 0 then invalid_arg "Ingest.skip: negative cursor";
+  for _ = 1 to n do
+    match s.src_next () with
+    | Some _ -> s.src_emitted <- s.src_emitted + 1
+    | None ->
+        failwith
+          (Printf.sprintf
+             "Ingest.skip: source %s ended before cursor %d (trace changed \
+              since snapshot?)"
+             s.src_name n)
+  done
 
 (* Remap a recorded item onto the source's assigned engine pid.  The
    recording's events may carry child pids (fork); preserving the
@@ -93,10 +121,12 @@ let merge sources : Engine.stream =
       let i = !best in
       let it = Option.get heads.(i) in
       heads.(i) <- None;
+      srcs.(i).src_emitted <- srcs.(i).src_emitted + 1;
       Some (to_engine_item srcs.(i) it)
     end
 
-let run engine sources =
+let run ?segment ?on_idle engine sources =
+  let idle () = match on_idle with Some f -> f () | None -> () in
   Fun.protect
     ~finally:(fun () -> List.iter close sources)
     (fun () ->
@@ -104,4 +134,32 @@ let run engine sources =
         (fun s ->
           Engine.register_tenant engine ~pid:s.src_pid ~name:s.src_name ())
         sources;
-      Engine.run engine (merge sources))
+      let stream = merge sources in
+      match segment with
+      | None ->
+          Engine.run engine stream;
+          idle ()
+      | Some n ->
+          if n <= 0 then invalid_arg "Ingest.run: segment must be positive";
+          (* Wrap the persistent merged stream in per-segment budgets:
+             each [Engine.run] drains at most [n] items and joins the
+             pool, so [on_idle] always observes a fully quiescent
+             engine — the only state a snapshot may capture. *)
+          let exhausted = ref false in
+          let budget = ref 0 in
+          let bounded () =
+            if !budget = 0 then None
+            else
+              match stream () with
+              | None ->
+                  exhausted := true;
+                  None
+              | Some item ->
+                  decr budget;
+                  Some item
+          in
+          while not !exhausted do
+            budget := n;
+            Engine.run engine bounded;
+            idle ()
+          done)

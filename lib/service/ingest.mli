@@ -10,10 +10,12 @@
 
 type source = {
   src_name : string;
+  src_path : string option;  (** trace file, [None] for in-memory *)
   src_pid : int;  (** pid the engine sees *)
   src_orig_pid : int;  (** pid recorded in the trace *)
   src_next : unit -> Pift_eval.Recorded.item option;
   src_close : unit -> unit;
+  mutable src_emitted : int;  (** read via {!cursor} *)
 }
 
 val tenant_pid : ?pid_range:int -> int -> int
@@ -40,7 +42,29 @@ val merge : source list -> Engine.stream
     exactly its own stream in order; the cross-tenant schedule is fixed
     by the inputs alone, never by thread timing. *)
 
-val run : Engine.t -> source list -> unit
+val cursor : source -> int
+(** Ingest cursor: items emitted to the engine so far (plus any
+    {!skip}ped on resume).  Counted at merge-emission time — the one
+    prefetched head {!merge} may hold is {e not} included, so after an
+    idle {!Engine.run} the cursor names exactly the processed prefix.
+    Recorded per source in every snapshot. *)
+
+val skip : source -> int -> unit
+(** Resume from a snapshot: discard the first [n] items of a freshly
+    opened source (the prefix a previous run consumed) and set its
+    cursor to [n].  Fails if the source ends early — the trace changed
+    since the snapshot was taken. *)
+
+val run :
+  ?segment:int -> ?on_idle:(unit -> unit) -> Engine.t -> source list -> unit
 (** Register each source's tenant (named after the trace), then
     {!Engine.run} the merged stream.  Sources are closed on the way
-    out, also on failure. *)
+    out, also on failure.
+
+    With [segment:n], the stream is drained in budgets of [n] items:
+    after each segment the engine is fully idle (pool joined, queues
+    drained) and [on_idle] is called — the snapshot hook.  [on_idle]
+    also runs once after the final (possibly short) segment, so a
+    snapshot of the completed state always exists; without [segment]
+    it runs once at end of stream.  Cursors observed inside [on_idle]
+    name exactly the processed prefix of every source. *)

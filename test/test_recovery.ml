@@ -1,0 +1,670 @@
+(* Durability tests: the PIFTSNAP1 snapshot format and the recovery
+   contract.
+
+   - a seeded round-trip property: persist∘restore is the identity for
+     every store backend × provenance mode, checked structurally, at
+     the byte level, and differentially — a restored tracker must be
+     indistinguishable from a bytemap-oracle tracker that was never
+     persisted, including on a fresh op suffix (windows, peaks and
+     origin sets all have to survive the trip for that to hold);
+   - corrupt-fixture decoding: truncation, bad magic, wrong version and
+     non-hex pid records all fail with a positioned
+     [Snapshot: record N] error, never a bare exception, and the
+     streaming reader delivers every intact prefix record first;
+   - fault-injection crash/recovery differentials: kill a shard
+     consumer mid-ingest through the production Spsc abort path,
+     restore the last snapshot into a fresh engine (same or different
+     shard count), resume from the recorded cursors, and require the
+     final tenant state to equal an uninterrupted run's;
+   - the restore/evict occupancy invariant: restoring a tenant and then
+     evicting it returns the shard gauge to the survivors' baseline. *)
+
+module Range = Pift_util.Range
+module Rng = Pift_util.Rng
+module Policy = Pift_core.Policy
+module Store = Pift_core.Store
+module Tracker = Pift_core.Tracker
+module Provenance = Pift_core.Provenance
+module Registry = Pift_obs.Registry
+module Event = Pift_trace.Event
+module Insn = Pift_arm.Insn
+module Droidbench = Pift_workloads.Droidbench
+module Recorded = Pift_eval.Recorded
+module Engine = Pift_service.Engine
+module Ingest = Pift_service.Ingest
+module Admin = Pift_service.Admin
+module Snapshot = Pift_service.Snapshot
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let app name =
+  match Droidbench.find name with
+  | Some a -> a
+  | None -> Alcotest.failf "unknown app %s" name
+
+(* Recordings shared across cases (recording is the slow part). *)
+let recordings =
+  lazy
+    (List.map
+       (fun n -> Recorded.record (app n))
+       [ "StringConcat1"; "DirectLeak1"; "LogLeak1"; "Obfuscation1" ])
+
+let with_tmp ~suffix f =
+  let path = Filename.temp_file "pift_recovery_test" suffix in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+(* --- round-trip property -------------------------------------------------- *)
+
+(* Tracker-level ops: sources, untaints, observed loads/stores (the
+   window-driving fast path) and sink queries whose answers are the
+   observable output a restore must preserve. *)
+type top =
+  | T_source of int * string * Range.t
+  | T_untaint of int * Range.t
+  | T_load of int * Range.t
+  | T_store of int * Range.t
+  | T_sink of int * Range.t
+
+let top_to_string = function
+  | T_source (pid, l, r) ->
+      Printf.sprintf "source p%d %s %s" pid l (Range.to_string r)
+  | T_untaint (pid, r) -> Printf.sprintf "untaint p%d %s" pid (Range.to_string r)
+  | T_load (pid, r) -> Printf.sprintf "load p%d %s" pid (Range.to_string r)
+  | T_store (pid, r) -> Printf.sprintf "store p%d %s" pid (Range.to_string r)
+  | T_sink (pid, r) -> Printf.sprintf "sink p%d %s" pid (Range.to_string r)
+
+let labels = [| "IMEI"; "GPS"; "SMS" |]
+
+let gen_top rng =
+  let pid = 1 + Rng.int rng 3 in
+  match Rng.int rng 10 with
+  | 0 | 1 ->
+      T_source (pid, labels.(Rng.int rng (Array.length labels)), Prop.gen_range rng)
+  | 2 -> T_untaint (pid, Prop.gen_range rng)
+  | 3 | 4 | 5 -> T_load (pid, Prop.gen_range rng)
+  | 6 | 7 | 8 -> T_store (pid, Prop.gen_range rng)
+  | _ -> T_sink (pid, Prop.gen_range rng)
+
+let gen_tops rng n =
+  let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (gen_top rng :: acc) in
+  go n []
+
+(* Per-pid instruction counters after [ops] — a pure function of the
+   sequence, so a restored tracker's suffix run can resume the counters
+   exactly where the persisted prefix left them. *)
+let k_table ops =
+  let t = Hashtbl.create 8 in
+  List.iter
+    (fun op ->
+      match op with
+      | T_load (pid, _) | T_store (pid, _) ->
+          Hashtbl.replace t pid (1 + Option.value ~default:0 (Hashtbl.find_opt t pid))
+      | T_source _ | T_untaint _ | T_sink _ -> ())
+    ops;
+  t
+
+(* Apply [ops]; the returned strings are every observable answer
+   (sink verdicts and origin sets), the currency the differential
+   comparisons run on. *)
+let run_ops tr ops ~seq0 ~ks =
+  let out = ref [] in
+  List.iteri
+    (fun i op ->
+      let seq = seq0 + i in
+      let observe pid access =
+        let k = 1 + Option.value ~default:0 (Hashtbl.find_opt ks pid) in
+        Hashtbl.replace ks pid k;
+        Tracker.observe tr { Event.seq; k; pid; insn = Insn.Nop; access }
+      in
+      match op with
+      | T_source (pid, label, r) -> Tracker.taint_source ~kind:label tr ~pid r
+      | T_untaint (pid, r) -> Tracker.untaint_range tr ~pid r
+      | T_load (pid, r) -> observe pid (Event.Load r)
+      | T_store (pid, r) -> observe pid (Event.Store r)
+      | T_sink (pid, r) ->
+          out :=
+            Printf.sprintf "sink p%d %s -> %b [%s]" pid (Range.to_string r)
+              (Tracker.is_tainted tr ~pid r)
+              (String.concat "," (Tracker.origins_of tr ~pid r))
+            :: !out)
+    ops;
+  List.rev !out
+
+let bytes_of_ranges ranges =
+  let a = Bytes.make 1024 '\000' in
+  List.iter
+    (fun r ->
+      for i = Range.lo r to min 1023 (Range.hi r) do
+        Bytes.set a i '\001'
+      done)
+    ranges;
+  Bytes.to_string a
+
+let rec take n = function
+  | x :: tl when n > 0 -> x :: take (n - 1) tl
+  | _ -> []
+
+let rec drop n = function _ :: tl when n > 0 -> drop (n - 1) tl | l -> l
+
+let mk_tracker ~backend ~prov_on () =
+  let prov =
+    if prov_on then Some (Provenance.create ~backend ()) else None
+  in
+  Tracker.create ~store:(Store.create ~backend ()) ?prov ()
+
+(* One case: prefix on tracker A and on a bytemap-oracle tracker O
+   (their answers must already agree — the store differential), then
+   persist A, restore into a fresh B, and check three ways:
+   structurally (persist B = persist A), at the byte level (the
+   persisted intervals expand to exactly B's live bytes), and
+   behaviourally (a fresh op suffix gives identical answers on A, B
+   and O — windows, peaks, provenance and all). *)
+let roundtrip_prop ~backend ~prov_on ops =
+  let split = max 1 (List.length ops * 3 / 5) in
+  let pre = take split ops and suf = drop split ops in
+  let a = mk_tracker ~backend ~prov_on () in
+  let o = mk_tracker ~backend:Store.Bytemap ~prov_on () in
+  let out_a = run_ops a pre ~seq0:0 ~ks:(k_table []) in
+  let out_o = run_ops o pre ~seq0:0 ~ks:(k_table []) in
+  if out_a <> out_o then Error "prefix diverged from bytemap oracle"
+  else begin
+    let p = Tracker.persist a in
+    let b = mk_tracker ~backend ~prov_on () in
+    Tracker.restore b p;
+    let p' = Tracker.persist b in
+    if p' <> p then Error "persist (restore p) <> p"
+    else begin
+      let byte_mismatch =
+        List.find_opt
+          (fun pid ->
+            let persisted =
+              Option.value ~default:[] (List.assoc_opt pid p.Tracker.p_store)
+            in
+            bytes_of_ranges persisted
+            <> bytes_of_ranges (Tracker.tainted_ranges b ~pid))
+          [ 1; 2; 3 ]
+      in
+      match byte_mismatch with
+      | Some pid ->
+          Error (Printf.sprintf "restored bytes differ for pid %d" pid)
+      | None ->
+          let out_sa = run_ops a suf ~seq0:split ~ks:(k_table pre) in
+          let out_sb = run_ops b suf ~seq0:split ~ks:(k_table pre) in
+          let out_so = run_ops o suf ~seq0:split ~ks:(k_table pre) in
+          if out_sb <> out_sa then
+            Error "suffix answers: restored tracker diverged from original"
+          else if out_sb <> out_so then
+            Error "suffix answers: restored tracker diverged from oracle"
+          else if Tracker.persist a <> Tracker.persist b then
+            Error "post-suffix persisted states diverged"
+          else Ok ()
+    end
+  end
+
+let test_roundtrip_property () =
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun prov_on ->
+          Prop.check_gen
+            ~name:
+              (Printf.sprintf "snapshot roundtrip (%s, prov=%b)"
+                 (Store.backend_to_string backend)
+                 prov_on)
+            ~count:20
+            ~gen:(fun rng -> gen_tops rng 100)
+            ~shrink:Prop.shrink_candidates
+            ~to_string:(fun ops ->
+              Printf.sprintf "(%d ops): %s" (List.length ops)
+                (String.concat "; " (List.map top_to_string ops)))
+            (roundtrip_prop ~backend ~prov_on))
+        [ false; true ])
+    [ Store.Functional; Store.Flat; Store.Hybrid ]
+
+(* --- snapshot files: write/load identity ---------------------------------- *)
+
+let stats_equal (a : Tracker.stats) (b : Tracker.stats) = a = b
+
+let tenant_equal (a : Admin.tenant_snapshot) (b : Admin.tenant_snapshot) =
+  (* everything but ts_shard, which legitimately differs across shard
+     counts *)
+  String.equal a.Admin.ts_name b.Admin.ts_name
+  && a.Admin.ts_pid = b.Admin.ts_pid
+  && a.Admin.ts_verdicts = b.Admin.ts_verdicts
+  && stats_equal a.Admin.ts_stats b.Admin.ts_stats
+  && a.Admin.ts_tainted_bytes = b.Admin.ts_tainted_bytes
+  && a.Admin.ts_ranges = b.Admin.ts_ranges
+
+let run_engine ~shards ?(with_origins = true) f =
+  let recs = Lazy.force recordings in
+  Engine.with_engine ~shards ~policy:Policy.default ~with_origins (fun eng ->
+      let sources =
+        List.mapi
+          (fun i r -> Ingest.of_recorded ~pid:(Ingest.tenant_pid i) r)
+          recs
+      in
+      f eng sources)
+
+let test_write_load_identity () =
+  run_engine ~shards:2 (fun eng sources ->
+      Ingest.run eng sources;
+      let entries = Snapshot.source_entries sources in
+      let t = Snapshot.of_engine ~sources:entries eng in
+      with_tmp ~suffix:".piftsnap" (fun path ->
+          Snapshot.write path t;
+          let t' = Snapshot.load path in
+          checkb "load (write t) = t" true (t' = t);
+          (* streamed record count matches the structure *)
+          let n = ref 0 in
+          Snapshot.iter path (fun _ -> incr n);
+          checki "record count" (1 + List.length t.Snapshot.sources
+                                 + List.length t.Snapshot.tenants)
+            !n))
+
+(* Engine states persist identically at any shard count: the durable
+   form may not leak shard placement. *)
+let test_persist_shard_free () =
+  let persist_at shards =
+    run_engine ~shards (fun eng sources ->
+        Ingest.run eng sources;
+        Admin.persist_tenants eng)
+  in
+  let p1 = persist_at 1 in
+  checkb "persist shards=1 equals shards=2" true (p1 = persist_at 2);
+  checkb "persist shards=1 equals shards=4" true (p1 = persist_at 4)
+
+(* --- corrupt fixtures ----------------------------------------------------- *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let sample_snapshot_bytes f =
+  run_engine ~shards:2 (fun eng sources ->
+      Ingest.run eng sources;
+      let entries = Snapshot.source_entries sources in
+      with_tmp ~suffix:".piftsnap" (fun path ->
+          Admin.save_snapshot ~sources:entries eng path;
+          f (Snapshot.load path) (read_file path)))
+
+let expect_positioned_failure ~what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected a positioned failure" what
+  | exception Failure msg ->
+      checkb
+        (Printf.sprintf "%s error is positioned (%s)" what msg)
+        true
+        (String.length msg >= 16 && String.sub msg 0 16 = "Snapshot: record");
+      msg
+  | exception e ->
+      Alcotest.failf "%s: bare exception %s escaped" what (Printexc.to_string e)
+
+let test_corrupt_truncated () =
+  sample_snapshot_bytes (fun t full ->
+      with_tmp ~suffix:".piftsnap" (fun cut_path ->
+          (* chop mid-record: prefix records stay intact, the cut one
+             must fail with its record number *)
+          write_file cut_path (String.sub full 0 (String.length full * 2 / 3));
+          let delivered = ref [] in
+          let msg =
+            expect_positioned_failure ~what:"truncated" (fun () ->
+                Snapshot.iter cut_path (fun r -> delivered := r :: !delivered))
+          in
+          checkb "mentions truncation" true
+            (String.length msg > 0
+            && (let has sub =
+                  let n = String.length sub and m = String.length msg in
+                  let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+                  go 0
+                in
+                has "truncated"));
+          (* every intact prefix record was delivered, manifest first *)
+          let delivered = List.rev !delivered in
+          checkb "prefix delivered" true (List.length delivered > 0);
+          (match delivered with
+          | Snapshot.R_manifest m :: _ ->
+              checkb "manifest intact" true (m = t.Snapshot.manifest)
+          | _ -> Alcotest.fail "first delivered record is not the manifest");
+          (* load also rejects it *)
+          ignore
+            (expect_positioned_failure ~what:"truncated load" (fun () ->
+                 Snapshot.load cut_path))))
+
+let test_corrupt_record_boundary_truncation () =
+  (* Truncation at an exact record boundary reads as a clean EOF to the
+     streaming layer; the manifest's expected counts must catch it. *)
+  sample_snapshot_bytes (fun t _ ->
+      with_tmp ~suffix:".piftsnap" (fun path ->
+          let short =
+            {
+              t with
+              Snapshot.tenants =
+                take (List.length t.Snapshot.tenants - 1) t.Snapshot.tenants;
+            }
+          in
+          Snapshot.write path short;
+          let msg =
+            expect_positioned_failure ~what:"boundary truncation" (fun () ->
+                Snapshot.load path)
+          in
+          checkb
+            (Printf.sprintf "count mismatch reported (%s)" msg)
+            true
+            (let has sub =
+               let n = String.length sub and m = String.length msg in
+               let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+               go 0
+             in
+             has "expected 4 tenant records, got 3")))
+
+let test_corrupt_bad_magic () =
+  sample_snapshot_bytes (fun _ full ->
+      with_tmp ~suffix:".piftsnap" (fun path ->
+          let b = Bytes.of_string full in
+          Bytes.set b 0 'X';
+          write_file path (Bytes.to_string b);
+          let msg =
+            expect_positioned_failure ~what:"bad magic" (fun () ->
+                Snapshot.load path)
+          in
+          checks "magic error" "Snapshot: record 0: bad magic" msg;
+          (* empty file: also a positioned magic failure *)
+          write_file path "";
+          ignore
+            (expect_positioned_failure ~what:"empty file" (fun () ->
+                 Snapshot.load path))))
+
+let test_corrupt_wrong_version () =
+  sample_snapshot_bytes (fun _ full ->
+      with_tmp ~suffix:".piftsnap" (fun path ->
+          let b = Bytes.of_string full in
+          Bytes.set b 8 '7';
+          write_file path (Bytes.to_string b);
+          let msg =
+            expect_positioned_failure ~what:"wrong version" (fun () ->
+                Snapshot.load path)
+          in
+          checks "version error"
+            "Snapshot: record 0: unsupported snapshot version '7' (want '1')"
+            msg))
+
+let test_corrupt_non_hex_pid () =
+  sample_snapshot_bytes (fun _ full ->
+      (* tenant 0's engine pid is 0x100000: its source record encodes
+         the length-prefixed hex string "\006100000".  Poison one digit
+         in place — same length, so every other record stays intact. *)
+      let needle = "\006100000" in
+      let idx =
+        let n = String.length needle in
+        let rec go i =
+          if i + n > String.length full then
+            Alcotest.fail "hex pid bytes not found in snapshot"
+          else if String.sub full i n = needle then i
+          else go (i + 1)
+        in
+        go 0
+      in
+      let b = Bytes.of_string full in
+      Bytes.set b (idx + 1) 'g';
+      with_tmp ~suffix:".piftsnap" (fun path ->
+          write_file path (Bytes.to_string b);
+          let delivered = ref 0 in
+          let msg =
+            expect_positioned_failure ~what:"non-hex pid" (fun () ->
+                Snapshot.iter path (fun _ -> incr delivered))
+          in
+          checks "non-hex error"
+            "Snapshot: record 2: non-hex pid record: \"g00000\"" msg;
+          (* the manifest (record 1) was still delivered *)
+          checki "intact prefix delivered" 1 !delivered))
+
+(* --- crash / recovery differential ---------------------------------------- *)
+
+(* Uninterrupted reference run at [shards]. *)
+let clean_run ~shards =
+  run_engine ~shards (fun eng sources ->
+      Ingest.run eng sources;
+      List.map
+        (fun (s : Ingest.source) ->
+          Option.get (Admin.snapshot_tenant eng ~pid:s.Ingest.src_pid))
+        sources)
+
+(* Kill shard [fault_shard]'s consumer [after_items] items after the
+   [crash_at]-th snapshot, through the production abort path; then
+   restore the last snapshot into a fresh engine with [resume_shards]
+   shards, skip every source to its recorded cursor, resume, and
+   compare against the uninterrupted run. *)
+let crash_recovery_differential ~shards ~resume_shards ~crash_at ~fault_shard
+    ~after_items () =
+  let clean = clean_run ~shards in
+  with_tmp ~suffix:".piftsnap" (fun snap_path ->
+      let crashed =
+        run_engine ~shards (fun eng sources ->
+            let snaps = ref 0 in
+            let on_idle () =
+              Admin.save_snapshot
+                ~sources:(Snapshot.source_entries sources)
+                eng snap_path;
+              incr snaps;
+              if !snaps = crash_at then
+                Engine.inject_fault eng ~shard:fault_shard ~after_items
+            in
+            match Ingest.run ~segment:50 ~on_idle eng sources with
+            | () -> None
+            | exception Engine.Injected_fault sh -> Some sh)
+      in
+      (match crashed with
+      | Some sh -> checki "fault raised from armed shard" fault_shard sh
+      | None ->
+          Alcotest.fail "workload finished before the injected fault fired");
+      let snap = Snapshot.load snap_path in
+      (* the snapshot is a strict prefix: the crash lost in-flight work *)
+      let snap_items =
+        List.fold_left
+          (fun acc (se : Snapshot.source_entry) -> acc + se.Snapshot.se_cursor)
+          0 snap.Snapshot.sources
+      in
+      checkb "snapshot is mid-stream" true (snap_items > 0);
+      Engine.with_engine ~shards:resume_shards ~policy:Policy.default
+        ~with_origins:true (fun eng ->
+          Snapshot.restore_tenants eng snap;
+          let recs = Lazy.force recordings in
+          let sources =
+            List.mapi
+              (fun i r -> Ingest.of_recorded ~pid:(Ingest.tenant_pid i) r)
+              recs
+          in
+          List.iter
+            (fun (s : Ingest.source) ->
+              let se =
+                List.find
+                  (fun (se : Snapshot.source_entry) ->
+                    se.Snapshot.se_pid = s.Ingest.src_pid)
+                  snap.Snapshot.sources
+              in
+              Ingest.skip s se.Snapshot.se_cursor)
+            sources;
+          Ingest.run eng sources;
+          List.iter2
+            (fun (c : Admin.tenant_snapshot) (s : Ingest.source) ->
+              let ts =
+                Option.get (Admin.snapshot_tenant eng ~pid:s.Ingest.src_pid)
+              in
+              checkb
+                (Printf.sprintf
+                   "resumed tenant %s equals uninterrupted (s%d -> s%d)"
+                   ts.Admin.ts_name shards resume_shards)
+                true (tenant_equal c ts))
+            clean sources))
+
+let test_crash_recovery_s1 () =
+  crash_recovery_differential ~shards:1 ~resume_shards:1 ~crash_at:2
+    ~fault_shard:0 ~after_items:17 ()
+
+let test_crash_recovery_s2 () =
+  crash_recovery_differential ~shards:2 ~resume_shards:2 ~crash_at:3
+    ~fault_shard:1 ~after_items:0 ()
+
+let test_crash_recovery_s4 () =
+  (* shard 1 holds tenant 0 (StringConcat1), the longest stream — the
+     fault lands well before its items dry up *)
+  crash_recovery_differential ~shards:4 ~resume_shards:4 ~crash_at:2
+    ~fault_shard:1 ~after_items:7 ()
+
+let test_crash_recovery_reshard () =
+  (* crash at 2 shards, recover into 4 and into 1 *)
+  crash_recovery_differential ~shards:2 ~resume_shards:4 ~crash_at:4
+    ~fault_shard:0 ~after_items:3 ();
+  crash_recovery_differential ~shards:2 ~resume_shards:1 ~crash_at:4
+    ~fault_shard:1 ~after_items:29 ()
+
+(* The engine survives an injected fault: the abort path must leave it
+   usable for admin reads and further runs (that is what the restore
+   tooling leans on). *)
+let test_engine_survives_fault () =
+  run_engine ~shards:2 (fun eng sources ->
+      Engine.inject_fault eng ~shard:0 ~after_items:40;
+      (match Ingest.run eng sources with
+      | () -> Alcotest.fail "expected injected fault"
+      | exception Engine.Injected_fault _ -> ());
+      ignore (Admin.stats eng);
+      (* a fresh run on the same engine still works *)
+      let r = List.hd (Lazy.force recordings) in
+      let pid = Ingest.tenant_pid 9 in
+      Ingest.run eng [ Ingest.of_recorded ~pid r ];
+      checkb "post-fault ingest works" true
+        (Admin.snapshot_tenant eng ~pid <> None))
+
+(* --- restore / evict occupancy -------------------------------------------- *)
+
+let gauge_bytes eng =
+  Array.fold_left
+    (fun acc reg ->
+      match Registry.find_gauge reg "pift_service_tainted_bytes" with
+      | Some v -> acc +. v
+      | None -> acc)
+    0. (Admin.registries eng)
+
+let test_restore_then_evict_gauge () =
+  run_engine ~shards:2 (fun eng sources ->
+      Ingest.run eng sources;
+      let pid0 = Ingest.tenant_pid 0 in
+      let full = int_of_float (gauge_bytes eng) in
+      let ts_before = Option.get (Admin.snapshot_tenant eng ~pid:pid0) in
+      let tp0 = Option.get (Admin.persist_tenant eng ~pid:pid0) in
+      checkb "evicted" true (Admin.evict_tenant eng ~pid:pid0);
+      let survivors = int_of_float (gauge_bytes eng) in
+      checki "eviction released the tenant's bytes"
+        (full - ts_before.Admin.ts_tainted_bytes)
+        survivors;
+      (* restore the persisted tenant: occupancy returns in full *)
+      Admin.restore_tenant eng tp0;
+      checki "gauge after restore" full (int_of_float (gauge_bytes eng));
+      let ts_after = Option.get (Admin.snapshot_tenant eng ~pid:pid0) in
+      checkb "restored tenant equals pre-evict snapshot" true
+        (tenant_equal ts_before ts_after);
+      (* restoring over a resident pid is refused *)
+      (match Admin.restore_tenant eng tp0 with
+      | () -> Alcotest.fail "double restore must be refused"
+      | exception Invalid_argument _ -> ());
+      (* evicting the restored tenant lands exactly back on the
+         survivors' baseline — the restored occupancy was folded into
+         the gauge, not leaked beside it *)
+      checkb "evicted again" true (Admin.evict_tenant eng ~pid:pid0);
+      checki "gauge back at survivors' baseline" survivors
+        (int_of_float (gauge_bytes eng)))
+
+(* --- restore guard rails --------------------------------------------------- *)
+
+let test_restore_config_mismatch () =
+  let snap =
+    run_engine ~shards:2 (fun eng sources ->
+        Ingest.run eng sources;
+        Snapshot.of_engine eng)
+  in
+  let refuse ~what mk =
+    Engine.with_engine ~shards:2 ~with_origins:true (fun eng ->
+        ignore eng;
+        match mk () with
+        | () -> Alcotest.failf "%s: mismatched restore must be refused" what
+        | exception Invalid_argument _ -> ())
+  in
+  refuse ~what:"policy" (fun () ->
+      Engine.with_engine ~shards:2 ~with_origins:true
+        ~policy:(Policy.make ~ni:2 ~nt:1 ()) (fun eng ->
+          Snapshot.restore_tenants eng snap));
+  refuse ~what:"backend" (fun () ->
+      Engine.with_engine ~shards:2 ~with_origins:true ~backend:Store.Flat
+        (fun eng -> Snapshot.restore_tenants eng snap));
+  refuse ~what:"origins" (fun () ->
+      Engine.with_engine ~shards:2 ~with_origins:false (fun eng ->
+          Snapshot.restore_tenants eng snap));
+  refuse ~what:"pid_range" (fun () ->
+      Engine.with_engine ~shards:2 ~with_origins:true ~pid_range:4096
+        (fun eng -> Snapshot.restore_tenants eng snap))
+
+let test_skip_past_end_fails () =
+  let r = List.hd (Lazy.force recordings) in
+  let s = Ingest.of_recorded ~pid:(Ingest.tenant_pid 0) r in
+  match Ingest.skip s 1_000_000 with
+  | () -> Alcotest.fail "skip past end of trace must fail"
+  | exception Failure msg ->
+      checkb
+        (Printf.sprintf "skip failure names the source (%s)" msg)
+        true
+        (String.length msg > 0)
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case
+            "persist/restore identity, all backends x prov (12k ops)" `Slow
+            test_roundtrip_property;
+          Alcotest.test_case "write/load identity + record count" `Quick
+            test_write_load_identity;
+          Alcotest.test_case "persisted state is shard-count-free" `Quick
+            test_persist_shard_free;
+        ] );
+      ( "corrupt",
+        [
+          Alcotest.test_case "truncated mid-record" `Quick
+            test_corrupt_truncated;
+          Alcotest.test_case "truncated at a record boundary" `Quick
+            test_corrupt_record_boundary_truncation;
+          Alcotest.test_case "bad magic / empty file" `Quick
+            test_corrupt_bad_magic;
+          Alcotest.test_case "wrong version byte" `Quick
+            test_corrupt_wrong_version;
+          Alcotest.test_case "non-hex pid record" `Quick
+            test_corrupt_non_hex_pid;
+        ] );
+      ( "crash-recovery",
+        [
+          Alcotest.test_case "kill+restore+resume = uninterrupted (1 shard)"
+            `Slow test_crash_recovery_s1;
+          Alcotest.test_case "kill+restore+resume = uninterrupted (2 shards)"
+            `Slow test_crash_recovery_s2;
+          Alcotest.test_case "kill+restore+resume = uninterrupted (4 shards)"
+            `Slow test_crash_recovery_s4;
+          Alcotest.test_case "crash at 2 shards, recover at 4 and 1" `Slow
+            test_crash_recovery_reshard;
+          Alcotest.test_case "engine survives an injected fault" `Quick
+            test_engine_survives_fault;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "restore-then-evict returns gauge to baseline"
+            `Quick test_restore_then_evict_gauge;
+          Alcotest.test_case "mismatched restore is refused" `Quick
+            test_restore_config_mismatch;
+          Alcotest.test_case "skip past end of trace fails" `Quick
+            test_skip_past_end_fails;
+        ] );
+    ]
